@@ -1,0 +1,47 @@
+//! The three-party terminology of §3.3.
+
+use bgpworms_types::Asn;
+use std::fmt;
+
+/// Who is who in a community-based attack (§3.3): the *attacker*
+/// manipulates the community attribute (or hijacks), the *attackee*'s
+/// prefix/traffic is affected, and the *community target* is the AS whose
+/// community service gets triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackRoles {
+    /// The AS manipulating communities or injecting hijacks.
+    pub attacker: Asn,
+    /// The AS whose prefix or traffic is affected.
+    pub attackee: Asn,
+    /// The AS whose community service is (ab)used — also called the
+    /// community provider.
+    pub community_target: Asn,
+}
+
+impl fmt::Display for AttackRoles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "attacker={} attackee={} target={}",
+            self.attacker, self.attackee, self.community_target
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_all_roles() {
+        let roles = AttackRoles {
+            attacker: Asn::new(2),
+            attackee: Asn::new(1),
+            community_target: Asn::new(3),
+        };
+        let s = roles.to_string();
+        assert!(s.contains("attacker=AS2"));
+        assert!(s.contains("attackee=AS1"));
+        assert!(s.contains("target=AS3"));
+    }
+}

@@ -1,0 +1,90 @@
+//! The paper's canonical attack scenarios, each as a self-contained
+//! topology + baseline run + attack run + validation.
+
+pub mod prepend_teaser;
+pub mod route_manipulation;
+pub mod rtbh;
+pub mod steering;
+
+use crate::roles::AttackRoles;
+use std::fmt;
+
+/// What happened when the scenario ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioOutcome {
+    /// The attack achieved its goal.
+    Success,
+    /// The attack was blocked (by policy, validation, or scope rules).
+    Blocked,
+}
+
+impl ScenarioOutcome {
+    /// True on success.
+    pub fn succeeded(self) -> bool {
+        self == ScenarioOutcome::Success
+    }
+}
+
+/// A uniform report every scenario produces.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name (e.g. `rtbh/no-hijack`).
+    pub name: String,
+    /// Who played which role.
+    pub roles: AttackRoles,
+    /// Attack outcome.
+    pub outcome: ScenarioOutcome,
+    /// Human-readable evidence: looking-glass lines, traces, path changes.
+    pub evidence: Vec<String>,
+}
+
+impl ScenarioReport {
+    /// True on success.
+    pub fn succeeded(&self) -> bool {
+        self.outcome.succeeded()
+    }
+}
+
+impl fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] {} — {}",
+            self.name,
+            self.roles,
+            match self.outcome {
+                ScenarioOutcome::Success => "ATTACK SUCCEEDED",
+                ScenarioOutcome::Blocked => "attack blocked",
+            }
+        )?;
+        for line in &self.evidence {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpworms_types::Asn;
+
+    #[test]
+    fn report_display() {
+        let report = ScenarioReport {
+            name: "rtbh/no-hijack".into(),
+            roles: AttackRoles {
+                attacker: Asn::new(2),
+                attackee: Asn::new(1),
+                community_target: Asn::new(3),
+            },
+            outcome: ScenarioOutcome::Success,
+            evidence: vec!["next-hop moved to Null0".into()],
+        };
+        let text = report.to_string();
+        assert!(text.contains("ATTACK SUCCEEDED"));
+        assert!(text.contains("Null0"));
+        assert!(report.succeeded());
+        assert!(!ScenarioOutcome::Blocked.succeeded());
+    }
+}

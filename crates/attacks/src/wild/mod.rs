@@ -1,0 +1,151 @@
+//! The §7 "experiments in the wild" harness: everything runs on a full
+//! generated Internet with a realistic policy workload, injecting from
+//! PEERING-like and research-network-like platforms, and validating with
+//! looking glasses plus Atlas-style probing.
+//!
+//! Ethics, simulated: the paper coordinated every experiment with the
+//! affected networks; our closed world has no such constraint, but the
+//! harness still only announces prefixes allocated to the injection
+//! platforms (except where a scenario explicitly models a consented
+//! hijack, mirroring §7.1).
+
+pub mod extended_survey;
+pub mod propagation_check;
+pub mod rtbh_experiment;
+pub mod routeserver_experiment;
+pub mod steering_experiment;
+pub mod survey;
+
+use bgpworms_routesim::{CommunityPropagationPolicy, RouterConfig, Workload};
+use bgpworms_topology::{EdgeKind, Tier, Topology};
+use bgpworms_types::{Asn, Ipv4Prefix, Prefix};
+
+/// An injection platform attached to the generated topology.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectionPlatform {
+    /// The platform's ASN.
+    pub asn: Asn,
+    /// The platform's own experiment prefix (a /24, as PEERING hands out).
+    pub prefix: Ipv4Prefix,
+}
+
+/// Attaches a single-homed research network with two transit upstreams, one
+/// of which strips communities (§7.2: "only one of the upstream providers
+/// propagates communities").
+pub fn attach_research_network(
+    topo: &mut Topology,
+    workload: &mut Workload,
+    asn: Asn,
+    prefix: Ipv4Prefix,
+) -> InjectionPlatform {
+    let upstreams: Vec<Asn> = topo
+        .ases()
+        .filter(|n| n.tier == Tier::Transit)
+        .map(|n| n.asn)
+        .take(2)
+        .collect();
+    topo.add_simple(asn, Tier::Stub);
+    for up in &upstreams {
+        topo.add_edge(*up, asn, EdgeKind::ProviderToCustomer);
+    }
+    if let Some(stripper) = upstreams.first() {
+        let cfg = workload
+            .configs
+            .entry(*stripper)
+            .or_insert_with(|| RouterConfig::defaults(*stripper));
+        cfg.propagation = CommunityPropagationPolicy::StripAll;
+    }
+    if let Some(forwarder) = upstreams.get(1) {
+        let cfg = workload
+            .configs
+            .entry(*forwarder)
+            .or_insert_with(|| RouterConfig::defaults(*forwarder));
+        cfg.propagation = CommunityPropagationPolicy::ForwardAll;
+    }
+    workload
+        .configs
+        .insert(asn, RouterConfig::defaults(asn));
+    register(workload, prefix, asn);
+    InjectionPlatform { asn, prefix }
+}
+
+/// Attaches a PEERING-like platform: member of every IXP route server plus
+/// two transit providers — many sessions, broad propagation visibility.
+pub fn attach_peering_platform(
+    topo: &mut Topology,
+    workload: &mut Workload,
+    asn: Asn,
+    prefix: Ipv4Prefix,
+) -> InjectionPlatform {
+    topo.add_simple(asn, Tier::Stub);
+    let route_servers: Vec<Asn> = topo
+        .ases()
+        .filter(|n| n.tier == Tier::RouteServer)
+        .map(|n| n.asn)
+        .collect();
+    for rs in &route_servers {
+        topo.add_edge(*rs, asn, EdgeKind::PeerToPeer);
+    }
+    // Plus direct peering with a sample of transit providers (PEERING's
+    // hundreds of sessions) and two transit uplinks for reachability.
+    let transits: Vec<Asn> = topo
+        .ases()
+        .filter(|n| n.tier == Tier::Transit)
+        .map(|n| n.asn)
+        .collect();
+    for t in transits.iter().step_by(3) {
+        if topo.role_of(asn, *t).is_none() {
+            topo.add_edge(*t, asn, EdgeKind::PeerToPeer);
+        }
+    }
+    for t in transits.iter().take(2) {
+        if topo.role_of(asn, *t).is_none() {
+            topo.add_edge(*t, asn, EdgeKind::ProviderToCustomer);
+        }
+    }
+    let mut cfg = RouterConfig::defaults(asn);
+    cfg.send_community_configured = true;
+    workload.configs.insert(asn, cfg);
+    register(workload, prefix, asn);
+    InjectionPlatform { asn, prefix }
+}
+
+fn register(workload: &mut Workload, prefix: Ipv4Prefix, asn: Asn) {
+    workload.irr.register(Prefix::V4(prefix), asn);
+    workload.rpki.register(Prefix::V4(prefix), asn);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpworms_routesim::WorkloadParams;
+    use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, TopologyParams};
+
+    #[test]
+    fn platforms_attach_with_expected_sessions() {
+        let mut topo = TopologyParams::tiny().seed(8).build();
+        let alloc = PrefixAllocation::assign(&topo, AddressingParams::default());
+        let mut workload = Workload::generate(&topo, &alloc, &WorkloadParams::default());
+
+        let research = attach_research_network(
+            &mut topo,
+            &mut workload,
+            Asn::new(65_010),
+            "100.64.0.0/24".parse().unwrap(),
+        );
+        assert_eq!(topo.providers_of(research.asn).count(), 2);
+
+        let peering = attach_peering_platform(
+            &mut topo,
+            &mut workload,
+            Asn::new(65_011),
+            "100.64.1.0/24".parse().unwrap(),
+        );
+        let peers = topo.peers_of(peering.asn).count();
+        assert!(peers >= 2, "PEERING should have many sessions, got {peers}");
+        assert!(topo.providers_of(peering.asn).count() >= 1);
+        assert!(workload
+            .irr
+            .is_registered(&Prefix::V4(peering.prefix), peering.asn));
+    }
+}

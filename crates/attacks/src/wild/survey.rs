@@ -1,0 +1,338 @@
+//! §7.6 — the automated blackhole-community survey: advertise a /24 from a
+//! PEERING-like platform once per candidate blackhole community, probe from
+//! a fixed Atlas vantage-point set before/after, and diff per-VP
+//! responsiveness. A re-run checks repeatability, and baseline traceroutes
+//! bound how many AS hops each effective community travelled.
+
+use crate::wild::{attach_peering_platform, InjectionPlatform};
+use bgpworms_dataplane::{trace, AtlasPlatform, Fib};
+use bgpworms_routesim::{Origination, RetainRoutes, Workload, WorkloadParams};
+use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, TopologyParams};
+use bgpworms_types::{Asn, Community, Prefix};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Survey parameters.
+#[derive(Debug, Clone)]
+pub struct SurveyParams {
+    /// Topology to generate.
+    pub topo: TopologyParams,
+    /// Policy workload.
+    pub workload: WorkloadParams,
+    /// Number of Atlas vantage points ("200 … randomly chosen, but constant
+    /// across all measurements").
+    pub n_vps: usize,
+    /// Cap on the number of candidate communities tested (the paper tests
+    /// the 307 verified ones).
+    pub max_communities: usize,
+    /// Run the whole campaign a second time to confirm repeatability.
+    pub verify_repeatability: bool,
+}
+
+impl Default for SurveyParams {
+    fn default() -> Self {
+        SurveyParams {
+            topo: TopologyParams::small().seed(2018),
+            workload: WorkloadParams::default(),
+            n_vps: 50,
+            max_communities: 307,
+            verify_repeatability: true,
+        }
+    }
+}
+
+/// The survey outcome.
+#[derive(Debug, Clone)]
+pub struct SurveyReport {
+    /// The injection platform.
+    pub injector: InjectionPlatform,
+    /// Candidate communities tested.
+    pub communities_tested: usize,
+    /// Communities that made at least one previously responsive VP
+    /// unresponsive, with the lost VPs.
+    pub effective: BTreeMap<Community, Vec<Asn>>,
+    /// Union of affected vantage points.
+    pub affected_vps: BTreeSet<Asn>,
+    /// Total vantage points probed.
+    pub total_vps: usize,
+    /// Second round reproduced the first exactly (§7.6's two-day re-run).
+    pub repeatable: Option<bool>,
+    /// AS-hop distance from the injector to each effective community's
+    /// target along the affected VPs' baseline traces:
+    /// `1` = direct peer, `2`, `3`, …; `0` = target not on the path.
+    pub hop_distribution: BTreeMap<usize, usize>,
+}
+
+impl SurveyReport {
+    /// Fraction of tested communities that blackholed something.
+    pub fn effective_fraction(&self) -> f64 {
+        if self.communities_tested == 0 {
+            return 0.0;
+        }
+        self.effective.len() as f64 / self.communities_tested as f64
+    }
+
+    /// Fraction of vantage points affected by at least one community.
+    pub fn affected_vp_fraction(&self) -> f64 {
+        if self.total_vps == 0 {
+            return 0.0;
+        }
+        self.affected_vps.len() as f64 / self.total_vps as f64
+    }
+}
+
+/// Builds the candidate corpus: the RFC 7999 well-known community plus
+/// `ASN:666` for every transit AS — the analogue of the verified list of
+/// Giotsas et al. (communities of ASes that actually run the service) mixed
+/// with plausible-but-inert candidates (ASes without the service).
+fn corpus(workload: &Workload, cap: usize) -> Vec<Community> {
+    let mut out = vec![Community::BLACKHOLE];
+    for (asn, cfg) in &workload.configs {
+        if let Some(hi) = asn.as_u16() {
+            if cfg.services.any() || cfg.services.blackhole.is_some() {
+                out.push(Community::new(hi, 666));
+            }
+        }
+    }
+    out.truncate(cap);
+    out
+}
+
+/// Reusable survey apparatus: a generated Internet plus an attached
+/// PEERING-like injector, a fixed Atlas vantage-point set, baseline FIBs,
+/// and baseline responsiveness — everything §7.6-style campaigns share.
+/// The extended experiments ("likely" corpus, non-RTBH path-change
+/// detection, fake-location injection) reuse this context.
+pub struct SurveyContext {
+    /// The generated topology (with the injector attached).
+    pub topo: bgpworms_topology::Topology,
+    /// Prefix ground truth.
+    pub alloc: PrefixAllocation,
+    /// The generated workload (with the injector registered).
+    pub workload: Workload,
+    /// The injection platform.
+    pub injector: InjectionPlatform,
+    /// The fixed Atlas vantage-point set.
+    pub atlas: AtlasPlatform,
+    /// The probe target inside the injector's prefix.
+    pub target_addr: u32,
+    /// FIB covering the vantage points' own prefixes (reverse paths).
+    vp_fib: Fib,
+    /// `vp_fib` plus the plain (untagged) announcement of the experiment
+    /// prefix.
+    base_fib: Fib,
+    /// Baseline responsiveness per VP.
+    before: BTreeMap<Asn, bool>,
+}
+
+impl SurveyContext {
+    /// Builds the shared apparatus.
+    pub fn build(params: &SurveyParams) -> Self {
+        let mut topo = params.topo.build();
+        let alloc = PrefixAllocation::assign(&topo, AddressingParams::default());
+        let mut workload = Workload::generate(&topo, &alloc, &params.workload);
+        let injector = attach_peering_platform(
+            &mut topo,
+            &mut workload,
+            Asn::new(65_011),
+            "100.64.1.0/24".parse().expect("valid"),
+        );
+        let atlas = AtlasPlatform::sample(&topo, &alloc, params.n_vps, 7);
+        let target_addr = AtlasPlatform::target_in(injector.prefix);
+        let p = Prefix::V4(injector.prefix);
+
+        // Baseline FIB for VP prefixes (reverse paths), computed once.
+        let mut retained: BTreeSet<Prefix> = BTreeSet::new();
+        let mut vp_episodes = Vec::new();
+        for &(vp, _) in &atlas.vantage_points {
+            for prefix in alloc.prefixes_of(vp) {
+                if prefix.is_v4() {
+                    vp_episodes.push(Origination::announce(vp, *prefix, vec![]));
+                    retained.insert(*prefix);
+                }
+            }
+        }
+        let mut vp_sim = workload.simulation(&topo);
+        vp_sim.retain = RetainRoutes::Prefixes(retained);
+        vp_sim.threads = 4;
+        let vp_fib = Fib::from_sim(&vp_sim.run(&vp_episodes));
+
+        // Baseline responsiveness with the plain /24.
+        let mut p_sim = workload.simulation(&topo);
+        p_sim.retain = RetainRoutes::Prefixes([p].into_iter().collect());
+        let base_result = p_sim.run(&[Origination::announce(injector.asn, p, vec![])]);
+        let mut base_fib = vp_fib.clone();
+        base_fib.merge(&Fib::from_sim(&base_result));
+        let before = atlas.ping_campaign(&base_fib, target_addr).responsive;
+
+        SurveyContext {
+            topo,
+            alloc,
+            workload,
+            injector,
+            atlas,
+            target_addr,
+            vp_fib,
+            base_fib,
+            before,
+        }
+    }
+
+    /// A per-prefix simulation retaining only the experiment prefix.
+    fn p_sim(&self) -> bgpworms_routesim::Simulation<'_> {
+        let p = Prefix::V4(self.injector.prefix);
+        let mut sim = self.workload.simulation(&self.topo);
+        sim.retain = RetainRoutes::Prefixes([p].into_iter().collect());
+        sim
+    }
+
+    /// The FIB when the experiment prefix is announced with `communities`
+    /// (plain announce, then tagged re-announce — exactly the paper's
+    /// step-1/step-3 sequence).
+    pub fn fib_with(&self, communities: &[Community]) -> Fib {
+        let p = Prefix::V4(self.injector.prefix);
+        let sim = self.p_sim();
+        let result = sim.run(&[
+            Origination::announce(self.injector.asn, p, vec![]),
+            Origination::announce(self.injector.asn, p, communities.to_vec()).at(300),
+        ]);
+        let mut fib = self.vp_fib.clone();
+        fib.merge(&Fib::from_sim(&result));
+        fib
+    }
+
+    /// One campaign round: per candidate community, the set of vantage
+    /// points that were responsive at baseline but lost reachability.
+    pub fn blackhole_round(&self, candidates: &[Community]) -> BTreeMap<Community, Vec<Asn>> {
+        let mut out = BTreeMap::new();
+        for &c in candidates {
+            let fib = self.fib_with(&[c]);
+            let campaign = self.atlas.ping_campaign(&fib, self.target_addr);
+            let lost: Vec<Asn> = campaign
+                .responsive
+                .iter()
+                .filter(|(vp, &ok)| {
+                    !ok && self.before.get(vp).copied().unwrap_or(false)
+                })
+                .map(|(&vp, _)| vp)
+                .collect();
+            out.insert(c, lost);
+        }
+        out
+    }
+
+    /// Per-VP forwarding paths toward the experiment target when announced
+    /// with `communities` (empty = baseline). Only delivered traces are
+    /// returned — the non-RTBH detection signal is a *path change*, not a
+    /// reachability loss.
+    pub fn trace_paths(&self, communities: &[Community]) -> BTreeMap<Asn, Vec<Asn>> {
+        let fib = if communities.is_empty() {
+            self.base_fib.clone()
+        } else {
+            self.fib_with(communities)
+        };
+        let mut out = BTreeMap::new();
+        for &(vp, _) in &self.atlas.vantage_points {
+            let t = trace(&fib, vp, self.target_addr);
+            if t.delivered() {
+                out.insert(vp, t.path);
+            }
+        }
+        out
+    }
+
+    /// Baseline AS-hop distance from `vp`'s forwarding path to `target_as`
+    /// (0 = not on the path).
+    pub fn baseline_hops_to(&self, vp: Asn, target_as: Asn) -> usize {
+        let t = trace(&self.base_fib, vp, self.target_addr);
+        t.path
+            .iter()
+            .position(|&a| a == target_as)
+            .map(|idx| (t.path.len() - 1).saturating_sub(idx))
+            .unwrap_or(0)
+    }
+
+    /// Total vantage points.
+    pub fn total_vps(&self) -> usize {
+        self.atlas.vantage_points.len()
+    }
+}
+
+/// Runs the survey.
+pub fn run(params: &SurveyParams) -> SurveyReport {
+    let ctx = SurveyContext::build(params);
+    let candidates = corpus(&ctx.workload, params.max_communities);
+
+    let round1 = ctx.blackhole_round(&candidates);
+    let repeatable = params
+        .verify_repeatability
+        .then(|| ctx.blackhole_round(&candidates) == round1);
+
+    let mut effective: BTreeMap<Community, Vec<Asn>> = BTreeMap::new();
+    let mut affected_vps: BTreeSet<Asn> = BTreeSet::new();
+    for (c, lost) in &round1 {
+        if !lost.is_empty() {
+            affected_vps.extend(lost.iter().copied());
+            effective.insert(*c, lost.clone());
+        }
+    }
+
+    // Hop lower bound via baseline traceroutes (naïve IP-to-AS is exact in
+    // our closed world; the paper's was not, hence their 75 % not-on-path).
+    let mut hop_distribution: BTreeMap<usize, usize> = BTreeMap::new();
+    for (c, vps) in &effective {
+        for vp in vps {
+            let hops = ctx.baseline_hops_to(*vp, c.owner());
+            *hop_distribution.entry(hops).or_insert(0) += 1;
+        }
+    }
+
+    SurveyReport {
+        injector: ctx.injector,
+        communities_tested: candidates.len(),
+        effective,
+        affected_vps,
+        total_vps: ctx.total_vps(),
+        repeatable,
+        hop_distribution,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_params() -> SurveyParams {
+        SurveyParams {
+            topo: TopologyParams::tiny().seed(2018),
+            workload: WorkloadParams {
+                blackhole_service_prob: 0.8,
+                ..WorkloadParams::default()
+            },
+            n_vps: 12,
+            max_communities: 12,
+            verify_repeatability: true,
+        }
+    }
+
+    #[test]
+    fn survey_finds_effective_communities_and_is_repeatable() {
+        let report = run(&quick_params());
+        assert!(report.communities_tested > 0);
+        assert!(
+            !report.effective.is_empty(),
+            "at least one community blackholes a VP"
+        );
+        assert!(report.effective_fraction() < 1.0, "not every candidate acts");
+        assert!(!report.affected_vps.is_empty());
+        assert!(report.affected_vp_fraction() <= 1.0);
+        assert_eq!(report.repeatable, Some(true), "deterministic re-run");
+    }
+
+    #[test]
+    fn hop_distribution_counts_every_affected_pair() {
+        let report = run(&quick_params());
+        let pairs: usize = report.effective.values().map(Vec::len).sum();
+        let counted: usize = report.hop_distribution.values().sum();
+        assert_eq!(pairs, counted);
+    }
+}

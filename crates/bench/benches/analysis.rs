@@ -1,0 +1,35 @@
+//! Analysis-pipeline cost: Table 1 / Fig 5 / Fig 6 computations over a
+//! parsed observation set (one bench per reproduced artefact family).
+
+use bgpworms_bench::{Scale, Snapshot};
+use bgpworms_core::{
+    DatasetOverview, FilteringAnalysis, PropagationAnalysis, TopValues, UsageAnalysis,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_analysis(c: &mut Criterion) {
+    let snap = Snapshot::build(Scale::Small, 2018);
+    let detector = snap.blackhole_detector();
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+
+    group.bench_function("table1-dataset-overview", |b| {
+        b.iter(|| DatasetOverview::compute(black_box(&snap.observations)))
+    });
+    group.bench_function("fig4-usage", |b| {
+        b.iter(|| UsageAnalysis::compute(black_box(&snap.observations)))
+    });
+    group.bench_function("fig5-propagation", |b| {
+        b.iter(|| PropagationAnalysis::compute(black_box(&snap.observations), &detector))
+    });
+    group.bench_function("fig5c-top-values", |b| {
+        b.iter(|| TopValues::compute(black_box(&snap.observations)))
+    });
+    group.bench_function("fig6-filtering", |b| {
+        b.iter(|| FilteringAnalysis::compute(black_box(&snap.observations)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

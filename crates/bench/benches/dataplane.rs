@@ -1,0 +1,66 @@
+//! Data-plane cost: longest-prefix-match lookups, traces, and a full Atlas
+//! ping campaign.
+
+use bgpworms_dataplane::{trace, AtlasPlatform, Fib, FibAction};
+use bgpworms_types::{Asn, Ipv4Prefix};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn synthetic_fib(n_ases: u32, prefixes_per_as: u32) -> Fib {
+    let mut fib = Fib::default();
+    for asn in 1..=n_ases {
+        for i in 0..prefixes_per_as {
+            let addr = ((asn % 200 + 1) << 24) | (i << 12);
+            let prefix = Ipv4Prefix::new(addr, 20).unwrap();
+            let action = if asn == n_ases {
+                FibAction::Deliver
+            } else {
+                FibAction::Forward(Asn::new(asn + 1))
+            };
+            fib.insert(Asn::new(asn), prefix, action);
+        }
+    }
+    fib
+}
+
+fn bench_dataplane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataplane");
+    let fib = synthetic_fib(64, 256);
+    let probe = (1u32 << 24) | (7 << 12) | 1;
+
+    group.bench_function("lpm-lookup", |b| {
+        b.iter(|| fib.lookup(black_box(Asn::new(1)), black_box(probe)))
+    });
+    group.bench_function("trace-64-hops", |b| {
+        b.iter(|| trace(black_box(&fib), Asn::new(1), black_box(probe)))
+    });
+
+    // Campaign over a real snapshot.
+    let topo = bgpworms_topology::TopologyParams::tiny().seed(3).build();
+    let alloc = bgpworms_topology::PrefixAllocation::assign(
+        &topo,
+        bgpworms_topology::addressing::AddressingParams::default(),
+    );
+    let workload =
+        bgpworms_routesim::Workload::generate(&topo, &alloc, &Default::default());
+    let mut sim = workload.simulation(&topo);
+    sim.retain = bgpworms_routesim::RetainRoutes::All;
+    let episodes: Vec<_> = alloc
+        .iter()
+        .map(|(asn, p)| bgpworms_routesim::Origination::announce(asn, p, vec![]))
+        .collect();
+    let result = sim.run(&episodes);
+    let real_fib = Fib::from_sim(&result);
+    let atlas = AtlasPlatform::sample(&topo, &alloc, 10, 7);
+    let target = alloc
+        .iter()
+        .find_map(|(_, p)| p.as_v4())
+        .map(bgpworms_dataplane::AtlasPlatform::target_in)
+        .unwrap();
+    group.bench_function("atlas-ping-campaign", |b| {
+        b.iter(|| atlas.ping_campaign(black_box(&real_fib), black_box(target)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataplane);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmarks for the passive-monitoring pipeline: tagger attribution,
+//! detector sweep, dictionary inference, and hygiene reporting — the cost
+//! of running the paper's §8/§9 proposals continuously over collector
+//! feeds.
+
+use bgpworms_bench::{Scale, Snapshot};
+use bgpworms_core::FilteringAnalysis;
+use bgpworms_monitor::{
+    attribute_all, CommunityDictionary, DictionaryInference, HygieneReport, Monitor,
+};
+use bgpworms_types::Community;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn monitor_benches(c: &mut Criterion) {
+    let snap = Snapshot::build(Scale::Small, 2018);
+    let dict = CommunityDictionary::from_workload(snap.workload.configs.values());
+    let filters = FilteringAnalysis::compute(&snap.observations);
+
+    let mut group = c.benchmark_group("monitor");
+
+    group.bench_function("detector_sweep_small", |b| {
+        b.iter(|| {
+            let m = Monitor::new(&snap.observations, &dict)
+                .with_filters(&filters)
+                .with_topology(&snap.topo);
+            black_box(m.run().len())
+        })
+    });
+
+    group.bench_function("dictionary_inference_small", |b| {
+        b.iter(|| {
+            let (d, _) = DictionaryInference::default().infer(&snap.observations);
+            black_box(d.len())
+        })
+    });
+
+    group.bench_function("hygiene_report_small", |b| {
+        b.iter(|| {
+            let r = HygieneReport::compute(&snap.observations, &dict, 3);
+            black_box(r.per_as.len())
+        })
+    });
+
+    // Attribute one frequently-seen blackhole community across the set.
+    let bh = snap
+        .verified_blackhole
+        .iter()
+        .next()
+        .copied()
+        .unwrap_or(Community::BLACKHOLE);
+    group.bench_function("tagger_attribution_one_community", |b| {
+        b.iter(|| black_box(attribute_all(&snap.observations, bh, Some(&filters)).len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, monitor_benches);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! MRT archive read/write throughput.
+
+use bgpworms_mrt::{write_update_into, MrtWriter, UpdateStream};
+use bgpworms_types::{Asn, AsPath, Community, PathAttributes, RouteUpdate};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn archive(n_records: usize) -> Vec<u8> {
+    let mut w = MrtWriter::new(Vec::new());
+    for i in 0..n_records {
+        let mut attrs = PathAttributes {
+            as_path: AsPath::from_asns([5, 4, 3, 2, 1].map(Asn::new)),
+            next_hop: Some("10.0.0.1".parse().unwrap()),
+            ..PathAttributes::default()
+        };
+        attrs.communities = (0..5u16).map(|v| Community::new(3, v)).collect();
+        let u = RouteUpdate::announce(
+            bgpworms_types::Prefix::V4(
+                bgpworms_types::Ipv4Prefix::new((10 << 24) | ((i as u32) << 8), 24).unwrap(),
+            ),
+            attrs,
+        );
+        write_update_into(
+            &mut w,
+            i as u32,
+            Asn::new(5),
+            Asn::new(64_496),
+            "10.0.0.2".parse().unwrap(),
+            &u,
+        )
+        .unwrap();
+    }
+    w.into_inner()
+}
+
+fn bench_mrt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mrt");
+    let bytes = archive(1000);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("write/1000-updates", |b| {
+        b.iter(|| black_box(archive(1000)))
+    });
+    group.bench_function("read/1000-updates", |b| {
+        b.iter(|| {
+            let n = UpdateStream::new(black_box(bytes.as_slice()))
+                .inspect(|r| assert!(r.is_ok()))
+                .count();
+            assert_eq!(n, 1000);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mrt);
+criterion_main!(benches);

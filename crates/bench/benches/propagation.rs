@@ -1,0 +1,50 @@
+//! Propagation-engine cost: convergence of full-topology announcement
+//! batches vs. topology size, and the sequential/parallel ablation called
+//! out in DESIGN.md.
+
+use bgpworms_routesim::{Workload, WorkloadParams};
+use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, TopologyParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(10);
+
+    for (name, params) in [
+        ("tiny", TopologyParams::tiny()),
+        ("small", TopologyParams::small()),
+    ] {
+        let topo = params.seed(7).build();
+        let alloc = PrefixAllocation::assign(&topo, AddressingParams::default());
+        let workload = Workload::generate(&topo, &alloc, &WorkloadParams::default());
+        group.bench_with_input(
+            BenchmarkId::new("converge", name),
+            &(&topo, &workload),
+            |b, (topo, workload)| {
+                b.iter(|| {
+                    let sim = workload.simulation(topo);
+                    let res = sim.run(&workload.originations);
+                    assert!(res.converged);
+                    res.events
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("converge-parallel", name),
+            &(&topo, &workload),
+            |b, (topo, workload)| {
+                b.iter(|| {
+                    let mut sim = workload.simulation(topo);
+                    sim.threads = 4;
+                    let res = sim.run(&workload.originations);
+                    assert!(res.converged);
+                    res.events
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Wire-codec throughput: encode/decode of community-laden UPDATEs.
+
+use bgpworms_types::{Asn, AsPath, Community, PathAttributes, Prefix, RouteUpdate};
+use bgpworms_wire::{decode_message, encode_update, CodecConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn sample_update(n_communities: u16, n_prefixes: u32) -> RouteUpdate {
+    let mut attrs = PathAttributes {
+        as_path: AsPath::from_asns([4, 3, 2, 1].map(Asn::new)),
+        next_hop: Some("10.0.0.1".parse().unwrap()),
+        ..PathAttributes::default()
+    };
+    attrs.communities = (0..n_communities).map(|i| Community::new(100 + i, i)).collect();
+    RouteUpdate {
+        withdrawn: vec![],
+        attrs,
+        announced: (0..n_prefixes)
+            .map(|i| {
+                Prefix::V4(bgpworms_types::Ipv4Prefix::new((10 << 24) | (i << 8), 24).unwrap())
+            })
+            .collect(),
+    }
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for (name, comms, prefixes) in [
+        ("small", 3u16, 1u32),
+        ("communities-50", 50, 1),
+        ("nlri-100", 3, 100),
+    ] {
+        let update = sample_update(comms, prefixes);
+        let bytes = encode_update(&update, CodecConfig::modern()).unwrap();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_function(format!("encode/{name}"), |b| {
+            b.iter(|| encode_update(black_box(&update), CodecConfig::modern()).unwrap())
+        });
+        group.bench_function(format!("decode/{name}"), |b| {
+            b.iter(|| decode_message(black_box(&bytes), CodecConfig::modern()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,263 @@
+//! Dataset overview statistics — Table 1 of the paper: per platform, the
+//! message volume, prefix counts, collector/peer counts, distinct
+//! communities, and the origin/transit/stub AS breakdown.
+
+use crate::observation::ObservationSet;
+use crate::table::{text_table, thousands};
+use bgpworms_types::{Asn, Community};
+use std::collections::BTreeSet;
+
+/// One platform row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformStats {
+    /// Platform name (RIS / RV / IS / PCH, plus a Total row).
+    pub platform: String,
+    /// Raw BGP messages.
+    pub messages: u64,
+    /// Distinct IPv4 prefixes.
+    pub v4_prefixes: usize,
+    /// Distinct IPv6 prefixes.
+    pub v6_prefixes: usize,
+    /// Number of collectors.
+    pub collectors: usize,
+    /// Peering sessions (distinct (collector, peer) pairs — "IP peers").
+    pub ip_peers: usize,
+    /// Distinct peer ASes.
+    pub as_peers: usize,
+    /// Distinct communities.
+    pub communities: usize,
+    /// Distinct ASes seen anywhere on paths.
+    pub ases: usize,
+    /// ASes seen as path origin.
+    pub origin: usize,
+    /// ASes seen in a non-origin path position ("transit", §4.3 footnote:
+    /// neither the origin nor the collector).
+    pub transit: usize,
+    /// ASes never seen in a transit position.
+    pub stub: usize,
+}
+
+/// The full Table 1: per-platform rows plus the union row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetOverview {
+    /// One row per platform, then the Total row.
+    pub rows: Vec<PlatformStats>,
+}
+
+fn stats_for(name: &str, set: &ObservationSet) -> PlatformStats {
+    let mut v4: BTreeSet<_> = BTreeSet::new();
+    let mut v6: BTreeSet<_> = BTreeSet::new();
+    let mut communities: BTreeSet<Community> = BTreeSet::new();
+    let mut ases: BTreeSet<Asn> = BTreeSet::new();
+    let mut origin: BTreeSet<Asn> = BTreeSet::new();
+    let mut transit: BTreeSet<Asn> = BTreeSet::new();
+    let mut collectors: BTreeSet<&str> = BTreeSet::new();
+    let mut sessions: BTreeSet<(&str, Asn)> = BTreeSet::new();
+    let mut peer_ases: BTreeSet<Asn> = BTreeSet::new();
+
+    for obs in &set.observations {
+        collectors.insert(obs.collector.as_str());
+        sessions.insert((obs.collector.as_str(), obs.peer));
+        peer_ases.insert(obs.peer);
+        if obs.is_withdrawal {
+            if obs.prefix.is_v4() {
+                v4.insert(obs.prefix);
+            } else {
+                v6.insert(obs.prefix);
+            }
+            continue;
+        }
+        if obs.prefix.is_v4() {
+            v4.insert(obs.prefix);
+        } else {
+            v6.insert(obs.prefix);
+        }
+        communities.extend(obs.communities.iter().copied());
+        for (i, &asn) in obs.path.iter().enumerate() {
+            ases.insert(asn);
+            if i == obs.path.len() - 1 {
+                origin.insert(asn);
+            } else {
+                transit.insert(asn);
+            }
+        }
+    }
+    // collectors that saw zero observations still count via messages list
+    for (_, collector, _) in &set.messages {
+        collectors.insert(collector.as_str());
+    }
+
+    let messages: u64 = set.messages.iter().map(|(_, _, n)| n).sum();
+    let stub = ases.difference(&transit).count();
+    PlatformStats {
+        platform: name.to_string(),
+        messages,
+        v4_prefixes: v4.len(),
+        v6_prefixes: v6.len(),
+        collectors: collectors.len(),
+        ip_peers: sessions.len(),
+        as_peers: peer_ases.len(),
+        communities: communities.len(),
+        ases: ases.len(),
+        origin: origin.len(),
+        transit: transit.len(),
+        stub,
+    }
+}
+
+impl DatasetOverview {
+    /// Computes Table 1 from a parsed observation set.
+    pub fn compute(set: &ObservationSet) -> Self {
+        let mut rows = Vec::new();
+        for platform in set.platforms() {
+            let slice = set.platform_slice(&platform);
+            rows.push(stats_for(&platform, &slice));
+        }
+        rows.push(stats_for("Total", set));
+        DatasetOverview { rows }
+    }
+
+    /// Renders the table in the paper's column order.
+    pub fn render(&self) -> String {
+        let headers = [
+            "Source",
+            "Messages",
+            "IPv4 pfx",
+            "IPv6 pfx",
+            "Collectors",
+            "IP peers",
+            "AS peers",
+            "Communities",
+            "ASes",
+            "Origin",
+            "Transit",
+            "Stub",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.platform.clone(),
+                    thousands(r.messages),
+                    thousands(r.v4_prefixes as u64),
+                    thousands(r.v6_prefixes as u64),
+                    thousands(r.collectors as u64),
+                    thousands(r.ip_peers as u64),
+                    thousands(r.as_peers as u64),
+                    thousands(r.communities as u64),
+                    thousands(r.ases as u64),
+                    thousands(r.origin as u64),
+                    thousands(r.transit as u64),
+                    thousands(r.stub as u64),
+                ]
+            })
+            .collect();
+        text_table(&headers, &rows)
+    }
+
+    /// The Total row.
+    pub fn total(&self) -> &PlatformStats {
+        self.rows.last().expect("total row always present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::UpdateObservation;
+    use bgpworms_types::Prefix;
+
+    fn obs(platform: &str, collector: &str, peer: u32, path: &[u32], comms: &[(u16, u16)], prefix: &str) -> UpdateObservation {
+        UpdateObservation {
+            platform: platform.into(),
+            collector: collector.into(),
+            time: 0,
+            peer: Asn::new(peer),
+            prefix: prefix.parse().unwrap(),
+            path: path.iter().map(|&n| Asn::new(n)).collect(),
+            raw_hop_count: path.len(),
+            prepends: Vec::new(),
+            large_communities: Vec::new(),
+            communities: comms.iter().map(|&(a, v)| Community::new(a, v)).collect(),
+            is_withdrawal: false,
+        }
+    }
+
+    fn sample_set() -> ObservationSet {
+        ObservationSet {
+            observations: vec![
+                obs("RIS", "rrc00", 3, &[3, 2, 1], &[(2, 100)], "10.0.0.0/16"),
+                obs("RIS", "rrc00", 3, &[3, 2, 4], &[(2, 100), (3, 5)], "20.0.0.0/16"),
+                obs("RIS", "rrc01", 5, &[5, 1], &[], "10.0.0.0/16"),
+                obs("RV", "route-views2", 6, &[6, 2, 1], &[(9, 1)], "2001:db8::/32"),
+            ],
+            messages: vec![
+                ("RIS".into(), "rrc00".into(), 2),
+                ("RIS".into(), "rrc01".into(), 1),
+                ("RV".into(), "route-views2".into(), 1),
+            ],
+        }
+    }
+
+    #[test]
+    fn per_platform_and_total_rows() {
+        let overview = DatasetOverview::compute(&sample_set());
+        assert_eq!(overview.rows.len(), 3); // RIS, RV, Total
+        let ris = &overview.rows[0];
+        assert_eq!(ris.platform, "RIS");
+        assert_eq!(ris.messages, 3);
+        assert_eq!(ris.collectors, 2);
+        assert_eq!(ris.ip_peers, 2);
+        assert_eq!(ris.as_peers, 2);
+        assert_eq!(ris.v4_prefixes, 2);
+        assert_eq!(ris.v6_prefixes, 0);
+        assert_eq!(ris.communities, 2); // 2:100 and 3:5
+        // paths: {3,2,1,4,5}; origins {1,4}; transit {3,2,5}? positions:
+        // [3,2,1]: origin 1, transit 3,2; [3,2,4]: origin 4, transit 3,2;
+        // [5,1]: origin 1, transit 5.
+        assert_eq!(ris.ases, 5);
+        assert_eq!(ris.origin, 2);
+        assert_eq!(ris.transit, 3);
+        assert_eq!(ris.stub, 2);
+
+        let total = overview.total();
+        assert_eq!(total.platform, "Total");
+        assert_eq!(total.messages, 4);
+        assert_eq!(total.v6_prefixes, 1);
+        assert_eq!(total.collectors, 3);
+        assert_eq!(total.communities, 3);
+    }
+
+    #[test]
+    fn render_contains_all_platforms() {
+        let overview = DatasetOverview::compute(&sample_set());
+        let text = overview.render();
+        assert!(text.contains("RIS"));
+        assert!(text.contains("RV"));
+        assert!(text.contains("Total"));
+        assert!(text.contains("Communities"));
+    }
+
+    #[test]
+    fn withdrawals_count_prefixes_but_not_paths() {
+        let mut set = sample_set();
+        set.observations.push(UpdateObservation {
+            platform: "RIS".into(),
+            collector: "rrc00".into(),
+            time: 1,
+            peer: Asn::new(3),
+            prefix: "30.0.0.0/16".parse::<Prefix>().unwrap(),
+            path: vec![],
+            raw_hop_count: 0,
+            prepends: Vec::new(),
+            large_communities: Vec::new(),
+            communities: vec![],
+            is_withdrawal: true,
+        });
+        let overview = DatasetOverview::compute(&set);
+        let ris = &overview.rows[0];
+        assert_eq!(ris.v4_prefixes, 3, "withdrawn prefix counted");
+        assert_eq!(ris.ases, 5, "no path contribution from withdrawals");
+    }
+}

@@ -1,0 +1,299 @@
+//! Parsing MRT archives into the analysis-ready observation model.
+
+use bgpworms_mrt::{MrtError, UpdateStream};
+use bgpworms_types::{Asn, Community, LargeCommunity, Prefix};
+use std::collections::BTreeSet;
+
+/// One announced prefix as observed at a collector session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateObservation {
+    /// Platform the collector belongs to (RIS / RV / IS / PCH).
+    pub platform: String,
+    /// Collector name.
+    pub collector: String,
+    /// Observation time (Unix seconds).
+    pub time: u32,
+    /// The collector's peer session (also `path[0]` for announcements).
+    pub peer: Asn,
+    /// The prefix.
+    pub prefix: Prefix,
+    /// De-prepended AS path, collector-first (`path[0]` = peer,
+    /// `path.last()` = origin). Empty for withdrawals.
+    pub path: Vec<Asn>,
+    /// Hop count of the path *before* de-prepending (for Fig 5b's length
+    /// buckets the de-prepended length is used; this preserves the raw).
+    pub raw_hop_count: usize,
+    /// Prepend evidence from the raw path: ASes that appeared in
+    /// consecutive runs of length > 1, with the run length. Steering
+    /// inference needs to know *which* AS was prepended (§9 future agenda).
+    pub prepends: Vec<(Asn, usize)>,
+    /// Attached communities.
+    pub communities: Vec<Community>,
+    /// Attached RFC 8092 large communities (the paper's footnote-1 future
+    /// work; analysed in [`crate::large`]).
+    pub large_communities: Vec<LargeCommunity>,
+    /// True for withdrawals.
+    pub is_withdrawal: bool,
+}
+
+impl UpdateObservation {
+    /// Origin AS, if any.
+    pub fn origin(&self) -> Option<Asn> {
+        self.path.last().copied()
+    }
+
+    /// True if at least one community is attached.
+    pub fn has_communities(&self) -> bool {
+        !self.communities.is_empty()
+    }
+
+    /// Index of `asn` in the de-prepended path (0 = peer).
+    pub fn position_of(&self, asn: Asn) -> Option<usize> {
+        self.path.iter().position(|&a| a == asn)
+    }
+
+    /// Distinct community-owner ASNs on this update.
+    pub fn community_owners(&self) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self.communities.iter().map(|c| c.owner()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// An MRT archive with its provenance labels.
+#[derive(Debug, Clone)]
+pub struct ArchiveInput {
+    /// Platform (RIS / RV / IS / PCH).
+    pub platform: String,
+    /// Collector name.
+    pub collector: String,
+    /// Raw BGP4MP update archive.
+    pub mrt: Vec<u8>,
+}
+
+/// The full observation set plus per-archive accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ObservationSet {
+    /// All parsed observations (announcements *and* withdrawals).
+    pub observations: Vec<UpdateObservation>,
+    /// Raw MRT message count per (platform, collector).
+    pub messages: Vec<(String, String, u64)>,
+}
+
+impl ObservationSet {
+    /// Parses a batch of archives. Multi-NLRI updates explode into one
+    /// observation per prefix (sharing the update's attributes).
+    pub fn from_archives(archives: &[ArchiveInput]) -> Result<Self, MrtError> {
+        let mut set = ObservationSet::default();
+        for archive in archives {
+            let mut count = 0u64;
+            for msg in UpdateStream::new(archive.mrt.as_slice()) {
+                let msg = msg?;
+                count += 1;
+                let raw_hop_count = msg.update.attrs.as_path.hop_count();
+                let prepends = msg.update.attrs.as_path.prepend_runs();
+                let path: Vec<Asn> = msg.update.attrs.as_path.deprepended().to_vec();
+                for prefix in &msg.update.announced {
+                    set.observations.push(UpdateObservation {
+                        platform: archive.platform.clone(),
+                        collector: archive.collector.clone(),
+                        time: msg.header.timestamp,
+                        peer: msg.peer_as,
+                        prefix: *prefix,
+                        path: path.clone(),
+                        raw_hop_count,
+                        prepends: prepends.clone(),
+                        communities: msg.update.attrs.communities.clone(),
+                        large_communities: msg.update.attrs.large_communities.clone(),
+                        is_withdrawal: false,
+                    });
+                }
+                for prefix in &msg.update.withdrawn {
+                    set.observations.push(UpdateObservation {
+                        platform: archive.platform.clone(),
+                        collector: archive.collector.clone(),
+                        time: msg.header.timestamp,
+                        peer: msg.peer_as,
+                        prefix: *prefix,
+                        path: Vec::new(),
+                        raw_hop_count: 0,
+                        prepends: Vec::new(),
+                        communities: Vec::new(),
+                        large_communities: Vec::new(),
+                        is_withdrawal: true,
+                    });
+                }
+            }
+            set.messages
+                .push((archive.platform.clone(), archive.collector.clone(), count));
+        }
+        Ok(set)
+    }
+
+    /// Announcement observations only.
+    pub fn announcements(&self) -> impl Iterator<Item = &UpdateObservation> {
+        self.observations.iter().filter(|o| !o.is_withdrawal)
+    }
+
+    /// All platforms present, sorted.
+    pub fn platforms(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .messages
+            .iter()
+            .map(|(p, _, _)| p.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Observations restricted to one platform.
+    pub fn platform_slice(&self, platform: &str) -> ObservationSet {
+        ObservationSet {
+            observations: self
+                .observations
+                .iter()
+                .filter(|o| o.platform == platform)
+                .cloned()
+                .collect(),
+            messages: self
+                .messages
+                .iter()
+                .filter(|(p, _, _)| p == platform)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The direct collector-peer ASes.
+    pub fn collector_peers(&self) -> BTreeSet<Asn> {
+        self.observations.iter().map(|o| o.peer).collect()
+    }
+}
+
+/// Identifies blackhole communities: the RFC 7999 well-known value, the
+/// `ASN:666` convention, and an optional list of verified/inferred
+/// communities (the paper uses the 307 verified ones from Giotsas et al.).
+#[derive(Debug, Clone, Default)]
+pub struct BlackholeDetector {
+    /// Externally supplied known blackhole communities.
+    pub known: BTreeSet<Community>,
+}
+
+impl BlackholeDetector {
+    /// Detector with only the conventional rules.
+    pub fn conventional() -> Self {
+        BlackholeDetector::default()
+    }
+
+    /// Detector with an extra verified list.
+    pub fn with_known<I: IntoIterator<Item = Community>>(known: I) -> Self {
+        BlackholeDetector {
+            known: known.into_iter().collect(),
+        }
+    }
+
+    /// True if `c` is a blackhole community under this detector.
+    pub fn is_blackhole(&self, c: Community) -> bool {
+        c == Community::BLACKHOLE || c.has_blackhole_value() || self.known.contains(&c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpworms_mrt::MrtWriter;
+    use bgpworms_types::{AsPath, PathAttributes, RouteUpdate};
+
+    fn archive_with(updates: &[RouteUpdate]) -> ArchiveInput {
+        let mut w = MrtWriter::new(Vec::new());
+        for (i, u) in updates.iter().enumerate() {
+            bgpworms_mrt::write_update_into(
+                &mut w,
+                100 + i as u32,
+                u.attrs.as_path.head().unwrap_or(Asn::new(65_000)),
+                Asn::new(64_496),
+                "10.0.0.2".parse().unwrap(),
+                u,
+            )
+            .unwrap();
+        }
+        ArchiveInput {
+            platform: "RIS".into(),
+            collector: "rrc00".into(),
+            mrt: w.into_inner(),
+        }
+    }
+
+    fn update(path: &[u32], comms: &[(u16, u16)], prefixes: &[&str]) -> RouteUpdate {
+        let mut attrs = PathAttributes {
+            as_path: AsPath::from_asns(path.iter().map(|&n| Asn::new(n))),
+            next_hop: Some("10.0.0.1".parse().unwrap()),
+            ..PathAttributes::default()
+        };
+        attrs.communities = comms.iter().map(|&(a, v)| Community::new(a, v)).collect();
+        RouteUpdate {
+            withdrawn: vec![],
+            attrs,
+            announced: prefixes.iter().map(|p| p.parse().unwrap()).collect(),
+        }
+    }
+
+    #[test]
+    fn parses_multi_nlri_and_withdrawals() {
+        let mut w = update(&[3, 2, 1], &[(2, 100)], &["10.0.0.0/16", "20.0.0.0/16"]);
+        w.withdrawn.push("30.0.0.0/16".parse().unwrap());
+        let set = ObservationSet::from_archives(&[archive_with(&[w])]).unwrap();
+        assert_eq!(set.observations.len(), 3);
+        assert_eq!(set.announcements().count(), 2);
+        let wd: Vec<_> = set.observations.iter().filter(|o| o.is_withdrawal).collect();
+        assert_eq!(wd.len(), 1);
+        assert_eq!(set.messages, vec![("RIS".into(), "rrc00".into(), 1)]);
+    }
+
+    #[test]
+    fn deprepends_paths_but_keeps_raw_count() {
+        let u = update(&[3, 3, 3, 2, 1], &[], &["10.0.0.0/16"]);
+        let set = ObservationSet::from_archives(&[archive_with(&[u])]).unwrap();
+        let obs = &set.observations[0];
+        assert_eq!(obs.path, vec![Asn::new(3), Asn::new(2), Asn::new(1)]);
+        assert_eq!(obs.raw_hop_count, 5);
+        assert_eq!(obs.origin(), Some(Asn::new(1)));
+        assert_eq!(obs.position_of(Asn::new(2)), Some(1));
+        assert_eq!(obs.peer, Asn::new(3));
+    }
+
+    #[test]
+    fn community_owner_extraction() {
+        let u = update(&[3, 2, 1], &[(2, 100), (2, 200), (7, 1)], &["10.0.0.0/16"]);
+        let set = ObservationSet::from_archives(&[archive_with(&[u])]).unwrap();
+        let obs = &set.observations[0];
+        assert!(obs.has_communities());
+        assert_eq!(obs.community_owners(), vec![Asn::new(2), Asn::new(7)]);
+    }
+
+    #[test]
+    fn platform_slicing() {
+        let a = archive_with(&[update(&[3, 2, 1], &[], &["10.0.0.0/16"])]);
+        let mut b = archive_with(&[update(&[4, 1], &[], &["20.0.0.0/16"])]);
+        b.platform = "PCH".into();
+        b.collector = "pch001".into();
+        let set = ObservationSet::from_archives(&[a, b]).unwrap();
+        assert_eq!(set.platforms(), vec!["PCH".to_string(), "RIS".to_string()]);
+        let ris = set.platform_slice("RIS");
+        assert_eq!(ris.observations.len(), 1);
+        assert_eq!(ris.collector_peers().len(), 1);
+    }
+
+    #[test]
+    fn blackhole_detector_rules() {
+        let det = BlackholeDetector::conventional();
+        assert!(det.is_blackhole(Community::BLACKHOLE));
+        assert!(det.is_blackhole(Community::new(3320, 666)));
+        assert!(!det.is_blackhole(Community::new(3320, 667)));
+        let det = BlackholeDetector::with_known([Community::new(1, 9999)]);
+        assert!(det.is_blackhole(Community::new(1, 9999)));
+        assert!(!det.is_blackhole(Community::new(1, 9998)));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the measurement pipeline: statistical
+//! invariants of the ECDF/histogram toolkit, the MRT→observation parse,
+//! and the large-community accounting.
+
+use bgpworms_core::{ArchiveInput, Ecdf, LargeCommunityAnalysis, ObservationSet};
+use bgpworms_mrt::MrtWriter;
+use bgpworms_types::{
+    AsPath, Asn, Community, LargeCommunity, PathAttributes, Prefix, RouteUpdate,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ecdf_is_monotone_and_bounded(
+        samples in proptest::collection::vec(-1e6f64..1e6, 0..200),
+        probes in proptest::collection::vec(-1e6f64..1e6, 0..20),
+    ) {
+        let ecdf = Ecdf::new(samples.iter().copied());
+        let mut sorted_probes = probes;
+        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &sorted_probes {
+            let f = ecdf.fraction_at(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f + 1e-12 >= prev, "ECDF must be monotone");
+            prev = f;
+        }
+        if let Some(max) = samples.iter().copied().fold(None, |m: Option<f64>, x| {
+            Some(m.map_or(x, |m| m.max(x)))
+        }) {
+            prop_assert_eq!(ecdf.fraction_at(max), 1.0);
+        }
+    }
+
+    #[test]
+    fn ecdf_quantiles_are_samples_within_range(
+        samples in proptest::collection::vec(0f64..100.0, 1..100),
+        q in 0f64..=1.0,
+    ) {
+        let ecdf = Ecdf::new(samples.iter().copied());
+        let v = ecdf.quantile(q).unwrap();
+        prop_assert!(samples.contains(&v), "quantile must be an observed sample");
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min && v <= max);
+    }
+
+    #[test]
+    fn observation_roundtrip_preserves_communities(
+        path in proptest::collection::btree_set(1u32..5000, 1..6),
+        comms in proptest::collection::btree_set(any::<u32>(), 0..8),
+        larges in proptest::collection::btree_set(any::<(u32, u32, u32)>(), 0..4),
+    ) {
+        let path: Vec<Asn> = path.into_iter().map(Asn::new).collect();
+        let communities: Vec<Community> =
+            comms.into_iter().map(Community::from_u32).collect();
+        let large_communities: Vec<LargeCommunity> = larges
+            .into_iter()
+            .map(|(g, l1, l2)| LargeCommunity::new(g, l1, l2))
+            .collect();
+
+        let mut attrs = PathAttributes {
+            as_path: AsPath::from_asns(path.clone()),
+            next_hop: Some("10.0.0.1".parse().unwrap()),
+            ..PathAttributes::default()
+        };
+        attrs.communities = communities.clone();
+        attrs.large_communities = large_communities.clone();
+        let prefix: Prefix = "10.0.0.0/16".parse().unwrap();
+        let update = RouteUpdate::announce(prefix, attrs);
+
+        let mut w = MrtWriter::new(Vec::new());
+        bgpworms_mrt::write_update_into(
+            &mut w,
+            42,
+            path[0],
+            Asn::new(64_496),
+            "10.0.0.2".parse().unwrap(),
+            &update,
+        )
+        .unwrap();
+        let set = ObservationSet::from_archives(&[ArchiveInput {
+            platform: "RIS".into(),
+            collector: "rrc00".into(),
+            mrt: w.into_inner(),
+        }])
+        .unwrap();
+
+        prop_assert_eq!(set.observations.len(), 1);
+        let obs = &set.observations[0];
+        prop_assert_eq!(&obs.path, &path);
+        // the codec normalizes (sorts) communities; compare as sets
+        let mut want = communities;
+        bgpworms_types::community::normalize(&mut want);
+        let mut got = obs.communities.clone();
+        bgpworms_types::community::normalize(&mut got);
+        prop_assert_eq!(got, want);
+        let mut want_large = large_communities;
+        want_large.sort_unstable();
+        let mut got_large = obs.large_communities.clone();
+        got_large.sort_unstable();
+        prop_assert_eq!(got_large, want_large);
+    }
+
+    #[test]
+    fn large_analysis_fractions_bounded(
+        n_plain in 0usize..20,
+        n_large in 0usize..20,
+    ) {
+        let mut observations = Vec::new();
+        for i in 0..(n_plain + n_large) {
+            let large = if i < n_large {
+                vec![LargeCommunity::new(400_000 + i as u32, 100, 0)]
+            } else {
+                vec![]
+            };
+            observations.push(bgpworms_core::UpdateObservation {
+                platform: "RIS".into(),
+                collector: "rrc00".into(),
+                time: 0,
+                peer: Asn::new(3),
+                prefix: format!("10.{}.0.0/16", i % 200).parse().unwrap(),
+                path: vec![Asn::new(3), Asn::new(2), Asn::new(1)],
+                raw_hop_count: 3,
+                prepends: vec![],
+                communities: vec![],
+                large_communities: large,
+                is_withdrawal: false,
+            });
+        }
+        let set = ObservationSet { observations, messages: vec![] };
+        let a = LargeCommunityAnalysis::compute(&set);
+        prop_assert_eq!(a.announcements as usize, n_plain + n_large);
+        prop_assert_eq!(a.with_large as usize, n_large);
+        prop_assert!((0.0..=1.0).contains(&a.large_fraction()));
+        prop_assert!((0.0..=1.0).contains(&a.private_bundle_fraction()));
+        prop_assert_eq!(a.distance_ecdf().len(), n_large);
+    }
+}

@@ -1,0 +1,167 @@
+//! An Atlas-like measurement platform: a fixed, seeded set of vantage
+//! points that run ping/traceroute campaigns against target addresses —
+//! the instrument behind the paper's §7.3 validation and §7.6 automated
+//! blackhole-community survey.
+
+use crate::fib::Fib;
+use crate::probe::{ping, trace, TraceResult};
+use bgpworms_topology::{PrefixAllocation, Tier, Topology};
+use bgpworms_types::{Asn, Ipv4Prefix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// The probing platform: vantage-point ASes with a source address each.
+#[derive(Debug, Clone)]
+pub struct AtlasPlatform {
+    /// Vantage points: (AS, source IP).
+    pub vantage_points: Vec<(Asn, u32)>,
+}
+
+/// The result of one ping campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignResult {
+    /// Per-VP responsiveness.
+    pub responsive: BTreeMap<Asn, bool>,
+}
+
+impl CampaignResult {
+    /// Number of responsive vantage points.
+    pub fn responsive_count(&self) -> usize {
+        self.responsive.values().filter(|&&b| b).count()
+    }
+
+    /// Total vantage points probed.
+    pub fn total(&self) -> usize {
+        self.responsive.len()
+    }
+
+    /// VPs that were responsive in `self` but unresponsive in `after` —
+    /// §7.6's per-VP comparison: "fully responsive prior to advertising the
+    /// community and then unresponsive once c is attached".
+    pub fn lost_vps(&self, after: &CampaignResult) -> Vec<Asn> {
+        self.responsive
+            .iter()
+            .filter(|(vp, &was)| was && !after.responsive.get(vp).copied().unwrap_or(false))
+            .map(|(vp, _)| *vp)
+            .collect()
+    }
+}
+
+impl AtlasPlatform {
+    /// Samples `n` vantage points among stub ASes with IPv4 space,
+    /// deterministically from `seed`. "The set of 200 Atlas vantage points
+    /// is randomly chosen, but constant across all measurements" (§7.6).
+    pub fn sample(topo: &Topology, alloc: &PrefixAllocation, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA71A_5000_0000_0000);
+        let mut candidates: Vec<(Asn, u32)> = topo
+            .ases()
+            .filter(|node| node.tier == Tier::Stub)
+            .filter_map(|node| {
+                let v4 = alloc
+                    .prefixes_of(node.asn)
+                    .iter()
+                    .find_map(|p| p.as_v4())?;
+                Some((node.asn, PrefixAllocation::host_in(v4)))
+            })
+            .collect();
+        candidates.shuffle(&mut rng);
+        candidates.truncate(n);
+        candidates.sort_unstable();
+        AtlasPlatform {
+            vantage_points: candidates,
+        }
+    }
+
+    /// Pings `target` from every vantage point.
+    pub fn ping_campaign(&self, fib: &Fib, target: u32) -> CampaignResult {
+        let mut result = CampaignResult::default();
+        for &(vp, src_ip) in &self.vantage_points {
+            let res = ping(fib, vp, src_ip, target);
+            result.responsive.insert(vp, res.responsive());
+        }
+        result
+    }
+
+    /// Traceroutes `target` from every vantage point.
+    pub fn traceroute_campaign(&self, fib: &Fib, target: u32) -> BTreeMap<Asn, TraceResult> {
+        self.vantage_points
+            .iter()
+            .map(|&(vp, _)| (vp, trace(fib, vp, target)))
+            .collect()
+    }
+
+    /// A /32 target address inside a prefix, for campaigns against
+    /// announced experiment prefixes.
+    pub fn target_in(prefix: Ipv4Prefix) -> u32 {
+        PrefixAllocation::host_in(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fib::FibAction;
+    use bgpworms_topology::{addressing::AddressingParams, TopologyParams};
+
+    fn setup() -> (Topology, PrefixAllocation) {
+        let topo = TopologyParams::tiny().seed(2).build();
+        let alloc = PrefixAllocation::assign(&topo, AddressingParams::default());
+        (topo, alloc)
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_stub_only() {
+        let (topo, alloc) = setup();
+        let a = AtlasPlatform::sample(&topo, &alloc, 10, 7);
+        let b = AtlasPlatform::sample(&topo, &alloc, 10, 7);
+        assert_eq!(a.vantage_points, b.vantage_points);
+        assert_eq!(a.vantage_points.len(), 10);
+        for (vp, ip) in &a.vantage_points {
+            let node = topo.node(*vp).unwrap();
+            assert_eq!(node.tier, Tier::Stub);
+            let covering = alloc
+                .prefixes_of(*vp)
+                .iter()
+                .filter_map(|p| p.as_v4())
+                .any(|p| p.contains(*ip));
+            assert!(covering, "source address belongs to the VP");
+        }
+        let c = AtlasPlatform::sample(&topo, &alloc, 10, 8);
+        assert_ne!(a.vantage_points, c.vantage_points, "seed matters");
+    }
+
+    #[test]
+    fn campaign_diff_identifies_lost_vps() {
+        let (topo, alloc) = setup();
+        let atlas = AtlasPlatform::sample(&topo, &alloc, 5, 7);
+        // Synthetic FIB: everyone delivers to the target except in `after`,
+        // where one VP's first hop null-routes it.
+        let target_prefix: Ipv4Prefix = "99.99.0.0/24".parse().unwrap();
+        let target = AtlasPlatform::target_in(target_prefix);
+        let mut before = Fib::default();
+        for &(vp, src) in &atlas.vantage_points {
+            before.insert(vp, target_prefix, FibAction::Deliver);
+            let _ = src;
+        }
+        // Delivering locally means responsive only if reverse works — make
+        // the "target AS" the VP itself for simplicity: Deliver at VP means
+        // forward path delivered at the VP, and reverse path is the VP
+        // tracing to its own source address.
+        for &(vp, src) in &atlas.vantage_points {
+            let self_p = Ipv4Prefix::new(src, 32).unwrap();
+            before.insert(vp, self_p, FibAction::Deliver);
+        }
+        let base = atlas.ping_campaign(&before, target);
+        assert_eq!(base.responsive_count(), atlas.vantage_points.len());
+
+        let mut after = before.clone();
+        let victim = atlas.vantage_points[0].0;
+        after.insert(victim, target_prefix, FibAction::Null);
+        let post = atlas.ping_campaign(&after, target);
+        assert_eq!(post.responsive_count(), atlas.vantage_points.len() - 1);
+        assert_eq!(base.lost_vps(&post), vec![victim]);
+        assert!(post.lost_vps(&base).is_empty());
+    }
+}

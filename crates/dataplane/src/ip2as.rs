@@ -1,0 +1,105 @@
+//! Naïve IP-to-AS mapping via longest-prefix match over origin
+//! announcements — §7.6: "use a current routeview routing table to naïvely
+//! map router interfaces to AS numbers". The paper itself notes the
+//! technique is inaccurate; we reproduce the instrument, warts and all.
+
+use bgpworms_topology::PrefixAllocation;
+use bgpworms_types::{Asn, Ipv4Prefix};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Longest-match IP→origin-AS table.
+#[derive(Debug, Clone, Default)]
+pub struct IpToAsMap {
+    entries: BTreeMap<(u32, u8), Asn>,
+    lengths: BTreeSet<u8>,
+}
+
+impl IpToAsMap {
+    /// Builds from explicit (prefix, origin) pairs — e.g. parsed from a
+    /// collector RIB dump.
+    pub fn from_entries<I: IntoIterator<Item = (Ipv4Prefix, Asn)>>(entries: I) -> Self {
+        let mut map = IpToAsMap::default();
+        for (p, a) in entries {
+            map.insert(p, a);
+        }
+        map
+    }
+
+    /// Builds from the ground-truth allocation.
+    pub fn from_alloc(alloc: &PrefixAllocation) -> Self {
+        Self::from_entries(
+            alloc
+                .iter()
+                .filter_map(|(asn, p)| p.as_v4().map(|p4| (p4, asn))),
+        )
+    }
+
+    /// Adds one mapping.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, origin: Asn) {
+        self.entries.insert((prefix.network(), prefix.len()), origin);
+        self.lengths.insert(prefix.len());
+    }
+
+    /// Longest-match lookup.
+    pub fn lookup(&self, ip: u32) -> Option<Asn> {
+        for &len in self.lengths.iter().rev() {
+            let p = Ipv4Prefix::new(ip, len).expect("len <= 32");
+            if let Some(a) = self.entries.get(&(p.network(), len)) {
+                return Some(*a);
+            }
+        }
+        None
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> u32 {
+        s.parse::<std::net::Ipv4Addr>().unwrap().into()
+    }
+
+    #[test]
+    fn longest_match_selects_most_specific_origin() {
+        let map = IpToAsMap::from_entries([
+            (p4("10.0.0.0/8"), Asn::new(1)),
+            (p4("10.5.0.0/16"), Asn::new(2)),
+        ]);
+        assert_eq!(map.lookup(ip("10.1.2.3")), Some(Asn::new(1)));
+        assert_eq!(map.lookup(ip("10.5.2.3")), Some(Asn::new(2)));
+        assert_eq!(map.lookup(ip("11.0.0.1")), None);
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn from_alloc_covers_allocated_space() {
+        let topo = bgpworms_topology::TopologyParams::tiny().seed(1).build();
+        let alloc = PrefixAllocation::assign(
+            &topo,
+            bgpworms_topology::addressing::AddressingParams::default(),
+        );
+        let map = IpToAsMap::from_alloc(&alloc);
+        assert!(!map.is_empty());
+        for (asn, prefix) in alloc.iter() {
+            if let Some(p4) = prefix.as_v4() {
+                let host = PrefixAllocation::host_in(p4);
+                assert_eq!(map.lookup(host), Some(asn), "host in {p4}");
+            }
+        }
+    }
+}

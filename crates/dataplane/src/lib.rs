@@ -1,0 +1,32 @@
+//! Data-plane substrate: FIBs derived from the simulated control plane,
+//! ping/traceroute, an Atlas-like probing platform, looking glasses, and
+//! naïve IP-to-AS mapping.
+//!
+//! The paper validates every attack on the data plane: RIPE Atlas probes
+//! confirm RTBH drops (§7.3, §7.6), traceroutes bound how far blackhole
+//! communities travelled, and looking glasses confirm steering. This crate
+//! reproduces those instruments over `bgpworms-routesim` results:
+//!
+//! * [`Fib`] — per-AS longest-prefix-match forwarding tables, with null
+//!   routes where a blackhole community was accepted;
+//! * [`trace`]/[`ping`] — AS-level forward-path simulation including the
+//!   reverse path for ping (both directions must deliver);
+//! * [`AtlasPlatform`] — a deterministic set of vantage points running
+//!   measurement campaigns;
+//! * [`IpToAsMap`] — longest-match IP-to-origin mapping, as §7.6 builds
+//!   from a RouteViews table;
+//! * [`LookingGlass`] — formatted per-AS RIB queries.
+
+#![warn(missing_docs)]
+
+pub mod atlas;
+pub mod fib;
+pub mod ip2as;
+pub mod looking_glass;
+pub mod probe;
+
+pub use atlas::{AtlasPlatform, CampaignResult};
+pub use fib::{Fib, FibAction};
+pub use ip2as::IpToAsMap;
+pub use looking_glass::LookingGlass;
+pub use probe::{ping, trace, PingResult, TraceOutcome, TraceResult};

@@ -1,0 +1,114 @@
+//! Property-based tests for the data plane: longest-prefix-match
+//! correctness by differential testing, and traceroute termination on
+//! adversarial (loopy) forwarding tables.
+
+use bgpworms_dataplane::{trace, Fib, FibAction, TraceOutcome};
+use bgpworms_types::{Asn, Ipv4Prefix};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Prefix::new(addr, len).expect("len ok"))
+}
+
+fn arb_action() -> impl Strategy<Value = FibAction> {
+    prop_oneof![
+        (1u32..50).prop_map(|n| FibAction::Forward(Asn::new(n))),
+        Just(FibAction::Deliver),
+        Just(FibAction::Null),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn fast_lookup_equals_naive_scan(
+        entries in proptest::collection::vec((arb_prefix(), arb_action()), 0..40),
+        probes in proptest::collection::vec(any::<u32>(), 0..20),
+    ) {
+        let asn = Asn::new(1);
+        let mut fib = Fib::default();
+        for (p, a) in &entries {
+            fib.insert(asn, *p, *a);
+        }
+        for &ip in &probes {
+            let fast = fib.lookup(asn, ip);
+            let naive = fib.lookup_naive(asn, ip);
+            // Both must agree on the matched prefix length (the action of
+            // the longest match is whatever was inserted last for that
+            // exact prefix, identically in both paths).
+            prop_assert_eq!(
+                fast.map(|(p, _)| p.len()),
+                naive.map(|(p, _)| p.len()),
+                "LPM length mismatch at {}",
+                std::net::Ipv4Addr::from(ip)
+            );
+            prop_assert_eq!(fast, naive);
+        }
+    }
+
+    #[test]
+    fn trace_always_terminates_with_consistent_outcome(
+        edges in proptest::collection::vec((1u32..30, 1u32..30), 0..60),
+        dst in any::<u32>(),
+        deliver_at in 1u32..30,
+    ) {
+        // Random (possibly loopy) forwarding graph over a default route.
+        let default = Ipv4Prefix::new(0, 0).expect("default");
+        let mut fib = Fib::default();
+        for &(from, to) in &edges {
+            fib.insert(Asn::new(from), default, FibAction::Forward(Asn::new(to)));
+        }
+        fib.insert(Asn::new(deliver_at), default, FibAction::Deliver);
+
+        let t = trace(&fib, Asn::new(1), dst);
+        // Bounded length (MAX_HOPS plus endpoints).
+        prop_assert!(t.path.len() <= 70);
+        prop_assert_eq!(t.path.first(), Some(&Asn::new(1)));
+        match t.outcome {
+            TraceOutcome::Delivered => {
+                prop_assert_eq!(t.path.last(), Some(&Asn::new(deliver_at)));
+            }
+            TraceOutcome::Loop => {
+                // The repeated AS is recorded at the tail.
+                let last = *t.path.last().unwrap();
+                prop_assert!(
+                    t.path.len() > 60 || t.path.iter().filter(|&&a| a == last).count() >= 2
+                );
+            }
+            TraceOutcome::Unreachable | TraceOutcome::Blackholed => {}
+        }
+        // Apart from a final loop-back hop, no AS repeats.
+        let body = &t.path[..t.path.len().saturating_sub(1)];
+        let mut seen = std::collections::BTreeSet::new();
+        prop_assert!(body.iter().all(|a| seen.insert(*a)), "body repeats: {:?}", t.path);
+    }
+
+    #[test]
+    fn blackhole_host_route_always_wins_over_covering_forward(
+        net in any::<u32>(),
+        len in 8u8..=24,
+        offset in any::<u32>(),
+    ) {
+        // A /32 null route inside a covering Forward prefix — the §7.3
+        // "next-hop changed to a null interface" situation.
+        let covering = Ipv4Prefix::new(net, len).expect("len ok");
+        let span = covering.num_addresses() as u32; // len ≤ 24 ⇒ fits u32
+        let host_ip = covering.network().wrapping_add(offset % span);
+        let host = Ipv4Prefix::new(host_ip, 32).expect("host route");
+        let asn = Asn::new(1);
+        let mut fib = Fib::default();
+        fib.insert(asn, covering, FibAction::Forward(Asn::new(2)));
+        fib.insert(asn, host, FibAction::Null);
+        let (matched, action) = fib.lookup(asn, host_ip).expect("covered");
+        prop_assert_eq!(matched.len(), 32);
+        prop_assert_eq!(action, FibAction::Null);
+        // Neighboring addresses in the covering prefix still forward.
+        if span > 1 {
+            let other = covering.network().wrapping_add((offset + 1) % span);
+            if other != host_ip {
+                let (m2, a2) = fib.lookup(asn, other).expect("covered");
+                prop_assert_eq!(m2, covering);
+                prop_assert_eq!(a2, FibAction::Forward(Asn::new(2)));
+            }
+        }
+    }
+}

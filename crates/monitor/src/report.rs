@@ -1,0 +1,130 @@
+//! Text rendering of monitor results for the `repro` harness and examples.
+
+use crate::detectors::Alert;
+use crate::dictionary::DictionaryEval;
+use crate::groundtruth::{DetectionEval, LabeledRun};
+use crate::hygiene::HygieneReport;
+use std::fmt::Write as _;
+
+/// Renders the detection evaluation of a labeled run.
+pub fn render_detection(run: &LabeledRun, alerts: &[Alert], eval: &DetectionEval) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "injected attacks: {}   alerts raised: {} (attack-class: {})",
+        run.injections.len(),
+        alerts.len(),
+        eval.attack_alerts
+    );
+    let _ = writeln!(out, "\nkind                 injected  detected  attributed  recall");
+    let _ = writeln!(out, "-------------------------------------------------------------");
+    for (label, k) in &eval.per_kind {
+        let injected = k.detected + k.missed;
+        if injected == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{label:<20} {injected:>8}  {:>8}  {:>10}  {:>5.0}%",
+            k.detected,
+            k.attributed,
+            k.recall() * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\noverall: recall {:.0}%  precision {:.0}%  attacker-attribution {:.0}%",
+        eval.recall() * 100.0,
+        eval.precision() * 100.0,
+        eval.attribution() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "false alarms: {} (benign RTBH episodes are the expected source)",
+        eval.false_alarms
+    );
+    out
+}
+
+/// Renders the dictionary-inference evaluation.
+pub fn render_dictionary_eval(eval: &DictionaryEval) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "kind        TP   FP   FN   precision  recall    F1");
+    let _ = writeln!(out, "---------------------------------------------------");
+    for (kind, s) in &eval.scores {
+        let _ = writeln!(
+            out,
+            "{kind:<10} {:>3}  {:>3}  {:>3}   {:>8.2}  {:>6.2}  {:>4.2}",
+            s.true_positives,
+            s.false_positives,
+            s.false_negatives,
+            s.precision(),
+            s.recall(),
+            s.f1()
+        );
+    }
+    out
+}
+
+/// Renders the hygiene report summary.
+pub fn render_hygiene(report: &HygieneReport, top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "announcements inspected: {}   community-owning ASes: {}",
+        report.announcements,
+        report.per_as.len()
+    );
+    let _ = writeln!(
+        out,
+        "well-known-community leaks: {}   far-travelling blackholes: {}",
+        report.well_known_leaks, report.far_blackholes
+    );
+    let _ = writeln!(out, "\ngrade distribution:");
+    for (grade, n) in report.grade_counts() {
+        let _ = writeln!(out, "  {grade}: {n}");
+    }
+    let _ = writeln!(out, "\nworst offenders:");
+    let _ = writeln!(out, "AS        grade  leaks  off-path  max-leak-hops");
+    for (asn, h) in report.worst_offenders(top) {
+        let _ = writeln!(
+            out,
+            "{:<9} {:<6} {:>5}  {:>8}  {:>13}",
+            asn.to_string(),
+            h.grade().to_string(),
+            h.action_leaks,
+            h.action_off_path,
+            h.max_action_leak_distance
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::KindScore;
+
+    #[test]
+    fn dictionary_eval_renders() {
+        let mut eval = DictionaryEval::default();
+        eval.scores.insert(
+            "blackhole",
+            KindScore {
+                true_positives: 4,
+                false_positives: 1,
+                false_negatives: 1,
+            },
+        );
+        let s = render_dictionary_eval(&eval);
+        assert!(s.contains("blackhole"));
+        assert!(s.contains("0.80"));
+    }
+
+    #[test]
+    fn hygiene_renders() {
+        let report = HygieneReport::default();
+        let s = render_hygiene(&report, 5);
+        assert!(s.contains("grade distribution"));
+    }
+}

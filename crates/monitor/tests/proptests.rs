@@ -1,0 +1,150 @@
+//! Property-based tests for the passive-monitoring pipeline: attribution
+//! invariants over random observation sets, score bounds, and hygiene
+//! grade monotonicity.
+
+use bgpworms_core::{ObservationSet, UpdateObservation};
+use bgpworms_monitor::dictionary::{CommunityDictionary, CommunityKind, KindScore};
+use bgpworms_monitor::hygiene::HygieneReport;
+use bgpworms_monitor::tagger::attribute;
+use bgpworms_types::{Asn, Community, Prefix};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const PREFIX: &str = "10.0.0.0/16";
+
+fn obs(path: &[u32], tagged: bool, community: Community) -> UpdateObservation {
+    UpdateObservation {
+        platform: "RIS".into(),
+        collector: "rrc00".into(),
+        time: 0,
+        peer: Asn::new(path[0]),
+        prefix: PREFIX.parse().unwrap(),
+        path: path.iter().map(|&n| Asn::new(n)).collect(),
+        raw_hop_count: path.len(),
+        prepends: vec![],
+        communities: if tagged { vec![community] } else { vec![] },
+        large_communities: vec![],
+        is_withdrawal: false,
+    }
+}
+
+/// Random non-empty loop-free path of 1..=6 ASes drawn from a small pool.
+fn arb_path() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::btree_set(1u32..30, 1..=6)
+        .prop_map(|set| set.into_iter().collect::<Vec<u32>>())
+        .prop_shuffle()
+}
+
+proptest! {
+    #[test]
+    fn attribution_candidates_lie_on_every_tagged_path(
+        paths in proptest::collection::vec((arb_path(), any::<bool>()), 1..8),
+    ) {
+        let community = Community::new(99, 42);
+        let observations: Vec<UpdateObservation> = paths
+            .iter()
+            .map(|(p, tagged)| obs(p, *tagged, community))
+            .collect();
+        let set = ObservationSet { observations, messages: vec![] };
+        let att = attribute(&set, PREFIX.parse().unwrap(), community, None);
+
+        let tagged_paths: Vec<&Vec<u32>> = paths
+            .iter()
+            .filter(|(_, t)| *t)
+            .map(|(p, _)| p)
+            .collect();
+        prop_assert_eq!(att.tagged_paths, tagged_paths.len());
+        prop_assert_eq!(att.untagged_paths, paths.len() - tagged_paths.len());
+
+        if tagged_paths.is_empty() {
+            prop_assert!(att.candidates.is_empty());
+        }
+        for cand in &att.candidates {
+            // every candidate is on every tagged path
+            for p in &tagged_paths {
+                prop_assert!(
+                    p.contains(&cand.asn.get()),
+                    "candidate {} absent from a tagged path {:?}",
+                    cand.asn,
+                    p
+                );
+            }
+            // scores bounded by the owner-boosted maximum
+            prop_assert!(cand.score > 0.0 && cand.score <= 1.5 + 1e-9);
+        }
+        // candidates are sorted by descending score
+        prop_assert!(att
+            .candidates
+            .windows(2)
+            .all(|w| w[0].score >= w[1].score - 1e-12));
+        // the best set shares the maximum score
+        let best = att.best_set();
+        if let Some(first) = att.candidates.first() {
+            prop_assert!(best.contains(&first.asn));
+        }
+    }
+
+    #[test]
+    fn kind_score_bounds(tp in 0usize..50, fp in 0usize..50, fn_ in 0usize..50) {
+        let s = KindScore {
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fn_,
+        };
+        prop_assert!((0.0..=1.0).contains(&s.precision()));
+        prop_assert!((0.0..=1.0).contains(&s.recall()));
+        prop_assert!((0.0..=1.0).contains(&s.f1()));
+        // F1 never exceeds the larger of precision/recall (harmonic mean)
+        let (p, r) = (s.precision(), s.recall());
+        prop_assert!(s.f1() <= p.max(r) + 1e-9);
+    }
+
+    #[test]
+    fn hygiene_grades_are_complete_and_reserved_owners_excluded(
+        paths in proptest::collection::vec(arb_path(), 1..10),
+        owners in proptest::collection::vec(1u16..200, 1..10),
+    ) {
+        let mut dict = CommunityDictionary::new();
+        let mut observations = Vec::new();
+        for (i, p) in paths.iter().enumerate() {
+            let owner = owners[i % owners.len()];
+            dict.insert(Community::new(owner, 666), CommunityKind::Blackhole);
+            observations.push(obs(p, true, Community::new(owner, 666)));
+            // sprinkle a reserved-owner community too
+            observations.push(obs(p, true, Community::new(65_535, 666)));
+        }
+        let set = ObservationSet { observations, messages: vec![] };
+        let report = HygieneReport::compute(&set, &dict, 3);
+        // graded set matches per-AS keys and excludes reserved owners
+        let graded: usize = report.grade_counts().values().sum();
+        prop_assert_eq!(graded, report.per_as.len());
+        prop_assert!(report.per_as.keys().all(|a| a.get() != 65_535 && !a.is_private()));
+        // announcement counter matches input
+        prop_assert_eq!(report.announcements as usize, paths.len() * 2);
+    }
+
+    #[test]
+    fn attribution_owner_prior_never_changes_candidate_set(
+        paths in proptest::collection::vec((arb_path(), any::<bool>()), 1..6),
+    ) {
+        // The prior reweights, it must not add or remove candidates.
+        let community = Community::new(7, 666);
+        let observations: Vec<UpdateObservation> = paths
+            .iter()
+            .map(|(p, tagged)| obs(p, *tagged, community))
+            .collect();
+        let set = ObservationSet { observations, messages: vec![] };
+        let announcements: Vec<&UpdateObservation> =
+            set.announcements().collect();
+        let prefix: Prefix = PREFIX.parse().unwrap();
+        let with_prior = bgpworms_monitor::tagger::attribute_among(
+            &announcements, prefix, community, None, true,
+        );
+        let without_prior = bgpworms_monitor::tagger::attribute_among(
+            &announcements, prefix, community, None, false,
+        );
+        let a: BTreeSet<Asn> = with_prior.candidates.iter().map(|c| c.asn).collect();
+        let b: BTreeSet<Asn> = without_prior.candidates.iter().map(|c| c.asn).collect();
+        prop_assert_eq!(a, b);
+    }
+}

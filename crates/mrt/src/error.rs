@@ -1,0 +1,106 @@
+//! Errors for MRT archive reading and writing.
+
+use bgpworms_wire::WireError;
+use std::fmt;
+use std::io;
+
+/// Errors raised while reading or writing MRT archives.
+#[derive(Debug)]
+pub enum MrtError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The record body ended before a field could be read.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+    },
+    /// The record declares an implausible body length.
+    BadRecordLength(u32),
+    /// An MRT (type, subtype) combination we cannot interpret.
+    UnsupportedSubtype {
+        /// MRT type.
+        mrt_type: u16,
+        /// MRT subtype.
+        subtype: u16,
+    },
+    /// An embedded BGP message failed to decode.
+    Bgp(WireError),
+    /// An address family value that is neither IPv4 (1) nor IPv6 (2).
+    BadAddressFamily(u16),
+    /// A RIB entry references a peer index missing from the
+    /// PEER_INDEX_TABLE.
+    UnknownPeerIndex(u16),
+    /// The view name or another variable field exceeds its length bound.
+    FieldTooLong(&'static str),
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::Io(e) => write!(f, "I/O error: {e}"),
+            MrtError::Truncated { what } => write!(f, "truncated MRT record reading {what}"),
+            MrtError::BadRecordLength(l) => write!(f, "implausible MRT record length {l}"),
+            MrtError::UnsupportedSubtype { mrt_type, subtype } => {
+                write!(f, "unsupported MRT type/subtype {mrt_type}/{subtype}")
+            }
+            MrtError::Bgp(e) => write!(f, "embedded BGP message: {e}"),
+            MrtError::BadAddressFamily(afi) => write!(f, "bad address family {afi}"),
+            MrtError::UnknownPeerIndex(i) => write!(f, "RIB entry references unknown peer {i}"),
+            MrtError::FieldTooLong(what) => write!(f, "{what} too long"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrtError::Io(e) => Some(e),
+            MrtError::Bgp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MrtError {
+    fn from(e: io::Error) -> Self {
+        MrtError::Io(e)
+    }
+}
+
+impl From<WireError> for MrtError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Truncated { what, .. } => MrtError::Truncated { what },
+            other => MrtError::Bgp(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MrtError::UnsupportedSubtype {
+            mrt_type: 13,
+            subtype: 99,
+        };
+        assert!(e.to_string().contains("13/99"));
+        let io_err = MrtError::Io(io::Error::other("boom"));
+        assert!(std::error::Error::source(&io_err).is_some());
+        let wire = MrtError::Bgp(WireError::BadMarker);
+        assert!(wire.to_string().contains("marker"));
+    }
+
+    #[test]
+    fn wire_truncation_maps_to_mrt_truncation() {
+        let e: MrtError = WireError::Truncated {
+            what: "x",
+            needed: 4,
+            available: 0,
+        }
+        .into();
+        assert!(matches!(e, MrtError::Truncated { what: "x" }));
+    }
+}

@@ -1,0 +1,364 @@
+//! Streaming MRT reader: wraps any [`Read`] and yields records one at a time.
+
+use crate::error::MrtError;
+use crate::record::{
+    bgp4mp_subtype, tdv2_subtype, Bgp4mpMessage, MrtHeader, MrtRecord, PeerEntry, PeerIndexTable,
+    RibEntry, RibSnapshot, StateChange, BGP4MP, BGP4MP_ET, TABLE_DUMP_V2,
+};
+use bgpworms_types::{Asn, Prefix};
+use bgpworms_wire::cursor::Cursor;
+use bgpworms_wire::{decode_message, BgpMessage, CodecConfig};
+use std::io::Read;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Upper bound on a single MRT record body; real archives stay far below
+/// this, and it caps memory on corrupt length fields.
+const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// A streaming reader over an MRT archive.
+pub struct MrtReader<R: Read> {
+    inner: R,
+    /// Records read so far (including skipped/unknown ones).
+    pub records_read: u64,
+}
+
+impl<R: Read> MrtReader<R> {
+    /// Wraps a byte source.
+    pub fn new(inner: R) -> Self {
+        MrtReader {
+            inner,
+            records_read: 0,
+        }
+    }
+
+    /// Reads the next record; `Ok(None)` at clean end-of-archive.
+    pub fn next_record(&mut self) -> Result<Option<MrtRecord>, MrtError> {
+        let mut header_buf = [0u8; 12];
+        match read_exact_or_eof(&mut self.inner, &mut header_buf)? {
+            ReadOutcome::Eof => return Ok(None),
+            ReadOutcome::Partial => {
+                return Err(MrtError::Truncated {
+                    what: "MRT common header",
+                })
+            }
+            ReadOutcome::Full => {}
+        }
+
+        let timestamp = u32::from_be_bytes([header_buf[0], header_buf[1], header_buf[2], header_buf[3]]);
+        let mrt_type = u16::from_be_bytes([header_buf[4], header_buf[5]]);
+        let subtype = u16::from_be_bytes([header_buf[6], header_buf[7]]);
+        let length = u32::from_be_bytes([header_buf[8], header_buf[9], header_buf[10], header_buf[11]]);
+
+        if length > MAX_RECORD_LEN {
+            return Err(MrtError::BadRecordLength(length));
+        }
+
+        let mut body = vec![0u8; length as usize];
+        self.inner.read_exact(&mut body).map_err(|_| MrtError::Truncated {
+            what: "MRT record body",
+        })?;
+
+        self.records_read += 1;
+
+        let mut header = MrtHeader {
+            timestamp,
+            microseconds: None,
+            mrt_type,
+            subtype,
+        };
+
+        // The *_ET types carry a microsecond field at the head of the body.
+        let body_slice: &[u8] = if mrt_type == BGP4MP_ET {
+            if body.len() < 4 {
+                return Err(MrtError::Truncated {
+                    what: "extended timestamp",
+                });
+            }
+            header.microseconds =
+                Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
+            &body[4..]
+        } else {
+            &body
+        };
+
+        let record = match mrt_type {
+            BGP4MP | BGP4MP_ET => parse_bgp4mp(header, body_slice)?,
+            TABLE_DUMP_V2 => parse_table_dump_v2(header, body_slice)?,
+            _ => MrtRecord::Unknown {
+                header,
+                body: body_slice.to_vec(),
+            },
+        };
+        Ok(Some(record))
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, MrtError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            return Ok(if filled == 0 {
+                ReadOutcome::Eof
+            } else {
+                ReadOutcome::Partial
+            });
+        }
+        filled += n;
+    }
+    Ok(ReadOutcome::Full)
+}
+
+fn read_ip(c: &mut Cursor<'_>, afi: u16) -> Result<IpAddr, MrtError> {
+    match afi {
+        1 => Ok(IpAddr::V4(Ipv4Addr::from(c.u32("ipv4 address")?))),
+        2 => Ok(IpAddr::V6(Ipv6Addr::from(c.u128("ipv6 address")?))),
+        other => Err(MrtError::BadAddressFamily(other)),
+    }
+}
+
+fn parse_bgp4mp(header: MrtHeader, body: &[u8]) -> Result<MrtRecord, MrtError> {
+    let mut c = Cursor::new(body);
+    let as4 = matches!(
+        header.subtype,
+        bgp4mp_subtype::MESSAGE_AS4 | bgp4mp_subtype::STATE_CHANGE_AS4
+    );
+    let (peer_as, local_as) = if as4 {
+        (c.u32("peer AS")?, c.u32("local AS")?)
+    } else {
+        (
+            u32::from(c.u16("peer AS")?),
+            u32::from(c.u16("local AS")?),
+        )
+    };
+    let ifindex = c.u16("interface index")?;
+    let afi = c.u16("address family")?;
+    let peer_ip = read_ip(&mut c, afi)?;
+    let local_ip = read_ip(&mut c, afi)?;
+
+    match header.subtype {
+        bgp4mp_subtype::MESSAGE | bgp4mp_subtype::MESSAGE_AS4 => {
+            let cfg = if as4 {
+                CodecConfig::modern()
+            } else {
+                CodecConfig::legacy()
+            };
+            let rest = c.take_rest();
+            let (msg, _) = decode_message(rest, cfg)?;
+            let update = match msg {
+                BgpMessage::Update(u) => u,
+                // OPENs/KEEPALIVEs inside MESSAGE records are legal but rare;
+                // surface them as empty updates so streaming callers can skip.
+                _ => bgpworms_types::RouteUpdate::default(),
+            };
+            Ok(MrtRecord::Bgp4mp(Bgp4mpMessage {
+                header,
+                peer_as: Asn::new(peer_as),
+                local_as: Asn::new(local_as),
+                ifindex,
+                peer_ip,
+                local_ip,
+                update,
+            }))
+        }
+        bgp4mp_subtype::STATE_CHANGE | bgp4mp_subtype::STATE_CHANGE_AS4 => {
+            let old_state = c.u16("old state")?;
+            let new_state = c.u16("new state")?;
+            Ok(MrtRecord::StateChange(StateChange {
+                header,
+                peer_as: Asn::new(peer_as),
+                local_as: Asn::new(local_as),
+                peer_ip,
+                local_ip,
+                old_state,
+                new_state,
+            }))
+        }
+        other => Err(MrtError::UnsupportedSubtype {
+            mrt_type: header.mrt_type,
+            subtype: other,
+        }),
+    }
+}
+
+fn parse_table_dump_v2(header: MrtHeader, body: &[u8]) -> Result<MrtRecord, MrtError> {
+    let mut c = Cursor::new(body);
+    match header.subtype {
+        tdv2_subtype::PEER_INDEX_TABLE => {
+            let collector_id = c.u32("collector id")?;
+            let name_len = c.u16("view name length")? as usize;
+            let name_bytes = c.take("view name", name_len)?;
+            let view_name = String::from_utf8_lossy(name_bytes).into_owned();
+            let peer_count = c.u16("peer count")? as usize;
+            let mut peers = Vec::with_capacity(peer_count);
+            for _ in 0..peer_count {
+                let ptype = c.u8("peer type")?;
+                let bgp_id = c.u32("peer bgp id")?;
+                let ip = if ptype & 0x01 != 0 {
+                    IpAddr::V6(Ipv6Addr::from(c.u128("peer ipv6")?))
+                } else {
+                    IpAddr::V4(Ipv4Addr::from(c.u32("peer ipv4")?))
+                };
+                let asn = if ptype & 0x02 != 0 {
+                    c.u32("peer as4")?
+                } else {
+                    u32::from(c.u16("peer as2")?)
+                };
+                peers.push(PeerEntry {
+                    bgp_id,
+                    ip,
+                    asn: Asn::new(asn),
+                });
+            }
+            Ok(MrtRecord::PeerIndexTable(PeerIndexTable {
+                collector_id,
+                view_name,
+                peers,
+            }))
+        }
+        tdv2_subtype::RIB_IPV4_UNICAST | tdv2_subtype::RIB_IPV6_UNICAST => {
+            let sequence = c.u32("rib sequence")?;
+            let prefix = if header.subtype == tdv2_subtype::RIB_IPV4_UNICAST {
+                Prefix::V4(bgpworms_wire::nlri::decode_v4(&mut c)?)
+            } else {
+                Prefix::V6(bgpworms_wire::nlri::decode_v6(&mut c)?)
+            };
+            let entry_count = c.u16("rib entry count")? as usize;
+            let mut entries = Vec::with_capacity(entry_count);
+            for _ in 0..entry_count {
+                let peer_index = c.u16("rib peer index")?;
+                let originated_time = c.u32("rib originated time")?;
+                let attr_len = c.u16("rib attribute length")? as usize;
+                let attr_bytes = c.take("rib attributes", attr_len)?;
+                // RFC 6396 §4.3.4: RIB attributes always use 4-octet ASNs.
+                let decoded =
+                    bgpworms_wire::decode_attributes(attr_bytes, CodecConfig::modern())?;
+                entries.push(RibEntry {
+                    peer_index,
+                    originated_time,
+                    attrs: decoded.attrs,
+                });
+            }
+            Ok(MrtRecord::Rib(RibSnapshot {
+                header,
+                sequence,
+                prefix,
+                entries,
+            }))
+        }
+        other => Err(MrtError::UnsupportedSubtype {
+            mrt_type: header.mrt_type,
+            subtype: other,
+        }),
+    }
+}
+
+impl<R: Read> Iterator for MrtReader<R> {
+    type Item = Result<MrtRecord, MrtError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// Adapter over [`MrtReader`] that yields only BGP4MP update messages,
+/// skipping state changes, RIB records, and unknown record types.
+pub struct UpdateStream<R: Read> {
+    reader: MrtReader<R>,
+}
+
+impl<R: Read> UpdateStream<R> {
+    /// Wraps a byte source.
+    pub fn new(inner: R) -> Self {
+        UpdateStream {
+            reader: MrtReader::new(inner),
+        }
+    }
+}
+
+impl<R: Read> Iterator for UpdateStream<R> {
+    type Item = Result<Bgp4mpMessage, MrtError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.reader.next_record() {
+                Ok(Some(MrtRecord::Bgp4mp(m))) => return Some(Ok(m)),
+                Ok(Some(_)) => continue,
+                Ok(None) => return None,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_archive_is_clean_eof() {
+        let mut r = MrtReader::new(&[][..]);
+        assert!(r.next_record().unwrap().is_none());
+        assert_eq!(r.records_read, 0);
+    }
+
+    #[test]
+    fn partial_header_is_truncation() {
+        let mut r = MrtReader::new(&[0u8; 5][..]);
+        assert!(matches!(
+            r.next_record(),
+            Err(MrtError::Truncated {
+                what: "MRT common header"
+            })
+        ));
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut h = vec![0u8; 12];
+        h[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut r = MrtReader::new(h.as_slice());
+        assert!(matches!(
+            r.next_record(),
+            Err(MrtError::BadRecordLength(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_type_surfaces_body() {
+        let mut rec = vec![0u8; 12];
+        rec[4..6].copy_from_slice(&999u16.to_be_bytes());
+        rec[8..12].copy_from_slice(&3u32.to_be_bytes());
+        rec.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        let mut r = MrtReader::new(rec.as_slice());
+        match r.next_record().unwrap().unwrap() {
+            MrtRecord::Unknown { header, body } => {
+                assert_eq!(header.mrt_type, 999);
+                assert_eq!(body, vec![0xAA, 0xBB, 0xCC]);
+            }
+            other => panic!("expected unknown, got {other:?}"),
+        }
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_body_is_error() {
+        let mut rec = vec![0u8; 12];
+        rec[4..6].copy_from_slice(&999u16.to_be_bytes());
+        rec[8..12].copy_from_slice(&10u32.to_be_bytes());
+        rec.extend_from_slice(&[1, 2, 3]); // promised 10, provide 3
+        let mut r = MrtReader::new(rec.as_slice());
+        assert!(matches!(
+            r.next_record(),
+            Err(MrtError::Truncated {
+                what: "MRT record body"
+            })
+        ));
+    }
+}

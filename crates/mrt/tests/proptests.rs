@@ -1,0 +1,109 @@
+//! Property tests: MRT archives round-trip arbitrary update batches, and the
+//! reader survives arbitrary byte soup without panicking.
+
+use bgpworms_mrt::{write_update_into, MrtReader, MrtRecord, MrtWriter, UpdateStream};
+use bgpworms_types::{Asn, AsPath, Community, Ipv4Prefix, PathAttributes, Prefix, RouteUpdate};
+use proptest::prelude::*;
+
+fn arb_update() -> impl Strategy<Value = RouteUpdate> {
+    (
+        proptest::collection::vec((any::<u32>(), 8u8..=32), 1..6),
+        proptest::collection::vec(1u32..1_000_000, 1..6),
+        proptest::collection::vec(any::<u32>(), 0..8),
+    )
+        .prop_map(|(prefixes, path, comms)| {
+            let attrs = PathAttributes {
+                as_path: AsPath::from_asns(path.into_iter().map(Asn::new)),
+                next_hop: Some("10.0.0.1".parse().unwrap()),
+                communities: comms.into_iter().map(Community::from_u32).collect(),
+                ..PathAttributes::default()
+            };
+            RouteUpdate {
+                withdrawn: vec![],
+                attrs,
+                announced: prefixes
+                    .into_iter()
+                    .map(|(a, l)| Prefix::V4(Ipv4Prefix::new(a, l).unwrap()))
+                    .collect(),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn archive_roundtrips_update_batches(
+        updates in proptest::collection::vec(arb_update(), 1..20),
+        peer_as in 1u32..1_000_000,
+        ts0 in any::<u32>(),
+    ) {
+        let mut w = MrtWriter::new(Vec::new());
+        for (i, u) in updates.iter().enumerate() {
+            write_update_into(
+                &mut w,
+                ts0.wrapping_add(i as u32),
+                Asn::new(peer_as),
+                Asn::new(64_500),
+                "10.0.0.2".parse().unwrap(),
+                u,
+            ).unwrap();
+        }
+        let buf = w.into_inner();
+        let decoded: Vec<RouteUpdate> = UpdateStream::new(buf.as_slice())
+            .map(|r| r.unwrap().update)
+            .collect();
+        prop_assert_eq!(decoded, updates);
+    }
+
+    #[test]
+    fn reader_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut r = MrtReader::new(data.as_slice());
+        // Drain until error or EOF; no panics allowed.
+        for _ in 0..64 {
+            match r.next_record() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn reader_never_panics_on_typed_garbage(
+        mrt_type in prop_oneof![Just(13u16), Just(16u16), Just(17u16)],
+        subtype in 0u16..8,
+        body in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut rec = Vec::new();
+        rec.extend_from_slice(&0u32.to_be_bytes());
+        rec.extend_from_slice(&mrt_type.to_be_bytes());
+        rec.extend_from_slice(&subtype.to_be_bytes());
+        rec.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        rec.extend_from_slice(&body);
+        let mut r = MrtReader::new(rec.as_slice());
+        let _ = r.next_record();
+    }
+
+    #[test]
+    fn truncated_archives_error_not_panic(
+        updates in proptest::collection::vec(arb_update(), 1..4),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut w = MrtWriter::new(Vec::new());
+        for u in &updates {
+            write_update_into(&mut w, 0, Asn::new(2), Asn::new(1),
+                "10.0.0.2".parse().unwrap(), u).unwrap();
+        }
+        let buf = w.into_inner();
+        let cut = ((buf.len() as f64) * frac) as usize;
+        let mut r = MrtReader::new(&buf[..cut]);
+        loop {
+            match r.next_record() {
+                Ok(Some(MrtRecord::Bgp4mp(_))) => continue,
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(_) => break, // graceful error is acceptable
+            }
+        }
+    }
+}

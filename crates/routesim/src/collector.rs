@@ -1,0 +1,286 @@
+//! Route collectors: RIS/RouteViews/Isolario/PCH-like observation points
+//! that peer with ASes and archive what they receive as MRT.
+
+use crate::route::Route;
+use bgpworms_mrt::{MrtError, MrtWriter, PeerEntry, RibEntry, TableDumpWriter};
+use bgpworms_types::{Asn, PathAttributes, Prefix, RouteUpdate};
+use std::collections::BTreeMap;
+use std::net::{IpAddr, Ipv4Addr};
+
+/// What a collector peer session carries (§4.1: "Some BGP peers send full
+/// routing tables, others partial views, and even others only their
+/// customer routes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedKind {
+    /// The peer exports its full best-path table.
+    Full,
+    /// The peer exports only customer and local routes.
+    CustomerRoutesOnly,
+}
+
+/// A collector and its peering sessions.
+#[derive(Debug, Clone)]
+pub struct CollectorSpec {
+    /// Collector name, e.g. `rrc00` or `route-views2`.
+    pub name: String,
+    /// Platform the collector belongs to (RIS / RV / IS / PCH).
+    pub platform: String,
+    /// BGP identifier used in MRT output.
+    pub collector_id: u32,
+    /// Peering sessions: (peer AS, feed kind).
+    pub peers: Vec<(Asn, FeedKind)>,
+}
+
+/// One observation at a collector: a route announced (Some) or withdrawn
+/// (None) by a peer session at a pseudo-time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectorObservation {
+    /// Episode pseudo-time (seconds).
+    pub time: u32,
+    /// The announcing peer.
+    pub peer: Asn,
+    /// The prefix.
+    pub prefix: Prefix,
+    /// The route as exported to the monitor; None = withdrawal.
+    pub route: Option<Route>,
+}
+
+/// Deterministic fake address for a peer session (used in MRT records).
+pub fn peer_ip(peer: Asn) -> IpAddr {
+    let n = peer.get();
+    IpAddr::V4(Ipv4Addr::new(
+        198,
+        18,
+        ((n >> 8) & 0xFF) as u8,
+        (n & 0xFF) as u8,
+    ))
+}
+
+fn attrs_of(route: &Route) -> PathAttributes {
+    let mut attrs = PathAttributes {
+        origin: route.origin,
+        as_path: route.path.clone(),
+        next_hop: Some(peer_ip(route.source.neighbor().unwrap_or(Asn::new(0)))),
+        ..PathAttributes::default()
+    };
+    attrs.communities = route.communities.clone();
+    attrs.large_communities = route.large_communities.clone();
+    attrs
+}
+
+/// Serializes a collector's observations into a BGP4MP MESSAGE_AS4 update
+/// archive (the format the analysis pipeline reads back).
+pub fn observations_to_mrt(
+    collector_local_as: Asn,
+    observations: &[CollectorObservation],
+) -> Result<Vec<u8>, MrtError> {
+    let mut w = MrtWriter::new(Vec::new());
+    for obs in observations {
+        let update = match &obs.route {
+            Some(route) => RouteUpdate::announce(obs.prefix, attrs_of(route)),
+            None => RouteUpdate::withdraw(vec![obs.prefix]),
+        };
+        bgpworms_mrt::write_update_into(
+            &mut w,
+            obs.time,
+            obs.peer,
+            collector_local_as,
+            peer_ip(obs.peer),
+            &update,
+        )?;
+    }
+    Ok(w.into_inner())
+}
+
+/// Builds a TABLE_DUMP_V2 RIB archive out of the *final* state implied by a
+/// collector's observations (last announcement per (peer, prefix) wins).
+pub fn observations_to_rib_mrt(
+    collector_id: u32,
+    view_name: &str,
+    observations: &[CollectorObservation],
+    dump_time: u32,
+) -> Result<Vec<u8>, MrtError> {
+    // Final state per (peer, prefix).
+    let mut state: BTreeMap<(Asn, Prefix), &CollectorObservation> = BTreeMap::new();
+    for obs in observations {
+        state.insert((obs.peer, obs.prefix), obs);
+    }
+
+    let mut peers: Vec<Asn> = state.keys().map(|(p, _)| *p).collect();
+    peers.sort_unstable();
+    peers.dedup();
+    let peer_entries: Vec<PeerEntry> = peers
+        .iter()
+        .map(|p| PeerEntry {
+            bgp_id: p.get(),
+            ip: peer_ip(*p),
+            asn: *p,
+        })
+        .collect();
+    let index_of = |asn: Asn| peers.binary_search(&asn).expect("peer present") as u16;
+
+    // Group live routes per prefix.
+    let mut per_prefix: BTreeMap<Prefix, Vec<RibEntry>> = BTreeMap::new();
+    for ((peer, prefix), obs) in &state {
+        if let Some(route) = &obs.route {
+            per_prefix.entry(*prefix).or_default().push(RibEntry {
+                peer_index: index_of(*peer),
+                originated_time: obs.time,
+                attrs: attrs_of(route),
+            });
+        }
+    }
+
+    let mut writer = TableDumpWriter::new(
+        Vec::new(),
+        dump_time,
+        collector_id,
+        view_name,
+        &peer_entries,
+    )?;
+    for (prefix, entries) in &per_prefix {
+        writer.write_rib(*prefix, entries)?;
+    }
+    Ok(writer.into_inner())
+}
+
+/// A complete archived collector: update stream plus final RIB dump.
+#[derive(Debug, Clone)]
+pub struct CollectorArchive {
+    /// Collector name.
+    pub name: String,
+    /// Platform name.
+    pub platform: String,
+    /// BGP4MP update archive bytes.
+    pub updates_mrt: Vec<u8>,
+    /// TABLE_DUMP_V2 RIB archive bytes.
+    pub rib_mrt: Vec<u8>,
+}
+
+/// Archives every collector of a finished run.
+pub fn archive_all(
+    specs: &[CollectorSpec],
+    observations: &BTreeMap<String, Vec<CollectorObservation>>,
+    dump_time: u32,
+) -> Result<Vec<CollectorArchive>, MrtError> {
+    let mut out = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let obs = observations
+            .get(&spec.name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        let local_as = Asn::new(64_496); // documentation ASN for the monitor
+        out.push(CollectorArchive {
+            name: spec.name.clone(),
+            platform: spec.platform.clone(),
+            updates_mrt: observations_to_mrt(local_as, obs)?,
+            rib_mrt: observations_to_rib_mrt(spec.collector_id, &spec.name, obs, dump_time)?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::RouteSource;
+    use bgpworms_mrt::{MrtReader, MrtRecord, UpdateStream};
+    use bgpworms_types::{AsPath, Community, Origin};
+
+    fn obs(time: u32, peer: u32, prefix: &str, announced: bool) -> CollectorObservation {
+        let prefix: Prefix = prefix.parse().unwrap();
+        CollectorObservation {
+            time,
+            peer: Asn::new(peer),
+            prefix,
+            route: announced.then(|| Route {
+                prefix,
+                path: AsPath::from_asns([Asn::new(peer), Asn::new(1)]),
+                origin: Origin::Igp,
+                communities: vec![Community::new(peer as u16, 100)],
+                large_communities: vec![],
+                source: RouteSource::Ebgp(Asn::new(peer)),
+                local_pref: 0,
+                med: 0,
+                blackholed: false,
+                pending_prepend: 0,
+                own_tags: vec![],
+            }),
+        }
+    }
+
+    #[test]
+    fn update_archive_roundtrips() {
+        let observations = vec![
+            obs(10, 2, "10.0.0.0/16", true),
+            obs(20, 2, "10.0.0.0/16", false),
+            obs(30, 3, "20.0.0.0/16", true),
+        ];
+        let mrt = observations_to_mrt(Asn::new(64_496), &observations).unwrap();
+        let msgs: Vec<_> = UpdateStream::new(mrt.as_slice())
+            .map(|m| m.unwrap())
+            .collect();
+        assert_eq!(msgs.len(), 3);
+        assert_eq!(msgs[0].header.timestamp, 10);
+        assert_eq!(msgs[0].peer_as, Asn::new(2));
+        assert_eq!(msgs[0].update.announced.len(), 1);
+        assert_eq!(msgs[1].update.withdrawn.len(), 1);
+        assert_eq!(
+            msgs[2].update.attrs.communities,
+            vec![Community::new(3, 100)]
+        );
+    }
+
+    #[test]
+    fn rib_archive_reflects_final_state() {
+        let observations = vec![
+            obs(10, 2, "10.0.0.0/16", true),
+            obs(20, 2, "10.0.0.0/16", false), // withdrawn: not in RIB
+            obs(30, 3, "20.0.0.0/16", true),
+            obs(40, 2, "20.0.0.0/16", true),
+        ];
+        let mrt = observations_to_rib_mrt(7, "test", &observations, 99).unwrap();
+        let mut reader = MrtReader::new(mrt.as_slice());
+        let MrtRecord::PeerIndexTable(t) = reader.next_record().unwrap().unwrap() else {
+            panic!("expected peer index table")
+        };
+        assert_eq!(t.view_name, "test");
+        assert_eq!(t.peers.len(), 2);
+        let mut rib_prefixes = Vec::new();
+        let mut entry_counts = Vec::new();
+        while let Some(rec) = reader.next_record().unwrap() {
+            if let MrtRecord::Rib(r) = rec {
+                rib_prefixes.push(r.prefix);
+                entry_counts.push(r.entries.len());
+            }
+        }
+        assert_eq!(rib_prefixes.len(), 1, "only 20/16 survives");
+        assert_eq!(
+            rib_prefixes[0],
+            "20.0.0.0/16".parse::<Prefix>().unwrap()
+        );
+        assert_eq!(entry_counts[0], 2, "both peers advertise it");
+    }
+
+    #[test]
+    fn peer_ip_is_deterministic_and_distinct() {
+        assert_eq!(peer_ip(Asn::new(5)), peer_ip(Asn::new(5)));
+        assert_ne!(peer_ip(Asn::new(5)), peer_ip(Asn::new(6)));
+    }
+
+    #[test]
+    fn archive_all_produces_per_collector_archives() {
+        let specs = vec![CollectorSpec {
+            name: "rrc00".into(),
+            platform: "RIS".into(),
+            collector_id: 1,
+            peers: vec![(Asn::new(2), FeedKind::Full)],
+        }];
+        let mut observations = BTreeMap::new();
+        observations.insert("rrc00".to_string(), vec![obs(1, 2, "10.0.0.0/16", true)]);
+        let archives = archive_all(&specs, &observations, 50).unwrap();
+        assert_eq!(archives.len(), 1);
+        assert!(!archives[0].updates_mrt.is_empty());
+        assert!(!archives[0].rib_mrt.is_empty());
+    }
+}

@@ -1,0 +1,748 @@
+//! The propagation engine: drives per-prefix announcement episodes to
+//! convergence over the topology, records collector observations, and
+//! (optionally) retains final per-AS routes for data-plane construction.
+//!
+//! Distinct prefixes never interact (no aggregation, no per-table limits),
+//! so the engine shards the prefix set across worker threads with
+//! `crossbeam` and merges results in deterministic prefix order.
+
+use crate::collector::{CollectorObservation, CollectorSpec, FeedKind};
+use crate::policy::{IrrDatabase, RouterConfig};
+use crate::route::Route;
+use crate::router::{PrefixRouter, ValidationCtx};
+use bgpworms_topology::{Role, Tier, Topology};
+use bgpworms_types::{AsPath, Asn, Community, Origin, Prefix};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One announcement (or withdrawal) episode injected at an origin AS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Origination {
+    /// The AS injecting the announcement.
+    pub origin: Asn,
+    /// The prefix announced or withdrawn.
+    pub prefix: Prefix,
+    /// Communities attached at origination (the attacker's lever).
+    pub communities: Vec<Community>,
+    /// RFC 8092 large communities attached at origination.
+    pub large_communities: Vec<bgpworms_types::LargeCommunity>,
+    /// Pseudo-time of the episode (drives MRT timestamps and ordering).
+    pub time: u32,
+    /// True to withdraw instead of announce.
+    pub withdraw: bool,
+    /// For forged-origin (type-1) hijacks: pretend the path already ends in
+    /// this AS so origin validation sees the legitimate origin.
+    pub forged_origin: Option<Asn>,
+}
+
+impl Origination {
+    /// A plain announcement at time 0.
+    pub fn announce(origin: Asn, prefix: Prefix, communities: Vec<Community>) -> Self {
+        Origination {
+            origin,
+            prefix,
+            communities,
+            large_communities: Vec::new(),
+            time: 0,
+            withdraw: false,
+            forged_origin: None,
+        }
+    }
+
+    /// A withdrawal episode.
+    pub fn withdrawal(origin: Asn, prefix: Prefix, time: u32) -> Self {
+        Origination {
+            origin,
+            prefix,
+            communities: Vec::new(),
+            large_communities: Vec::new(),
+            time,
+            withdraw: true,
+            forged_origin: None,
+        }
+    }
+
+    /// Builder: set the episode time.
+    pub fn at(mut self, time: u32) -> Self {
+        self.time = time;
+        self
+    }
+
+    /// Builder: forge the origin (type-1 hijack).
+    pub fn forging(mut self, victim: Asn) -> Self {
+        self.forged_origin = Some(victim);
+        self
+    }
+
+    /// Builder: attach RFC 8092 large communities.
+    pub fn with_large(mut self, large: Vec<bgpworms_types::LargeCommunity>) -> Self {
+        self.large_communities = large;
+        self
+    }
+}
+
+/// Which per-AS final routes to keep in the result.
+#[derive(Debug, Clone, Default)]
+pub enum RetainRoutes {
+    /// Keep nothing (cheapest; collector output only).
+    #[default]
+    None,
+    /// Keep final best routes for the listed prefixes.
+    Prefixes(BTreeSet<Prefix>),
+    /// Keep everything (small topologies / attack scenarios only).
+    All,
+}
+
+/// The simulation: topology + per-AS configs + collectors + databases.
+#[derive(Debug, Clone)]
+pub struct Simulation<'a> {
+    /// The AS-level topology.
+    pub topo: &'a Topology,
+    /// Per-AS router configuration; ASes missing from the map get
+    /// [`RouterConfig::defaults`].
+    pub configs: BTreeMap<Asn, RouterConfig>,
+    /// Route collectors.
+    pub collectors: Vec<CollectorSpec>,
+    /// The IRR (pollutable by attackers).
+    pub irr: IrrDatabase,
+    /// Ground truth (RPKI-like).
+    pub rpki: IrrDatabase,
+    /// Route retention policy.
+    pub retain: RetainRoutes,
+    /// Worker threads for per-prefix sharding (1 = sequential).
+    pub threads: usize,
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone, Default)]
+pub struct SimResult {
+    /// Per-collector observations, sorted by (time, peer, prefix).
+    pub observations: BTreeMap<String, Vec<CollectorObservation>>,
+    /// Final best route per (prefix, AS) — only for retained prefixes.
+    pub final_routes: BTreeMap<Prefix, BTreeMap<Asn, Route>>,
+    /// Total update events processed across all prefixes.
+    pub events: u64,
+    /// True if every prefix converged within the event budget.
+    pub converged: bool,
+}
+
+impl SimResult {
+    /// Looking-glass query: the best route of `asn` for `prefix`, when
+    /// retained.
+    pub fn route_at(&self, asn: Asn, prefix: &Prefix) -> Option<&Route> {
+        self.final_routes.get(prefix)?.get(&asn)
+    }
+}
+
+/// In-flight update message.
+#[derive(Debug, Clone)]
+struct Event {
+    from: Asn,
+    to: Asn,
+    route: Option<Route>,
+}
+
+impl<'a> Simulation<'a> {
+    /// A simulation with default configs for every AS and no collectors.
+    pub fn new(topo: &'a Topology) -> Self {
+        Simulation {
+            topo,
+            configs: BTreeMap::new(),
+            collectors: Vec::new(),
+            irr: IrrDatabase::new(),
+            rpki: IrrDatabase::new(),
+            retain: RetainRoutes::None,
+            threads: 1,
+        }
+    }
+
+    /// Sets (replacing) the config of one AS.
+    pub fn configure(&mut self, cfg: RouterConfig) {
+        self.configs.insert(cfg.asn, cfg);
+    }
+
+    /// Config of `asn` (default if not set).
+    fn config_of(&self, asn: Asn) -> RouterConfig {
+        self.configs
+            .get(&asn)
+            .cloned()
+            .unwrap_or_else(|| RouterConfig::defaults(asn))
+    }
+
+    fn should_retain(&self, prefix: &Prefix) -> bool {
+        match &self.retain {
+            RetainRoutes::None => false,
+            RetainRoutes::Prefixes(set) => set.contains(prefix),
+            RetainRoutes::All => true,
+        }
+    }
+
+    /// Runs all origination episodes to convergence and collects results.
+    pub fn run(&self, originations: &[Origination]) -> SimResult {
+        // Group episodes by prefix, preserving time order within a prefix.
+        let mut by_prefix: BTreeMap<Prefix, Vec<&Origination>> = BTreeMap::new();
+        for o in originations {
+            by_prefix.entry(o.prefix).or_default().push(o);
+        }
+        for eps in by_prefix.values_mut() {
+            eps.sort_by_key(|o| o.time);
+        }
+
+        let prefixes: Vec<Prefix> = by_prefix.keys().copied().collect();
+        let results: Vec<PrefixOutcome> = if self.threads > 1 && prefixes.len() > 1 {
+            self.run_parallel(&by_prefix, &prefixes)
+        } else {
+            prefixes
+                .iter()
+                .map(|p| self.run_prefix(*p, &by_prefix[p]))
+                .collect()
+        };
+
+        let mut out = SimResult {
+            converged: true,
+            ..SimResult::default()
+        };
+        for spec in &self.collectors {
+            out.observations.entry(spec.name.clone()).or_default();
+        }
+        for (prefix, outcome) in prefixes.into_iter().zip(results) {
+            out.events += outcome.events;
+            out.converged &= outcome.converged;
+            for (name, mut obs) in outcome.observations {
+                out.observations.entry(name).or_default().append(&mut obs);
+            }
+            if let Some(routes) = outcome.final_routes {
+                out.final_routes.insert(prefix, routes);
+            }
+        }
+        for obs in out.observations.values_mut() {
+            obs.sort_by(|a, b| {
+                (a.time, a.peer, a.prefix)
+                    .cmp(&(b.time, b.peer, b.prefix))
+            });
+        }
+        out
+    }
+
+    fn run_parallel(
+        &self,
+        by_prefix: &BTreeMap<Prefix, Vec<&Origination>>,
+        prefixes: &[Prefix],
+    ) -> Vec<PrefixOutcome> {
+        let n = prefixes.len();
+        let mut results: Vec<Option<PrefixOutcome>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results_mx = parking_lot::Mutex::new(&mut results);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let p = prefixes[i];
+                    let outcome = self.run_prefix(p, &by_prefix[&p]);
+                    results_mx.lock()[i] = Some(outcome);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+
+        results
+            .into_iter()
+            .map(|o| o.expect("all prefixes processed"))
+            .collect()
+    }
+
+    /// Runs the episodes of a single prefix to convergence.
+    fn run_prefix(&self, prefix: Prefix, episodes: &[&Origination]) -> PrefixOutcome {
+        let ctx = ValidationCtx {
+            irr: &self.irr,
+            rpki: &self.rpki,
+        };
+        let mut routers: BTreeMap<Asn, PrefixRouter> = BTreeMap::new();
+        let mut configs: BTreeMap<Asn, RouterConfig> = BTreeMap::new();
+        for node in self.topo.ases() {
+            routers.insert(
+                node.asn,
+                PrefixRouter::new(node.asn, node.tier == Tier::RouteServer),
+            );
+            configs.insert(node.asn, self.config_of(node.asn));
+        }
+
+        // Per-collector: what each peer session currently advertises to the
+        // monitor, so only changes produce observations.
+        let mut monitor_state: BTreeMap<(usize, Asn), Route> = BTreeMap::new();
+
+        let mut outcome = PrefixOutcome {
+            observations: BTreeMap::new(),
+            final_routes: None,
+            events: 0,
+            converged: true,
+        };
+        for spec in &self.collectors {
+            outcome.observations.entry(spec.name.clone()).or_default();
+        }
+
+        let event_budget: u64 = {
+            let edges: u64 = self
+                .topo
+                .ases()
+                .map(|n| self.topo.degree(n.asn) as u64)
+                .sum();
+            (edges * 64).max(10_000)
+        };
+
+        let mut queue: VecDeque<Event> = VecDeque::new();
+
+        for ep in episodes {
+            if !self.topo.contains(ep.origin) {
+                continue;
+            }
+            // Apply the origination at its router.
+            {
+                let router = routers.get_mut(&ep.origin).expect("origin exists");
+                if ep.withdraw {
+                    router.withdraw_local();
+                } else {
+                    let mut route = Route::originate(prefix, ep.communities.clone())
+                        .with_large_communities(ep.large_communities.clone());
+                    if let Some(victim) = ep.forged_origin {
+                        route.path = AsPath::from_asns([victim]);
+                        route.origin = Origin::Igp;
+                    }
+                    router.originate(route);
+                }
+            }
+            self.emit_exports(ep.origin, &mut routers, &configs, &mut queue);
+
+            // Drain to convergence.
+            while let Some(ev) = queue.pop_front() {
+                outcome.events += 1;
+                if outcome.events > event_budget {
+                    outcome.converged = false;
+                    queue.clear();
+                    break;
+                }
+                let sender_role = match self.topo.role_of(ev.to, ev.from) {
+                    Some(r) => r,
+                    None => continue, // stale edge
+                };
+                let cfg = configs.get(&ev.to).expect("config exists").clone();
+                let router = routers.get_mut(&ev.to).expect("router exists");
+                router.import(&cfg, ev.from, sender_role, ev.route, ctx);
+                self.emit_exports(ev.to, &mut routers, &configs, &mut queue);
+            }
+
+            // Record collector observations for this episode.
+            for (ci, spec) in self.collectors.iter().enumerate() {
+                for (peer, feed) in &spec.peers {
+                    let Some(router) = routers.get(peer) else {
+                        continue;
+                    };
+                    let cfg = configs.get(peer).expect("config exists");
+                    let new = collector_export(router, cfg, *feed);
+                    let key = (ci, *peer);
+                    let old = monitor_state.get(&key);
+                    let changed = match (&new, old) {
+                        (None, None) => false,
+                        (Some(n), Some(o)) => n != o,
+                        _ => true,
+                    };
+                    if !changed {
+                        continue;
+                    }
+                    let obs = CollectorObservation {
+                        time: ep.time,
+                        peer: *peer,
+                        prefix,
+                        route: new.clone(),
+                    };
+                    outcome
+                        .observations
+                        .get_mut(&spec.name)
+                        .expect("collector registered")
+                        .push(obs);
+                    match new {
+                        Some(r) => {
+                            monitor_state.insert(key, r);
+                        }
+                        None => {
+                            monitor_state.remove(&key);
+                        }
+                    }
+                }
+            }
+        }
+
+        if self.should_retain(&prefix) {
+            let mut finals: BTreeMap<Asn, Route> = BTreeMap::new();
+            for (asn, router) in &routers {
+                if let Some(best) = router.best() {
+                    finals.insert(*asn, best.clone());
+                }
+            }
+            outcome.final_routes = Some(finals);
+        }
+
+        outcome
+    }
+
+    /// Recomputes `asn`'s exports to every neighbor and enqueues the ones
+    /// that changed.
+    fn emit_exports(
+        &self,
+        asn: Asn,
+        routers: &mut BTreeMap<Asn, PrefixRouter>,
+        configs: &BTreeMap<Asn, RouterConfig>,
+        queue: &mut VecDeque<Event>,
+    ) {
+        let cfg = configs.get(&asn).expect("config exists").clone();
+        let neighbors: Vec<(Asn, Role, bool)> = self
+            .topo
+            .neighbors(asn)
+            .iter()
+            .map(|n| {
+                let nb_is_rs = self
+                    .topo
+                    .node(n.asn)
+                    .map(|node| node.tier == Tier::RouteServer)
+                    .unwrap_or(false);
+                (n.asn, n.role, nb_is_rs)
+            })
+            .collect();
+        let router = routers.get_mut(&asn).expect("router exists");
+        for (nb, role, nb_is_rs) in neighbors {
+            let new = router.export_for(&cfg, nb, role, nb_is_rs);
+            if let Some(update) = router.diff_export(nb, new) {
+                queue.push_back(Event {
+                    from: asn,
+                    to: nb,
+                    route: update,
+                });
+            }
+        }
+    }
+}
+
+/// What a peer session exports toward a collector monitor.
+///
+/// A full-feed peer shares its entire best-path table (the monitor is
+/// treated like a customer); a partial-feed peer shares only customer and
+/// local routes (monitor treated like a peer). The session still honours
+/// NO_EXPORT/NO_ADVERTISE and the peer's community-sending configuration.
+fn collector_export(router: &PrefixRouter, cfg: &RouterConfig, feed: FeedKind) -> Option<Route> {
+    let role_for_export = match feed {
+        FeedKind::Full => Role::Customer,
+        FeedKind::CustomerRoutesOnly => Role::Peer,
+    };
+    // The collector's "ASN" never appears in paths (see [`crate::MONITOR_ASN`]).
+    router.export_for(cfg, crate::MONITOR_ASN, role_for_export, false)
+}
+
+/// Per-prefix result before merging.
+struct PrefixOutcome {
+    observations: BTreeMap<String, Vec<CollectorObservation>>,
+    final_routes: Option<BTreeMap<Asn, Route>>,
+    events: u64,
+    converged: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpworms_topology::{EdgeKind, TopologyParams};
+
+    fn line_topo() -> Topology {
+        // 1 — 2 — 3 — 4 as a provider chain: 1 is 2's provider, etc.
+        let mut t = Topology::new();
+        t.add_simple(Asn::new(1), Tier::Tier1);
+        t.add_simple(Asn::new(2), Tier::Transit);
+        t.add_simple(Asn::new(3), Tier::Transit);
+        t.add_simple(Asn::new(4), Tier::Stub);
+        t.add_edge(Asn::new(1), Asn::new(2), EdgeKind::ProviderToCustomer);
+        t.add_edge(Asn::new(2), Asn::new(3), EdgeKind::ProviderToCustomer);
+        t.add_edge(Asn::new(3), Asn::new(4), EdgeKind::ProviderToCustomer);
+        t
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn customer_route_reaches_everyone_uphill() {
+        let topo = line_topo();
+        let mut sim = Simulation::new(&topo);
+        sim.retain = RetainRoutes::All;
+        let res = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![])]);
+        assert!(res.converged);
+        // Everyone has a route; paths are the provider chain.
+        let r1 = res.route_at(Asn::new(1), &p("10.0.0.0/16")).unwrap();
+        assert_eq!(
+            r1.path.to_vec(),
+            vec![Asn::new(2), Asn::new(3), Asn::new(4)]
+        );
+        let r3 = res.route_at(Asn::new(3), &p("10.0.0.0/16")).unwrap();
+        assert_eq!(r3.path.to_vec(), vec![Asn::new(4)]);
+    }
+
+    #[test]
+    fn provider_route_descends_only() {
+        // Announce at the top: everyone below gets it (it's always toward
+        // customers), and paths descend the chain.
+        let topo = line_topo();
+        let mut sim = Simulation::new(&topo);
+        sim.retain = RetainRoutes::All;
+        let res = sim.run(&[Origination::announce(Asn::new(1), p("20.0.0.0/16"), vec![])]);
+        let r4 = res.route_at(Asn::new(4), &p("20.0.0.0/16")).unwrap();
+        assert_eq!(
+            r4.path.to_vec(),
+            vec![Asn::new(3), Asn::new(2), Asn::new(1)]
+        );
+    }
+
+    #[test]
+    fn peer_routes_do_not_transit_peers() {
+        // 1 peers with 5; 5 has customer 6. A route from 2 (customer of 1)
+        // reaches 5 and 6; but a route learned by 1 *from peer 5* must not
+        // be exported to 1's other peer 7.
+        let mut topo = line_topo();
+        topo.add_simple(Asn::new(5), Tier::Tier1);
+        topo.add_simple(Asn::new(6), Tier::Stub);
+        topo.add_simple(Asn::new(7), Tier::Tier1);
+        topo.add_edge(Asn::new(1), Asn::new(5), EdgeKind::PeerToPeer);
+        topo.add_edge(Asn::new(5), Asn::new(6), EdgeKind::ProviderToCustomer);
+        topo.add_edge(Asn::new(1), Asn::new(7), EdgeKind::PeerToPeer);
+        let mut sim = Simulation::new(&topo);
+        sim.retain = RetainRoutes::All;
+        let res = sim.run(&[Origination::announce(Asn::new(6), p("30.0.0.0/16"), vec![])]);
+        // 6 → 5 → (peer) 1 → customer chain 2,3,4. But NOT 1 → 7.
+        assert!(res.route_at(Asn::new(1), &p("30.0.0.0/16")).is_some());
+        assert!(res.route_at(Asn::new(2), &p("30.0.0.0/16")).is_some());
+        assert!(
+            res.route_at(Asn::new(7), &p("30.0.0.0/16")).is_none(),
+            "peer-learned route must not be re-exported to another peer"
+        );
+    }
+
+    #[test]
+    fn withdrawal_clears_routes() {
+        let topo = line_topo();
+        let mut sim = Simulation::new(&topo);
+        sim.retain = RetainRoutes::All;
+        let res = sim.run(&[
+            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![]),
+            Origination::withdrawal(Asn::new(4), p("10.0.0.0/16"), 100),
+        ]);
+        assert!(res.converged);
+        assert!(res.route_at(Asn::new(1), &p("10.0.0.0/16")).is_none());
+    }
+
+    #[test]
+    fn scoped_to_receiver_defense_semantics() {
+        // The §8 defense on AS3: forward to a neighbor only communities of
+        // that neighbor's form. Chain 1—2—3—4 (providers downward).
+        let topo = line_topo();
+        let mut sim = Simulation::new(&topo);
+        sim.retain = RetainRoutes::All;
+        let mut cfg3 = RouterConfig::defaults(Asn::new(3));
+        cfg3.propagation = crate::policy::CommunityPropagationPolicy::ScopedToReceiver;
+        sim.configure(cfg3);
+
+        // One-hop service: AS4 tags its announcement with AS3's community —
+        // AS3 receives it and acts; the community is NOT forwarded to AS2
+        // (it is not of the form 2:xxx), but a community meant for AS2 IS.
+        let for3 = Community::new(3, 666);
+        let for2 = Community::new(2, 666);
+        let res = sim.run(&[Origination::announce(
+            Asn::new(4),
+            p("10.0.0.0/16"),
+            vec![for3, for2],
+        )]);
+        let at3 = res.route_at(Asn::new(3), &p("10.0.0.0/16")).unwrap();
+        assert!(at3.has_community(for3), "AS3 received its own signal");
+        let at2 = res.route_at(Asn::new(2), &p("10.0.0.0/16")).unwrap();
+        assert!(
+            !at2.has_community(for3),
+            "defense strips the community not meant for AS2"
+        );
+        assert!(
+            at2.has_community(for2),
+            "the community addressed to AS2 passes the defended hop"
+        );
+        // …but AS2 (undefended ForwardAll) forwards it on to AS1 even
+        // though it was 'for' AS2 — scoping is per-hop, not end-to-end.
+        let at1 = res.route_at(Asn::new(1), &p("10.0.0.0/16")).unwrap();
+        assert!(at1.has_community(for2));
+    }
+
+    #[test]
+    fn scoped_defense_exempts_collectors() {
+        // The paper: "if AS2 is a route collector … AS1 might not filter."
+        let topo = line_topo();
+        let mut sim = Simulation::new(&topo);
+        let mut cfg2 = RouterConfig::defaults(Asn::new(2));
+        cfg2.propagation = crate::policy::CommunityPropagationPolicy::ScopedToReceiver;
+        sim.configure(cfg2);
+        sim.collectors.push(CollectorSpec {
+            name: "rrc00".into(),
+            platform: "RIS".into(),
+            collector_id: 1,
+            peers: vec![(Asn::new(2), FeedKind::Full)],
+        });
+        let tag = Community::new(4, 77);
+        let res = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![tag])]);
+        let obs = &res.observations["rrc00"];
+        assert!(!obs.is_empty());
+        let route = obs[0].route.as_ref().unwrap();
+        assert!(
+            route.has_community(tag),
+            "the collector session is exempt from the defense filter"
+        );
+    }
+
+    #[test]
+    fn large_communities_propagate_and_strip_like_classic() {
+        use bgpworms_types::LargeCommunity;
+        let topo = line_topo();
+        let mut sim = Simulation::new(&topo);
+        sim.retain = RetainRoutes::All;
+        let lc = LargeCommunity::new(4_200_000_007, 666, 1);
+        let res = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![])
+            .with_large(vec![lc])]);
+        let r1 = res.route_at(Asn::new(1), &p("10.0.0.0/16")).unwrap();
+        assert!(
+            r1.has_large_community(lc),
+            "ForwardAll default carries the large community three hops"
+        );
+
+        // A StripAll AS removes large communities on egress too.
+        let mut cfg3 = RouterConfig::defaults(Asn::new(3));
+        cfg3.propagation = crate::policy::CommunityPropagationPolicy::StripAll;
+        sim.configure(cfg3);
+        let res = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![])
+            .with_large(vec![lc])]);
+        let r3 = res.route_at(Asn::new(3), &p("10.0.0.0/16")).unwrap();
+        assert!(r3.has_large_community(lc), "AS3 received it");
+        let r2 = res.route_at(Asn::new(2), &p("10.0.0.0/16")).unwrap();
+        assert!(!r2.has_large_community(lc), "AS3 stripped it on egress");
+    }
+
+    #[test]
+    fn communities_propagate_along_the_chain() {
+        let topo = line_topo();
+        let mut sim = Simulation::new(&topo);
+        sim.retain = RetainRoutes::All;
+        let tag = Community::new(4, 77);
+        let res = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![tag])]);
+        let r1 = res.route_at(Asn::new(1), &p("10.0.0.0/16")).unwrap();
+        assert!(
+            r1.has_community(tag),
+            "ForwardAll default carries the tag three hops"
+        );
+    }
+
+    #[test]
+    fn strip_all_blocks_community_propagation() {
+        let topo = line_topo();
+        let mut sim = Simulation::new(&topo);
+        sim.retain = RetainRoutes::All;
+        let mut cfg3 = RouterConfig::defaults(Asn::new(3));
+        cfg3.propagation = crate::policy::CommunityPropagationPolicy::StripAll;
+        sim.configure(cfg3);
+        let tag = Community::new(4, 77);
+        let res = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![tag])]);
+        let r3 = res.route_at(Asn::new(3), &p("10.0.0.0/16")).unwrap();
+        assert!(r3.has_community(tag), "AS3 received the tag");
+        let r2 = res.route_at(Asn::new(2), &p("10.0.0.0/16")).unwrap();
+        assert!(!r2.has_community(tag), "AS3 stripped it on egress");
+    }
+
+    #[test]
+    fn collectors_record_updates_and_withdrawals() {
+        let topo = line_topo();
+        let mut sim = Simulation::new(&topo);
+        sim.collectors.push(CollectorSpec {
+            name: "rrc00".into(),
+            platform: "RIS".into(),
+            collector_id: 1,
+            peers: vec![(Asn::new(1), FeedKind::Full)],
+        });
+        let res = sim.run(&[
+            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![]).at(10),
+            Origination::withdrawal(Asn::new(4), p("10.0.0.0/16"), 20),
+        ]);
+        let obs = &res.observations["rrc00"];
+        assert_eq!(obs.len(), 2, "one announce, one withdraw");
+        assert_eq!(obs[0].time, 10);
+        assert!(obs[0].route.is_some());
+        // The collector sees AS1 prepended at the head.
+        assert_eq!(
+            obs[0].route.as_ref().unwrap().path.to_vec(),
+            vec![Asn::new(1), Asn::new(2), Asn::new(3), Asn::new(4)]
+        );
+        assert_eq!(obs[1].time, 20);
+        assert!(obs[1].route.is_none());
+    }
+
+    #[test]
+    fn partial_feed_excludes_provider_routes() {
+        let topo = line_topo();
+        let mut sim = Simulation::new(&topo);
+        sim.collectors.push(CollectorSpec {
+            name: "pch".into(),
+            platform: "PCH".into(),
+            collector_id: 2,
+            peers: vec![(Asn::new(3), FeedKind::CustomerRoutesOnly)],
+        });
+        // Prefix from AS1 (AS3 learns it from its provider AS2): partial
+        // feed must not show it.
+        let res = sim.run(&[
+            Origination::announce(Asn::new(1), p("20.0.0.0/16"), vec![]),
+            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![]),
+        ]);
+        let obs = &res.observations["pch"];
+        assert!(obs.iter().all(|o| o.prefix == p("10.0.0.0/16")),
+            "only the customer-learned prefix is exported on a partial feed");
+        assert!(!obs.is_empty());
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let topo = TopologyParams::tiny().seed(3).build();
+        let alloc = bgpworms_topology::PrefixAllocation::assign(
+            &topo,
+            bgpworms_topology::addressing::AddressingParams::default(),
+        );
+        let originations: Vec<Origination> = alloc
+            .iter()
+            .map(|(asn, prefix)| Origination::announce(asn, prefix, vec![]))
+            .collect();
+        let mut sim = Simulation::new(&topo);
+        sim.collectors.push(CollectorSpec {
+            name: "c".into(),
+            platform: "RV".into(),
+            collector_id: 3,
+            peers: vec![(Asn::new(1), FeedKind::Full), (Asn::new(2), FeedKind::Full)],
+        });
+        let seq = sim.run(&originations);
+        sim.threads = 4;
+        let par = sim.run(&originations);
+        assert_eq!(seq.events, par.events);
+        assert_eq!(seq.observations, par.observations);
+    }
+
+    #[test]
+    fn more_specific_rejected_by_length_filter() {
+        let topo = line_topo();
+        let mut sim = Simulation::new(&topo);
+        sim.retain = RetainRoutes::All;
+        let res = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/28"), vec![])]);
+        assert!(
+            res.route_at(Asn::new(3), &p("10.0.0.0/28")).is_none(),
+            "default max accepted length is /24"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Event-driven BGP route-propagation simulator with per-AS community
+//! policies — the substrate under every experiment in the paper.
+//!
+//! Each AS runs one logical router with:
+//!
+//! * **Gao–Rexford export policy** (customer routes go everywhere; peer and
+//!   provider routes go only to customers) and import local-pref by
+//!   business relationship;
+//! * a **community propagation policy** — forward everything, strip
+//!   everything, strip-own-after-acting, per-role selective forwarding
+//!   (the diversity §4.4 of the paper measures from the outside), or the
+//!   §8 defense `ScopedToReceiver` (forward to a neighbor only that
+//!   neighbor's communities, collectors exempt);
+//! * optional **community-triggered services** (the paper's attack
+//!   surfaces): remotely triggered blackholing (RFC 7999 / `ASN:666`),
+//!   AS-path prepending (`ASN:×n`), local-preference tuning, plus ingress/
+//!   egress informational tagging (location, origin class);
+//! * **vendor behaviour** from the paper's lab study (§6): Juniper
+//!   propagates communities by default, Cisco requires per-session opt-in
+//!   and caps added communities at 32;
+//! * optional **origin validation** (IRR-backed, circumventable, optionally
+//!   mis-ordered after blackhole processing — the NANOG-tutorial
+//!   misconfiguration from §6.3) ;
+//! * **IXP route servers**: transparent (no ASN in path) redistribution
+//!   controlled by announce/suppress communities with a configurable
+//!   evaluation order (§5.3/§7.5).
+//!
+//! Propagation is computed per prefix to convergence with a deterministic
+//! FIFO event queue; distinct prefixes are independent, which the engine
+//! exploits for parallelism. Route collectors observe sessions exactly like
+//! RIS/RouteViews peers and emit RFC 6396 MRT archives via `bgpworms-mrt`.
+
+#![warn(missing_docs)]
+
+/// The reserved ASN route-collector sessions use as their local AS. It
+/// never appears in AS paths and no generated topology contains it; the
+/// §8 defense's collector carve-out recognizes it on export.
+pub const MONITOR_ASN: bgpworms_types::Asn = bgpworms_types::Asn::new(4_000_000_000);
+
+pub mod collector;
+pub mod engine;
+pub mod policy;
+pub mod route;
+pub mod router;
+pub mod workload;
+
+pub use collector::{
+    archive_all, CollectorArchive, CollectorObservation, CollectorSpec, FeedKind,
+};
+pub use engine::{Origination, RetainRoutes, SimResult, Simulation};
+pub use policy::{
+    ActScope, BlackholeService, CommunityPropagationPolicy, CommunityServices, IrrDatabase,
+    OriginValidation, RouteServerConfig, RouterConfig, RsEvalOrder, TaggingConfig, Vendor,
+};
+pub use route::{Route, RouteSource};
+pub use workload::{PolicyMix, Workload, WorkloadParams};

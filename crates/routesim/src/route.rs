@@ -1,0 +1,244 @@
+//! The simulator's route representation and best-path comparison.
+
+use bgpworms_types::{AsPath, Asn, Community, LargeCommunity, Origin, Prefix};
+use std::cmp::Ordering;
+
+/// Where a route entered the local RIB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteSource {
+    /// Originated by this AS.
+    Local,
+    /// Learned over an eBGP session from the given neighbor.
+    Ebgp(Asn),
+    /// Learned from an IXP route server (transparent; the actual announcing
+    /// member is the head of the AS path).
+    RouteServer(Asn),
+}
+
+impl RouteSource {
+    /// The neighbor the route was learned from, if any.
+    pub fn neighbor(self) -> Option<Asn> {
+        match self {
+            RouteSource::Local => None,
+            RouteSource::Ebgp(a) | RouteSource::RouteServer(a) => Some(a),
+        }
+    }
+}
+
+/// One route as held in a router's Adj-RIB-In / Loc-RIB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// AS path, collector-first (head = the AS that exported to us; the
+    /// sender prepends itself on egress, so a route received from N has N
+    /// at the head).
+    pub path: AsPath,
+    /// ORIGIN attribute.
+    pub origin: Origin,
+    /// Attached RFC 1997 communities (announcement order).
+    pub communities: Vec<Community>,
+    /// Attached RFC 8092 large communities — the 96-bit variant that
+    /// 4-byte-ASN networks need (§2 footnote 1). Transitive like classic
+    /// communities, and subject to the same worms.
+    pub large_communities: Vec<LargeCommunity>,
+    /// Where the route came from.
+    pub source: RouteSource,
+    /// Local preference assigned on import (or configured at origination).
+    pub local_pref: u32,
+    /// MED.
+    pub med: u32,
+    /// True once a blackhole service accepted this route: traffic to the
+    /// prefix is dropped (null-routed) at this router.
+    pub blackholed: bool,
+    /// Pending prepend count requested via a prepend community understood
+    /// by *this* AS; applied on every egress session.
+    pub pending_prepend: u8,
+    /// Communities added by *this* router at ingress (location / origin-
+    /// class tags). Kept apart from `communities` so egress propagation
+    /// policies can strip received communities without losing the router's
+    /// own signal; merged into the community list on export.
+    pub own_tags: Vec<Community>,
+}
+
+impl Route {
+    /// A locally originated route.
+    pub fn originate(prefix: Prefix, communities: Vec<Community>) -> Self {
+        Route {
+            prefix,
+            path: AsPath::empty(),
+            origin: Origin::Igp,
+            communities,
+            large_communities: Vec::new(),
+            source: RouteSource::Local,
+            local_pref: 250, // own routes beat anything learned
+            med: 0,
+            blackholed: false,
+            pending_prepend: 0,
+            own_tags: Vec::new(),
+        }
+    }
+
+    /// Builder: attach RFC 8092 large communities at origination.
+    pub fn with_large_communities(mut self, large: Vec<LargeCommunity>) -> Self {
+        self.large_communities = large;
+        self
+    }
+
+    /// True if the route carries large community `lc`.
+    pub fn has_large_community(&self, lc: LargeCommunity) -> bool {
+        self.large_communities.contains(&lc)
+    }
+
+    /// The origin AS from the path, or `me` for locally originated routes.
+    pub fn origin_as(&self, me: Asn) -> Option<Asn> {
+        if self.path.is_empty() {
+            Some(me)
+        } else {
+            self.path.origin()
+        }
+    }
+
+    /// True if the route carries `c`.
+    pub fn has_community(&self, c: Community) -> bool {
+        self.communities.contains(&c)
+    }
+
+    /// BGP decision-process comparison: returns `Ordering::Greater` when
+    /// `self` is preferred over `other`.
+    ///
+    /// Order: local-pref (higher wins) → AS-path length (shorter wins) →
+    /// origin code (lower wins) → MED (lower wins) → neighbor ASN (lower
+    /// wins, deterministic tie-break).
+    pub fn prefer(&self, other: &Route) -> Ordering {
+        self.local_pref
+            .cmp(&other.local_pref)
+            .then_with(|| other.path.hop_count().cmp(&self.path.hop_count()))
+            .then_with(|| {
+                other
+                    .origin
+                    .code()
+                    .cmp(&self.origin.code())
+            })
+            .then_with(|| other.med.cmp(&self.med))
+            .then_with(|| {
+                let a = self.source.neighbor().map(Asn::get).unwrap_or(0);
+                let b = other.source.neighbor().map(Asn::get).unwrap_or(0);
+                b.cmp(&a)
+            })
+    }
+}
+
+/// Selects the best route among candidates (deterministic).
+pub fn select_best<'a, I: IntoIterator<Item = &'a Route>>(candidates: I) -> Option<&'a Route> {
+    let mut best: Option<&Route> = None;
+    for r in candidates {
+        best = match best {
+            None => Some(r),
+            Some(b) => {
+                if r.prefer(b) == Ordering::Greater {
+                    Some(r)
+                } else {
+                    Some(b)
+                }
+            }
+        };
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Prefix {
+        "10.0.0.0/8".parse().unwrap()
+    }
+
+    fn route(lp: u32, path: &[u32], from: u32) -> Route {
+        Route {
+            prefix: p(),
+            path: AsPath::from_asns(path.iter().map(|&n| Asn::new(n))),
+            origin: Origin::Igp,
+            communities: vec![],
+            large_communities: vec![],
+            source: RouteSource::Ebgp(Asn::new(from)),
+            local_pref: lp,
+            med: 0,
+            blackholed: false,
+            pending_prepend: 0,
+            own_tags: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn local_pref_dominates_path_length() {
+        let long_but_preferred = route(200, &[5, 4, 3, 2, 1], 5);
+        let short = route(100, &[9, 1], 9);
+        assert_eq!(long_but_preferred.prefer(&short), Ordering::Greater);
+        assert_eq!(short.prefer(&long_but_preferred), Ordering::Less);
+    }
+
+    #[test]
+    fn shorter_path_wins_at_equal_pref() {
+        let short = route(100, &[9, 1], 9);
+        let long = route(100, &[5, 4, 3, 2, 1], 5);
+        assert_eq!(short.prefer(&long), Ordering::Greater);
+    }
+
+    #[test]
+    fn prepending_inflates_length_and_loses() {
+        let prepended = route(100, &[3, 3, 3, 3, 1], 3);
+        let plain = route(100, &[5, 4, 1], 5);
+        assert_eq!(plain.prefer(&prepended), Ordering::Greater);
+    }
+
+    #[test]
+    fn origin_code_breaks_ties() {
+        let mut igp = route(100, &[2, 1], 2);
+        let mut incomplete = route(100, &[3, 1], 3);
+        igp.origin = Origin::Igp;
+        incomplete.origin = Origin::Incomplete;
+        assert_eq!(igp.prefer(&incomplete), Ordering::Greater);
+    }
+
+    #[test]
+    fn med_then_neighbor_tie_breaks() {
+        let mut a = route(100, &[2, 1], 2);
+        let mut b = route(100, &[3, 1], 3);
+        a.med = 10;
+        b.med = 5;
+        assert_eq!(b.prefer(&a), Ordering::Greater);
+        a.med = 5;
+        // equal: lower neighbor ASN wins
+        assert_eq!(a.prefer(&b), Ordering::Greater);
+    }
+
+    #[test]
+    fn select_best_is_deterministic_and_total() {
+        let routes = [route(100, &[2, 1], 2),
+            route(100, &[3, 1], 3),
+            route(200, &[4, 4, 4, 1], 4)];
+        let best = select_best(routes.iter()).unwrap();
+        assert_eq!(best.source, RouteSource::Ebgp(Asn::new(4)));
+        assert!(select_best(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn originated_route_properties() {
+        let r = Route::originate(p(), vec![Community::new(1, 100)]);
+        assert_eq!(r.source, RouteSource::Local);
+        assert_eq!(r.origin_as(Asn::new(7)), Some(Asn::new(7)));
+        assert!(r.has_community(Community::new(1, 100)));
+        assert!(!r.has_community(Community::new(1, 101)));
+        // local routes beat learned ones
+        let learned = route(200, &[2, 1], 2);
+        assert_eq!(r.prefer(&learned), Ordering::Greater);
+    }
+
+    #[test]
+    fn origin_as_from_path() {
+        let r = route(100, &[3, 2, 1], 3);
+        assert_eq!(r.origin_as(Asn::new(9)), Some(Asn::new(1)));
+    }
+}

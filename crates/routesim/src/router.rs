@@ -1,0 +1,1029 @@
+//! Per-prefix router logic: import policy (validation, RTBH, steering
+//! services, tagging), best-path decision, and export policy (Gao–Rexford,
+//! community propagation, prepending, route-server redistribution).
+
+use crate::policy::{
+    ActScope, CommunityPropagationPolicy, IrrDatabase, OriginValidation, RouterConfig,
+    RsEvalOrder,
+};
+use crate::route::{select_best, Route, RouteSource};
+use bgpworms_types::{community, Asn, Community, Prefix, WellKnown};
+use bgpworms_topology::Role;
+use std::collections::BTreeMap;
+
+/// Validation context shared by all routers in a run.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationCtx<'a> {
+    /// The (pollutable) IRR.
+    pub irr: &'a IrrDatabase,
+    /// Ground-truth allocation (RPKI-like, not pollutable).
+    pub rpki: &'a IrrDatabase,
+}
+
+/// Why an import was rejected (surfaced for tests and attack forensics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImportVerdict {
+    /// Installed in Adj-RIB-In.
+    Accepted,
+    /// AS-path loop (own ASN on path).
+    LoopRejected,
+    /// Origin validation failed.
+    ValidationRejected,
+    /// Prefix too long for ordinary import and not a valid blackhole.
+    TooSpecific,
+    /// Explicit withdraw processed.
+    Withdrawn,
+}
+
+/// Per-prefix state of one router.
+#[derive(Debug, Clone)]
+pub struct PrefixRouter {
+    /// This router's AS.
+    pub asn: Asn,
+    /// True when the node is an IXP route server (transparent path,
+    /// community-controlled redistribution).
+    pub is_route_server: bool,
+    /// Accepted candidate per sending neighbor.
+    rib_in: BTreeMap<Asn, Route>,
+    /// Role of the neighbor each candidate was learned from.
+    rib_in_role: BTreeMap<Asn, Role>,
+    /// Locally originated route, if any.
+    local: Option<Route>,
+    /// Last advertisement sent per neighbor (None entries are absent).
+    exported: BTreeMap<Asn, Route>,
+}
+
+impl PrefixRouter {
+    /// Fresh state.
+    pub fn new(asn: Asn, is_route_server: bool) -> Self {
+        PrefixRouter {
+            asn,
+            is_route_server,
+            rib_in: BTreeMap::new(),
+            rib_in_role: BTreeMap::new(),
+            local: None,
+            exported: BTreeMap::new(),
+        }
+    }
+
+    /// Originates (or re-originates) a local route.
+    pub fn originate(&mut self, route: Route) {
+        debug_assert_eq!(route.source, RouteSource::Local);
+        self.local = Some(route);
+    }
+
+    /// Withdraws the local origination.
+    pub fn withdraw_local(&mut self) {
+        self.local = None;
+    }
+
+    /// The current best route.
+    pub fn best(&self) -> Option<&Route> {
+        select_best(self.rib_in.values().chain(self.local.iter()))
+    }
+
+    /// Role of the neighbor the current best was learned from (None for
+    /// local routes).
+    pub fn best_learned_role(&self) -> Option<Role> {
+        let best = self.best()?;
+        best.source
+            .neighbor()
+            .and_then(|n| self.rib_in_role.get(&n).copied())
+    }
+
+    /// Candidate learned from `neighbor`, if accepted.
+    pub fn candidate_from(&self, neighbor: Asn) -> Option<&Route> {
+        self.rib_in.get(&neighbor)
+    }
+
+    /// Processes an incoming update (Some = announce, None = withdraw) from
+    /// `sender` which plays `sender_role` for this AS.
+    pub fn import(
+        &mut self,
+        cfg: &RouterConfig,
+        sender: Asn,
+        sender_role: Role,
+        route: Option<Route>,
+        ctx: ValidationCtx<'_>,
+    ) -> ImportVerdict {
+        let Some(mut route) = route else {
+            self.rib_in.remove(&sender);
+            self.rib_in_role.remove(&sender);
+            return ImportVerdict::Withdrawn;
+        };
+
+        // Loop protection. Route servers are transparent and never appear
+        // in the path, so only regular routers check.
+        if !self.is_route_server && route.path.contains(self.asn) {
+            self.rib_in.remove(&sender);
+            self.rib_in_role.remove(&sender);
+            return ImportVerdict::LoopRejected;
+        }
+
+        // --- RTBH applicability (checked before everything else because
+        //     the misconfigured validation order depends on it). ---
+        let rtbh = cfg.services.blackhole.as_ref().and_then(|bh| {
+            let own = self
+                .asn
+                .as_u16()
+                .map(|hi| Community::new(hi, bh.value));
+            let triggered = route.has_community(Community::BLACKHOLE)
+                || own.is_some_and(|c| route.has_community(c));
+            let scope_ok = match bh.scope {
+                ActScope::Any => true,
+                ActScope::CustomersOnly => sender_role == Role::Customer,
+            };
+            let len_ok = match route.prefix {
+                Prefix::V4(p) => p.len() >= bh.min_prefix_len,
+                Prefix::V6(p) => p.len() >= 96,
+            };
+            (triggered && scope_ok && len_ok).then_some(bh)
+        });
+
+        // --- Origin validation. ---
+        let skip_validation = matches!(
+            cfg.validation,
+            OriginValidation::Irr {
+                validate_after_blackhole: true
+            }
+        ) && rtbh.is_some();
+        if !skip_validation {
+            let valid = match cfg.validation {
+                OriginValidation::None => true,
+                OriginValidation::Irr { .. } => match route.path.origin() {
+                    Some(origin) => ctx.irr.is_registered(&route.prefix, origin),
+                    None => false,
+                },
+                OriginValidation::Strict => match route.path.origin() {
+                    Some(origin) => ctx.rpki.is_registered(&route.prefix, origin),
+                    None => false,
+                },
+            };
+            if !valid {
+                self.rib_in.remove(&sender);
+                self.rib_in_role.remove(&sender);
+                return ImportVerdict::ValidationRejected;
+            }
+        }
+
+        // --- Prefix-length policy: small prefixes only enter as blackholes.
+        if rtbh.is_none() {
+            let too_long = match route.prefix {
+                Prefix::V4(p) => p.len() > cfg.max_prefix_len_v4,
+                Prefix::V6(p) => p.len() > 48,
+            };
+            if too_long {
+                self.rib_in.remove(&sender);
+                self.rib_in_role.remove(&sender);
+                return ImportVerdict::TooSpecific;
+            }
+        }
+
+        // --- Base import local-pref by business relationship. ---
+        route.local_pref = match sender_role {
+            Role::Customer => cfg.local_pref.customer,
+            Role::Peer => cfg.local_pref.peer,
+            Role::Provider => cfg.local_pref.provider,
+        };
+
+        // --- Community-triggered services at this target. ---
+        route.blackholed = false;
+        route.pending_prepend = 0;
+        if let Some(bh) = rtbh {
+            route.local_pref = bh.local_pref;
+            route.blackholed = true;
+            if bh.set_no_export && !route.has_community(Community::NO_EXPORT) {
+                route.communities.push(Community::NO_EXPORT);
+            }
+        }
+        if let Some(hi) = self.asn.as_u16() {
+            let steering_ok = match cfg.services.steering_scope {
+                ActScope::Any => true,
+                ActScope::CustomersOnly => sender_role == Role::Customer,
+            };
+            if steering_ok {
+                for (&value, &lp) in &cfg.services.local_pref {
+                    if route.has_community(Community::new(hi, value)) {
+                        route.local_pref = lp;
+                    }
+                }
+                for (&value, &n) in &cfg.services.prepend {
+                    if route.has_community(Community::new(hi, value)) {
+                        route.pending_prepend = route.pending_prepend.max(n);
+                    }
+                }
+            }
+        }
+
+        // --- Ingress informational tagging (recorded separately so the
+        //     propagation policy can distinguish own tags from received
+        //     communities). ---
+        route.own_tags.clear();
+        if let Some(hi) = self.asn.as_u16() {
+            if self.is_route_server {
+                if cfg.route_server.tag_member_routes {
+                    let bucket = (sender.get() % 5) as u16;
+                    route.own_tags.push(Community::new(hi, 100 + bucket));
+                }
+            } else {
+                if cfg.tagging.tag_origin_class {
+                    let class = match sender_role {
+                        Role::Customer => 100,
+                        Role::Peer => 110,
+                        Role::Provider => 120,
+                    };
+                    route.own_tags.push(Community::new(hi, class));
+                }
+                if cfg.tagging.tag_ingress_location {
+                    let bucket = (sender.get() % 4) as u16;
+                    route.own_tags.push(Community::new(hi, 201 + bucket));
+                }
+            }
+            if let Some(limit) = cfg.vendor.added_community_limit() {
+                route.own_tags.truncate(limit);
+            }
+        }
+
+        route.source = RouteSource::Ebgp(sender);
+        route.med = 0;
+
+        self.rib_in.insert(sender, route);
+        self.rib_in_role.insert(sender, sender_role);
+        ImportVerdict::Accepted
+    }
+
+    /// Computes the advertisement this router should currently send to
+    /// `neighbor` (playing `neighbor_role` for us), or `None` when nothing
+    /// may be exported.
+    pub fn export_for(
+        &self,
+        cfg: &RouterConfig,
+        neighbor: Asn,
+        neighbor_role: Role,
+        neighbor_is_route_server: bool,
+    ) -> Option<Route> {
+        let best = self.best()?;
+
+        // Never send a route back to the neighbor we learned it from.
+        if best.source.neighbor() == Some(neighbor) {
+            return None;
+        }
+
+        if self.is_route_server {
+            return self.route_server_export(cfg, best, neighbor);
+        }
+
+        // Well-known scope-limiting communities.
+        if best.has_community(Community::NO_ADVERTISE) {
+            return None;
+        }
+        if best.has_community(Community::NO_EXPORT)
+            || best.has_community(Community::NO_EXPORT_SUBCONFED)
+        {
+            return None;
+        }
+        // NOPEER: not via bilateral peering (route servers count as peers).
+        if best.has_community(Community::NO_PEER) && neighbor_role == Role::Peer {
+            return None;
+        }
+
+        // Gao–Rexford: routes from peers/providers go only to customers.
+        let learned_role = self.best_learned_role();
+        let exportable = match best.source {
+            RouteSource::Local => true,
+            _ => {
+                learned_role == Some(Role::Customer) || neighbor_role == Role::Customer
+            }
+        };
+        if !exportable {
+            return None;
+        }
+
+        let mut out = best.clone();
+        // Prepend self (once, plus any community-requested extra).
+        let prepends = 1 + usize::from(best.pending_prepend);
+        out.path.prepend(self.asn, prepends);
+        out.pending_prepend = 0;
+        out.blackholed = false;
+        out.local_pref = 0;
+        out.med = 0;
+        out.source = RouteSource::Ebgp(self.asn);
+
+        // Community propagation policy applies to *received* communities;
+        // own ingress tags and origination tags ride along unconditionally
+        // (they are this AS's own signal).
+        let forward_received = match &cfg.propagation {
+            CommunityPropagationPolicy::ForwardAll => ForwardSet::All,
+            CommunityPropagationPolicy::StripAll => ForwardSet::None,
+            CommunityPropagationPolicy::StripOwn => ForwardSet::Foreign,
+            CommunityPropagationPolicy::StripUnknown => ForwardSet::OwnAndWellKnown,
+            CommunityPropagationPolicy::ScopedToReceiver => {
+                if neighbor == crate::MONITOR_ASN {
+                    // The paper's carve-out: do not filter toward route
+                    // collectors.
+                    ForwardSet::All
+                } else {
+                    ForwardSet::ScopedToReceiver
+                }
+            }
+            CommunityPropagationPolicy::Selective {
+                to_customers,
+                to_peers,
+                to_providers,
+            } => {
+                let allowed = match neighbor_role {
+                    Role::Customer => *to_customers,
+                    Role::Peer => *to_peers,
+                    Role::Provider => *to_providers,
+                };
+                if allowed {
+                    ForwardSet::All
+                } else {
+                    ForwardSet::None
+                }
+            }
+        };
+        let own_hi = self.asn.as_u16();
+        let neighbor16 = neighbor.as_u16();
+        out.communities.retain(|c| match forward_received {
+            ForwardSet::All => true,
+            ForwardSet::None => false,
+            ForwardSet::Foreign => Some(c.asn_part()) != own_hi,
+            ForwardSet::OwnAndWellKnown => {
+                Some(c.asn_part()) == own_hi || c.well_known().is_some()
+            }
+            ForwardSet::ScopedToReceiver => Some(c.asn_part()) == neighbor16,
+        });
+        // Large communities follow the same egress policy; their Global
+        // Administrator carries a full 32-bit ASN and no well-known large
+        // communities are registered.
+        let own32 = self.asn.get();
+        out.large_communities.retain(|c| match forward_received {
+            ForwardSet::All => true,
+            ForwardSet::None => false,
+            ForwardSet::Foreign => c.global != own32,
+            ForwardSet::OwnAndWellKnown => c.global == own32,
+            ForwardSet::ScopedToReceiver => c.global == neighbor.get(),
+        });
+        // Attach own ingress tags plus static egress tags, respecting the
+        // vendor's added-community cap (§6.1: Cisco permits adding 32).
+        let mut added: Vec<Community> = std::mem::take(&mut out.own_tags);
+        added.extend(cfg.tagging.egress_tags.iter().copied());
+        added.extend(
+            cfg.tagging
+                .targeted_egress
+                .iter()
+                .filter(|(p, _)| *p == out.prefix)
+                .map(|(_, c)| *c),
+        );
+        if let Some(limit) = cfg.vendor.added_community_limit() {
+            added.truncate(limit);
+        }
+        out.communities.extend(added);
+
+        if !cfg.sends_communities() {
+            out.communities.clear();
+            out.large_communities.clear();
+        }
+        community::normalize(&mut out.communities);
+        out.large_communities.sort_unstable();
+        out.large_communities.dedup();
+
+        let _ = neighbor_is_route_server; // same egress processing either way
+        Some(out)
+    }
+
+    /// Route-server redistribution: transparent path, control communities,
+    /// configurable evaluation order.
+    fn route_server_export(
+        &self,
+        cfg: &RouterConfig,
+        best: &Route,
+        member: Asn,
+    ) -> Option<Route> {
+        if best.has_community(Community::NO_ADVERTISE)
+            || best.has_community(Community::NO_EXPORT)
+        {
+            return None;
+        }
+        let rs16 = self.asn.as_u16()?;
+        let member16 = member.as_u16()?;
+
+        let suppress_member = best.has_community(Community::new(0, member16));
+        let announce_member = best.has_community(Community::new(rs16, member16));
+        let block_all = best.has_community(Community::new(0, rs16));
+
+        let announce = match cfg.route_server.eval_order {
+            RsEvalOrder::SuppressFirst => {
+                if suppress_member {
+                    false
+                } else if block_all {
+                    announce_member
+                } else {
+                    true
+                }
+            }
+            RsEvalOrder::AnnounceFirst => {
+                if announce_member {
+                    true
+                } else {
+                    !(suppress_member || block_all)
+                }
+            }
+        };
+        if !announce {
+            return None;
+        }
+
+        let mut out = best.clone();
+        // Transparent: the RS does not prepend its ASN.
+        out.local_pref = 0;
+        out.med = 0;
+        out.blackholed = false;
+        out.pending_prepend = 0;
+        out.source = RouteSource::RouteServer(self.asn);
+        if cfg.route_server.strip_control_communities {
+            out.communities.retain(|c| {
+                let hi = c.asn_part();
+                !(hi == 0 || (hi == rs16 && is_member_value(c.value_part())))
+            });
+        }
+        let own_tags = std::mem::take(&mut out.own_tags);
+        out.communities.extend(own_tags);
+        community::normalize(&mut out.communities);
+        Some(out)
+    }
+
+    /// Records what was last advertised to `neighbor` and reports whether a
+    /// new message is needed. Returns `Some(update)` when the advertisement
+    /// changed (including transitions to/from withdrawal).
+    pub fn diff_export(
+        &mut self,
+        neighbor: Asn,
+        new: Option<Route>,
+    ) -> Option<Option<Route>> {
+        let old = self.exported.get(&neighbor);
+        let changed = match (&new, old) {
+            (None, None) => false,
+            (Some(n), Some(o)) => n != o,
+            _ => true,
+        };
+        if !changed {
+            return None;
+        }
+        match &new {
+            Some(r) => {
+                self.exported.insert(neighbor, r.clone());
+            }
+            None => {
+                self.exported.remove(&neighbor);
+            }
+        }
+        Some(new)
+    }
+
+    /// What is currently advertised to `neighbor`.
+    pub fn advertised_to(&self, neighbor: Asn) -> Option<&Route> {
+        self.exported.get(&neighbor)
+    }
+}
+
+/// Heuristic: control-community low values that address members. Our
+/// generated member ASNs are all < 59 000; informational RS tags use
+/// 100–104 plus the member bucket — to keep stripping simple we treat any
+/// value that is a plausible member ASN as a control value when the high
+/// half is the RS.
+fn is_member_value(v: u16) -> bool {
+    v > 104
+}
+
+/// What subset of received communities an egress policy forwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ForwardSet {
+    All,
+    None,
+    Foreign,
+    OwnAndWellKnown,
+    /// Only communities owned by the receiving neighbor (§8 defense).
+    ScopedToReceiver,
+}
+
+/// Convenience for tests and scenario code: the well-known blackhole
+/// community of a target AS (`target:666`).
+pub fn blackhole_community_of(target: Asn) -> Option<Community> {
+    target.as_u16().map(|hi| Community::new(hi, 666))
+}
+
+/// True if the route carries a blackhole-valued community for any AS or the
+/// RFC 7999 well-known value.
+pub fn carries_blackhole(route: &Route) -> bool {
+    route.communities.iter().any(|c| c.has_blackhole_value())
+}
+
+/// Returns the well-known set for quick membership tests.
+pub fn well_known_all() -> [Community; 6] {
+    [
+        WellKnown::GracefulShutdown.community(),
+        WellKnown::Blackhole.community(),
+        WellKnown::NoExport.community(),
+        WellKnown::NoAdvertise.community(),
+        WellKnown::NoExportSubconfed.community(),
+        WellKnown::NoPeer.community(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BlackholeService, CommunityServices, TaggingConfig, Vendor};
+    use bgpworms_types::AsPath;
+
+    fn ctx_empty() -> (IrrDatabase, IrrDatabase) {
+        (IrrDatabase::new(), IrrDatabase::new())
+    }
+
+    fn prefix() -> Prefix {
+        "10.0.0.0/16".parse().unwrap()
+    }
+
+    fn incoming(from: u32, path: &[u32], comms: &[Community]) -> Route {
+        Route {
+            prefix: prefix(),
+            path: AsPath::from_asns(path.iter().map(|&n| Asn::new(n))),
+            origin: bgpworms_types::Origin::Igp,
+            communities: comms.to_vec(),
+            large_communities: vec![],
+            source: RouteSource::Ebgp(Asn::new(from)),
+            local_pref: 0,
+            med: 0,
+            blackholed: false,
+            pending_prepend: 0,
+            own_tags: vec![],
+        }
+    }
+
+    #[test]
+    fn loop_rejected() {
+        let cfg = RouterConfig::defaults(Asn::new(5));
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let (irr, rpki) = ctx_empty();
+        let v = r.import(
+            &cfg,
+            Asn::new(2),
+            Role::Customer,
+            Some(incoming(2, &[2, 5, 1], &[])),
+            ValidationCtx { irr: &irr, rpki: &rpki },
+        );
+        assert_eq!(v, ImportVerdict::LoopRejected);
+        assert!(r.best().is_none());
+    }
+
+    #[test]
+    fn local_pref_by_role_and_decision() {
+        let cfg = RouterConfig::defaults(Asn::new(5));
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        // Longer customer route should still beat shorter provider route.
+        r.import(&cfg, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 9, 1], &[])), ctx);
+        r.import(&cfg, Asn::new(3), Role::Provider, Some(incoming(3, &[3, 1], &[])), ctx);
+        let best = r.best().unwrap();
+        assert_eq!(best.source, RouteSource::Ebgp(Asn::new(2)));
+        assert_eq!(r.best_learned_role(), Some(Role::Customer));
+    }
+
+    #[test]
+    fn withdraw_removes_candidate() {
+        let cfg = RouterConfig::defaults(Asn::new(5));
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        r.import(&cfg, Asn::new(2), Role::Peer, Some(incoming(2, &[2, 1], &[])), ctx);
+        assert!(r.best().is_some());
+        let v = r.import(&cfg, Asn::new(2), Role::Peer, None, ctx);
+        assert_eq!(v, ImportVerdict::Withdrawn);
+        assert!(r.best().is_none());
+    }
+
+    #[test]
+    fn too_specific_rejected_unless_blackhole() {
+        let mut cfg = RouterConfig::defaults(Asn::new(5));
+        cfg.services.blackhole = Some(BlackholeService::default());
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut route = incoming(2, &[2, 1], &[]);
+        route.prefix = "10.0.0.0/30".parse().unwrap();
+        let v = r.import(&cfg, Asn::new(2), Role::Peer, Some(route.clone()), ctx);
+        assert_eq!(v, ImportVerdict::TooSpecific);
+        // Same prefix tagged with the provider's blackhole community passes.
+        route.communities = vec![Community::new(5, 666)];
+        let v = r.import(&cfg, Asn::new(2), Role::Peer, Some(route), ctx);
+        assert_eq!(v, ImportVerdict::Accepted);
+        let best = r.best().unwrap();
+        assert!(best.blackholed);
+        assert_eq!(best.local_pref, 200);
+        assert!(best.has_community(Community::NO_EXPORT));
+    }
+
+    #[test]
+    fn rtbh_wins_over_shorter_path() {
+        // §7.3: blackhole routes are "generally preferred even when the
+        // attacking AS path is longer".
+        let mut cfg = RouterConfig::defaults(Asn::new(5));
+        cfg.services.blackhole = Some(BlackholeService::default());
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut victim = incoming(2, &[2, 1], &[]);
+        victim.prefix = "10.0.0.0/24".parse().unwrap();
+        r.import(&cfg, Asn::new(2), Role::Customer, Some(victim), ctx);
+        let mut attack = incoming(3, &[3, 9, 8, 1], &[Community::new(5, 666)]);
+        attack.prefix = "10.0.0.0/24".parse().unwrap();
+        r.import(&cfg, Asn::new(3), Role::Peer, Some(attack), ctx);
+        let best = r.best().unwrap();
+        assert!(best.blackholed, "blackhole local-pref beats shorter path");
+        assert_eq!(best.source, RouteSource::Ebgp(Asn::new(3)));
+    }
+
+    #[test]
+    fn rtbh_scope_customers_only() {
+        let mut cfg = RouterConfig::defaults(Asn::new(5));
+        cfg.services.blackhole = Some(BlackholeService {
+            scope: ActScope::CustomersOnly,
+            ..BlackholeService::default()
+        });
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut route = incoming(3, &[3, 1], &[Community::new(5, 666)]);
+        route.prefix = "10.0.0.0/24".parse().unwrap();
+        r.import(&cfg, Asn::new(3), Role::Peer, Some(route.clone()), ctx);
+        assert!(!r.best().unwrap().blackholed, "peer may not trigger RTBH");
+        r.import(&cfg, Asn::new(3), Role::Customer, Some(route), ctx);
+        assert!(r.best().unwrap().blackholed);
+    }
+
+    #[test]
+    fn irr_validation_rejects_unregistered_origin() {
+        let mut cfg = RouterConfig::defaults(Asn::new(5));
+        cfg.validation = OriginValidation::Irr {
+            validate_after_blackhole: false,
+        };
+        let mut irr = IrrDatabase::new();
+        irr.register(prefix(), Asn::new(1));
+        let rpki = IrrDatabase::new();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        // legit origin AS1
+        let v = r.import(&cfg, Asn::new(2), Role::Peer, Some(incoming(2, &[2, 1], &[])), ctx);
+        assert_eq!(v, ImportVerdict::Accepted);
+        // hijacker origin AS9
+        let v = r.import(&cfg, Asn::new(3), Role::Peer, Some(incoming(3, &[3, 9], &[])), ctx);
+        assert_eq!(v, ImportVerdict::ValidationRejected);
+    }
+
+    #[test]
+    fn misordered_validation_lets_blackholed_hijack_through() {
+        // §6.3: the route-map checks the blackhole community before
+        // validating, enabling hijack-based RTBH.
+        let mut cfg = RouterConfig::defaults(Asn::new(5));
+        cfg.validation = OriginValidation::Irr {
+            validate_after_blackhole: true,
+        };
+        cfg.services.blackhole = Some(BlackholeService::default());
+        let mut irr = IrrDatabase::new();
+        irr.register(prefix(), Asn::new(1));
+        let rpki = IrrDatabase::new();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut hijack = incoming(3, &[3, 9], &[Community::new(5, 666)]);
+        hijack.prefix = "10.0.0.0/24".parse().unwrap();
+        let v = r.import(&cfg, Asn::new(3), Role::Peer, Some(hijack.clone()), ctx);
+        assert_eq!(v, ImportVerdict::Accepted, "hijack slips past validation");
+        assert!(r.best().unwrap().blackholed);
+        // With correct ordering the same update is rejected.
+        cfg.validation = OriginValidation::Irr {
+            validate_after_blackhole: false,
+        };
+        let mut r2 = PrefixRouter::new(Asn::new(5), false);
+        let v = r2.import(&cfg, Asn::new(3), Role::Peer, Some(hijack), ctx);
+        assert_eq!(v, ImportVerdict::ValidationRejected);
+    }
+
+    #[test]
+    fn steering_services_set_pref_and_prepend() {
+        let mut cfg = RouterConfig::defaults(Asn::new(5));
+        cfg.services = CommunityServices {
+            blackhole: None,
+            prepend: [(421u16, 1u8), (422, 2), (423, 3)].into_iter().collect(),
+            local_pref: [(70u16, 70u32)].into_iter().collect(),
+            steering_scope: ActScope::CustomersOnly,
+        };
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let route = incoming(2, &[2, 1], &[Community::new(5, 422), Community::new(5, 70)]);
+        r.import(&cfg, Asn::new(2), Role::Customer, Some(route.clone()), ctx);
+        let best = r.best().unwrap();
+        assert_eq!(best.local_pref, 70, "local-pref community acted on");
+        assert_eq!(best.pending_prepend, 2, "prepend community recorded");
+        // From a provider the same communities are ignored.
+        let mut r2 = PrefixRouter::new(Asn::new(5), false);
+        r2.import(&cfg, Asn::new(2), Role::Provider, Some(route), ctx);
+        let best = r2.best().unwrap();
+        assert_eq!(best.local_pref, cfg.local_pref.provider);
+        assert_eq!(best.pending_prepend, 0);
+    }
+
+    #[test]
+    fn export_applies_prepend_service() {
+        let mut cfg = RouterConfig::defaults(Asn::new(5));
+        cfg.services.prepend.insert(423, 3);
+        cfg.services.steering_scope = ActScope::Any;
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        r.import(
+            &cfg,
+            Asn::new(2),
+            Role::Customer,
+            Some(incoming(2, &[2, 1], &[Community::new(5, 423)])),
+            ctx,
+        );
+        let out = r
+            .export_for(&cfg, Asn::new(6), Role::Provider, false)
+            .unwrap();
+        assert_eq!(
+            out.path.to_vec(),
+            vec![5, 5, 5, 5, 2, 1]
+                .into_iter()
+                .map(Asn::new)
+                .collect::<Vec<_>>(),
+            "1 regular + 3 requested prepends"
+        );
+        // The triggering community itself is forwarded onward.
+        assert!(out.has_community(Community::new(5, 423)));
+    }
+
+    #[test]
+    fn gao_rexford_export_filtering() {
+        let cfg = RouterConfig::defaults(Asn::new(5));
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        // Route learned from a provider…
+        r.import(&cfg, Asn::new(2), Role::Provider, Some(incoming(2, &[2, 1], &[])), ctx);
+        // …goes to customers…
+        assert!(r.export_for(&cfg, Asn::new(7), Role::Customer, false).is_some());
+        // …but not to peers or providers.
+        assert!(r.export_for(&cfg, Asn::new(8), Role::Peer, false).is_none());
+        assert!(r.export_for(&cfg, Asn::new(9), Role::Provider, false).is_none());
+        // Customer routes go everywhere.
+        let mut r2 = PrefixRouter::new(Asn::new(5), false);
+        r2.import(&cfg, Asn::new(3), Role::Customer, Some(incoming(3, &[3, 1], &[])), ctx);
+        assert!(r2.export_for(&cfg, Asn::new(8), Role::Peer, false).is_some());
+        assert!(r2.export_for(&cfg, Asn::new(9), Role::Provider, false).is_some());
+    }
+
+    #[test]
+    fn never_export_back_to_sender() {
+        let cfg = RouterConfig::defaults(Asn::new(5));
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        r.import(&cfg, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 1], &[])), ctx);
+        assert!(r.export_for(&cfg, Asn::new(2), Role::Customer, false).is_none());
+    }
+
+    #[test]
+    fn no_export_and_no_advertise_honoured() {
+        let cfg = RouterConfig::defaults(Asn::new(5));
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        r.import(
+            &cfg,
+            Asn::new(2),
+            Role::Customer,
+            Some(incoming(2, &[2, 1], &[Community::NO_EXPORT])),
+            ctx,
+        );
+        assert!(r.export_for(&cfg, Asn::new(7), Role::Customer, false).is_none());
+        let mut r2 = PrefixRouter::new(Asn::new(5), false);
+        r2.import(
+            &cfg,
+            Asn::new(2),
+            Role::Customer,
+            Some(incoming(2, &[2, 1], &[Community::NO_PEER])),
+            ctx,
+        );
+        assert!(r2.export_for(&cfg, Asn::new(8), Role::Peer, false).is_none());
+        assert!(r2.export_for(&cfg, Asn::new(7), Role::Customer, false).is_some());
+    }
+
+    #[test]
+    fn propagation_policies_filter_received_communities() {
+        let foreign = Community::new(9, 42);
+        let wk = Community::BLACKHOLE;
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+
+        let make = |policy: CommunityPropagationPolicy| {
+            let mut cfg = RouterConfig::defaults(Asn::new(5));
+            cfg.propagation = policy;
+            cfg.tagging = TaggingConfig {
+                tag_origin_class: true,
+                ..TaggingConfig::default()
+            };
+            let mut r = PrefixRouter::new(Asn::new(5), false);
+            r.import(
+                &cfg,
+                Asn::new(2),
+                Role::Customer,
+                Some(incoming(
+                    2,
+                    &[2, 1],
+                    &[foreign, wk, Community::new(5, 77)],
+                )),
+                ctx,
+            );
+            r.export_for(&cfg, Asn::new(7), Role::Customer, false).unwrap()
+        };
+
+        let out = make(CommunityPropagationPolicy::ForwardAll);
+        assert!(out.has_community(foreign) && out.has_community(wk));
+        assert!(out.has_community(Community::new(5, 100)), "own tag rides along");
+
+        let out = make(CommunityPropagationPolicy::StripAll);
+        assert!(!out.has_community(foreign) && !out.has_community(wk));
+        assert!(out.has_community(Community::new(5, 100)), "own tag still attached");
+
+        let out = make(CommunityPropagationPolicy::StripOwn);
+        assert!(out.has_community(foreign));
+        assert!(!out.has_community(Community::new(5, 77)), "own received stripped");
+        assert!(out.has_community(Community::new(5, 100)), "own *tag* kept");
+
+        let out = make(CommunityPropagationPolicy::StripUnknown);
+        assert!(!out.has_community(foreign));
+        assert!(out.has_community(wk), "well-known kept");
+        assert!(out.has_community(Community::new(5, 77)), "own kept");
+    }
+
+    #[test]
+    fn selective_policy_differs_per_role() {
+        let foreign = Community::new(9, 42);
+        let mut cfg = RouterConfig::defaults(Asn::new(5));
+        cfg.propagation = CommunityPropagationPolicy::Selective {
+            to_customers: true,
+            to_peers: false,
+            to_providers: true,
+        };
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        r.import(&cfg, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 1], &[foreign])), ctx);
+        let to_cust = r.export_for(&cfg, Asn::new(7), Role::Customer, false).unwrap();
+        assert!(to_cust.has_community(foreign));
+        let to_peer = r.export_for(&cfg, Asn::new(8), Role::Peer, false).unwrap();
+        assert!(!to_peer.has_community(foreign), "stripped toward peers");
+    }
+
+    #[test]
+    fn cisco_without_send_community_sends_none() {
+        let mut cfg = RouterConfig::defaults(Asn::new(5));
+        cfg.vendor = Vendor::Cisco;
+        cfg.send_community_configured = false;
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        r.import(
+            &cfg,
+            Asn::new(2),
+            Role::Customer,
+            Some(incoming(2, &[2, 1], &[Community::new(9, 42)])),
+            ctx,
+        );
+        let out = r.export_for(&cfg, Asn::new(7), Role::Customer, false).unwrap();
+        assert!(out.communities.is_empty());
+    }
+
+    #[test]
+    fn route_server_is_transparent_and_respects_controls() {
+        let rs = Asn::new(59_000);
+        let cfg = RouterConfig::defaults(rs);
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut r = PrefixRouter::new(rs, true);
+        // Member AS1 announces with: announce-to-AS2 (RS:2) and suppress-to-AS3 (0:3).
+        let comms = vec![
+            Community::new(59_000, 2),
+            Community::new(0, 3),
+        ];
+        r.import(&cfg, Asn::new(1), Role::Peer, Some(incoming(1, &[1], &comms)), ctx);
+
+        // AS2: no suppress, default announce.
+        let out = r.export_for(&cfg, Asn::new(2), Role::Peer, false).unwrap();
+        assert_eq!(out.path.to_vec(), vec![Asn::new(1)], "RS transparent");
+        assert_eq!(out.source, RouteSource::RouteServer(rs));
+        // control communities stripped:
+        assert!(!out.has_community(Community::new(0, 3)));
+
+        // AS3: suppressed.
+        assert!(r.export_for(&cfg, Asn::new(3), Role::Peer, false).is_none());
+
+        // Never back to announcer.
+        assert!(r.export_for(&cfg, Asn::new(1), Role::Peer, false).is_none());
+    }
+
+    #[test]
+    fn conflicting_rs_communities_resolve_by_eval_order() {
+        // §7.5: announce-to-attackee plus suppress-to-attackee; with
+        // suppress-first, the suppress wins and the attackee loses the route.
+        let rs = Asn::new(59_000);
+        let mut cfg = RouterConfig::defaults(rs);
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let comms = vec![Community::new(59_000, 4), Community::new(0, 4)];
+        let mut r = PrefixRouter::new(rs, true);
+        r.import(&cfg, Asn::new(1), Role::Peer, Some(incoming(1, &[1], &comms)), ctx);
+        assert!(
+            r.export_for(&cfg, Asn::new(4), Role::Peer, false).is_none(),
+            "suppress-first: conflict resolves to suppression"
+        );
+        cfg.route_server.eval_order = RsEvalOrder::AnnounceFirst;
+        assert!(
+            r.export_for(&cfg, Asn::new(4), Role::Peer, false).is_some(),
+            "announce-first: conflict resolves to announcement"
+        );
+    }
+
+    #[test]
+    fn egress_tags_injected_on_export() {
+        // The Fig 7a attacker: an on-path AS adds a remote target's
+        // blackhole community to a route it merely transits.
+        let mut cfg = RouterConfig::defaults(Asn::new(5));
+        cfg.tagging.egress_tags = vec![Community::new(9, 666)];
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        r.import(&cfg, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 1], &[])), ctx);
+        let out = r.export_for(&cfg, Asn::new(7), Role::Provider, false).unwrap();
+        assert!(out.has_community(Community::new(9, 666)));
+    }
+
+    #[test]
+    fn targeted_egress_tags_only_the_named_prefix() {
+        // The surgical attacker: tag one victim prefix, leave the rest of
+        // the table untouched.
+        let mut cfg = RouterConfig::defaults(Asn::new(5));
+        cfg.tagging.targeted_egress = vec![(prefix(), Community::new(9, 666))];
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        r.import(&cfg, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 1], &[])), ctx);
+        let out = r.export_for(&cfg, Asn::new(7), Role::Provider, false).unwrap();
+        assert!(out.has_community(Community::new(9, 666)));
+
+        // a different prefix through the same router stays clean
+        let other: Prefix = "99.99.0.0/16".parse().unwrap();
+        let mut cfg2 = RouterConfig::defaults(Asn::new(5));
+        cfg2.tagging.targeted_egress = vec![(other, Community::new(9, 666))];
+        let mut r2 = PrefixRouter::new(Asn::new(5), false);
+        r2.import(&cfg2, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 1], &[])), ctx);
+        let out2 = r2.export_for(&cfg2, Asn::new(7), Role::Provider, false).unwrap();
+        assert!(!out2.has_community(Community::new(9, 666)));
+    }
+
+    #[test]
+    fn cisco_add_limit_caps_egress_tags() {
+        let mut cfg = RouterConfig::defaults(Asn::new(5));
+        cfg.vendor = Vendor::Cisco;
+        cfg.send_community_configured = true;
+        cfg.tagging.egress_tags = (0..40).map(|i| Community::new(5, 1000 + i)).collect();
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        r.import(&cfg, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 1], &[])), ctx);
+        let out = r.export_for(&cfg, Asn::new(7), Role::Customer, false).unwrap();
+        assert_eq!(out.communities.len(), 32, "Cisco adds at most 32");
+    }
+
+    #[test]
+    fn diff_export_tracks_changes() {
+        let cfg = RouterConfig::defaults(Asn::new(5));
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let mut r = PrefixRouter::new(Asn::new(5), false);
+        r.import(&cfg, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 1], &[])), ctx);
+        let exp = r.export_for(&cfg, Asn::new(7), Role::Customer, false);
+        // first export: change
+        assert!(r.diff_export(Asn::new(7), exp.clone()).is_some());
+        // same again: no change
+        assert!(r.diff_export(Asn::new(7), exp).is_none());
+        // withdraw: change
+        assert!(r.diff_export(Asn::new(7), None).is_some());
+        // withdraw again: no change
+        assert!(r.diff_export(Asn::new(7), None).is_none());
+    }
+}

@@ -1,0 +1,471 @@
+//! Deterministic hierarchical Internet generator.
+//!
+//! Produces topologies with the structural features the paper's statistics
+//! depend on: a tier-1 clique, a transit hierarchy with heavy-tailed
+//! customer degrees (preferential attachment), multihomed stubs, lateral
+//! peering, and IXP route servers that are adjacent to many members but
+//! never on the AS path.
+
+use crate::graph::{Tier, Topology};
+use crate::relationship::EdgeKind;
+use bgpworms_types::Asn;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters. Construct via the presets and adjust with the
+/// builder methods; `build` is deterministic in all parameters.
+#[derive(Debug, Clone)]
+pub struct TopologyParams {
+    /// RNG seed; same seed ⇒ identical topology.
+    pub seed: u64,
+    /// Number of tier-1 (transit-free, fully meshed) ASes.
+    pub n_tier1: usize,
+    /// Number of mid-tier transit ASes.
+    pub n_transit: usize,
+    /// Number of stub ASes.
+    pub n_stub: usize,
+    /// Number of IXPs (each contributes one route server).
+    pub n_ixp: usize,
+    /// Probability that two sibling transit ASes peer laterally.
+    pub transit_peer_prob: f64,
+    /// Maximum number of providers per multihomed AS.
+    pub max_providers: usize,
+    /// Fraction of eligible ASes joining each IXP.
+    pub ixp_member_fraction: f64,
+    /// Probability that two members of the same IXP also peer bilaterally.
+    pub ixp_bilateral_prob: f64,
+    /// Fraction of stub ASes assigned 4-byte ASNs (> 65535). Their ASN does
+    /// not fit the classic community's high half — the population the paper
+    /// notes must either bundle with private ASNs (§4.3) or adopt RFC 8092
+    /// large communities (§2 footnote 1). Defaults to 0 in all presets.
+    pub four_byte_stub_fraction: f64,
+}
+
+impl TopologyParams {
+    /// Tiny topology for unit tests (~40 ASes).
+    pub fn tiny() -> Self {
+        TopologyParams {
+            seed: 1,
+            n_tier1: 3,
+            n_transit: 8,
+            n_stub: 30,
+            n_ixp: 1,
+            transit_peer_prob: 0.2,
+            max_providers: 3,
+            ixp_member_fraction: 0.3,
+            ixp_bilateral_prob: 0.1,
+            four_byte_stub_fraction: 0.0,
+        }
+    }
+
+    /// Small topology for integration tests (~120 ASes).
+    pub fn small() -> Self {
+        TopologyParams {
+            seed: 1,
+            n_tier1: 4,
+            n_transit: 20,
+            n_stub: 100,
+            n_ixp: 2,
+            transit_peer_prob: 0.15,
+            max_providers: 3,
+            ixp_member_fraction: 0.25,
+            ixp_bilateral_prob: 0.08,
+            four_byte_stub_fraction: 0.0,
+        }
+    }
+
+    /// Medium topology for experiments (~1.7 K ASes).
+    pub fn medium() -> Self {
+        TopologyParams {
+            seed: 1,
+            n_tier1: 8,
+            n_transit: 160,
+            n_stub: 1500,
+            n_ixp: 5,
+            transit_peer_prob: 0.06,
+            max_providers: 3,
+            ixp_member_fraction: 0.12,
+            ixp_bilateral_prob: 0.03,
+            four_byte_stub_fraction: 0.0,
+        }
+    }
+
+    /// Large topology for the headline reproduction runs (~8.6 K ASes).
+    pub fn large() -> Self {
+        TopologyParams {
+            seed: 2018,
+            n_tier1: 12,
+            n_transit: 600,
+            n_stub: 8000,
+            n_ixp: 12,
+            transit_peer_prob: 0.02,
+            max_providers: 3,
+            ixp_member_fraction: 0.06,
+            ixp_bilateral_prob: 0.02,
+            four_byte_stub_fraction: 0.0,
+        }
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the stub count.
+    pub fn stubs(mut self, n: usize) -> Self {
+        self.n_stub = n;
+        self
+    }
+
+    /// Sets the transit count.
+    pub fn transits(mut self, n: usize) -> Self {
+        self.n_transit = n;
+        self
+    }
+
+    /// Sets the IXP count.
+    pub fn ixps(mut self, n: usize) -> Self {
+        self.n_ixp = n;
+        self
+    }
+
+    /// Sets the fraction of stubs given 4-byte ASNs.
+    pub fn four_byte_stubs(mut self, fraction: f64) -> Self {
+        self.four_byte_stub_fraction = fraction;
+        self
+    }
+
+    /// Generates the topology.
+    pub fn build(&self) -> Topology {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xB6F5_17E1_2018_0000);
+        let mut topo = Topology::new();
+
+        // --- ASN layout: tier1s, transits, stubs, then route servers. ---
+        let t1_asns: Vec<Asn> = (1..=self.n_tier1 as u32).map(Asn::new).collect();
+        let transit_start = self.n_tier1 as u32 + 1;
+        let transit_asns: Vec<Asn> = (0..self.n_transit as u32)
+            .map(|i| Asn::new(transit_start + i))
+            .collect();
+        let stub_start = transit_start + self.n_transit as u32;
+        // Interleave 4-byte ASNs deterministically (no RNG draw, so a zero
+        // fraction reproduces byte-identical topologies).
+        let four_byte_period = if self.four_byte_stub_fraction > 0.0 {
+            Some((1.0 / self.four_byte_stub_fraction).round().max(1.0) as u32)
+        } else {
+            None
+        };
+        let stub_asns: Vec<Asn> = (0..self.n_stub as u32)
+            .map(|i| match four_byte_period {
+                Some(period) if i % period == 0 => Asn::new(400_000 + i),
+                _ => Asn::new(stub_start + i),
+            })
+            .collect();
+        let rs_start = stub_start + self.n_stub as u32;
+        let rs_asns: Vec<Asn> = (0..self.n_ixp as u32)
+            .map(|i| Asn::new(rs_start + i))
+            .collect();
+
+        for &a in &t1_asns {
+            topo.add_simple(a, Tier::Tier1);
+        }
+        for &a in &transit_asns {
+            topo.add_simple(a, Tier::Transit);
+        }
+        for &a in &stub_asns {
+            topo.add_simple(a, Tier::Stub);
+        }
+        for &a in &rs_asns {
+            topo.add_simple(a, Tier::RouteServer);
+        }
+
+        // --- Tier-1 clique. ---
+        for (i, &a) in t1_asns.iter().enumerate() {
+            for &b in &t1_asns[i + 1..] {
+                topo.add_edge(a, b, EdgeKind::PeerToPeer);
+            }
+        }
+
+        // --- Transit hierarchy. First third attach to tier-1s, the rest
+        //     attach preferentially to already-attached transits or tier-1s.
+        let upper_transit_count = (self.n_transit / 3).max(1).min(self.n_transit);
+        // customer-degree tracker for preferential attachment
+        let mut cust_degree: std::collections::BTreeMap<Asn, usize> =
+            std::collections::BTreeMap::new();
+
+        for (idx, &t) in transit_asns.iter().enumerate() {
+            let provider_pool: Vec<Asn> = if idx < upper_transit_count {
+                t1_asns.clone()
+            } else {
+                let mut pool = t1_asns.clone();
+                pool.extend_from_slice(&transit_asns[..idx.min(upper_transit_count)]);
+                pool
+            };
+            let n_prov = rng.gen_range(1..=self.max_providers.min(provider_pool.len()));
+            let chosen = preferential_sample(&provider_pool, &cust_degree, n_prov, &mut rng);
+            for p in chosen {
+                topo.add_edge(p, t, EdgeKind::ProviderToCustomer);
+                *cust_degree.entry(p).or_insert(0) += 1;
+            }
+        }
+
+        // --- Lateral transit peering. ---
+        for (i, &a) in transit_asns.iter().enumerate() {
+            for &b in &transit_asns[i + 1..] {
+                if rng.gen_bool(self.transit_peer_prob) && topo.role_of(a, b).is_none() {
+                    topo.add_edge(a, b, EdgeKind::PeerToPeer);
+                }
+            }
+        }
+
+        // --- Stubs: multihome to transit providers, preferential. ---
+        for &s in &stub_asns {
+            let n_prov = sample_provider_count(self.max_providers, &mut rng);
+            let chosen = preferential_sample(&transit_asns, &cust_degree, n_prov, &mut rng);
+            for p in chosen {
+                topo.add_edge(p, s, EdgeKind::ProviderToCustomer);
+                *cust_degree.entry(p).or_insert(0) += 1;
+            }
+        }
+
+        // --- IXPs: eligible members are transits and a slice of stubs.
+        let mut eligible: Vec<Asn> = transit_asns.clone();
+        // content-ish stubs (every 5th stub) show up at IXPs
+        eligible.extend(stub_asns.iter().copied().step_by(5));
+
+        for &rs in &rs_asns {
+            let mut members: Vec<Asn> = eligible
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(self.ixp_member_fraction))
+                .collect();
+            // Every IXP needs at least two members to be meaningful.
+            while members.len() < 2 {
+                let pick = eligible[rng.gen_range(0..eligible.len())];
+                if !members.contains(&pick) {
+                    members.push(pick);
+                }
+            }
+            for &m in &members {
+                topo.add_edge(rs, m, EdgeKind::PeerToPeer);
+                topo.node_mut(m)
+                    .expect("member exists")
+                    .ixp_memberships
+                    .push(rs);
+            }
+            // Bilateral peering between some member pairs.
+            for i in 0..members.len() {
+                for j in i + 1..members.len() {
+                    if rng.gen_bool(self.ixp_bilateral_prob)
+                        && topo.role_of(members[i], members[j]).is_none()
+                    {
+                        topo.add_edge(members[i], members[j], EdgeKind::PeerToPeer);
+                    }
+                }
+            }
+        }
+
+        topo
+    }
+}
+
+/// Number of providers for a multihomed stub: mostly 1–2, occasionally 3+.
+fn sample_provider_count(max: usize, rng: &mut StdRng) -> usize {
+    let r: f64 = rng.gen();
+    let n = if r < 0.45 {
+        1
+    } else if r < 0.85 {
+        2
+    } else {
+        3
+    };
+    n.min(max.max(1))
+}
+
+/// Samples `n` distinct ASes from `pool`, weighting each by
+/// `1 + customer degree` (preferential attachment).
+fn preferential_sample(
+    pool: &[Asn],
+    cust_degree: &std::collections::BTreeMap<Asn, usize>,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<Asn> {
+    if pool.is_empty() {
+        return Vec::new();
+    }
+    let mut chosen: Vec<Asn> = Vec::with_capacity(n);
+    let weights: Vec<(Asn, usize)> = pool
+        .iter()
+        .map(|a| (*a, 1 + cust_degree.get(a).copied().unwrap_or(0)))
+        .collect();
+    let total: usize = weights.iter().map(|(_, w)| w).sum();
+    let mut guard = 0;
+    while chosen.len() < n && guard < 100 {
+        guard += 1;
+        let mut pick = rng.gen_range(0..total);
+        let mut selected = weights[0].0;
+        for (a, w) in &weights {
+            if pick < *w {
+                selected = *a;
+                break;
+            }
+            pick -= w;
+        }
+        if !chosen.contains(&selected) {
+            chosen.push(selected);
+        }
+    }
+    if chosen.is_empty() {
+        // Degenerate fall-back: uniform pick.
+        chosen.push(*pool.choose(rng).expect("non-empty pool"));
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Tier;
+    use crate::relationship::Role;
+
+    #[test]
+    fn four_byte_stub_fraction_assigns_large_asns() {
+        let topo = TopologyParams::tiny().seed(5).four_byte_stubs(0.25).build();
+        let four_byte: Vec<Asn> = topo
+            .ases()
+            .filter(|n| n.tier == Tier::Stub && n.asn.as_u16().is_none())
+            .map(|n| n.asn)
+            .collect();
+        let stubs = topo.ases().filter(|n| n.tier == Tier::Stub).count();
+        assert!(!four_byte.is_empty(), "some stubs get 4-byte ASNs");
+        let frac = four_byte.len() as f64 / stubs as f64;
+        assert!((0.15..=0.35).contains(&frac), "fraction ≈ 0.25, got {frac}");
+        // they are wired into the graph like any stub
+        for asn in four_byte {
+            assert!(topo.providers_of(asn).count() >= 1);
+        }
+        // zero fraction (the default) produces none
+        let plain = TopologyParams::tiny().seed(5).build();
+        assert!(plain.ases().all(|n| n.asn.as_u16().is_some()));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = TopologyParams::tiny().seed(42).build();
+        let b = TopologyParams::tiny().seed(42).build();
+        assert_eq!(a.len(), b.len());
+        let la = crate::relationship::to_caida(&a.to_caida_lines());
+        let lb = crate::relationship::to_caida(&b.to_caida_lines());
+        assert_eq!(la, lb, "same seed must give identical edges");
+        let c = TopologyParams::tiny().seed(43).build();
+        let lc = crate::relationship::to_caida(&c.to_caida_lines());
+        assert_ne!(la, lc, "different seeds should differ");
+    }
+
+    #[test]
+    fn tier1_forms_clique() {
+        let t = TopologyParams::small().seed(7).build();
+        let t1s: Vec<_> = t
+            .ases()
+            .filter(|n| n.tier == Tier::Tier1)
+            .map(|n| n.asn)
+            .collect();
+        assert!(t1s.len() >= 2);
+        for (i, &a) in t1s.iter().enumerate() {
+            for &b in &t1s[i + 1..] {
+                assert_eq!(t.role_of(a, b), Some(Role::Peer), "{a}–{b} must peer");
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_tier1_has_a_provider() {
+        let t = TopologyParams::small().seed(9).build();
+        for n in t.ases() {
+            match n.tier {
+                Tier::Tier1 => assert_eq!(
+                    t.providers_of(n.asn).count(),
+                    0,
+                    "tier-1 {} is transit-free",
+                    n.asn
+                ),
+                Tier::Transit | Tier::Stub => assert!(
+                    t.providers_of(n.asn).count() >= 1,
+                    "{} needs a provider",
+                    n.asn
+                ),
+                Tier::RouteServer => assert_eq!(
+                    t.providers_of(n.asn).count(),
+                    0,
+                    "route servers only peer"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn route_servers_only_peer_and_have_members() {
+        let t = TopologyParams::small().seed(3).build();
+        let rss: Vec<_> = t
+            .ases()
+            .filter(|n| n.tier == Tier::RouteServer)
+            .map(|n| n.asn)
+            .collect();
+        assert!(!rss.is_empty());
+        for rs in rss {
+            assert!(t.degree(rs) >= 2, "route server {rs} needs members");
+            for nb in t.neighbors(rs) {
+                assert_eq!(nb.role, Role::Peer);
+                let member = t.node(nb.asn).unwrap();
+                assert!(
+                    member.ixp_memberships.contains(&rs),
+                    "membership recorded for {}",
+                    nb.asn
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stubs_have_no_customers() {
+        let t = TopologyParams::small().seed(5).build();
+        for n in t.ases().filter(|n| n.tier == Tier::Stub) {
+            assert_eq!(
+                t.customers_of(n.asn).count(),
+                0,
+                "stub {} must not provide transit",
+                n.asn
+            );
+        }
+    }
+
+    #[test]
+    fn customer_degree_is_heavy_tailed() {
+        let t = TopologyParams::medium().seed(11).build();
+        let mut degrees: Vec<usize> = t
+            .ases()
+            .filter(|n| n.tier == Tier::Transit)
+            .map(|n| t.customers_of(n.asn).count())
+            .collect();
+        degrees.sort_unstable();
+        let max = *degrees.last().unwrap();
+        let median = degrees[degrees.len() / 2];
+        assert!(
+            max >= median.max(1) * 4,
+            "preferential attachment should concentrate customers (max {max}, median {median})"
+        );
+    }
+
+    #[test]
+    fn sizes_match_params() {
+        let p = TopologyParams::tiny();
+        let t = p.build();
+        let count = |tier: Tier| t.ases().filter(|n| n.tier == tier).count();
+        assert_eq!(count(Tier::Tier1), p.n_tier1);
+        assert_eq!(count(Tier::Transit), p.n_transit);
+        assert_eq!(count(Tier::Stub), p.n_stub);
+        assert_eq!(count(Tier::RouteServer), p.n_ixp);
+        assert_eq!(t.len(), p.n_tier1 + p.n_transit + p.n_stub + p.n_ixp);
+    }
+}

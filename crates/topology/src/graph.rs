@@ -1,0 +1,357 @@
+//! The AS graph: nodes with tiers, adjacency with business roles, and
+//! structural statistics.
+
+use crate::relationship::{EdgeKind, RelLine, Role};
+use bgpworms_types::Asn;
+use std::collections::BTreeMap;
+
+/// Where an AS sits in the generated hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Transit-free clique member.
+    Tier1,
+    /// Regional/national transit provider.
+    Transit,
+    /// Edge network (content, enterprise, eyeball).
+    Stub,
+    /// An IXP route server: peers with many members, transparent in the AS
+    /// path, and by convention off-path for community attribution.
+    RouteServer,
+}
+
+/// One AS in the topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsNode {
+    /// The AS number.
+    pub asn: Asn,
+    /// Hierarchy tier.
+    pub tier: Tier,
+    /// IXP route servers this AS is a member of.
+    pub ixp_memberships: Vec<Asn>,
+}
+
+/// A neighbor entry in the adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Neighbor {
+    /// The neighbor's ASN.
+    pub asn: Asn,
+    /// The neighbor's role relative to the owning AS.
+    pub role: Role,
+}
+
+/// Aggregate structure counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TopologyStats {
+    /// Number of ASes (excluding route servers).
+    pub ases: usize,
+    /// Number of route servers.
+    pub route_servers: usize,
+    /// Provider→customer edges.
+    pub p2c_edges: usize,
+    /// Peering edges (including route-server sessions).
+    pub p2p_edges: usize,
+    /// Maximum degree over all nodes.
+    pub max_degree: usize,
+}
+
+/// The AS-level topology: nodes plus role-labelled adjacency.
+///
+/// Uses `BTreeMap` so iteration order — and therefore everything derived
+/// from it, including simulation event order — is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: BTreeMap<Asn, AsNode>,
+    adj: BTreeMap<Asn, Vec<Neighbor>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Adds an AS. Replaces any existing node with the same ASN.
+    pub fn add_as(&mut self, node: AsNode) {
+        self.adj.entry(node.asn).or_default();
+        self.nodes.insert(node.asn, node);
+    }
+
+    /// Convenience: add a plain AS of the given tier.
+    pub fn add_simple(&mut self, asn: Asn, tier: Tier) {
+        self.add_as(AsNode {
+            asn,
+            tier,
+            ixp_memberships: Vec::new(),
+        });
+    }
+
+    /// Adds an undirected edge. `kind` is read as "`a` is provider of `b`"
+    /// for [`EdgeKind::ProviderToCustomer`]. Both ASes must exist. Duplicate
+    /// edges are ignored.
+    pub fn add_edge(&mut self, a: Asn, b: Asn, kind: EdgeKind) {
+        assert!(self.nodes.contains_key(&a), "unknown AS {a}");
+        assert!(self.nodes.contains_key(&b), "unknown AS {b}");
+        assert_ne!(a, b, "self-loops are not allowed");
+        if self.role_of(a, b).is_some() {
+            return;
+        }
+        let (role_of_b_for_a, role_of_a_for_b) = match kind {
+            // a provides transit to b: b is a's customer.
+            EdgeKind::ProviderToCustomer => (Role::Customer, Role::Provider),
+            EdgeKind::PeerToPeer => (Role::Peer, Role::Peer),
+        };
+        self.adj.get_mut(&a).expect("node a exists").push(Neighbor {
+            asn: b,
+            role: role_of_b_for_a,
+        });
+        self.adj.get_mut(&b).expect("node b exists").push(Neighbor {
+            asn: a,
+            role: role_of_a_for_b,
+        });
+    }
+
+    /// The node for `asn`, if present.
+    pub fn node(&self, asn: Asn) -> Option<&AsNode> {
+        self.nodes.get(&asn)
+    }
+
+    /// Mutable node access (used by the generator for IXP memberships).
+    pub fn node_mut(&mut self, asn: Asn) -> Option<&mut AsNode> {
+        self.nodes.get_mut(&asn)
+    }
+
+    /// True if the AS exists.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.nodes.contains_key(&asn)
+    }
+
+    /// All ASes in ascending ASN order.
+    pub fn ases(&self) -> impl Iterator<Item = &AsNode> {
+        self.nodes.values()
+    }
+
+    /// Number of nodes (including route servers).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Neighbors of `asn` in insertion order (deterministic: the generator
+    /// inserts in sorted order).
+    pub fn neighbors(&self, asn: Asn) -> &[Neighbor] {
+        self.adj.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The role `b` plays for `a`, if the edge exists.
+    pub fn role_of(&self, a: Asn, b: Asn) -> Option<Role> {
+        self.neighbors(a).iter().find(|n| n.asn == b).map(|n| n.role)
+    }
+
+    /// The IXP route server both ASes are members of, if any. Routes
+    /// exchanged through a route server appear as a direct `a`–`b` hop on
+    /// the AS path (the server is transparent), so path validation must
+    /// treat shared membership as implicit peering.
+    pub fn shared_ixp(&self, a: Asn, b: Asn) -> Option<Asn> {
+        let na = self.node(a)?;
+        let nb = self.node(b)?;
+        na.ixp_memberships
+            .iter()
+            .find(|rs| nb.ixp_memberships.contains(rs))
+            .copied()
+    }
+
+    /// `a`'s customers.
+    pub fn customers_of(&self, a: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors(a)
+            .iter()
+            .filter(|n| n.role == Role::Customer)
+            .map(|n| n.asn)
+    }
+
+    /// `a`'s providers.
+    pub fn providers_of(&self, a: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors(a)
+            .iter()
+            .filter(|n| n.role == Role::Provider)
+            .map(|n| n.asn)
+    }
+
+    /// `a`'s peers.
+    pub fn peers_of(&self, a: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors(a)
+            .iter()
+            .filter(|n| n.role == Role::Peer)
+            .map(|n| n.asn)
+    }
+
+    /// Degree of `asn`.
+    pub fn degree(&self, asn: Asn) -> usize {
+        self.neighbors(asn).len()
+    }
+
+    /// True if `asn` provides transit in the topology sense
+    /// (has at least one customer).
+    pub fn is_transit_provider(&self, asn: Asn) -> bool {
+        self.customers_of(asn).next().is_some()
+    }
+
+    /// Aggregate counts.
+    pub fn stats(&self) -> TopologyStats {
+        let mut s = TopologyStats::default();
+        for n in self.nodes.values() {
+            if n.tier == Tier::RouteServer {
+                s.route_servers += 1;
+            } else {
+                s.ases += 1;
+            }
+        }
+        for (asn, neighbors) in &self.adj {
+            s.max_degree = s.max_degree.max(neighbors.len());
+            for n in neighbors {
+                // Count each undirected edge once, from the lower ASN side.
+                if *asn < n.asn {
+                    match n.role {
+                        Role::Peer => s.p2p_edges += 1,
+                        // Counting from either role direction once.
+                        Role::Customer | Role::Provider => s.p2c_edges += 1,
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Exports all edges as CAIDA serial-1 lines (route-server sessions are
+    /// peering edges).
+    pub fn to_caida_lines(&self) -> Vec<RelLine> {
+        let mut out = Vec::new();
+        for (asn, neighbors) in &self.adj {
+            for n in neighbors {
+                match n.role {
+                    Role::Customer => out.push(RelLine {
+                        a: *asn,
+                        b: n.asn,
+                        kind: EdgeKind::ProviderToCustomer,
+                    }),
+                    Role::Peer if *asn < n.asn => out.push(RelLine {
+                        a: *asn,
+                        b: n.asn,
+                        kind: EdgeKind::PeerToPeer,
+                    }),
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds a topology from CAIDA lines; every AS is created as a stub
+    /// (tiers are not encoded in the format).
+    pub fn from_caida_lines(lines: &[RelLine]) -> Topology {
+        let mut topo = Topology::new();
+        for l in lines {
+            if !topo.contains(l.a) {
+                topo.add_simple(l.a, Tier::Stub);
+            }
+            if !topo.contains(l.b) {
+                topo.add_simple(l.b, Tier::Stub);
+            }
+        }
+        for l in lines {
+            topo.add_edge(l.a, l.b, l.kind);
+        }
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asn(n: u32) -> Asn {
+        Asn::new(n)
+    }
+
+    fn triangle() -> Topology {
+        let mut t = Topology::new();
+        t.add_simple(asn(1), Tier::Tier1);
+        t.add_simple(asn(2), Tier::Transit);
+        t.add_simple(asn(3), Tier::Stub);
+        t.add_edge(asn(1), asn(2), EdgeKind::ProviderToCustomer);
+        t.add_edge(asn(2), asn(3), EdgeKind::ProviderToCustomer);
+        t.add_edge(asn(1), asn(3), EdgeKind::PeerToPeer);
+        t
+    }
+
+    #[test]
+    fn roles_are_symmetric_inverses() {
+        let t = triangle();
+        assert_eq!(t.role_of(asn(1), asn(2)), Some(Role::Customer));
+        assert_eq!(t.role_of(asn(2), asn(1)), Some(Role::Provider));
+        assert_eq!(t.role_of(asn(1), asn(3)), Some(Role::Peer));
+        assert_eq!(t.role_of(asn(3), asn(1)), Some(Role::Peer));
+        assert_eq!(t.role_of(asn(2), asn(99)), None);
+    }
+
+    #[test]
+    fn customer_provider_iterators() {
+        let t = triangle();
+        assert_eq!(t.customers_of(asn(1)).collect::<Vec<_>>(), vec![asn(2)]);
+        assert_eq!(t.providers_of(asn(3)).collect::<Vec<_>>(), vec![asn(2)]);
+        assert_eq!(t.peers_of(asn(3)).collect::<Vec<_>>(), vec![asn(1)]);
+        assert!(t.is_transit_provider(asn(1)));
+        assert!(t.is_transit_provider(asn(2)));
+        assert!(!t.is_transit_provider(asn(3)));
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut t = triangle();
+        t.add_edge(asn(1), asn(2), EdgeKind::PeerToPeer); // duplicate, ignored
+        assert_eq!(t.role_of(asn(1), asn(2)), Some(Role::Customer));
+        assert_eq!(t.degree(asn(1)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut t = triangle();
+        t.add_edge(asn(1), asn(1), EdgeKind::PeerToPeer);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown AS")]
+    fn edge_to_missing_as_panics() {
+        let mut t = triangle();
+        t.add_edge(asn(1), asn(42), EdgeKind::PeerToPeer);
+    }
+
+    #[test]
+    fn stats_count_edges_once() {
+        let t = triangle();
+        let s = t.stats();
+        assert_eq!(s.ases, 3);
+        assert_eq!(s.p2c_edges, 2);
+        assert_eq!(s.p2p_edges, 1);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn caida_export_import_preserves_structure() {
+        let t = triangle();
+        let lines = t.to_caida_lines();
+        assert_eq!(lines.len(), 3);
+        let rebuilt = Topology::from_caida_lines(&lines);
+        for (a, b) in [(1, 2), (2, 3), (1, 3)] {
+            assert_eq!(
+                rebuilt.role_of(asn(a), asn(b)),
+                t.role_of(asn(a), asn(b)),
+                "edge {a}-{b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! AS paths: ordered segments of AS numbers, with the prepend-removal and
+//! position arithmetic the propagation analysis (§4.3) is built on.
+//!
+//! Paths are stored collector-first: index 0 is the AS closest to the
+//! observation point, the last element is the origin AS.
+
+use crate::asn::Asn;
+use std::fmt;
+
+/// One segment of an AS path (RFC 4271 §4.3 / 5.1.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PathSegment {
+    /// An ordered AS_SEQUENCE.
+    Sequence(Vec<Asn>),
+    /// An unordered AS_SET (the result of aggregation); counts as a single
+    /// hop for path-length comparison.
+    Set(Vec<Asn>),
+}
+
+impl PathSegment {
+    /// Number of hops this segment contributes to path length: the number
+    /// of ASes for a sequence, 1 for a non-empty set.
+    pub fn hop_count(&self) -> usize {
+        match self {
+            PathSegment::Sequence(v) => v.len(),
+            PathSegment::Set(v) => usize::from(!v.is_empty()),
+        }
+    }
+
+    /// All ASNs mentioned in the segment.
+    pub fn asns(&self) -> &[Asn] {
+        match self {
+            PathSegment::Sequence(v) | PathSegment::Set(v) => v,
+        }
+    }
+}
+
+/// A full AS path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AsPath {
+    segments: Vec<PathSegment>,
+}
+
+impl AsPath {
+    /// The empty path (as announced by the origin itself over iBGP; in this
+    /// workspace it marks a locally originated route).
+    pub fn empty() -> Self {
+        AsPath::default()
+    }
+
+    /// Builds a path with a single AS_SEQUENCE, collector-first order.
+    pub fn from_asns<I: IntoIterator<Item = Asn>>(asns: I) -> Self {
+        AsPath {
+            segments: vec![PathSegment::Sequence(asns.into_iter().collect())],
+        }
+    }
+
+    /// Builds a path from raw segments.
+    pub fn from_segments(segments: Vec<PathSegment>) -> Self {
+        AsPath { segments }
+    }
+
+    /// The underlying segments.
+    pub fn segments(&self) -> &[PathSegment] {
+        &self.segments
+    }
+
+    /// True if the path has no ASes at all.
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(|s| s.asns().is_empty())
+    }
+
+    /// Iterates over every AS in path order (sets flattened in place).
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.segments.iter().flat_map(|s| s.asns().iter().copied())
+    }
+
+    /// The path flattened to a vector, collector-first.
+    pub fn to_vec(&self) -> Vec<Asn> {
+        self.asns().collect()
+    }
+
+    /// The origin AS: the last AS of the final segment, when that segment is
+    /// a sequence. Aggregated paths ending in an AS_SET have no unambiguous
+    /// origin and yield `None`.
+    pub fn origin(&self) -> Option<Asn> {
+        match self.segments.last()? {
+            PathSegment::Sequence(v) => v.last().copied(),
+            PathSegment::Set(_) => None,
+        }
+    }
+
+    /// The AS nearest the observation point (first AS of the first segment).
+    pub fn head(&self) -> Option<Asn> {
+        self.segments.first().and_then(|s| match s {
+            PathSegment::Sequence(v) => v.first().copied(),
+            PathSegment::Set(v) => v.first().copied(),
+        })
+    }
+
+    /// Path length for BGP best-path comparison: sequences count per-AS,
+    /// each set counts 1. Prepending inflates this, which is the entire
+    /// point of the prepend community service (Fig 2).
+    pub fn hop_count(&self) -> usize {
+        self.segments.iter().map(PathSegment::hop_count).sum()
+    }
+
+    /// True if `asn` appears anywhere in the path.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.asns().any(|a| a == asn)
+    }
+
+    /// Prepends `asn` `n` times at the head (the action a router performs on
+    /// egress, or `n` times at once for the `ASN:×n` community service).
+    pub fn prepend(&mut self, asn: Asn, n: usize) {
+        if n == 0 {
+            return;
+        }
+        match self.segments.first_mut() {
+            Some(PathSegment::Sequence(v)) => {
+                for _ in 0..n {
+                    v.insert(0, asn);
+                }
+            }
+            _ => {
+                self.segments
+                    .insert(0, PathSegment::Sequence(vec![asn; n]));
+            }
+        }
+    }
+
+    /// Returns a copy with consecutive duplicate ASes collapsed — the
+    /// paper removes AS-path prepending "to not bias the AS path" (§4.1).
+    pub fn deprepended(&self) -> AsPath {
+        let segments = self
+            .segments
+            .iter()
+            .map(|s| match s {
+                PathSegment::Sequence(v) => {
+                    let mut out: Vec<Asn> = Vec::with_capacity(v.len());
+                    for &a in v {
+                        if out.last() != Some(&a) {
+                            out.push(a);
+                        }
+                    }
+                    PathSegment::Sequence(out)
+                }
+                PathSegment::Set(v) => PathSegment::Set(v.clone()),
+            })
+            .collect();
+        AsPath { segments }
+    }
+
+    /// Position of the first occurrence of `asn` in the *de-prepended*
+    /// flattened path, counted from the observation point (0 = nearest).
+    ///
+    /// This is the quantity behind the propagation-distance ECDFs: a
+    /// community conservatively attributed to the AS at position `i` has
+    /// been relayed along `i` AS edges, plus one more to reach the monitor.
+    pub fn position(&self, asn: Asn) -> Option<usize> {
+        self.deprepended().asns().position(|a| a == asn)
+    }
+
+    /// True if an AS appears at two non-adjacent positions (a routing loop;
+    /// such updates are rejected on import).
+    pub fn has_loop(&self) -> bool {
+        let flat = self.deprepended().to_vec();
+        for (i, a) in flat.iter().enumerate() {
+            if flat[i + 1..].contains(a) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of unique ASes on the path.
+    pub fn unique_as_count(&self) -> usize {
+        let mut v = self.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// Prepend evidence: every AS that occurs in a consecutive run of
+    /// length > 1 inside a SEQUENCE segment, with the run length.
+    ///
+    /// `[3 3 3 2 1]` yields `[(3, 3)]`. Passive steering inference (the
+    /// paper's §9 future agenda) uses this to tell *which* AS was prepended,
+    /// which the de-prepended path no longer shows.
+    pub fn prepend_runs(&self) -> Vec<(Asn, usize)> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            if let PathSegment::Sequence(v) = seg {
+                let mut i = 0;
+                while i < v.len() {
+                    let mut j = i + 1;
+                    while j < v.len() && v[j] == v[i] {
+                        j += 1;
+                    }
+                    if j - i > 1 {
+                        out.push((v[i], j - i));
+                    }
+                    i = j;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for AsPath {
+    /// Space-separated presentation, sets in braces: `"3 2 {7,9} 1"`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for seg in &self.segments {
+            match seg {
+                PathSegment::Sequence(v) => {
+                    for a in v {
+                        if !first {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{}", a.get())?;
+                        first = false;
+                    }
+                }
+                PathSegment::Set(v) => {
+                    if !first {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{{")?;
+                    for (i, a) in v.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{}", a.get())?;
+                    }
+                    write!(f, "}}")?;
+                    first = false;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Asn> for AsPath {
+    fn from_iter<I: IntoIterator<Item = Asn>>(iter: I) -> Self {
+        AsPath::from_asns(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asns(v: &[u32]) -> Vec<Asn> {
+        v.iter().map(|&n| Asn::new(n)).collect()
+    }
+
+    #[test]
+    fn prepend_runs_identify_prepended_ases() {
+        let p = path(&[3, 3, 3, 2, 1]);
+        assert_eq!(p.prepend_runs(), vec![(Asn::new(3), 3)]);
+        let p = path(&[4, 3, 3, 2, 2, 2, 1]);
+        assert_eq!(
+            p.prepend_runs(),
+            vec![(Asn::new(3), 2), (Asn::new(2), 3)]
+        );
+        assert!(path(&[3, 2, 1]).prepend_runs().is_empty());
+        assert!(AsPath::empty().prepend_runs().is_empty());
+        // non-adjacent repeats (a loop) are not prepend runs
+        let p = path(&[3, 2, 3, 1]);
+        assert!(p.prepend_runs().is_empty());
+    }
+
+    fn path(v: &[u32]) -> AsPath {
+        AsPath::from_asns(asns(v))
+    }
+
+    #[test]
+    fn origin_and_head() {
+        let p = path(&[5, 4, 3, 2, 1]);
+        assert_eq!(p.origin(), Some(Asn::new(1)));
+        assert_eq!(p.head(), Some(Asn::new(5)));
+        assert_eq!(AsPath::empty().origin(), None);
+        assert_eq!(AsPath::empty().head(), None);
+    }
+
+    #[test]
+    fn origin_of_aggregated_path_is_ambiguous() {
+        let p = AsPath::from_segments(vec![
+            PathSegment::Sequence(asns(&[5, 4])),
+            PathSegment::Set(asns(&[2, 1])),
+        ]);
+        assert_eq!(p.origin(), None);
+        assert_eq!(p.head(), Some(Asn::new(5)));
+    }
+
+    #[test]
+    fn hop_count_sets_count_one() {
+        let p = AsPath::from_segments(vec![
+            PathSegment::Sequence(asns(&[5, 4])),
+            PathSegment::Set(asns(&[2, 1])),
+        ]);
+        assert_eq!(p.hop_count(), 3);
+        assert_eq!(path(&[1, 2, 3]).hop_count(), 3);
+        assert_eq!(AsPath::empty().hop_count(), 0);
+    }
+
+    #[test]
+    fn prepend_at_head() {
+        let mut p = path(&[2, 1]);
+        p.prepend(Asn::new(3), 1);
+        assert_eq!(p.to_vec(), asns(&[3, 2, 1]));
+        p.prepend(Asn::new(3), 3);
+        assert_eq!(p.to_vec(), asns(&[3, 3, 3, 3, 2, 1]));
+        assert_eq!(p.hop_count(), 6);
+        p.prepend(Asn::new(9), 0);
+        assert_eq!(p.hop_count(), 6);
+    }
+
+    #[test]
+    fn prepend_onto_empty_path() {
+        let mut p = AsPath::empty();
+        p.prepend(Asn::new(7), 2);
+        assert_eq!(p.to_vec(), asns(&[7, 7]));
+        assert_eq!(p.origin(), Some(Asn::new(7)));
+    }
+
+    #[test]
+    fn deprepended_collapses_consecutive() {
+        // The paper's Fig 1: "p1 AS3, AS3, AS3, AS1, AS5" after AS3 prepends.
+        let p = path(&[3, 3, 3, 1, 5]);
+        assert_eq!(p.deprepended().to_vec(), asns(&[3, 1, 5]));
+        // non-consecutive duplicates survive (they're a loop, not prepending)
+        let lp = path(&[3, 1, 3]);
+        assert_eq!(lp.deprepended().to_vec(), asns(&[3, 1, 3]));
+    }
+
+    #[test]
+    fn position_counts_from_monitor_side() {
+        // AS5 AS4 AS3 AS2 AS1, origin AS1, observed via AS5 (§4.3 example).
+        let p = path(&[5, 4, 3, 2, 1]);
+        assert_eq!(p.position(Asn::new(5)), Some(0));
+        assert_eq!(p.position(Asn::new(3)), Some(2));
+        assert_eq!(p.position(Asn::new(1)), Some(4));
+        assert_eq!(p.position(Asn::new(99)), None);
+        // prepending must not inflate positions
+        let p = path(&[5, 4, 4, 4, 3, 2, 1]);
+        assert_eq!(p.position(Asn::new(3)), Some(2));
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(!path(&[3, 2, 1]).has_loop());
+        assert!(!path(&[3, 3, 2, 1]).has_loop(), "prepending is not a loop");
+        assert!(path(&[3, 2, 3, 1]).has_loop());
+    }
+
+    #[test]
+    fn contains_and_unique_count() {
+        let p = path(&[3, 3, 2, 1]);
+        assert!(p.contains(Asn::new(3)));
+        assert!(!p.contains(Asn::new(9)));
+        assert_eq!(p.unique_as_count(), 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(path(&[3, 2, 1]).to_string(), "3 2 1");
+        let p = AsPath::from_segments(vec![
+            PathSegment::Sequence(asns(&[5, 4])),
+            PathSegment::Set(asns(&[2, 1])),
+        ]);
+        assert_eq!(p.to_string(), "5 4 {2,1}");
+        assert_eq!(AsPath::empty().to_string(), "");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: AsPath = asns(&[9, 8]).into_iter().collect();
+        assert_eq!(p.to_vec(), asns(&[9, 8]));
+    }
+
+    #[test]
+    fn is_empty_handles_hollow_segments() {
+        assert!(AsPath::empty().is_empty());
+        assert!(AsPath::from_segments(vec![PathSegment::Sequence(vec![])]).is_empty());
+        assert!(!path(&[1]).is_empty());
+    }
+}

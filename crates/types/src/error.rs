@@ -1,0 +1,84 @@
+//! Error type for parsing and validating the logical BGP types.
+
+use std::fmt;
+
+/// Errors produced when constructing or parsing the types in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A prefix length exceeded the maximum for its address family.
+    InvalidPrefixLength {
+        /// The offending length.
+        len: u8,
+        /// The maximum valid length (32 for IPv4, 128 for IPv6).
+        max: u8,
+    },
+    /// A textual value failed to parse.
+    Parse {
+        /// What was being parsed (e.g. `"community"`).
+        what: &'static str,
+        /// The input that failed.
+        input: String,
+    },
+    /// A numeric field was out of range.
+    OutOfRange {
+        /// What was being validated.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+        /// The maximum valid value.
+        max: u64,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::InvalidPrefixLength { len, max } => {
+                write!(f, "invalid prefix length /{len} (max /{max})")
+            }
+            TypeError::Parse { what, input } => {
+                write!(f, "cannot parse {what} from {input:?}")
+            }
+            TypeError::OutOfRange { what, value, max } => {
+                write!(f, "{what} value {value} out of range (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl TypeError {
+    /// Convenience constructor for parse failures.
+    pub fn parse(what: &'static str, input: impl Into<String>) -> Self {
+        TypeError::Parse {
+            what,
+            input: input.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = TypeError::InvalidPrefixLength { len: 40, max: 32 };
+        assert_eq!(e.to_string(), "invalid prefix length /40 (max /32)");
+        let e = TypeError::parse("community", "x:y");
+        assert_eq!(e.to_string(), "cannot parse community from \"x:y\"");
+        let e = TypeError::OutOfRange {
+            what: "asn",
+            value: 70000,
+            max: 65535,
+        };
+        assert_eq!(e.to_string(), "asn value 70000 out of range (max 65535)");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TypeError::parse("prefix", "bad"));
+    }
+}

@@ -1,0 +1,120 @@
+//! RFC 8092 large communities (96 bits, `global:local1:local2`).
+//!
+//! The paper focuses on classic 32-bit communities but notes the advent of
+//! large communities for 32-bit ASNs (§2 footnote 1); we carry them through
+//! the wire codec and simulator for completeness.
+
+use crate::asn::Asn;
+use crate::error::TypeError;
+use std::fmt;
+use std::str::FromStr;
+
+/// An RFC 8092 large community: three 32-bit words, the first conventionally
+/// the Global Administrator (an ASN, including 32-bit ASNs that do not fit in
+/// classic communities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LargeCommunity {
+    /// Global Administrator — conventionally the defining ASN.
+    pub global: u32,
+    /// First AS-specific data word.
+    pub local1: u32,
+    /// Second AS-specific data word.
+    pub local2: u32,
+}
+
+impl LargeCommunity {
+    /// Creates a large community from its three words.
+    pub const fn new(global: u32, local1: u32, local2: u32) -> Self {
+        LargeCommunity {
+            global,
+            local1,
+            local2,
+        }
+    }
+
+    /// The conventional owner AS (Global Administrator).
+    pub fn owner(self) -> Asn {
+        Asn::new(self.global)
+    }
+
+    /// Encodes to the 12-byte wire form (three big-endian u32 words).
+    pub fn to_bytes(self) -> [u8; 12] {
+        let mut out = [0u8; 12];
+        out[0..4].copy_from_slice(&self.global.to_be_bytes());
+        out[4..8].copy_from_slice(&self.local1.to_be_bytes());
+        out[8..12].copy_from_slice(&self.local2.to_be_bytes());
+        out
+    }
+
+    /// Decodes from the 12-byte wire form.
+    pub fn from_bytes(b: [u8; 12]) -> Self {
+        LargeCommunity {
+            global: u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+            local1: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
+            local2: u32::from_be_bytes([b[8], b[9], b[10], b[11]]),
+        }
+    }
+}
+
+impl fmt::Display for LargeCommunity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.global, self.local1, self.local2)
+    }
+}
+
+impl FromStr for LargeCommunity {
+    type Err = TypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split(':');
+        let (a, b, c) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), Some(c), None) => (a, b, c),
+            _ => return Err(TypeError::parse("large community", s)),
+        };
+        let global: u32 = a
+            .parse()
+            .map_err(|_| TypeError::parse("large community", s))?;
+        let local1: u32 = b
+            .parse()
+            .map_err(|_| TypeError::parse("large community", s))?;
+        let local2: u32 = c
+            .parse()
+            .map_err(|_| TypeError::parse("large community", s))?;
+        Ok(LargeCommunity::new(global, local1, local2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let lc = LargeCommunity::new(4_200_000_001, 1, 2);
+        assert_eq!(lc.to_string(), "4200000001:1:2");
+        assert_eq!("4200000001:1:2".parse::<LargeCommunity>().unwrap(), lc);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let lc = LargeCommunity::new(0xDEAD_BEEF, 0x0102_0304, 0xFFFF_FFFF);
+        assert_eq!(LargeCommunity::from_bytes(lc.to_bytes()), lc);
+        let b = lc.to_bytes();
+        assert_eq!(&b[0..4], &[0xDE, 0xAD, 0xBE, 0xEF]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("1:2".parse::<LargeCommunity>().is_err());
+        assert!("1:2:3:4".parse::<LargeCommunity>().is_err());
+        assert!("x:2:3".parse::<LargeCommunity>().is_err());
+        assert!("".parse::<LargeCommunity>().is_err());
+    }
+
+    #[test]
+    fn owner_handles_32bit_asn() {
+        let lc = LargeCommunity::new(4_200_000_001, 666, 0);
+        assert_eq!(lc.owner(), Asn::new(4_200_000_001));
+        assert!(lc.owner().is_private());
+    }
+}

@@ -1,0 +1,618 @@
+//! Path-attribute encode/decode (RFC 4271 §4.3, plus RFC 1997/4360/8092
+//! community attributes and RFC 4760 multiprotocol NLRI).
+
+use crate::cursor::Cursor;
+use crate::error::WireError;
+use crate::nlri;
+use crate::CodecConfig;
+use bgpworms_types::{
+    attr::{Aggregator, Origin, PathAttributes, UnknownAttribute},
+    aspath::{AsPath, PathSegment},
+    Asn, Community, ExtendedCommunity, Ipv6Prefix, LargeCommunity, Prefix,
+};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Attribute flag: optional (not well-known).
+pub const FLAG_OPTIONAL: u8 = 0x80;
+/// Attribute flag: transitive.
+pub const FLAG_TRANSITIVE: u8 = 0x40;
+/// Attribute flag: partial (set when a transitive optional attribute crossed
+/// a router that did not understand it).
+pub const FLAG_PARTIAL: u8 = 0x20;
+/// Attribute flag: two-byte length field follows.
+pub const FLAG_EXT_LEN: u8 = 0x10;
+
+/// Attribute type codes we interpret.
+pub mod type_code {
+    /// ORIGIN.
+    pub const ORIGIN: u8 = 1;
+    /// AS_PATH.
+    pub const AS_PATH: u8 = 2;
+    /// NEXT_HOP.
+    pub const NEXT_HOP: u8 = 3;
+    /// MULTI_EXIT_DISC.
+    pub const MED: u8 = 4;
+    /// LOCAL_PREF.
+    pub const LOCAL_PREF: u8 = 5;
+    /// ATOMIC_AGGREGATE.
+    pub const ATOMIC_AGGREGATE: u8 = 6;
+    /// AGGREGATOR.
+    pub const AGGREGATOR: u8 = 7;
+    /// COMMUNITIES (RFC 1997).
+    pub const COMMUNITIES: u8 = 8;
+    /// MP_REACH_NLRI (RFC 4760).
+    pub const MP_REACH_NLRI: u8 = 14;
+    /// MP_UNREACH_NLRI (RFC 4760).
+    pub const MP_UNREACH_NLRI: u8 = 15;
+    /// EXTENDED COMMUNITIES (RFC 4360).
+    pub const EXT_COMMUNITIES: u8 = 16;
+    /// LARGE_COMMUNITY (RFC 8092).
+    pub const LARGE_COMMUNITIES: u8 = 32;
+}
+
+/// AFI values (RFC 4760).
+pub const AFI_IPV4: u16 = 1;
+/// IPv6 address family.
+pub const AFI_IPV6: u16 = 2;
+/// Unicast SAFI.
+pub const SAFI_UNICAST: u8 = 1;
+
+/// Everything recovered from the attributes section of one UPDATE,
+/// with multiprotocol NLRI separated back out of the attribute blob.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecodedAttributes {
+    /// The logical path attributes.
+    pub attrs: PathAttributes,
+    /// Prefixes announced via MP_REACH_NLRI (IPv6 unicast).
+    pub mp_announced: Vec<Prefix>,
+    /// Prefixes withdrawn via MP_UNREACH_NLRI.
+    pub mp_withdrawn: Vec<Prefix>,
+    /// Next hop carried inside MP_REACH_NLRI.
+    pub mp_next_hop: Option<IpAddr>,
+}
+
+fn push_attr_header(out: &mut Vec<u8>, mut flags: u8, type_code: u8, len: usize) {
+    if len > 255 {
+        flags |= FLAG_EXT_LEN;
+    }
+    out.push(flags);
+    out.push(type_code);
+    if len > 255 {
+        out.extend_from_slice(&(len as u16).to_be_bytes());
+    } else {
+        out.push(len as u8);
+    }
+}
+
+fn encode_as_path(path: &AsPath, cfg: CodecConfig) -> Vec<u8> {
+    let mut body = Vec::new();
+    for seg in path.segments() {
+        let (seg_type, asns) = match seg {
+            PathSegment::Set(v) => (1u8, v),
+            PathSegment::Sequence(v) => (2u8, v),
+        };
+        if asns.is_empty() {
+            continue;
+        }
+        // Segments hold at most 255 ASNs; long prepends are split.
+        for chunk in asns.chunks(255) {
+            body.push(seg_type);
+            body.push(chunk.len() as u8);
+            for a in chunk {
+                if cfg.asn4 {
+                    body.extend_from_slice(&a.get().to_be_bytes());
+                } else {
+                    let v = a.as_u16().unwrap_or(23_456); // AS_TRANS
+                    body.extend_from_slice(&v.to_be_bytes());
+                }
+            }
+        }
+    }
+    body
+}
+
+fn decode_as_path(data: &[u8], cfg: CodecConfig) -> Result<AsPath, WireError> {
+    let mut c = Cursor::new(data);
+    let mut segments = Vec::new();
+    while !c.is_empty() {
+        let seg_type = c.u8("as_path segment type")?;
+        let count = c.u8("as_path segment count")? as usize;
+        let mut asns = Vec::with_capacity(count);
+        for _ in 0..count {
+            let asn = if cfg.asn4 {
+                c.u32("as_path asn")?
+            } else {
+                u32::from(c.u16("as_path asn")?)
+            };
+            asns.push(Asn::new(asn));
+        }
+        let seg = match seg_type {
+            1 => PathSegment::Set(asns),
+            2 => PathSegment::Sequence(asns),
+            t => return Err(WireError::BadSegmentType(t)),
+        };
+        segments.push(seg);
+    }
+    Ok(AsPath::from_segments(segments))
+}
+
+/// Encodes the attributes section (without the leading 2-byte total length).
+///
+/// `v6_announced` / `v6_withdrawn` are emitted as MP_REACH / MP_UNREACH;
+/// IPv4 NLRI lives in the UPDATE body and is not passed here.
+pub fn encode_attributes(
+    attrs: &PathAttributes,
+    v6_announced: &[Ipv6Prefix],
+    v6_withdrawn: &[Ipv6Prefix],
+    cfg: CodecConfig,
+) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+
+    // ORIGIN — well-known mandatory.
+    push_attr_header(&mut out, FLAG_TRANSITIVE, type_code::ORIGIN, 1);
+    out.push(attrs.origin.code());
+
+    // AS_PATH — well-known mandatory.
+    let path = encode_as_path(&attrs.as_path, cfg);
+    push_attr_header(&mut out, FLAG_TRANSITIVE, type_code::AS_PATH, path.len());
+    out.extend_from_slice(&path);
+
+    // NEXT_HOP — mandatory when IPv4 NLRI is present; we emit whenever set.
+    if let Some(IpAddr::V4(nh)) = attrs.next_hop {
+        push_attr_header(&mut out, FLAG_TRANSITIVE, type_code::NEXT_HOP, 4);
+        out.extend_from_slice(&nh.octets());
+    }
+
+    if let Some(med) = attrs.med {
+        push_attr_header(&mut out, FLAG_OPTIONAL, type_code::MED, 4);
+        out.extend_from_slice(&med.to_be_bytes());
+    }
+
+    if let Some(lp) = attrs.local_pref {
+        push_attr_header(&mut out, FLAG_TRANSITIVE, type_code::LOCAL_PREF, 4);
+        out.extend_from_slice(&lp.to_be_bytes());
+    }
+
+    if attrs.atomic_aggregate {
+        push_attr_header(&mut out, FLAG_TRANSITIVE, type_code::ATOMIC_AGGREGATE, 0);
+    }
+
+    if let Some(agg) = attrs.aggregator {
+        let len = if cfg.asn4 { 8 } else { 6 };
+        push_attr_header(
+            &mut out,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            type_code::AGGREGATOR,
+            len,
+        );
+        if cfg.asn4 {
+            out.extend_from_slice(&agg.asn.get().to_be_bytes());
+        } else {
+            out.extend_from_slice(&agg.asn.as_u16().unwrap_or(23_456).to_be_bytes());
+        }
+        out.extend_from_slice(&agg.router_id.octets());
+    }
+
+    if !attrs.communities.is_empty() {
+        push_attr_header(
+            &mut out,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            type_code::COMMUNITIES,
+            attrs.communities.len() * 4,
+        );
+        for c in &attrs.communities {
+            out.extend_from_slice(&c.as_u32().to_be_bytes());
+        }
+    }
+
+    if !attrs.ext_communities.is_empty() {
+        push_attr_header(
+            &mut out,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            type_code::EXT_COMMUNITIES,
+            attrs.ext_communities.len() * 8,
+        );
+        for c in &attrs.ext_communities {
+            out.extend_from_slice(&c.to_bytes());
+        }
+    }
+
+    if !attrs.large_communities.is_empty() {
+        push_attr_header(
+            &mut out,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            type_code::LARGE_COMMUNITIES,
+            attrs.large_communities.len() * 12,
+        );
+        for c in &attrs.large_communities {
+            out.extend_from_slice(&c.to_bytes());
+        }
+    }
+
+    if !v6_announced.is_empty() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&AFI_IPV6.to_be_bytes());
+        body.push(SAFI_UNICAST);
+        let nh = match attrs.next_hop {
+            Some(IpAddr::V6(nh)) => nh,
+            _ => Ipv6Addr::UNSPECIFIED,
+        };
+        body.push(16);
+        body.extend_from_slice(&nh.octets());
+        body.push(0); // reserved
+        for p in v6_announced {
+            nlri::encode_v6(*p, &mut body);
+        }
+        push_attr_header(&mut out, FLAG_OPTIONAL, type_code::MP_REACH_NLRI, body.len());
+        out.extend_from_slice(&body);
+    }
+
+    if !v6_withdrawn.is_empty() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&AFI_IPV6.to_be_bytes());
+        body.push(SAFI_UNICAST);
+        for p in v6_withdrawn {
+            nlri::encode_v6(*p, &mut body);
+        }
+        push_attr_header(
+            &mut out,
+            FLAG_OPTIONAL,
+            type_code::MP_UNREACH_NLRI,
+            body.len(),
+        );
+        out.extend_from_slice(&body);
+    }
+
+    // Unknown attributes are re-emitted verbatim (transitive forwarding).
+    for u in &attrs.unknown {
+        push_attr_header(&mut out, u.flags & !FLAG_EXT_LEN, u.type_code, u.data.len());
+        out.extend_from_slice(&u.data);
+    }
+
+    Ok(out)
+}
+
+fn expect_len(type_code: u8, data: &[u8], expected: usize) -> Result<(), WireError> {
+    if data.len() != expected {
+        Err(WireError::BadAttributeLength {
+            type_code,
+            len: data.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Decodes the attributes section of an UPDATE (after the 2-byte total
+/// attribute length has been consumed; `data` is exactly that section).
+pub fn decode_attributes(data: &[u8], cfg: CodecConfig) -> Result<DecodedAttributes, WireError> {
+    let mut c = Cursor::new(data);
+    let mut out = DecodedAttributes::default();
+
+    while !c.is_empty() {
+        let flags = c.u8("attribute flags")?;
+        let type_code_v = c.u8("attribute type")?;
+        let len = if flags & FLAG_EXT_LEN != 0 {
+            c.u16("attribute extended length")? as usize
+        } else {
+            c.u8("attribute length")? as usize
+        };
+        let body = c.take("attribute body", len)?;
+
+        match type_code_v {
+            type_code::ORIGIN => {
+                expect_len(type_code_v, body, 1)?;
+                out.attrs.origin =
+                    Origin::from_code(body[0]).ok_or(WireError::BadOrigin(body[0]))?;
+            }
+            type_code::AS_PATH => {
+                out.attrs.as_path = decode_as_path(body, cfg)?;
+            }
+            type_code::NEXT_HOP => {
+                expect_len(type_code_v, body, 4)?;
+                out.attrs.next_hop = Some(IpAddr::V4(Ipv4Addr::new(
+                    body[0], body[1], body[2], body[3],
+                )));
+            }
+            type_code::MED => {
+                expect_len(type_code_v, body, 4)?;
+                out.attrs.med = Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
+            }
+            type_code::LOCAL_PREF => {
+                expect_len(type_code_v, body, 4)?;
+                out.attrs.local_pref =
+                    Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
+            }
+            type_code::ATOMIC_AGGREGATE => {
+                expect_len(type_code_v, body, 0)?;
+                out.attrs.atomic_aggregate = true;
+            }
+            type_code::AGGREGATOR => {
+                let expected = if cfg.asn4 { 8 } else { 6 };
+                expect_len(type_code_v, body, expected)?;
+                let mut bc = Cursor::new(body);
+                let asn = if cfg.asn4 {
+                    bc.u32("aggregator asn")?
+                } else {
+                    u32::from(bc.u16("aggregator asn")?)
+                };
+                let rid = bc.u32("aggregator router id")?;
+                out.attrs.aggregator = Some(Aggregator {
+                    asn: Asn::new(asn),
+                    router_id: Ipv4Addr::from(rid),
+                });
+            }
+            type_code::COMMUNITIES => {
+                if len % 4 != 0 {
+                    return Err(WireError::BadAttributeLength {
+                        type_code: type_code_v,
+                        len,
+                    });
+                }
+                let mut bc = Cursor::new(body);
+                while !bc.is_empty() {
+                    out.attrs
+                        .communities
+                        .push(Community::from_u32(bc.u32("community")?));
+                }
+            }
+            type_code::EXT_COMMUNITIES => {
+                if len % 8 != 0 {
+                    return Err(WireError::BadAttributeLength {
+                        type_code: type_code_v,
+                        len,
+                    });
+                }
+                let mut bc = Cursor::new(body);
+                while !bc.is_empty() {
+                    let raw = bc.take("ext community", 8)?;
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(raw);
+                    out.attrs
+                        .ext_communities
+                        .push(ExtendedCommunity::from_bytes(b));
+                }
+            }
+            type_code::LARGE_COMMUNITIES => {
+                if len % 12 != 0 {
+                    return Err(WireError::BadAttributeLength {
+                        type_code: type_code_v,
+                        len,
+                    });
+                }
+                let mut bc = Cursor::new(body);
+                while !bc.is_empty() {
+                    let raw = bc.take("large community", 12)?;
+                    let mut b = [0u8; 12];
+                    b.copy_from_slice(raw);
+                    out.attrs
+                        .large_communities
+                        .push(LargeCommunity::from_bytes(b));
+                }
+            }
+            type_code::MP_REACH_NLRI => {
+                let mut bc = Cursor::new(body);
+                let afi = bc.u16("mp_reach afi")?;
+                let safi = bc.u8("mp_reach safi")?;
+                if afi != AFI_IPV6 || safi != SAFI_UNICAST {
+                    return Err(WireError::UnsupportedAfiSafi { afi, safi });
+                }
+                let nh_len = bc.u8("mp_reach next hop length")? as usize;
+                let nh = bc.take("mp_reach next hop", nh_len)?;
+                if nh_len >= 16 {
+                    let mut b = [0u8; 16];
+                    b.copy_from_slice(&nh[..16]);
+                    out.mp_next_hop = Some(IpAddr::V6(Ipv6Addr::from(b)));
+                }
+                let _reserved = bc.u8("mp_reach reserved")?;
+                out.mp_announced = nlri::decode_v6_run(&mut bc)?;
+            }
+            type_code::MP_UNREACH_NLRI => {
+                let mut bc = Cursor::new(body);
+                let afi = bc.u16("mp_unreach afi")?;
+                let safi = bc.u8("mp_unreach safi")?;
+                if afi != AFI_IPV6 || safi != SAFI_UNICAST {
+                    return Err(WireError::UnsupportedAfiSafi { afi, safi });
+                }
+                out.mp_withdrawn = nlri::decode_v6_run(&mut bc)?;
+            }
+            _ => {
+                out.attrs.unknown.push(UnknownAttribute {
+                    flags,
+                    type_code: type_code_v,
+                    data: body.to_vec(),
+                });
+            }
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpworms_types::attr::PathAttributes;
+
+    fn roundtrip(attrs: &PathAttributes, cfg: CodecConfig) -> DecodedAttributes {
+        let bytes = encode_attributes(attrs, &[], &[], cfg).unwrap();
+        decode_attributes(&bytes, cfg).unwrap()
+    }
+
+    fn base_attrs() -> PathAttributes {
+        let mut a = PathAttributes {
+            origin: Origin::Igp,
+            as_path: AsPath::from_asns([Asn::new(3), Asn::new(2), Asn::new(1)]),
+            next_hop: Some("10.0.0.1".parse().unwrap()),
+            ..PathAttributes::default()
+        };
+        a.add_community(Community::new(2914, 421));
+        a
+    }
+
+    #[test]
+    fn basic_roundtrip_modern() {
+        let attrs = base_attrs();
+        let dec = roundtrip(&attrs, CodecConfig::modern());
+        assert_eq!(dec.attrs, attrs);
+    }
+
+    #[test]
+    fn basic_roundtrip_legacy() {
+        let attrs = base_attrs();
+        let dec = roundtrip(&attrs, CodecConfig::legacy());
+        assert_eq!(dec.attrs, attrs);
+    }
+
+    #[test]
+    fn legacy_substitutes_as_trans() {
+        let mut attrs = base_attrs();
+        attrs.as_path = AsPath::from_asns([Asn::new(4_200_000_001), Asn::new(1)]);
+        let dec = roundtrip(&attrs, CodecConfig::legacy());
+        assert_eq!(
+            dec.attrs.as_path.to_vec(),
+            vec![Asn::TRANS, Asn::new(1)],
+            "32-bit ASN becomes AS_TRANS on 2-octet session"
+        );
+    }
+
+    #[test]
+    fn all_optional_attrs_roundtrip() {
+        let mut attrs = base_attrs();
+        attrs.med = Some(50);
+        attrs.local_pref = Some(200);
+        attrs.atomic_aggregate = true;
+        attrs.aggregator = Some(Aggregator {
+            asn: Asn::new(2914),
+            router_id: "192.0.2.1".parse().unwrap(),
+        });
+        attrs.ext_communities.push(ExtendedCommunity::route_target(1, 2));
+        attrs
+            .large_communities
+            .push(LargeCommunity::new(4_200_000_001, 666, 0));
+        let dec = roundtrip(&attrs, CodecConfig::modern());
+        assert_eq!(dec.attrs, attrs);
+    }
+
+    #[test]
+    fn unknown_transitive_attr_preserved() {
+        let mut attrs = base_attrs();
+        attrs.unknown.push(UnknownAttribute {
+            flags: FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            type_code: 99,
+            data: vec![1, 2, 3, 4, 5],
+        });
+        let dec = roundtrip(&attrs, CodecConfig::modern());
+        assert_eq!(dec.attrs.unknown, attrs.unknown);
+    }
+
+    #[test]
+    fn long_prepend_splits_segments() {
+        let mut attrs = base_attrs();
+        let mut path = AsPath::from_asns([Asn::new(1)]);
+        path.prepend(Asn::new(7), 300); // > 255, must split
+        attrs.as_path = path.clone();
+        let dec = roundtrip(&attrs, CodecConfig::modern());
+        assert_eq!(dec.attrs.as_path.to_vec(), path.to_vec());
+        assert_eq!(dec.attrs.as_path.hop_count(), 301);
+    }
+
+    #[test]
+    fn many_communities_need_extended_length() {
+        // 16K communities fit in one extended-length attribute (§6.1: a BGP
+        // update can carry up to 2^16/4 = 16K communities).
+        let mut attrs = base_attrs();
+        attrs.communities = (0..1000).map(|i| Community::new(100, i as u16)).collect();
+        let bytes = encode_attributes(&attrs, &[], &[], CodecConfig::modern()).unwrap();
+        let dec = decode_attributes(&bytes, CodecConfig::modern()).unwrap();
+        assert_eq!(dec.attrs.communities.len(), 1000);
+        assert_eq!(dec.attrs.communities, attrs.communities);
+    }
+
+    #[test]
+    fn v6_mp_reach_roundtrip() {
+        let mut attrs = base_attrs();
+        attrs.next_hop = Some("2001:db8::1".parse().unwrap());
+        let v6: Ipv6Prefix = "2001:db8:100::/48".parse().unwrap();
+        let bytes = encode_attributes(&attrs, &[v6], &[], CodecConfig::modern()).unwrap();
+        let dec = decode_attributes(&bytes, CodecConfig::modern()).unwrap();
+        assert_eq!(dec.mp_announced, vec![Prefix::V6(v6)]);
+        assert_eq!(dec.mp_next_hop, Some("2001:db8::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn v6_mp_unreach_roundtrip() {
+        let attrs = PathAttributes::default();
+        let v6: Ipv6Prefix = "2001:db8::/32".parse().unwrap();
+        let bytes = encode_attributes(&attrs, &[], &[v6], CodecConfig::modern()).unwrap();
+        let dec = decode_attributes(&bytes, CodecConfig::modern()).unwrap();
+        assert_eq!(dec.mp_withdrawn, vec![Prefix::V6(v6)]);
+    }
+
+    #[test]
+    fn bad_origin_rejected() {
+        let bytes = vec![FLAG_TRANSITIVE, type_code::ORIGIN, 1, 7];
+        assert_eq!(
+            decode_attributes(&bytes, CodecConfig::modern()).unwrap_err(),
+            WireError::BadOrigin(7)
+        );
+    }
+
+    #[test]
+    fn bad_lengths_rejected() {
+        // NEXT_HOP with 3 bytes
+        let bytes = vec![FLAG_TRANSITIVE, type_code::NEXT_HOP, 3, 1, 2, 3];
+        assert!(matches!(
+            decode_attributes(&bytes, CodecConfig::modern()),
+            Err(WireError::BadAttributeLength { .. })
+        ));
+        // COMMUNITIES not a multiple of 4
+        let bytes = vec![FLAG_OPTIONAL | FLAG_TRANSITIVE, type_code::COMMUNITIES, 5, 0, 0, 0, 0, 0];
+        assert!(matches!(
+            decode_attributes(&bytes, CodecConfig::modern()),
+            Err(WireError::BadAttributeLength { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_attribute_rejected() {
+        let bytes = vec![FLAG_TRANSITIVE, type_code::AS_PATH, 10, 2, 1];
+        assert!(matches!(
+            decode_attributes(&bytes, CodecConfig::modern()),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_segment_type_rejected() {
+        // AS_PATH with segment type 9
+        let bytes = vec![FLAG_TRANSITIVE, type_code::AS_PATH, 6, 9, 1, 0, 0, 0, 1];
+        assert_eq!(
+            decode_attributes(&bytes, CodecConfig::modern()).unwrap_err(),
+            WireError::BadSegmentType(9)
+        );
+    }
+
+    #[test]
+    fn unsupported_afi_safi_rejected() {
+        let mut body = vec![0u8, 3, 1]; // AFI 3
+        body.push(0);
+        let mut bytes = vec![FLAG_OPTIONAL, type_code::MP_UNREACH_NLRI, body.len() as u8];
+        bytes.extend_from_slice(&body);
+        assert!(matches!(
+            decode_attributes(&bytes, CodecConfig::modern()),
+            Err(WireError::UnsupportedAfiSafi { afi: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn as_set_roundtrip() {
+        let mut attrs = base_attrs();
+        attrs.as_path = AsPath::from_segments(vec![
+            PathSegment::Sequence(vec![Asn::new(5), Asn::new(4)]),
+            PathSegment::Set(vec![Asn::new(2), Asn::new(1)]),
+        ]);
+        let dec = roundtrip(&attrs, CodecConfig::modern());
+        assert_eq!(dec.attrs.as_path, attrs.as_path);
+    }
+}

@@ -1,0 +1,154 @@
+//! A bounds-checked byte reader producing descriptive [`WireError`]s.
+//!
+//! `bytes::Buf` panics on under-read; BGP decoding must instead fail
+//! gracefully on truncated or hostile input, so this thin cursor wraps a
+//! slice and converts every read into a checked operation.
+
+use crate::error::WireError;
+
+/// A forward-only reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wraps a slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True if fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current offset from the start of the slice.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn check(&self, what: &'static str, needed: usize) -> Result<(), WireError> {
+        if self.remaining() < needed {
+            Err(WireError::Truncated {
+                what,
+                needed,
+                available: self.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        self.check(what, 1)?;
+        let b = self.data[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a big-endian u16.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        self.check(what, 2)?;
+        let v = u16::from_be_bytes([self.data[self.pos], self.data[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    /// Reads a big-endian u32.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        self.check(what, 4)?;
+        let v = u32::from_be_bytes([
+            self.data[self.pos],
+            self.data[self.pos + 1],
+            self.data[self.pos + 2],
+            self.data[self.pos + 3],
+        ]);
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Reads a big-endian u128 (16 bytes, for IPv6 addresses).
+    pub fn u128(&mut self, what: &'static str) -> Result<u128, WireError> {
+        self.check(what, 16)?;
+        let mut b = [0u8; 16];
+        b.copy_from_slice(&self.data[self.pos..self.pos + 16]);
+        self.pos += 16;
+        Ok(u128::from_be_bytes(b))
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, what: &'static str, n: usize) -> Result<&'a [u8], WireError> {
+        self.check(what, n)?;
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Takes everything left.
+    pub fn take_rest(&mut self) -> &'a [u8] {
+        let s = &self.data[self.pos..];
+        self.pos = self.data.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_reads() {
+        let data = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07];
+        let mut c = Cursor::new(&data);
+        assert_eq!(c.u8("a").unwrap(), 1);
+        assert_eq!(c.u16("b").unwrap(), 0x0203);
+        assert_eq!(c.u32("c").unwrap(), 0x0405_0607);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn truncation_reports_context() {
+        let data = [0x01];
+        let mut c = Cursor::new(&data);
+        let err = c.u32("needs four").unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Truncated {
+                what: "needs four",
+                needed: 4,
+                available: 1
+            }
+        );
+        // cursor not advanced on failure
+        assert_eq!(c.remaining(), 1);
+        assert_eq!(c.u8("one").unwrap(), 1);
+    }
+
+    #[test]
+    fn take_and_rest() {
+        let data = [1, 2, 3, 4, 5];
+        let mut c = Cursor::new(&data);
+        assert_eq!(c.take("head", 2).unwrap(), &[1, 2]);
+        assert_eq!(c.position(), 2);
+        assert_eq!(c.take_rest(), &[3, 4, 5]);
+        assert!(c.is_empty());
+        assert_eq!(c.take_rest(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn u128_read() {
+        let mut data = [0u8; 16];
+        data[15] = 9;
+        let mut c = Cursor::new(&data);
+        assert_eq!(c.u128("v6").unwrap(), 9);
+        assert!(Cursor::new(&data[..15]).u128("v6").is_err());
+    }
+}

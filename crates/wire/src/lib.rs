@@ -1,0 +1,83 @@
+//! RFC 4271 BGP message wire codec.
+//!
+//! Encodes and decodes the four BGP message types (OPEN, UPDATE,
+//! NOTIFICATION, KEEPALIVE) to and from their on-the-wire representation,
+//! including:
+//!
+//! * path attributes with full flag handling (optional/transitive/partial/
+//!   extended length), preserving unknown transitive attributes opaquely;
+//! * both 2-octet and 4-octet AS_PATH encodings (RFC 6793), selected by
+//!   [`CodecConfig::asn4`];
+//! * RFC 1997 COMMUNITIES, RFC 8092 LARGE_COMMUNITY and RFC 4360 extended
+//!   communities;
+//! * RFC 4760 MP_REACH_NLRI / MP_UNREACH_NLRI for IPv6 unicast.
+//!
+//! The decoder is defensive: every length is validated before use and all
+//! failures are reported as structured [`WireError`]s — the fuzz-ish
+//! property tests feed it arbitrary byte soup.
+//!
+//! # Example
+//!
+//! ```
+//! use bgpworms_types::{Asn, AsPath, PathAttributes, Prefix, RouteUpdate};
+//! use bgpworms_wire::{decode_message, encode_update, BgpMessage, CodecConfig};
+//!
+//! let mut attrs = PathAttributes::default();
+//! attrs.as_path = AsPath::from_asns([Asn::new(2), Asn::new(1)]);
+//! attrs.next_hop = Some("10.0.0.1".parse().unwrap());
+//! let update = RouteUpdate::announce("192.0.2.0/24".parse().unwrap(), attrs);
+//!
+//! let cfg = CodecConfig::default();
+//! let bytes = encode_update(&update, cfg).unwrap();
+//! let (msg, used) = decode_message(&bytes, cfg).unwrap();
+//! assert_eq!(used, bytes.len());
+//! match msg {
+//!     BgpMessage::Update(u) => assert_eq!(u.announced, vec!["192.0.2.0/24".parse::<Prefix>().unwrap()]),
+//!     _ => panic!("expected UPDATE"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod attribute;
+pub mod cursor;
+pub mod error;
+pub mod message;
+pub mod nlri;
+pub mod open;
+
+pub use attribute::{decode_attributes, encode_attributes};
+pub use error::WireError;
+pub use message::{
+    decode_message, encode_keepalive, encode_notification, encode_update, BgpMessage,
+    Notification, MARKER_LEN, MAX_MESSAGE_LEN, MIN_MESSAGE_LEN,
+};
+pub use open::{Capability, OpenMessage};
+
+/// Session-level codec parameters that change the wire representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecConfig {
+    /// Encode/decode AS numbers in AS_PATH and AGGREGATOR as 4-octet values
+    /// (RFC 6793 capability negotiated). Modern sessions — and the MRT
+    /// `MESSAGE_AS4` subtype — use 4-octet; legacy sessions use 2-octet with
+    /// AS_TRANS substitution.
+    pub asn4: bool,
+}
+
+impl Default for CodecConfig {
+    fn default() -> Self {
+        CodecConfig { asn4: true }
+    }
+}
+
+impl CodecConfig {
+    /// Config for a legacy 2-octet-AS session.
+    pub const fn legacy() -> Self {
+        CodecConfig { asn4: false }
+    }
+
+    /// Config for a 4-octet-AS session (the default).
+    pub const fn modern() -> Self {
+        CodecConfig { asn4: true }
+    }
+}

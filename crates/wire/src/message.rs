@@ -1,0 +1,390 @@
+//! BGP message framing (RFC 4271 §4): header marker, length, type, and the
+//! per-type body codecs.
+
+use crate::attribute::{decode_attributes, encode_attributes};
+use crate::cursor::Cursor;
+use crate::error::WireError;
+use crate::nlri;
+use crate::open::OpenMessage;
+use crate::CodecConfig;
+use bgpworms_types::{Ipv6Prefix, Prefix, RouteUpdate};
+
+/// Length of the all-ones marker.
+pub const MARKER_LEN: usize = 16;
+/// Minimum BGP message length (bare header).
+pub const MIN_MESSAGE_LEN: usize = 19;
+/// Maximum BGP message length.
+pub const MAX_MESSAGE_LEN: usize = 4096;
+
+/// Message type codes.
+pub mod msg_type {
+    /// OPEN.
+    pub const OPEN: u8 = 1;
+    /// UPDATE.
+    pub const UPDATE: u8 = 2;
+    /// NOTIFICATION.
+    pub const NOTIFICATION: u8 = 3;
+    /// KEEPALIVE.
+    pub const KEEPALIVE: u8 = 4;
+}
+
+/// A NOTIFICATION message: error code, subcode, diagnostic data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notification {
+    /// Major error code (RFC 4271 §4.5).
+    pub code: u8,
+    /// Error subcode.
+    pub subcode: u8,
+    /// Diagnostic payload.
+    pub data: Vec<u8>,
+}
+
+/// A decoded BGP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpMessage {
+    /// OPEN.
+    Open(OpenMessage),
+    /// UPDATE — the workhorse; carries withdrawals, attributes and NLRI.
+    Update(RouteUpdate),
+    /// NOTIFICATION.
+    Notification(Notification),
+    /// KEEPALIVE.
+    Keepalive,
+}
+
+fn push_header(out: &mut Vec<u8>, msg_type: u8) -> usize {
+    out.extend_from_slice(&[0xFF; MARKER_LEN]);
+    let len_pos = out.len();
+    out.extend_from_slice(&[0, 0]);
+    out.push(msg_type);
+    len_pos
+}
+
+fn finish_header(out: &mut [u8], len_pos: usize) -> Result<(), WireError> {
+    let total = out.len();
+    if total > MAX_MESSAGE_LEN {
+        return Err(WireError::TooLong(total));
+    }
+    out[len_pos..len_pos + 2].copy_from_slice(&(total as u16).to_be_bytes());
+    Ok(())
+}
+
+/// Encodes an UPDATE message. IPv4 prefixes travel in the update body,
+/// IPv6 prefixes via MP_REACH/MP_UNREACH attributes (RFC 4760).
+pub fn encode_update(update: &RouteUpdate, cfg: CodecConfig) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(64);
+    let len_pos = push_header(&mut out, msg_type::UPDATE);
+
+    let (v4_withdrawn, v6_withdrawn): (Vec<_>, Vec<_>) =
+        update.withdrawn.iter().partition(|p| p.is_v4());
+    let (v4_announced, v6_announced): (Vec<_>, Vec<_>) =
+        update.announced.iter().partition(|p| p.is_v4());
+    let v6_announced: Vec<Ipv6Prefix> = v6_announced
+        .iter()
+        .map(|p| match p {
+            Prefix::V6(p) => *p,
+            Prefix::V4(_) => unreachable!("partitioned"),
+        })
+        .collect();
+    let v6_withdrawn: Vec<Ipv6Prefix> = v6_withdrawn
+        .iter()
+        .map(|p| match p {
+            Prefix::V6(p) => *p,
+            Prefix::V4(_) => unreachable!("partitioned"),
+        })
+        .collect();
+
+    // Withdrawn routes (IPv4).
+    let mut wd = Vec::new();
+    for p in &v4_withdrawn {
+        if let Prefix::V4(p4) = p {
+            nlri::encode_v4(*p4, &mut wd);
+        }
+    }
+    out.extend_from_slice(&(wd.len() as u16).to_be_bytes());
+    out.extend_from_slice(&wd);
+
+    // Path attributes. Withdraw-only updates carry none.
+    let attrs = if v4_announced.is_empty() && v6_announced.is_empty() && v6_withdrawn.is_empty() {
+        Vec::new()
+    } else {
+        encode_attributes(&update.attrs, &v6_announced, &v6_withdrawn, cfg)?
+    };
+    out.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+    out.extend_from_slice(&attrs);
+
+    // IPv4 NLRI.
+    for p in &v4_announced {
+        if let Prefix::V4(p4) = p {
+            nlri::encode_v4(*p4, &mut out);
+        }
+    }
+
+    finish_header(&mut out, len_pos)?;
+    Ok(out)
+}
+
+/// Encodes a KEEPALIVE.
+pub fn encode_keepalive() -> Vec<u8> {
+    let mut out = Vec::with_capacity(MIN_MESSAGE_LEN);
+    let len_pos = push_header(&mut out, msg_type::KEEPALIVE);
+    finish_header(&mut out, len_pos).expect("keepalive fits");
+    out
+}
+
+/// Encodes a NOTIFICATION.
+pub fn encode_notification(n: &Notification) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(MIN_MESSAGE_LEN + 2 + n.data.len());
+    let len_pos = push_header(&mut out, msg_type::NOTIFICATION);
+    out.push(n.code);
+    out.push(n.subcode);
+    out.extend_from_slice(&n.data);
+    finish_header(&mut out, len_pos)?;
+    Ok(out)
+}
+
+/// Decodes one message from the front of `data`.
+///
+/// Returns the message and the number of bytes consumed, so a caller can
+/// iterate over a concatenated stream (as found inside MRT files and on TCP
+/// sessions).
+pub fn decode_message(data: &[u8], cfg: CodecConfig) -> Result<(BgpMessage, usize), WireError> {
+    let mut c = Cursor::new(data);
+    let marker = c.take("message marker", MARKER_LEN)?;
+    if marker.iter().any(|&b| b != 0xFF) {
+        return Err(WireError::BadMarker);
+    }
+    let length = c.u16("message length")?;
+    let ltotal = length as usize;
+    if !(MIN_MESSAGE_LEN..=MAX_MESSAGE_LEN).contains(&ltotal) {
+        return Err(WireError::BadMessageLength(length));
+    }
+    let msg_type = c.u8("message type")?;
+    let body = c.take("message body", ltotal - MIN_MESSAGE_LEN)?;
+
+    let msg = match msg_type {
+        msg_type::OPEN => BgpMessage::Open(OpenMessage::decode(body)?),
+        msg_type::UPDATE => BgpMessage::Update(decode_update_body(body, cfg)?),
+        msg_type::NOTIFICATION => {
+            let mut bc = Cursor::new(body);
+            let code = bc.u8("notification code")?;
+            let subcode = bc.u8("notification subcode")?;
+            BgpMessage::Notification(Notification {
+                code,
+                subcode,
+                data: bc.take_rest().to_vec(),
+            })
+        }
+        msg_type::KEEPALIVE => {
+            if !body.is_empty() {
+                return Err(WireError::BadMessageLength(length));
+            }
+            BgpMessage::Keepalive
+        }
+        t => return Err(WireError::UnknownMessageType(t)),
+    };
+
+    Ok((msg, ltotal))
+}
+
+fn decode_update_body(body: &[u8], cfg: CodecConfig) -> Result<RouteUpdate, WireError> {
+    let mut c = Cursor::new(body);
+
+    let wd_len = c.u16("withdrawn routes length")? as usize;
+    let wd_bytes = c.take("withdrawn routes", wd_len)?;
+    let mut wd_cursor = Cursor::new(wd_bytes);
+    let mut withdrawn = nlri::decode_v4_run(&mut wd_cursor)?;
+
+    let attr_len = c.u16("total path attribute length")? as usize;
+    let attr_bytes = c.take("path attributes", attr_len)?;
+    let decoded = decode_attributes(attr_bytes, cfg)?;
+
+    let mut nlri_cursor = Cursor::new(c.take_rest());
+    let mut announced = nlri::decode_v4_run(&mut nlri_cursor)?;
+
+    announced.extend(decoded.mp_announced);
+    withdrawn.extend(decoded.mp_withdrawn);
+
+    let mut attrs = decoded.attrs;
+    if attrs.next_hop.is_none() {
+        attrs.next_hop = decoded.mp_next_hop;
+    }
+
+    Ok(RouteUpdate {
+        withdrawn,
+        attrs,
+        announced,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpworms_types::{Asn, AsPath, Community, PathAttributes};
+
+    fn sample_update() -> RouteUpdate {
+        let mut attrs = PathAttributes {
+            as_path: AsPath::from_asns([Asn::new(3), Asn::new(2), Asn::new(1)]),
+            next_hop: Some("10.0.0.1".parse().unwrap()),
+            ..PathAttributes::default()
+        };
+        attrs.add_community(Community::new(3, 666));
+        RouteUpdate::announce("192.0.2.0/24".parse().unwrap(), attrs)
+    }
+
+    #[test]
+    fn update_roundtrip() {
+        let u = sample_update();
+        let bytes = encode_update(&u, CodecConfig::modern()).unwrap();
+        let (msg, used) = decode_message(&bytes, CodecConfig::modern()).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(msg, BgpMessage::Update(u));
+    }
+
+    #[test]
+    fn update_with_mixed_families_roundtrips() {
+        let mut u = sample_update();
+        u.announced.push("2001:db8::/32".parse().unwrap());
+        u.withdrawn.push("10.9.0.0/16".parse().unwrap());
+        u.withdrawn.push("2001:db8:dead::/48".parse().unwrap());
+        let bytes = encode_update(&u, CodecConfig::modern()).unwrap();
+        let (msg, _) = decode_message(&bytes, CodecConfig::modern()).unwrap();
+        match msg {
+            BgpMessage::Update(dec) => {
+                assert_eq!(dec.announced, u.announced);
+                // v4 withdrawals decode before MP ones; order is preserved here
+                assert_eq!(dec.withdrawn, u.withdrawn);
+                assert_eq!(dec.attrs.communities, u.attrs.communities);
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn withdraw_only_update_has_no_attributes() {
+        let u = RouteUpdate::withdraw(vec!["10.0.0.0/8".parse().unwrap()]);
+        let bytes = encode_update(&u, CodecConfig::modern()).unwrap();
+        let (msg, _) = decode_message(&bytes, CodecConfig::modern()).unwrap();
+        match msg {
+            BgpMessage::Update(dec) => {
+                assert_eq!(dec.withdrawn, u.withdrawn);
+                assert!(dec.announced.is_empty());
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keepalive_roundtrip() {
+        let bytes = encode_keepalive();
+        assert_eq!(bytes.len(), MIN_MESSAGE_LEN);
+        let (msg, used) = decode_message(&bytes, CodecConfig::modern()).unwrap();
+        assert_eq!(msg, BgpMessage::Keepalive);
+        assert_eq!(used, MIN_MESSAGE_LEN);
+    }
+
+    #[test]
+    fn notification_roundtrip() {
+        let n = Notification {
+            code: 6,
+            subcode: 2,
+            data: vec![1, 2, 3],
+        };
+        let bytes = encode_notification(&n).unwrap();
+        let (msg, _) = decode_message(&bytes, CodecConfig::modern()).unwrap();
+        assert_eq!(msg, BgpMessage::Notification(n));
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let mut bytes = encode_keepalive();
+        bytes[3] = 0x00;
+        assert_eq!(
+            decode_message(&bytes, CodecConfig::modern()).unwrap_err(),
+            WireError::BadMarker
+        );
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let mut bytes = encode_keepalive();
+        bytes[16] = 0;
+        bytes[17] = 5; // < 19
+        assert_eq!(
+            decode_message(&bytes, CodecConfig::modern()).unwrap_err(),
+            WireError::BadMessageLength(5)
+        );
+        let mut bytes = encode_keepalive();
+        bytes[16] = 0xFF;
+        bytes[17] = 0xFF; // > 4096
+        assert!(matches!(
+            decode_message(&bytes, CodecConfig::modern()),
+            Err(WireError::BadMessageLength(_))
+        ));
+    }
+
+    #[test]
+    fn keepalive_with_body_rejected() {
+        let mut bytes = encode_keepalive();
+        bytes.push(0xAB);
+        bytes[17] = 20;
+        assert!(matches!(
+            decode_message(&bytes, CodecConfig::modern()),
+            Err(WireError::BadMessageLength(20))
+        ));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut bytes = encode_keepalive();
+        bytes[18] = 9;
+        assert_eq!(
+            decode_message(&bytes, CodecConfig::modern()).unwrap_err(),
+            WireError::UnknownMessageType(9)
+        );
+    }
+
+    #[test]
+    fn truncated_stream_reports_truncation() {
+        let u = sample_update();
+        let bytes = encode_update(&u, CodecConfig::modern()).unwrap();
+        for cut in [0, 5, 18, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    decode_message(&bytes[..cut], CodecConfig::modern()),
+                    Err(WireError::Truncated { .. })
+                ),
+                "cut at {cut} must report truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_of_messages_decodes_sequentially() {
+        let u = sample_update();
+        let mut stream = encode_update(&u, CodecConfig::modern()).unwrap();
+        stream.extend_from_slice(&encode_keepalive());
+        let (m1, used1) = decode_message(&stream, CodecConfig::modern()).unwrap();
+        let (m2, used2) = decode_message(&stream[used1..], CodecConfig::modern()).unwrap();
+        assert!(matches!(m1, BgpMessage::Update(_)));
+        assert_eq!(m2, BgpMessage::Keepalive);
+        assert_eq!(used1 + used2, stream.len());
+    }
+
+    #[test]
+    fn oversized_update_rejected_at_encode() {
+        let mut u = sample_update();
+        // ~1400 prefixes * ~5 bytes > 4096
+        u.announced = (0..1400u32)
+            .map(|i| {
+                Prefix::V4(
+                    bgpworms_types::Ipv4Prefix::new(i << 12, 24).unwrap(),
+                )
+            })
+            .collect();
+        assert!(matches!(
+            encode_update(&u, CodecConfig::modern()),
+            Err(WireError::TooLong(_))
+        ));
+    }
+}

@@ -1,0 +1,258 @@
+//! OPEN message and capability advertisement (RFC 4271 §4.2, RFC 5492).
+
+use crate::cursor::Cursor;
+use crate::error::WireError;
+use bgpworms_types::Asn;
+use std::net::Ipv4Addr;
+
+/// Capability codes we interpret.
+pub mod cap_code {
+    /// Multiprotocol extensions (RFC 4760).
+    pub const MULTIPROTOCOL: u8 = 1;
+    /// Route refresh (RFC 2918).
+    pub const ROUTE_REFRESH: u8 = 2;
+    /// 4-octet AS numbers (RFC 6793).
+    pub const FOUR_OCTET_AS: u8 = 65;
+}
+
+/// A capability advertised in an OPEN message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Capability {
+    /// Multiprotocol AFI/SAFI support.
+    Multiprotocol {
+        /// Address family identifier.
+        afi: u16,
+        /// Subsequent address family identifier.
+        safi: u8,
+    },
+    /// Route-refresh support.
+    RouteRefresh,
+    /// 4-octet AS number support, carrying the speaker's real ASN.
+    FourOctetAs(Asn),
+    /// Anything else, preserved opaquely.
+    Unknown {
+        /// Capability code.
+        code: u8,
+        /// Raw capability value.
+        data: Vec<u8>,
+    },
+}
+
+/// A BGP OPEN message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenMessage {
+    /// Protocol version; always 4.
+    pub version: u8,
+    /// The 2-octet "My Autonomous System" field (AS_TRANS when the real
+    /// ASN needs 4 octets).
+    pub my_as: u16,
+    /// Proposed hold time in seconds.
+    pub hold_time: u16,
+    /// BGP identifier (router ID).
+    pub bgp_id: Ipv4Addr,
+    /// Advertised capabilities.
+    pub capabilities: Vec<Capability>,
+}
+
+impl OpenMessage {
+    /// Builds a modern OPEN for `asn` with 4-octet-AS and IPv4+IPv6
+    /// multiprotocol capabilities.
+    pub fn modern(asn: Asn, hold_time: u16, bgp_id: Ipv4Addr) -> Self {
+        OpenMessage {
+            version: 4,
+            my_as: asn.as_u16().unwrap_or(23_456),
+            hold_time,
+            bgp_id,
+            capabilities: vec![
+                Capability::Multiprotocol { afi: 1, safi: 1 },
+                Capability::Multiprotocol { afi: 2, safi: 1 },
+                Capability::RouteRefresh,
+                Capability::FourOctetAs(asn),
+            ],
+        }
+    }
+
+    /// The speaker's effective ASN: the 4-octet capability value when
+    /// present, otherwise the 2-octet field.
+    pub fn asn(&self) -> Asn {
+        for cap in &self.capabilities {
+            if let Capability::FourOctetAs(a) = cap {
+                return *a;
+            }
+        }
+        Asn::new(u32::from(self.my_as))
+    }
+
+    /// True if the 4-octet-AS capability is advertised.
+    pub fn supports_asn4(&self) -> bool {
+        self.capabilities
+            .iter()
+            .any(|c| matches!(c, Capability::FourOctetAs(_)))
+    }
+
+    /// Encodes the OPEN body (without the 19-byte message header).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut caps = Vec::new();
+        for cap in &self.capabilities {
+            match cap {
+                Capability::Multiprotocol { afi, safi } => {
+                    caps.push(cap_code::MULTIPROTOCOL);
+                    caps.push(4);
+                    caps.extend_from_slice(&afi.to_be_bytes());
+                    caps.push(0);
+                    caps.push(*safi);
+                }
+                Capability::RouteRefresh => {
+                    caps.push(cap_code::ROUTE_REFRESH);
+                    caps.push(0);
+                }
+                Capability::FourOctetAs(asn) => {
+                    caps.push(cap_code::FOUR_OCTET_AS);
+                    caps.push(4);
+                    caps.extend_from_slice(&asn.get().to_be_bytes());
+                }
+                Capability::Unknown { code, data } => {
+                    caps.push(*code);
+                    caps.push(data.len() as u8);
+                    caps.extend_from_slice(data);
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(10 + caps.len());
+        out.push(self.version);
+        out.extend_from_slice(&self.my_as.to_be_bytes());
+        out.extend_from_slice(&self.hold_time.to_be_bytes());
+        out.extend_from_slice(&self.bgp_id.octets());
+        if caps.is_empty() {
+            out.push(0);
+        } else {
+            // One optional parameter of type 2 (capabilities).
+            out.push((caps.len() + 2) as u8);
+            out.push(2);
+            out.push(caps.len() as u8);
+            out.extend_from_slice(&caps);
+        }
+        out
+    }
+
+    /// Decodes an OPEN body.
+    pub fn decode(body: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cursor::new(body);
+        let version = c.u8("open version")?;
+        let my_as = c.u16("open my_as")?;
+        let hold_time = c.u16("open hold time")?;
+        let bgp_id = Ipv4Addr::from(c.u32("open bgp id")?);
+        let opt_len = c.u8("open optional parameters length")? as usize;
+        let params = c.take("open optional parameters", opt_len)?;
+
+        let mut capabilities = Vec::new();
+        let mut pc = Cursor::new(params);
+        while !pc.is_empty() {
+            let ptype = pc.u8("optional parameter type")?;
+            let plen = pc.u8("optional parameter length")? as usize;
+            let pbody = pc.take("optional parameter body", plen)?;
+            if ptype != 2 {
+                continue; // non-capability parameters ignored
+            }
+            let mut cc = Cursor::new(pbody);
+            while !cc.is_empty() {
+                let code = cc.u8("capability code")?;
+                let clen = cc.u8("capability length")? as usize;
+                let cbody = cc.take("capability body", clen)?;
+                let cap = match (code, clen) {
+                    (cap_code::MULTIPROTOCOL, 4) => Capability::Multiprotocol {
+                        afi: u16::from_be_bytes([cbody[0], cbody[1]]),
+                        safi: cbody[3],
+                    },
+                    (cap_code::ROUTE_REFRESH, 0) => Capability::RouteRefresh,
+                    (cap_code::FOUR_OCTET_AS, 4) => Capability::FourOctetAs(Asn::new(
+                        u32::from_be_bytes([cbody[0], cbody[1], cbody[2], cbody[3]]),
+                    )),
+                    _ => Capability::Unknown {
+                        code,
+                        data: cbody.to_vec(),
+                    },
+                };
+                capabilities.push(cap);
+            }
+        }
+
+        Ok(OpenMessage {
+            version,
+            my_as,
+            hold_time,
+            bgp_id,
+            capabilities,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modern_open_roundtrip() {
+        let open = OpenMessage::modern(Asn::new(2914), 180, "192.0.2.1".parse().unwrap());
+        let body = open.encode_body();
+        let dec = OpenMessage::decode(&body).unwrap();
+        assert_eq!(dec, open);
+        assert_eq!(dec.asn(), Asn::new(2914));
+        assert!(dec.supports_asn4());
+    }
+
+    #[test]
+    fn four_octet_asn_uses_as_trans() {
+        let open = OpenMessage::modern(Asn::new(4_200_000_001), 90, "10.0.0.1".parse().unwrap());
+        assert_eq!(open.my_as, 23_456);
+        let dec = OpenMessage::decode(&open.encode_body()).unwrap();
+        assert_eq!(dec.asn(), Asn::new(4_200_000_001));
+    }
+
+    #[test]
+    fn open_without_capabilities() {
+        let open = OpenMessage {
+            version: 4,
+            my_as: 65001,
+            hold_time: 0,
+            bgp_id: "1.1.1.1".parse().unwrap(),
+            capabilities: vec![],
+        };
+        let body = open.encode_body();
+        let dec = OpenMessage::decode(&body).unwrap();
+        assert_eq!(dec, open);
+        assert!(!dec.supports_asn4());
+        assert_eq!(dec.asn(), Asn::new(65001));
+    }
+
+    #[test]
+    fn unknown_capability_preserved() {
+        let open = OpenMessage {
+            version: 4,
+            my_as: 1,
+            hold_time: 180,
+            bgp_id: "1.1.1.1".parse().unwrap(),
+            capabilities: vec![Capability::Unknown {
+                code: 199,
+                data: vec![9, 9],
+            }],
+        };
+        let dec = OpenMessage::decode(&open.encode_body()).unwrap();
+        assert_eq!(dec.capabilities, open.capabilities);
+    }
+
+    #[test]
+    fn truncated_open_rejected() {
+        let open = OpenMessage::modern(Asn::new(1), 180, "1.1.1.1".parse().unwrap());
+        let body = open.encode_body();
+        assert!(matches!(
+            OpenMessage::decode(&body[..body.len() - 2]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            OpenMessage::decode(&[4, 0]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

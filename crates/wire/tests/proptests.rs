@@ -1,0 +1,143 @@
+//! Property tests for the wire codec: arbitrary logical updates round-trip
+//! bit-exactly, and arbitrary byte soup never panics the decoder.
+
+use bgpworms_types::{
+    attr::{Aggregator, Origin, PathAttributes},
+    Asn, AsPath, Community, Ipv4Prefix, Ipv6Prefix, LargeCommunity, Prefix, RouteUpdate,
+};
+use bgpworms_wire::{decode_message, encode_update, BgpMessage, CodecConfig};
+use proptest::prelude::*;
+
+fn arb_v4_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32)
+        .prop_map(|(a, l)| Prefix::V4(Ipv4Prefix::new(a, l).unwrap()))
+}
+
+fn arb_v6_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u128>(), 0u8..=128)
+        .prop_map(|(a, l)| Prefix::V6(Ipv6Prefix::new(a, l).unwrap()))
+}
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        0u8..3,
+        proptest::collection::vec(1u32..100_000, 1..8),
+        any::<u32>(),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        any::<bool>(),
+        proptest::option::of((1u32..100_000, any::<u32>())),
+        proptest::collection::vec(any::<u32>(), 0..12),
+        proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..4),
+    )
+        .prop_map(
+            |(origin, path, nh, med, local_pref, atomic, agg, comms, large)| PathAttributes {
+                origin: Origin::from_code(origin).unwrap(),
+                as_path: AsPath::from_asns(path.into_iter().map(Asn::new)),
+                next_hop: Some(std::net::IpAddr::V4(std::net::Ipv4Addr::from(nh))),
+                med,
+                local_pref,
+                atomic_aggregate: atomic,
+                aggregator: agg.map(|(asn, rid)| Aggregator {
+                    asn: Asn::new(asn),
+                    router_id: std::net::Ipv4Addr::from(rid),
+                }),
+                communities: comms.into_iter().map(Community::from_u32).collect(),
+                large_communities: large
+                    .into_iter()
+                    .map(|(a, b, c)| LargeCommunity::new(a, b, c))
+                    .collect(),
+                ext_communities: vec![],
+                unknown: vec![],
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn update_roundtrips_modern(
+        attrs in arb_attrs(),
+        announced in proptest::collection::vec(arb_v4_prefix(), 1..20),
+        announced6 in proptest::collection::vec(arb_v6_prefix(), 0..10),
+        withdrawn in proptest::collection::vec(arb_v4_prefix(), 0..10),
+    ) {
+        let mut u = RouteUpdate { withdrawn, attrs, announced };
+        u.announced.extend(announced6);
+        let cfg = CodecConfig::modern();
+        let bytes = match encode_update(&u, cfg) {
+            Ok(b) => b,
+            Err(bgpworms_wire::WireError::TooLong(_)) => return Ok(()), // legal rejection
+            Err(e) => return Err(TestCaseError::fail(format!("encode failed: {e}"))),
+        };
+        let (msg, used) = decode_message(&bytes, cfg).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        match msg {
+            BgpMessage::Update(dec) => {
+                prop_assert_eq!(dec.announced, u.announced);
+                prop_assert_eq!(dec.withdrawn, u.withdrawn);
+                prop_assert_eq!(dec.attrs, u.attrs);
+            }
+            other => return Err(TestCaseError::fail(format!("expected update, got {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn update_roundtrips_legacy_16bit_asns(
+        path in proptest::collection::vec(1u32..65_000, 1..6),
+        announced in proptest::collection::vec(arb_v4_prefix(), 1..5),
+    ) {
+        let attrs = PathAttributes {
+            as_path: AsPath::from_asns(path.into_iter().map(Asn::new)),
+            next_hop: Some("10.0.0.1".parse().unwrap()),
+            ..PathAttributes::default()
+        };
+        let u = RouteUpdate { withdrawn: vec![], attrs, announced };
+        let cfg = CodecConfig::legacy();
+        let bytes = encode_update(&u, cfg).unwrap();
+        let (msg, _) = decode_message(&bytes, cfg).unwrap();
+        match msg {
+            BgpMessage::Update(dec) => {
+                prop_assert_eq!(dec.attrs.as_path, u.attrs.as_path);
+                prop_assert_eq!(dec.announced, u.announced);
+            }
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any result is fine; panics are not.
+        let _ = decode_message(&data, CodecConfig::modern());
+        let _ = decode_message(&data, CodecConfig::legacy());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_marker_prefixed_garbage(
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        // Force it past the marker check so the body decoders get exercised.
+        let mut msg = vec![0xFFu8; 16];
+        let total = (19 + data.len()) as u16;
+        msg.extend_from_slice(&total.to_be_bytes());
+        msg.push(2); // UPDATE
+        msg.extend_from_slice(&data);
+        let _ = decode_message(&msg, CodecConfig::modern());
+    }
+
+    #[test]
+    fn truncation_of_valid_message_is_graceful(
+        attrs in arb_attrs(),
+        announced in proptest::collection::vec(arb_v4_prefix(), 1..5),
+        frac in 0.0f64..1.0,
+    ) {
+        let u = RouteUpdate { withdrawn: vec![], attrs, announced };
+        let cfg = CodecConfig::modern();
+        let bytes = encode_update(&u, cfg).unwrap();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode_message(&bytes[..cut], cfg).is_err());
+        }
+    }
+}

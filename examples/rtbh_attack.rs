@@ -1,0 +1,65 @@
+//! Walkthrough of the paper's Fig 7 remotely-triggered-blackholing attack,
+//! with and without hijacking, including the defences that stop it.
+//!
+//! ```sh
+//! cargo run --release --example rtbh_attack
+//! ```
+
+use bgpworms::attacks::scenarios::rtbh::RtbhScenario;
+use bgpworms::prelude::*;
+
+fn main() {
+    println!("== Fig 7(a): RTBH without hijacking ==\n");
+    println!(
+        "AS1 (attackee) originates 10.10.10.0/24 and buys transit from AS2\n\
+         (the attacker) and AS3 (the community target, which offers ASN:666\n\
+         blackholing). AS2 merely *transits* AS1's announcement but adds\n\
+         AS3:666 on egress.\n"
+    );
+    let report = RtbhScenario::default().run();
+    println!("{report}");
+
+    println!("== Fig 7(b): RTBH with hijacking ==\n");
+    let report = RtbhScenario {
+        hijack: true,
+        ..RtbhScenario::default()
+    }
+    .run();
+    println!("{report}");
+
+    println!("== Defence 1: origin validation (correctly ordered) ==\n");
+    let report = RtbhScenario {
+        hijack: true,
+        validation: OriginValidation::Irr {
+            validate_after_blackhole: false,
+        },
+        ..RtbhScenario::default()
+    }
+    .run();
+    println!("{report}");
+
+    println!("== …which the attacker circumvents by polluting the IRR (§7.3) ==\n");
+    let report = RtbhScenario {
+        hijack: true,
+        validation: OriginValidation::Irr {
+            validate_after_blackhole: false,
+        },
+        attacker_registers_irr: true,
+        ..RtbhScenario::default()
+    }
+    .run();
+    println!("{report}");
+
+    println!("== Defence 2: an intermediate AS that strips communities ==\n");
+    let report = RtbhScenario {
+        intermediate: Some(CommunityPropagationPolicy::StripAll),
+        ..RtbhScenario::default()
+    }
+    .run();
+    println!("{report}");
+
+    println!(
+        "The necessary condition of §5.4 — community propagation along the\n\
+         entire path from attacker to target — fails, and the attack dies."
+    );
+}

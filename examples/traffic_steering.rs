@@ -1,0 +1,57 @@
+//! Walkthrough of the paper's traffic-steering attacks: the Fig 2 prepend
+//! teaser, the Fig 8(a) prepend-with-hijack interception, and the Fig 8(b)
+//! local-pref "backup" abuse.
+//!
+//! ```sh
+//! cargo run --release --example traffic_steering
+//! ```
+
+use bgpworms::attacks::scenarios::prepend_teaser::PrependTeaser;
+use bgpworms::attacks::scenarios::steering::{LocalPrefScenario, PrependHijackScenario};
+use bgpworms::prelude::*;
+
+fn main() {
+    println!("== Fig 2: the motivating prepend teaser ==\n");
+    println!(
+        "AS3 offers 'prepend ×n' via AS3:10n. The attacker AS2 — two hops\n\
+         down the announcement path — tags the route; if AS4 forwards the\n\
+         foreign community, AS3 inflates its own path and AS6's traffic\n\
+         shifts to the alternate (possibly malicious) AS5.\n"
+    );
+    let report = PrependTeaser::default().run();
+    println!("{report}");
+
+    println!("== …but a community-stripping AS4 kills it ==\n");
+    let report = PrependTeaser {
+        transit_forwards_communities: false,
+        ..PrependTeaser::default()
+    }
+    .run();
+    println!("{report}");
+
+    println!("== …and so does a customers-only service scope (§7.4) ==\n");
+    let report = PrependTeaser {
+        target_scope: ActScope::CustomersOnly,
+        ..PrependTeaser::default()
+    }
+    .run();
+    println!("{report}");
+
+    println!("== Fig 8(a): prepend steering with hijack — interception ==\n");
+    let report = PrependHijackScenario::default().run();
+    println!("{report}");
+    println!(
+        "Traffic still reaches the victim — but through the monitor path.\n\
+         This is an interception (RAPTOR-style), not an outage.\n"
+    );
+
+    println!("== Fig 8(b): local-pref 'backup' community abuse ==\n");
+    let report = LocalPrefScenario::default().run();
+    println!("{report}");
+    println!(
+        "The attackee's own community service was turned against it: its\n\
+         egress now rides the expensive link. The paper leaves deciding\n\
+         whether this is an attack or cost engineering 'to the informed\n\
+         reader'."
+    );
+}

@@ -1,0 +1,91 @@
+//! # bgpworms
+//!
+//! A full reproduction of **"BGP Communities: Even more Worms in the
+//! Routing Can"** (Streibelt et al., IMC 2018) as a Rust workspace: the
+//! measurement pipeline of §4, the attack scenarios of §5, the lab matrix
+//! of §6, and the in-the-wild experiment harness of §7 — all running over
+//! a from-scratch BGP substrate (wire codec, MRT archives, AS-topology
+//! generator, policy-rich route-propagation simulator, and a data plane
+//! with Atlas-style probing).
+//!
+//! This crate is the façade: it re-exports every subsystem under one
+//! namespace and hosts the runnable examples and cross-crate integration
+//! tests.
+//!
+//! ## Layer map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `bgpworms-types` | ASNs, prefixes, communities, AS paths, path attributes |
+//! | [`wire`] | `bgpworms-wire` | RFC 4271 BGP message codec |
+//! | [`mrt`] | `bgpworms-mrt` | RFC 6396 MRT reader/writer |
+//! | [`topology`] | `bgpworms-topology` | AS graph, relationships, Internet generator |
+//! | [`routesim`] | `bgpworms-routesim` | policy-rich BGP propagation engine + collectors |
+//! | [`dataplane`] | `bgpworms-dataplane` | FIBs, ping/traceroute, Atlas platform, looking glasses |
+//! | [`analysis`] | `bgpworms-core` | the paper's §4 measurement pipeline |
+//! | [`attacks`] | `bgpworms-attacks` | §5 scenarios, §6 lab, §7 wild experiments, Table 3 |
+//! | [`monitor`] | `bgpworms-monitor` | §8 hygiene monitoring + §9 passive attack inference |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bgpworms::prelude::*;
+//!
+//! // A three-AS chain: stub AS1 buys transit from AS2, AS2 from AS3.
+//! let mut topo = Topology::new();
+//! topo.add_simple(Asn::new(1), Tier::Stub);
+//! topo.add_simple(Asn::new(2), Tier::Transit);
+//! topo.add_simple(Asn::new(3), Tier::Tier1);
+//! topo.add_edge(Asn::new(2), Asn::new(1), EdgeKind::ProviderToCustomer);
+//! topo.add_edge(Asn::new(3), Asn::new(2), EdgeKind::ProviderToCustomer);
+//!
+//! // AS1 announces a prefix tagged with an informational community.
+//! let mut sim = Simulation::new(&topo);
+//! sim.retain = RetainRoutes::All;
+//! let p: Prefix = "10.0.0.0/16".parse().unwrap();
+//! let result = sim.run(&[Origination::announce(
+//!     Asn::new(1), p, vec![Community::new(1, 100)],
+//! )]);
+//!
+//! // The community propagated two hops (RFC 1997 transitivity).
+//! let at_top = result.route_at(Asn::new(3), &p).unwrap();
+//! assert!(at_top.has_community(Community::new(1, 100)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use bgpworms_core as analysis;
+pub use bgpworms_attacks as attacks;
+pub use bgpworms_dataplane as dataplane;
+pub use bgpworms_monitor as monitor;
+pub use bgpworms_mrt as mrt;
+pub use bgpworms_routesim as routesim;
+pub use bgpworms_topology as topology;
+pub use bgpworms_types as types;
+pub use bgpworms_wire as wire;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use bgpworms_core::{
+        ArchiveInput, BlackholeDetector, DatasetOverview, FilteringAnalysis, ObservationSet,
+        PropagationAnalysis, TopValues, UsageAnalysis,
+    };
+    pub use bgpworms_dataplane::{ping, trace, AtlasPlatform, Fib, LookingGlass};
+    pub use bgpworms_monitor::{
+        Alert, AlertKind, CommunityDictionary, CommunityKind, DictionaryInference,
+        HygieneReport, Monitor,
+    };
+    pub use bgpworms_mrt::{MrtReader, MrtRecord, UpdateStream};
+    pub use bgpworms_routesim::{
+        ActScope, BlackholeService, CollectorSpec, CommunityPropagationPolicy, FeedKind,
+        Origination, OriginValidation, RetainRoutes, RouterConfig, Simulation, Workload,
+        WorkloadParams,
+    };
+    pub use bgpworms_topology::{
+        EdgeKind, PrefixAllocation, Role, Tier, Topology, TopologyParams,
+    };
+    pub use bgpworms_types::{
+        Asn, AsPath, Community, Ipv4Prefix, Ipv6Prefix, PathAttributes, Prefix, RouteUpdate,
+    };
+    pub use bgpworms_wire::{decode_message, encode_update, BgpMessage, CodecConfig};
+}

@@ -1,0 +1,83 @@
+//! Cross-crate integration: the §8 scoped-propagation defense at workload
+//! scale. Full adoption must kill multi-hop community relaying while the
+//! collector carve-out keeps communities measurable.
+
+use bgpworms::analysis::{PropagationAnalysis, UsageAnalysis};
+use bgpworms::prelude::*;
+use bgpworms::routesim::workload::APRIL_2018;
+
+fn build(adoption: f64) -> (ObservationSet, BlackholeDetector) {
+    let topo = TopologyParams::small().seed(2018).build();
+    let alloc = PrefixAllocation::assign(
+        &topo,
+        bgpworms::topology::addressing::AddressingParams {
+            seed: 2018,
+            ..Default::default()
+        },
+    );
+    let params = WorkloadParams {
+        scoped_defense_adoption: adoption,
+        ..WorkloadParams::default()
+    };
+    let workload = Workload::generate(&topo, &alloc, &params);
+    let mut sim = workload.simulation(&topo);
+    sim.threads = 4;
+    let result = sim.run(&workload.originations);
+    let archives =
+        bgpworms::routesim::archive_all(&workload.collectors, &result.observations, APRIL_2018)
+            .expect("archive");
+    let inputs: Vec<ArchiveInput> = archives
+        .into_iter()
+        .map(|a| ArchiveInput {
+            platform: a.platform,
+            collector: a.name,
+            mrt: a.updates_mrt,
+        })
+        .collect();
+    let set = ObservationSet::from_archives(&inputs).expect("parse");
+    let verified: Vec<Community> = workload
+        .configs
+        .iter()
+        .filter(|(_, c)| c.services.blackhole.is_some())
+        .filter_map(|(asn, _)| asn.as_u16().map(|hi| Community::new(hi, 666)))
+        .collect();
+    (set, BlackholeDetector::with_known(verified))
+}
+
+#[test]
+fn full_defense_adoption_stops_transit_relaying_but_not_measurement() {
+    let (baseline_set, baseline_det) = build(0.0);
+    let (defended_set, defended_det) = build(1.0);
+
+    let baseline = PropagationAnalysis::compute(&baseline_set, &baseline_det);
+    let defended = PropagationAnalysis::compute(&defended_set, &defended_det);
+
+    // Multi-hop relaying of foreign communities disappears.
+    assert!(
+        baseline.forwarder_fraction() > 0.0,
+        "baseline world has transit forwarders"
+    );
+    assert_eq!(
+        defended.forwarders.len(),
+        0,
+        "full adoption leaves no transit AS relaying foreign communities"
+    );
+
+    // The collector carve-out keeps communities observable: the defense is
+    // *not* the same as stripping everything.
+    let defended_usage = UsageAnalysis::compute(&defended_set);
+    assert!(
+        defended_usage.overall_fraction > 0.4,
+        "collector sessions still see communities ({:.2})",
+        defended_usage.overall_fraction
+    );
+
+    // Propagation distance collapses toward the one-hop scope.
+    let base_mean_ge2 = 1.0 - baseline.fig5a_all().fraction_at(1.0);
+    let def_mean_ge2 = 1.0 - defended.fig5a_all().fraction_at(1.0);
+    assert!(
+        def_mean_ge2 < base_mean_ge2,
+        "fewer communities travel ≥ 2 hops under the defense \
+         (baseline {base_mean_ge2:.3}, defended {def_mean_ge2:.3})"
+    );
+}

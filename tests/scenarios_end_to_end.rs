@@ -1,0 +1,144 @@
+//! Cross-crate integration: every paper scenario runs end to end with its
+//! documented outcome, and the §5.4 condition checkers agree with the
+//! scenario results.
+
+use bgpworms::attacks::conditions::{check_conditions, probe_prefix};
+use bgpworms::attacks::scenarios::prepend_teaser::PrependTeaser;
+use bgpworms::attacks::scenarios::route_manipulation::{
+    RouteManipulationScenario, RsAttackVariant,
+};
+use bgpworms::attacks::scenarios::rtbh::RtbhScenario;
+use bgpworms::attacks::scenarios::steering::{LocalPrefScenario, PrependHijackScenario};
+use bgpworms::attacks::{feasibility, lab};
+use bgpworms::prelude::*;
+use std::collections::BTreeMap;
+
+#[test]
+fn all_default_scenarios_match_paper_outcomes() {
+    // Fig 7a/7b: RTBH succeeds with and without hijacking.
+    assert!(RtbhScenario::default().run().succeeded());
+    assert!(RtbhScenario {
+        hijack: true,
+        ..RtbhScenario::default()
+    }
+    .run()
+    .succeeded());
+    // Fig 2: the prepend teaser.
+    assert!(PrependTeaser::default().run().succeeded());
+    // Fig 8a/8b.
+    assert!(PrependHijackScenario::default().run().succeeded());
+    assert!(LocalPrefScenario::default().run().succeeded());
+    // Fig 9.
+    assert!(RouteManipulationScenario::default().run().succeeded());
+    assert!(RouteManipulationScenario {
+        variant: RsAttackVariant::Hijack,
+        ..RouteManipulationScenario::default()
+    }
+    .run()
+    .succeeded());
+}
+
+#[test]
+fn lab_matrix_reproduces_section_6() {
+    let findings = lab::run_all();
+    assert_eq!(findings.len(), 5);
+    for finding in findings {
+        assert!(finding.observed, "{finding}");
+    }
+}
+
+#[test]
+fn table3_difficulty_ordering() {
+    let rows = feasibility::assess_all();
+    assert_eq!(rows.len(), 8);
+    let rate = |name: &str, hijack: bool| {
+        rows.iter()
+            .find(|r| r.scenario == name && r.hijack == hijack)
+            .expect("row exists")
+            .success_rate
+    };
+    // Blackholing is easiest; steering hardest; route manipulation between.
+    assert!(rate("Blackholing", false) > rate("Route manipulation", false));
+    assert!(rate("Route manipulation", false) > rate("Traffic steering (local-pref)", false));
+    assert!(rate("Blackholing", true) > rate("Traffic steering (prepend)", true));
+}
+
+#[test]
+fn condition_checker_agrees_with_scenario_mechanics() {
+    // A forwarding chain satisfies the necessary conditions, and the RTBH
+    // scenario on the same shape succeeds; a stripping chain fails both.
+    let build = |policy: CommunityPropagationPolicy| {
+        let mut topo = Topology::new();
+        topo.add_simple(Asn::new(1), Tier::Stub);
+        topo.add_simple(Asn::new(2), Tier::Transit);
+        topo.add_simple(Asn::new(3), Tier::Transit);
+        topo.add_edge(Asn::new(2), Asn::new(1), EdgeKind::ProviderToCustomer);
+        topo.add_edge(Asn::new(3), Asn::new(2), EdgeKind::ProviderToCustomer);
+        let mut configs: BTreeMap<Asn, RouterConfig> = BTreeMap::new();
+        let mut mid = RouterConfig::defaults(Asn::new(2));
+        mid.propagation = policy;
+        configs.insert(Asn::new(2), mid);
+        let mut target = RouterConfig::defaults(Asn::new(3));
+        target.services.blackhole = Some(BlackholeService::default());
+        configs.insert(Asn::new(3), target);
+        (topo, configs)
+    };
+
+    let irr = bgpworms::routesim::IrrDatabase::new();
+    let rpki = bgpworms::routesim::IrrDatabase::new();
+
+    let (topo, configs) = build(CommunityPropagationPolicy::ForwardAll);
+    let report = check_conditions(&topo, &configs, &irr, &rpki, Asn::new(1), Asn::new(3), None);
+    assert!(report.necessary(), "forwarding chain: necessary conditions");
+    assert!(report.sufficient_tagging());
+
+    let (topo, configs) = build(CommunityPropagationPolicy::StripAll);
+    let report = check_conditions(&topo, &configs, &irr, &rpki, Asn::new(1), Asn::new(3), None);
+    assert!(!report.community_propagates, "stripping chain breaks it");
+
+    // Matching scenario-level behaviour (Fig 7a with an intermediate).
+    assert!(RtbhScenario {
+        intermediate: Some(CommunityPropagationPolicy::ForwardAll),
+        ..RtbhScenario::default()
+    }
+    .run()
+    .succeeded());
+    assert!(!RtbhScenario {
+        intermediate: Some(CommunityPropagationPolicy::StripAll),
+        ..RtbhScenario::default()
+    }
+    .run()
+    .succeeded());
+
+    // The probe prefix is documentation space, never colliding with
+    // scenario prefixes.
+    assert_eq!(probe_prefix().to_string(), "192.0.2.0/24");
+}
+
+#[test]
+fn defences_block_every_hijack_variant() {
+    let strict = OriginValidation::Strict;
+    assert!(!RtbhScenario {
+        hijack: true,
+        validation: strict,
+        attacker_registers_irr: true,
+        ..RtbhScenario::default()
+    }
+    .run()
+    .succeeded());
+    assert!(!PrependHijackScenario {
+        validation: strict,
+        attacker_registers_irr: true,
+        ..PrependHijackScenario::default()
+    }
+    .run()
+    .succeeded());
+    assert!(!RouteManipulationScenario {
+        variant: RsAttackVariant::Hijack,
+        validation: strict,
+        attacker_registers_irr: true,
+        ..RouteManipulationScenario::default()
+    }
+    .run()
+    .succeeded());
+}

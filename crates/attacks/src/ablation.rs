@@ -178,7 +178,11 @@ pub fn render(title: &str, outcomes: &[AblationOutcome]) -> String {
         let _ = writeln!(
             out,
             "  [{}] {}",
-            if o.succeeded { "attack succeeds" } else { "attack blocked" },
+            if o.succeeded {
+                "attack succeeds"
+            } else {
+                "attack blocked"
+            },
             o.label
         );
     }
@@ -192,7 +196,10 @@ mod tests {
     #[test]
     fn preference_raise_is_load_bearing() {
         let outcomes = rtbh_preference();
-        assert!(outcomes[0].succeeded, "recommended config enables the attack");
+        assert!(
+            outcomes[0].succeeded,
+            "recommended config enables the attack"
+        );
         assert!(
             !outcomes[1].succeeded,
             "without the raise, the longer attack path loses best-path selection"

@@ -104,7 +104,11 @@ pub fn check_conditions(
     // probe tests community propagation, not hijackability.
     sim.irr.register(probe_prefix(), attacker);
     sim.rpki.register(probe_prefix(), attacker);
-    let res = sim.run(&[Origination::announce(attacker, probe_prefix(), vec![benign])]);
+    let res = sim.run(&[Origination::announce(
+        attacker,
+        probe_prefix(),
+        vec![benign],
+    )]);
     let community_propagates = res
         .route_at(target, &probe_prefix())
         .map(|r| r.has_community(benign))
@@ -205,8 +209,13 @@ mod tests {
 
         // Without validation anywhere, the hijack lands.
         let report = check_conditions(
-            &topo, &configs, &irr, &rpki,
-            Asn::new(1), Asn::new(3), Some(victim),
+            &topo,
+            &configs,
+            &irr,
+            &rpki,
+            Asn::new(1),
+            Asn::new(3),
+            Some(victim),
         );
         assert_eq!(report.hijack_accepted, Some(true));
         assert!(report.sufficient_hijack());
@@ -216,8 +225,13 @@ mod tests {
             validate_after_blackhole: false,
         };
         let report = check_conditions(
-            &topo, &configs, &irr, &rpki,
-            Asn::new(1), Asn::new(3), Some(victim),
+            &topo,
+            &configs,
+            &irr,
+            &rpki,
+            Asn::new(1),
+            Asn::new(3),
+            Some(victim),
         );
         assert_eq!(report.hijack_accepted, Some(false));
         assert!(!report.sufficient_hijack());

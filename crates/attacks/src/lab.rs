@@ -3,8 +3,7 @@
 //! a small controlled topology and reported as a finding.
 
 use bgpworms_routesim::{
-    BlackholeService, Origination, OriginValidation, RetainRoutes, RouterConfig, Simulation,
-    Vendor,
+    BlackholeService, OriginValidation, Origination, RetainRoutes, RouterConfig, Simulation, Vendor,
 };
 use bgpworms_topology::{EdgeKind, Tier, Topology};
 use bgpworms_types::{Asn, Community, Prefix};

@@ -96,8 +96,7 @@ impl PrependTeaser {
                 .expect("valid host"),
         );
         let prepend_value = 100 + u16::from(self.prepends);
-        let prepend_community =
-            Community::new(TARGET.as_u16().expect("small ASN"), prepend_value);
+        let prepend_community = Community::new(TARGET.as_u16().expect("small ASN"), prepend_value);
 
         let mut sim = Simulation::new(&topo);
         sim.retain = RetainRoutes::All;
@@ -133,8 +132,7 @@ impl PrependTeaser {
 
         let base_next = base_trace.path.get(1).copied();
         let attack_next = attack_trace.path.get(1).copied();
-        let shifted =
-            base_next == Some(TARGET) && attack_next == Some(INTERCEPTOR);
+        let shifted = base_next == Some(TARGET) && attack_next == Some(INTERCEPTOR);
         let delivered = attack_trace.delivered();
 
         let target_export_len = attacked

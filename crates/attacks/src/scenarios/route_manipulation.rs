@@ -9,7 +9,7 @@
 use crate::roles::AttackRoles;
 use crate::scenarios::{ScenarioOutcome, ScenarioReport};
 use bgpworms_routesim::{
-    Origination, OriginValidation, RetainRoutes, RouterConfig, RsEvalOrder, Simulation,
+    OriginValidation, Origination, RetainRoutes, RouterConfig, RsEvalOrder, Simulation,
 };
 use bgpworms_topology::{EdgeKind, Tier, Topology};
 use bgpworms_types::{Asn, Community, Prefix};

@@ -26,7 +26,7 @@ use crate::roles::AttackRoles;
 use crate::scenarios::{ScenarioOutcome, ScenarioReport};
 use bgpworms_dataplane::{trace, Fib, LookingGlass, TraceOutcome};
 use bgpworms_routesim::{
-    ActScope, BlackholeService, CommunityPropagationPolicy, Origination, OriginValidation,
+    ActScope, BlackholeService, CommunityPropagationPolicy, OriginValidation, Origination,
     RetainRoutes, RouterConfig, Simulation,
 };
 use bgpworms_topology::{EdgeKind, Tier, Topology};
@@ -179,9 +179,8 @@ impl RtbhScenario {
         let sim = self.configure(&topo, true);
         let mut episodes = vec![Origination::announce(ATTACKEE, p, vec![])];
         if self.hijack {
-            episodes.push(
-                Origination::announce(ATTACKER, p, vec![self.blackhole_community()]).at(100),
-            );
+            episodes
+                .push(Origination::announce(ATTACKER, p, vec![self.blackhole_community()]).at(100));
         }
         // (In the no-hijack variant the attacker's router adds the
         // community via its egress policy — no extra episode needed.)
@@ -240,10 +239,10 @@ mod tests {
     fn no_hijack_rtbh_succeeds_by_default() {
         let report = RtbhScenario::default().run();
         assert!(report.succeeded(), "{report}");
-        assert!(report
-            .evidence
-            .iter()
-            .any(|l| l.contains("Null0")), "looking glass shows null route");
+        assert!(
+            report.evidence.iter().any(|l| l.contains("Null0")),
+            "looking glass shows null route"
+        );
     }
 
     #[test]

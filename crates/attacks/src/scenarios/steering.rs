@@ -6,7 +6,7 @@ use crate::roles::AttackRoles;
 use crate::scenarios::{ScenarioOutcome, ScenarioReport};
 use bgpworms_dataplane::{trace, Fib};
 use bgpworms_routesim::{
-    ActScope, Origination, OriginValidation, RetainRoutes, RouterConfig, Simulation,
+    ActScope, OriginValidation, Origination, RetainRoutes, RouterConfig, Simulation,
 };
 use bgpworms_topology::{EdgeKind, Tier, Topology};
 use bgpworms_types::{Asn, Community, Prefix};
@@ -98,7 +98,10 @@ impl PrependHijackScenario {
         let mut sim = Simulation::new(&topo);
         sim.retain = RetainRoutes::All;
         let mut target_cfg = RouterConfig::defaults(TARGET);
-        target_cfg.services.prepend.extend([(421u16, 1u8), (422, 2)]);
+        target_cfg
+            .services
+            .prepend
+            .extend([(421u16, 1u8), (422, 2)]);
         target_cfg.services.steering_scope = self.target_scope;
         target_cfg.validation = self.validation;
         sim.configure(target_cfg);
@@ -123,8 +126,7 @@ impl PrependHijackScenario {
         let base_via = base_trace.path.get(1).copied();
         let attack_via = attack_trace.path.get(1).copied();
         let steered = base_via == Some(TARGET) && attack_via == Some(MONITOR);
-        let delivered = attack_trace.delivered()
-            && attack_trace.path.last() == Some(&VICTIM);
+        let delivered = attack_trace.delivered() && attack_trace.path.last() == Some(&VICTIM);
 
         ScenarioReport {
             name: "steering/prepend-hijack".into(),
@@ -243,12 +245,16 @@ impl LocalPrefScenario {
             evidence: vec![
                 format!(
                     "baseline egress: via {}",
-                    base_via.map(|a| a.to_string()).unwrap_or_else(|| "-".into())
+                    base_via
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|| "-".into())
                 ),
                 format!(
                     "attack egress:   via {} (winning local-pref {best_lp}; \
                      the {LP_ATTACKER} path was demoted to the service value)",
-                    attack_via.map(|a| a.to_string()).unwrap_or_else(|| "-".into())
+                    attack_via
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|| "-".into())
                 ),
             ],
         }

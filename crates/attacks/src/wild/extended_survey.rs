@@ -210,11 +210,7 @@ pub fn location_injection(params: &SurveyParams) -> Option<LocationInjectionRepo
     let p = Prefix::V4(ctx.injector.prefix);
     let mut sim = ctx.workload.simulation(&ctx.topo);
     sim.retain = RetainRoutes::None;
-    let result = sim.run(&[Origination::announce(
-        ctx.injector.asn,
-        p,
-        injected.clone(),
-    )]);
+    let result = sim.run(&[Origination::announce(ctx.injector.asn, p, injected.clone())]);
 
     let mut observing = 0usize;
     let mut with_contradiction = 0usize;
@@ -256,7 +252,7 @@ mod tests {
 
     fn quick_params() -> SurveyParams {
         SurveyParams {
-            topo: TopologyParams::tiny().seed(2018),
+            topo: TopologyParams::tiny().seed(8),
             workload: WorkloadParams {
                 blackhole_service_prob: 0.8,
                 steering_service_prob: 0.7,

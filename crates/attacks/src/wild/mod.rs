@@ -11,8 +11,8 @@
 
 pub mod extended_survey;
 pub mod propagation_check;
-pub mod rtbh_experiment;
 pub mod routeserver_experiment;
+pub mod rtbh_experiment;
 pub mod steering_experiment;
 pub mod survey;
 
@@ -62,9 +62,7 @@ pub fn attach_research_network(
             .or_insert_with(|| RouterConfig::defaults(*forwarder));
         cfg.propagation = CommunityPropagationPolicy::ForwardAll;
     }
-    workload
-        .configs
-        .insert(asn, RouterConfig::defaults(asn));
+    workload.configs.insert(asn, RouterConfig::defaults(asn));
     register(workload, prefix, asn);
     InjectionPlatform { asn, prefix }
 }

@@ -47,7 +47,10 @@ pub struct PropagationCheckReport {
 }
 
 /// Runs the experiment on a freshly generated Internet.
-pub fn run(topo_params: &TopologyParams, workload_params: &WorkloadParams) -> PropagationCheckReport {
+pub fn run(
+    topo_params: &TopologyParams,
+    workload_params: &WorkloadParams,
+) -> PropagationCheckReport {
     let mut topo = topo_params.build();
     let alloc = PrefixAllocation::assign(&topo, AddressingParams::default());
     let mut workload = Workload::generate(&topo, &alloc, workload_params);

@@ -59,9 +59,7 @@ pub fn run(
         workload.rpki.register(Prefix::V4(prefix), asn);
         InjectionPlatform { asn, prefix }
     };
-    let attackee = topo
-        .peers_of(route_server)
-        .find(|m| *m != injector.asn)?;
+    let attackee = topo.peers_of(route_server).find(|m| *m != injector.asn)?;
 
     let rs16 = route_server.as_u16().expect("small");
     let attackee16 = attackee.as_u16().expect("small");

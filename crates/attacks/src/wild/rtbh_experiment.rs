@@ -11,9 +11,7 @@
 
 use crate::wild::InjectionPlatform;
 use bgpworms_dataplane::{AtlasPlatform, Fib, LookingGlass};
-use bgpworms_routesim::{
-    Origination, RetainRoutes, RouterConfig, Workload, WorkloadParams,
-};
+use bgpworms_routesim::{Origination, RetainRoutes, RouterConfig, Workload, WorkloadParams};
 use bgpworms_topology::{
     addressing::AddressingParams, EdgeKind, PrefixAllocation, Tier, Topology, TopologyParams,
 };
@@ -82,9 +80,7 @@ fn candidate_targets(topo: &Topology, workload: &Workload, upstream: Asn) -> Vec
                 .and_then(|c| c.services.blackhole.as_ref())
                 // The experiment announces a /24, so the service must accept
                 // /24 blackholes and act for non-customers.
-                .map(|bh| {
-                    bh.scope == bgpworms_routesim::ActScope::Any && bh.min_prefix_len <= 24
-                })
+                .map(|bh| bh.scope == bgpworms_routesim::ActScope::Any && bh.min_prefix_len <= 24)
                 .unwrap_or(false)
         })
         .map(|p2| (p2, 2))
@@ -198,10 +194,7 @@ pub fn run(
         let after = atlas.ping_campaign(&attack_fib, target_addr);
 
         let lg = LookingGlass::new(&attacked);
-        let target_blackholed = lg
-            .route(target, &p)
-            .map(|r| r.blackholed)
-            .unwrap_or(false);
+        let target_blackholed = lg.route(target, &p).map(|r| r.blackholed).unwrap_or(false);
 
         let report = RtbhWildReport {
             injector,
@@ -256,7 +249,10 @@ mod tests {
         let (tp, wp) = params();
         let report = run(&tp, &wp, true, 40).expect("target found");
         assert!(report.hijack);
-        assert!(report.target_blackholed, "hijacked /24 blackholed at target");
+        assert!(
+            report.target_blackholed,
+            "hijacked /24 blackholed at target"
+        );
         assert!(report.succeeded());
     }
 }

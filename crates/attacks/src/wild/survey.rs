@@ -210,9 +210,7 @@ impl SurveyContext {
             let lost: Vec<Asn> = campaign
                 .responsive
                 .iter()
-                .filter(|(vp, &ok)| {
-                    !ok && self.before.get(vp).copied().unwrap_or(false)
-                })
+                .filter(|(vp, &ok)| !ok && self.before.get(vp).copied().unwrap_or(false))
                 .map(|(&vp, _)| vp)
                 .collect();
             out.insert(c, lost);
@@ -322,7 +320,10 @@ mod tests {
             !report.effective.is_empty(),
             "at least one community blackholes a VP"
         );
-        assert!(report.effective_fraction() < 1.0, "not every candidate acts");
+        assert!(
+            report.effective_fraction() < 1.0,
+            "not every candidate acts"
+        );
         assert!(!report.affected_vps.is_empty());
         assert!(report.affected_vp_fraction() <= 1.0);
         assert_eq!(report.repeatable, Some(true), "deterministic re-run");

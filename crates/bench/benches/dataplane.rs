@@ -40,8 +40,7 @@ fn bench_dataplane(c: &mut Criterion) {
         &topo,
         bgpworms_topology::addressing::AddressingParams::default(),
     );
-    let workload =
-        bgpworms_routesim::Workload::generate(&topo, &alloc, &Default::default());
+    let workload = bgpworms_routesim::Workload::generate(&topo, &alloc, &Default::default());
     let mut sim = workload.simulation(&topo);
     sim.retain = bgpworms_routesim::RetainRoutes::All;
     let episodes: Vec<_> = alloc

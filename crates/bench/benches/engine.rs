@@ -1,0 +1,50 @@
+//! Engine-core benchmark: sequential vs. parallel `Simulation::run` over a
+//! ~500-AS generated topology with 100 single-prefix episodes — the
+//! workload shape every §4/§5 experiment scales along. Results seed the
+//! perf trajectory recorded in `BENCH_engine.json` at the repo root.
+
+use bgpworms_routesim::{Origination, Simulation};
+use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, TopologyParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_engine(c: &mut Criterion) {
+    let topo = TopologyParams::small()
+        .seed(2018)
+        .transits(60)
+        .stubs(430)
+        .build();
+    assert!(
+        (450..=550).contains(&topo.len()),
+        "benchmark topology drifted: {} nodes",
+        topo.len()
+    );
+    let alloc = PrefixAllocation::assign(&topo, AddressingParams::default());
+    let originations: Vec<Origination> = alloc
+        .iter()
+        .take(100)
+        .map(|(asn, prefix)| Origination::announce(asn, prefix, vec![]))
+        .collect();
+    assert_eq!(originations.len(), 100);
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("run-500as-100px", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut sim = Simulation::new(&topo);
+                    sim.threads = threads;
+                    let res = sim.run(&originations);
+                    assert!(res.converged);
+                    res.events
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! MRT archive read/write throughput.
 
 use bgpworms_mrt::{write_update_into, MrtWriter, UpdateStream};
-use bgpworms_types::{Asn, AsPath, Community, PathAttributes, RouteUpdate};
+use bgpworms_types::{AsPath, Asn, Community, PathAttributes, RouteUpdate};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 fn archive(n_records: usize) -> Vec<u8> {

@@ -1,6 +1,6 @@
 //! Wire-codec throughput: encode/decode of community-laden UPDATEs.
 
-use bgpworms_types::{Asn, AsPath, Community, PathAttributes, Prefix, RouteUpdate};
+use bgpworms_types::{AsPath, Asn, Community, PathAttributes, Prefix, RouteUpdate};
 use bgpworms_wire::{decode_message, encode_update, CodecConfig};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
@@ -10,7 +10,9 @@ fn sample_update(n_communities: u16, n_prefixes: u32) -> RouteUpdate {
         next_hop: Some("10.0.0.1".parse().unwrap()),
         ..PathAttributes::default()
     };
-    attrs.communities = (0..n_communities).map(|i| Community::new(100 + i, i)).collect();
+    attrs.communities = (0..n_communities)
+        .map(|i| Community::new(100 + i, i))
+        .collect();
     RouteUpdate {
         withdrawn: vec![],
         attrs,

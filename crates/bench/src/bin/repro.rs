@@ -102,12 +102,34 @@ fn main() {
 
     let artefacts: Vec<&str> = if artefact == "all" {
         vec![
-            "table1", "table2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig5c", "fig6",
-            "transit", "lab", "table3", "wild-propagation", "wild-rtbh", "wild-steering",
-            "wild-routeserver", "blackhole-survey", "infer", "hygiene",
-            "large-communities", "filter-relationships", "survey-likely",
-            "survey-steering", "survey-location", "ablation-rtbh-preference",
-            "ablation-forward-prob", "ablation-vendor-mix", "defense-adoption",
+            "table1",
+            "table2",
+            "fig3",
+            "fig4a",
+            "fig4b",
+            "fig5a",
+            "fig5b",
+            "fig5c",
+            "fig6",
+            "transit",
+            "lab",
+            "table3",
+            "wild-propagation",
+            "wild-rtbh",
+            "wild-steering",
+            "wild-routeserver",
+            "blackhole-survey",
+            "infer",
+            "hygiene",
+            "large-communities",
+            "filter-relationships",
+            "survey-likely",
+            "survey-steering",
+            "survey-location",
+            "ablation-rtbh-preference",
+            "ablation-forward-prob",
+            "ablation-vendor-mix",
+            "defense-adoption",
         ]
     } else {
         vec![artefact.as_str()]
@@ -225,12 +247,9 @@ fn fig3(opts: &Options) -> String {
         let mut sim = workload.simulation(&topo);
         sim.threads = 4;
         let result = sim.run(&workload.originations);
-        let archives = bgpworms_routesim::archive_all(
-            &workload.collectors,
-            &result.observations,
-            0,
-        )
-        .expect("in-memory archive");
+        let archives =
+            bgpworms_routesim::archive_all(&workload.collectors, &result.observations, 0)
+                .expect("in-memory archive");
         let inputs: Vec<bgpworms_core::ArchiveInput> = archives
             .into_iter()
             .map(|a| bgpworms_core::ArchiveInput {
@@ -308,12 +327,7 @@ fn fig5a(snap: &Snapshot) -> String {
             bh.fraction_at(x)
         );
     }
-    let _ = writeln!(
-        out,
-        "\nsamples: all={} blackhole={}",
-        all.len(),
-        bh.len()
-    );
+    let _ = writeln!(out, "\nsamples: all={} blackhole={}", all.len(), bh.len());
     // The paper's framing: "almost 50 % of the communities travel more than
     // four hops (the mean hop length of all announcements)". Our synthetic
     // Internet has shorter paths, so compare against *its* mean.
@@ -400,7 +414,10 @@ fn fig6(snap: &Snapshot) -> String {
         analysis.strict_filterers().count(),
         analysis.mixed().count()
     );
-    let _ = writeln!(out, "\nhexbin (log10(filtered+1), log10(forwarded+1)) -> edges:");
+    let _ = writeln!(
+        out,
+        "\nhexbin (log10(filtered+1), log10(forwarded+1)) -> edges:"
+    );
     for ((x, y), n) in analysis.hexbin(2) {
         let _ = writeln!(out, "  bin({x},{y})\t{n}");
     }
@@ -631,11 +648,8 @@ fn large_communities(opts: &Options) -> String {
             large_community_adoption: adoption,
             ..WorkloadParams::default()
         };
-        let snap = Snapshot::build_custom(
-            scale_topo.clone().four_byte_stubs(0.10),
-            opts.seed,
-            &params,
-        );
+        let snap =
+            Snapshot::build_custom(scale_topo.clone().four_byte_stubs(0.10), opts.seed, &params);
         let analysis = bgpworms_core::LargeCommunityAnalysis::compute(&snap.observations);
         let _ = writeln!(
             out,
@@ -647,20 +661,13 @@ fn large_communities(opts: &Options) -> String {
             analysis.private_bundle_owners.len(),
         );
     }
-    let _ = writeln!(
-        out,
-        "\nfull-adoption detail:"
-    );
+    let _ = writeln!(out, "\nfull-adoption detail:");
     let params = WorkloadParams {
         seed: opts.seed,
         large_community_adoption: 1.0,
         ..WorkloadParams::default()
     };
-    let snap = Snapshot::build_custom(
-        scale_topo.clone().four_byte_stubs(0.10),
-        opts.seed,
-        &params,
-    );
+    let snap = Snapshot::build_custom(scale_topo.clone().four_byte_stubs(0.10), opts.seed, &params);
     out.push_str(&bgpworms_core::LargeCommunityAnalysis::compute(&snap.observations).render());
     out
 }
@@ -805,10 +812,8 @@ fn ablation_forward_prob(opts: &Options) -> String {
             };
             // The sweep uses the small topology regardless of --scale to
             // keep the grid of full snapshot builds tractable.
-            let snap =
-                Snapshot::build_custom(TopologyParams::small(), opts.seed + ds, &params);
-            let prop =
-                PropagationAnalysis::compute(&snap.observations, &snap.blackhole_detector());
+            let snap = Snapshot::build_custom(TopologyParams::small(), opts.seed + ds, &params);
+            let prop = PropagationAnalysis::compute(&snap.observations, &snap.blackhole_detector());
             let usage = UsageAnalysis::compute(&snap.observations);
             fwd += prop.forwarder_fraction();
             usage_frac += usage.overall_fraction;
@@ -879,10 +884,8 @@ fn defense_adoption(opts: &Options) -> String {
                 scoped_defense_adoption: adoption,
                 ..WorkloadParams::default()
             };
-            let snap =
-                Snapshot::build_custom(TopologyParams::small(), opts.seed + ds, &params);
-            let prop =
-                PropagationAnalysis::compute(&snap.observations, &snap.blackhole_detector());
+            let snap = Snapshot::build_custom(TopologyParams::small(), opts.seed + ds, &params);
+            let prop = PropagationAnalysis::compute(&snap.observations, &snap.blackhole_detector());
             let usage = UsageAnalysis::compute(&snap.observations);
             fwd += prop.forwarder_fraction();
             usage_frac += usage.overall_fraction;
@@ -924,9 +927,21 @@ fn ablation_vendor_mix(opts: &Options) -> String {
     use bgpworms_core::UsageAnalysis;
 
     let mut out = String::new();
-    let _ = writeln!(out, "cisco-fraction  send-community-prob  updates-w-communities");
-    let _ = writeln!(out, "--------------------------------------------------------------");
-    for (cisco, send_prob) in [(0.0, 1.0), (0.5, 0.85), (0.5, 0.5), (1.0, 0.85), (1.0, 0.25)] {
+    let _ = writeln!(
+        out,
+        "cisco-fraction  send-community-prob  updates-w-communities"
+    );
+    let _ = writeln!(
+        out,
+        "--------------------------------------------------------------"
+    );
+    for (cisco, send_prob) in [
+        (0.0, 1.0),
+        (0.5, 0.85),
+        (0.5, 0.5),
+        (1.0, 0.85),
+        (1.0, 0.25),
+    ] {
         let params = WorkloadParams {
             seed: opts.seed,
             cisco_fraction: cisco,
@@ -975,7 +990,10 @@ fn blackhole_survey(opts: &Options) -> String {
         report.affected_vp_fraction() * 100.0
     );
     let _ = writeln!(out, "second round identical: {:?}", report.repeatable);
-    let _ = writeln!(out, "hop distance of effective communities (0 = not on path):");
+    let _ = writeln!(
+        out,
+        "hop distance of effective communities (0 = not on path):"
+    );
     for (hops, n) in &report.hop_distribution {
         let _ = writeln!(out, "  {hops} hops\t{n} community-VP pairs");
     }

@@ -1,0 +1,288 @@
+//! Hermetic stand-in for the `criterion` benchmark harness, implementing
+//! the API subset this workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`/`throughput`/`bench_function`/
+//! `bench_with_input`/`finish`), [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! The workspace must build with no network access, so this crate is wired
+//! in as a path dependency under the same name; swapping in the real
+//! `criterion` is a one-line change in the root `[workspace.dependencies]`.
+//!
+//! Measurement model: each benchmark is auto-calibrated to a target batch
+//! time, then `sample_size` batches are timed and the median, minimum, and
+//! maximum per-iteration times are reported on stdout — one
+//! `name median_ns min_ns max_ns iters` line per benchmark, which
+//! downstream tooling (e.g. `BENCH_engine.json`) parses.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per measured batch.
+const TARGET_BATCH: Duration = Duration::from_millis(80);
+/// Default number of measured batches per benchmark.
+const DEFAULT_SAMPLES: usize = 12;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, DEFAULT_SAMPLES, None, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Declares the work per iteration (reported alongside timings).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter display.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            rendered: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Conversion into a rendered benchmark id (strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.rendered
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Work performed per iteration, for reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to every benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_batch: u64,
+    samples: usize,
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, auto-calibrating the batch size.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibration: double the batch until it reaches the target time.
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_BATCH || iters >= 1 << 20 {
+                if elapsed < TARGET_BATCH / 4 {
+                    iters = iters.saturating_mul(4).min(1 << 20);
+                }
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        self.iters_per_batch = iters;
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+            total_iters += iters;
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some(Sample {
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: *per_iter.last().expect("samples >= 3"),
+            total_iters,
+        });
+    }
+}
+
+fn run_benchmark<F>(name: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iters_per_batch: 1,
+        samples,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(s) => {
+            let tp = match throughput {
+                Some(Throughput::Bytes(n)) => {
+                    let gib = n as f64 / s.median_ns * 1e9 / (1u64 << 30) as f64;
+                    format!(" throughput={gib:.3}GiB/s")
+                }
+                Some(Throughput::Elements(n)) => {
+                    let meps = n as f64 / s.median_ns * 1e9 / 1e6;
+                    format!(" throughput={meps:.3}Melem/s")
+                }
+                None => String::new(),
+            };
+            println!(
+                "bench: {name} median_ns={:.0} min_ns={:.0} max_ns={:.0} iters={}{tp}",
+                s.median_ns, s.min_ns, s.max_ns, s.total_iters
+            );
+        }
+        None => println!("bench: {name} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a function that runs the listed benchmarks with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+        });
+        group.bench_with_input(BenchmarkId::new("with-input", 7), &7u32, |b, &x| {
+            ran += 1;
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -168,7 +168,14 @@ mod tests {
     use crate::observation::UpdateObservation;
     use bgpworms_types::Prefix;
 
-    fn obs(platform: &str, collector: &str, peer: u32, path: &[u32], comms: &[(u16, u16)], prefix: &str) -> UpdateObservation {
+    fn obs(
+        platform: &str,
+        collector: &str,
+        peer: u32,
+        path: &[u32],
+        comms: &[(u16, u16)],
+        prefix: &str,
+    ) -> UpdateObservation {
         UpdateObservation {
             platform: platform.into(),
             collector: collector.into(),
@@ -188,9 +195,23 @@ mod tests {
         ObservationSet {
             observations: vec![
                 obs("RIS", "rrc00", 3, &[3, 2, 1], &[(2, 100)], "10.0.0.0/16"),
-                obs("RIS", "rrc00", 3, &[3, 2, 4], &[(2, 100), (3, 5)], "20.0.0.0/16"),
+                obs(
+                    "RIS",
+                    "rrc00",
+                    3,
+                    &[3, 2, 4],
+                    &[(2, 100), (3, 5)],
+                    "20.0.0.0/16",
+                ),
                 obs("RIS", "rrc01", 5, &[5, 1], &[], "10.0.0.0/16"),
-                obs("RV", "route-views2", 6, &[6, 2, 1], &[(9, 1)], "2001:db8::/32"),
+                obs(
+                    "RV",
+                    "route-views2",
+                    6,
+                    &[6, 2, 1],
+                    &[(9, 1)],
+                    "2001:db8::/32",
+                ),
             ],
             messages: vec![
                 ("RIS".into(), "rrc00".into(), 2),
@@ -213,9 +234,9 @@ mod tests {
         assert_eq!(ris.v4_prefixes, 2);
         assert_eq!(ris.v6_prefixes, 0);
         assert_eq!(ris.communities, 2); // 2:100 and 3:5
-        // paths: {3,2,1,4,5}; origins {1,4}; transit {3,2,5}? positions:
-        // [3,2,1]: origin 1, transit 3,2; [3,2,4]: origin 4, transit 3,2;
-        // [5,1]: origin 1, transit 5.
+                                        // paths: {3,2,1,4,5}; origins {1,4}; transit {3,2,5}? positions:
+                                        // [3,2,1]: origin 1, transit 3,2; [3,2,4]: origin 4, transit 3,2;
+                                        // [5,1]: origin 1, transit 5.
         assert_eq!(ris.ases, 5);
         assert_eq!(ris.origin, 2);
         assert_eq!(ris.transit, 3);

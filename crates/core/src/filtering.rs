@@ -296,14 +296,8 @@ impl RelationshipCorrelation {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "relationship   edges  forwarding  filtering  mixed"
-        );
-        let _ = writeln!(
-            out,
-            "-----------------------------------------------------"
-        );
+        let _ = writeln!(out, "relationship   edges  forwarding  filtering  mixed");
+        let _ = writeln!(out, "-----------------------------------------------------");
         for (class, c) in &self.per_class {
             let _ = writeln!(
                 out,

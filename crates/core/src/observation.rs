@@ -138,11 +138,7 @@ impl ObservationSet {
 
     /// All platforms present, sorted.
     pub fn platforms(&self) -> Vec<String> {
-        let mut v: Vec<String> = self
-            .messages
-            .iter()
-            .map(|(p, _, _)| p.clone())
-            .collect();
+        let mut v: Vec<String> = self.messages.iter().map(|(p, _, _)| p.clone()).collect();
         v.sort();
         v.dedup();
         v
@@ -247,7 +243,11 @@ mod tests {
         let set = ObservationSet::from_archives(&[archive_with(&[w])]).unwrap();
         assert_eq!(set.observations.len(), 3);
         assert_eq!(set.announcements().count(), 2);
-        let wd: Vec<_> = set.observations.iter().filter(|o| o.is_withdrawal).collect();
+        let wd: Vec<_> = set
+            .observations
+            .iter()
+            .filter(|o| o.is_withdrawal)
+            .collect();
         assert_eq!(wd.len(), 1);
         assert_eq!(set.messages, vec![("RIS".into(), "rrc00".into(), 1)]);
     }

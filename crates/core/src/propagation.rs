@@ -252,7 +252,12 @@ mod tests {
     fn distance_is_index_plus_monitor_edge() {
         // Path AS5 AS4 AS3 AS2 AS1 (§4.3's example): community 3:Y is
         // attributed to AS3 at index 2 → distance 3.
-        let s = set(vec![obs(5, &[5, 4, 3, 2, 1], &[(3, 9), (1, 8)], "10.0.0.0/16")]);
+        let s = set(vec![obs(
+            5,
+            &[5, 4, 3, 2, 1],
+            &[(3, 9), (1, 8)],
+            "10.0.0.0/16",
+        )]);
         let a = PropagationAnalysis::compute(&s, &BlackholeDetector::conventional());
         let d: BTreeMap<Community, usize> = a
             .samples
@@ -260,7 +265,11 @@ mod tests {
             .map(|s| (s.community, s.distance))
             .collect();
         assert_eq!(d[&Community::new(3, 9)], 3);
-        assert_eq!(d[&Community::new(1, 8)], 5, "origin community travels whole path");
+        assert_eq!(
+            d[&Community::new(1, 8)],
+            5,
+            "origin community travels whole path"
+        );
     }
 
     #[test]

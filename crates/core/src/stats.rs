@@ -118,11 +118,7 @@ impl<K: Ord + Clone> Histogram<K> {
     /// Top-`n` keys by count (ties broken by key order, descending count
     /// first) with their share of the total.
     pub fn top(&self, n: usize) -> Vec<(K, u64, f64)> {
-        let mut items: Vec<(K, u64)> = self
-            .counts
-            .iter()
-            .map(|(k, &v)| (k.clone(), v))
-            .collect();
+        let mut items: Vec<(K, u64)> = self.counts.iter().map(|(k, &v)| (k.clone(), v)).collect();
         items.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         items
             .into_iter()

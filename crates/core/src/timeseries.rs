@@ -106,11 +106,7 @@ mod tests {
     #[test]
     fn snapshot_counts() {
         let set = ObservationSet {
-            observations: vec![
-                obs(&[(1, 1), (1, 2)]),
-                obs(&[(1, 1), (2, 1)]),
-                obs(&[]),
-            ],
+            observations: vec![obs(&[(1, 1), (1, 2)]), obs(&[(1, 1), (2, 1)]), obs(&[])],
             messages: vec![],
         };
         let s = SnapshotStats::compute("2018", &set);

@@ -141,12 +141,7 @@ mod tests {
     #[test]
     fn render_shows_both_columns() {
         let set = ObservationSet {
-            observations: vec![obs(
-                5,
-                &[5, 3, 1],
-                &[(3, 100), (99, 500)],
-                "10.0.0.0/16",
-            )],
+            observations: vec![obs(5, &[5, 3, 1], &[(3, 100), (99, 500)], "10.0.0.0/16")],
             messages: vec![],
         };
         let tv = TopValues::compute(&set);

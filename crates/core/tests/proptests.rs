@@ -4,9 +4,7 @@
 
 use bgpworms_core::{ArchiveInput, Ecdf, LargeCommunityAnalysis, ObservationSet};
 use bgpworms_mrt::MrtWriter;
-use bgpworms_types::{
-    AsPath, Asn, Community, LargeCommunity, PathAttributes, Prefix, RouteUpdate,
-};
+use bgpworms_types::{AsPath, Asn, Community, LargeCommunity, PathAttributes, Prefix, RouteUpdate};
 use proptest::prelude::*;
 
 proptest! {

@@ -59,10 +59,7 @@ impl AtlasPlatform {
             .ases()
             .filter(|node| node.tier == Tier::Stub)
             .filter_map(|node| {
-                let v4 = alloc
-                    .prefixes_of(node.asn)
-                    .iter()
-                    .find_map(|p| p.as_v4())?;
+                let v4 = alloc.prefixes_of(node.asn).iter().find_map(|p| p.as_v4())?;
                 Some((node.asn, PrefixAllocation::host_in(v4)))
             })
             .collect();

@@ -28,7 +28,8 @@ struct AsFib {
 
 impl AsFib {
     fn insert(&mut self, prefix: Ipv4Prefix, action: FibAction) {
-        self.entries.insert((prefix.network(), prefix.len()), action);
+        self.entries
+            .insert((prefix.network(), prefix.len()), action);
         self.lengths.insert(prefix.len());
     }
 
@@ -93,7 +94,10 @@ impl Fib {
         for (asn, table) in &other.tables {
             let dst = self.tables.entry(*asn).or_default();
             for (&(net, len), &action) in &table.entries {
-                dst.insert(Ipv4Prefix::new(net, len).expect("stored prefixes valid"), action);
+                dst.insert(
+                    Ipv4Prefix::new(net, len).expect("stored prefixes valid"),
+                    action,
+                );
             }
         }
     }
@@ -177,7 +181,13 @@ mod tests {
         ] {
             fib.insert(asn, p4(s), a);
         }
-        for probe in ["1.2.3.4", "10.0.0.1", "10.128.0.1", "10.128.64.1", "255.255.255.255"] {
+        for probe in [
+            "1.2.3.4",
+            "10.0.0.1",
+            "10.128.0.1",
+            "10.128.64.1",
+            "255.255.255.255",
+        ] {
             assert_eq!(
                 fib.lookup(asn, ip(probe)),
                 fib.lookup_naive(asn, ip(probe)),
@@ -189,7 +199,11 @@ mod tests {
     #[test]
     fn default_route_matches_everything() {
         let mut fib = Fib::default();
-        fib.insert(Asn::new(1), p4("0.0.0.0/0"), FibAction::Forward(Asn::new(2)));
+        fib.insert(
+            Asn::new(1),
+            p4("0.0.0.0/0"),
+            FibAction::Forward(Asn::new(2)),
+        );
         assert!(fib.lookup(Asn::new(1), ip("203.0.113.5")).is_some());
     }
 }

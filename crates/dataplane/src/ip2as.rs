@@ -36,7 +36,8 @@ impl IpToAsMap {
 
     /// Adds one mapping.
     pub fn insert(&mut self, prefix: Ipv4Prefix, origin: Asn) {
-        self.entries.insert((prefix.network(), prefix.len()), origin);
+        self.entries
+            .insert((prefix.network(), prefix.len()), origin);
         self.lengths.insert(prefix.len());
     }
 

@@ -67,8 +67,7 @@ impl<'a> LookingGlass<'a> {
                 if r.communities.is_empty() {
                     let _ = writeln!(out, "  Communities: (none)");
                 } else {
-                    let list: Vec<String> =
-                        r.communities.iter().map(|c| c.to_string()).collect();
+                    let list: Vec<String> = r.communities.iter().map(|c| c.to_string()).collect();
                     let _ = writeln!(out, "  Communities: {}", list.join(" "));
                 }
             }

@@ -195,8 +195,16 @@ mod tests {
     #[test]
     fn loops_are_detected() {
         let mut fib = Fib::default();
-        fib.insert(Asn::new(1), p4("10.0.0.0/8"), FibAction::Forward(Asn::new(2)));
-        fib.insert(Asn::new(2), p4("10.0.0.0/8"), FibAction::Forward(Asn::new(1)));
+        fib.insert(
+            Asn::new(1),
+            p4("10.0.0.0/8"),
+            FibAction::Forward(Asn::new(2)),
+        );
+        fib.insert(
+            Asn::new(2),
+            p4("10.0.0.0/8"),
+            FibAction::Forward(Asn::new(1)),
+        );
         let t = trace(&fib, Asn::new(1), ip("10.1.1.1"));
         assert_eq!(t.outcome, TraceOutcome::Loop);
         assert!(t.path.len() >= 3);

@@ -94,11 +94,7 @@ pub struct Alert {
 
 impl fmt::Display for Alert {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{:?}] {} {} ",
-            self.severity, self.kind, self.prefix
-        )?;
+        write!(f, "[{:?}] {} {} ", self.severity, self.kind, self.prefix)?;
         if let Some(c) = self.community {
             write!(f, "community {c} ")?;
         }
@@ -225,9 +221,7 @@ impl<'a> Monitor<'a> {
             // 1. Hijack by origin contradiction with the covering prefix.
             if let Some(covering) = self.covering_of(prefix) {
                 let covering_origins = self.origins_of(covering);
-                if !covering_origins.is_empty()
-                    && tagged_origins.is_disjoint(&covering_origins)
-                {
+                if !covering_origins.is_empty() && tagged_origins.is_disjoint(&covering_origins) {
                     alerts.push(Alert {
                         kind: AlertKind::RtbhHijack,
                         prefix,
@@ -390,8 +384,7 @@ impl<'a> Monitor<'a> {
             // Require the steering to have had an effect: the target shows
             // up prepended on at least one tagged path.
             let effect = observations.iter().any(|o| {
-                o.communities.contains(&community)
-                    && o.prepends.iter().any(|(a, _)| *a == target)
+                o.communities.contains(&community) && o.prepends.iter().any(|(a, _)| *a == target)
             });
             if !effect {
                 continue;
@@ -733,7 +726,10 @@ mod tests {
             obs("10.0.0.0/16", &[5, 2, 1], &[(9, 421)], &[]),
         ]);
         let m = Monitor::new(&s, &d);
-        assert!(m.steering_alerts().is_empty(), "origin is a credible tagger");
+        assert!(
+            m.steering_alerts().is_empty(),
+            "origin is a credible tagger"
+        );
     }
 
     #[test]
@@ -796,12 +792,7 @@ mod tests {
     #[test]
     fn no_export_at_collector_is_a_leak() {
         let d = CommunityDictionary::new();
-        let s = set(vec![obs(
-            "10.0.0.0/16",
-            &[3, 2, 1],
-            &[(65535, 65281)],
-            &[],
-        )]);
+        let s = set(vec![obs("10.0.0.0/16", &[3, 2, 1], &[(65535, 65281)], &[])]);
         let m = Monitor::new(&s, &d);
         let alerts = m.well_known_alerts();
         assert_eq!(alerts.len(), 1);

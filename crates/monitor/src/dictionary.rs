@@ -276,11 +276,8 @@ impl DictionaryInference {
         }
         // Second pass: how many of each community's prefixes were withdrawn.
         for ev in evidence.values_mut() {
-            ev.withdrawn_prefixes = ev
-                .prefixes
-                .iter()
-                .filter(|p| withdrawn.contains(p))
-                .count() as u64;
+            ev.withdrawn_prefixes =
+                ev.prefixes.iter().filter(|p| withdrawn.contains(p)).count() as u64;
         }
 
         let mut dict = CommunityDictionary::new();
@@ -289,8 +286,7 @@ impl DictionaryInference {
                 continue;
             }
             let small_frac = ev.small_prefix as f64 / ev.observations as f64;
-            let withdrawn_frac =
-                ev.withdrawn_prefixes as f64 / ev.prefixes.len().max(1) as f64;
+            let withdrawn_frac = ev.withdrawn_prefixes as f64 / ev.prefixes.len().max(1) as f64;
             if small_frac >= self.blackhole_small_prefix_fraction
                 && withdrawn_frac >= self.blackhole_withdrawn_fraction
             {
@@ -458,7 +454,6 @@ impl DictionaryEval {
 mod tests {
     use super::*;
     use bgpworms_core::UpdateObservation;
-    
 
     fn obs(
         prefix: &str,
@@ -507,7 +502,10 @@ mod tests {
     #[test]
     fn explicit_entries_override_conventions() {
         let mut d = CommunityDictionary::new();
-        assert_eq!(d.kind(Community::new(5, 666)), Some(CommunityKind::Blackhole));
+        assert_eq!(
+            d.kind(Community::new(5, 666)),
+            Some(CommunityKind::Blackhole)
+        );
         d.insert(Community::new(5, 666), CommunityKind::Informational);
         assert_eq!(
             d.kind(Community::new(5, 666)),
@@ -599,8 +597,14 @@ mod tests {
             obs("22.0.0.0/16", &[6, 11, 7], &[(6, 202)], &[]),
         ];
         let (dict, _) = DictionaryInference::default().infer(&set(observations));
-        assert_eq!(dict.kind(Community::new(6, 201)), Some(CommunityKind::Location));
-        assert_eq!(dict.kind(Community::new(6, 202)), Some(CommunityKind::Location));
+        assert_eq!(
+            dict.kind(Community::new(6, 201)),
+            Some(CommunityKind::Location)
+        );
+        assert_eq!(
+            dict.kind(Community::new(6, 202)),
+            Some(CommunityKind::Location)
+        );
     }
 
     #[test]
@@ -640,19 +644,28 @@ mod tests {
         let mut inferred = CommunityDictionary::new();
         inferred.insert(Community::new(1, 666), CommunityKind::Blackhole); // TP
         inferred.insert(Community::new(9, 5), CommunityKind::Blackhole); // FP
-        // prepend missed → FN; location missed but NOT observed → excluded
+                                                                         // prepend missed → FN; location missed but NOT observed → excluded
 
-        let observed: BTreeSet<Community> =
-            [Community::new(1, 666), Community::new(2, 421), Community::new(9, 5)]
-                .into_iter()
-                .collect();
+        let observed: BTreeSet<Community> = [
+            Community::new(1, 666),
+            Community::new(2, 421),
+            Community::new(9, 5),
+        ]
+        .into_iter()
+        .collect();
         let eval = DictionaryEval::compare(&inferred, &truth, &observed);
         let bh = eval.scores["blackhole"];
-        assert_eq!((bh.true_positives, bh.false_positives, bh.false_negatives), (1, 1, 0));
+        assert_eq!(
+            (bh.true_positives, bh.false_positives, bh.false_negatives),
+            (1, 1, 0)
+        );
         assert!((bh.precision() - 0.5).abs() < 1e-9);
         assert!((bh.recall() - 1.0).abs() < 1e-9);
         let pp = eval.scores["prepend"];
-        assert_eq!((pp.true_positives, pp.false_positives, pp.false_negatives), (0, 0, 1));
+        assert_eq!(
+            (pp.true_positives, pp.false_positives, pp.false_negatives),
+            (0, 0, 1)
+        );
         assert_eq!(pp.recall(), 0.0);
         let loc = eval.scores["location"];
         assert_eq!(loc.false_negatives, 0, "unobserved truth is excluded");
@@ -669,11 +682,26 @@ mod tests {
         cfg.tagging.tag_origin_class = true;
         cfg.tagging.origination_tags = vec![Community::new(42, 3000)];
         let dict = CommunityDictionary::from_workload([&cfg]);
-        assert_eq!(dict.kind(Community::new(42, 666)), Some(CommunityKind::Blackhole));
-        assert_eq!(dict.kind(Community::new(42, 421)), Some(CommunityKind::Prepend(1)));
-        assert_eq!(dict.kind(Community::new(42, 70)), Some(CommunityKind::LocalPref));
-        assert_eq!(dict.kind(Community::new(42, 203)), Some(CommunityKind::Location));
-        assert_eq!(dict.kind(Community::new(42, 110)), Some(CommunityKind::OriginClass));
+        assert_eq!(
+            dict.kind(Community::new(42, 666)),
+            Some(CommunityKind::Blackhole)
+        );
+        assert_eq!(
+            dict.kind(Community::new(42, 421)),
+            Some(CommunityKind::Prepend(1))
+        );
+        assert_eq!(
+            dict.kind(Community::new(42, 70)),
+            Some(CommunityKind::LocalPref)
+        );
+        assert_eq!(
+            dict.kind(Community::new(42, 203)),
+            Some(CommunityKind::Location)
+        );
+        assert_eq!(
+            dict.kind(Community::new(42, 110)),
+            Some(CommunityKind::OriginClass)
+        );
         assert_eq!(
             dict.kind(Community::new(42, 3000)),
             Some(CommunityKind::Informational)

@@ -15,7 +15,8 @@ use crate::detectors::{Alert, AlertKind};
 use crate::dictionary::CommunityDictionary;
 use bgpworms_core::{ArchiveInput, ObservationSet};
 use bgpworms_routesim::{
-    archive_all, CommunityPropagationPolicy, Origination, Vendor, Workload, WorkloadParams,
+    archive_all, CommunityPropagationPolicy, FeedKind, Origination, Vendor, Workload,
+    WorkloadParams,
 };
 use bgpworms_topology::{
     addressing::AddressingParams, PrefixAllocation, Tier, Topology, TopologyParams,
@@ -169,14 +170,9 @@ pub fn build(params: &LabeledRunParams) -> LabeledRun {
 
     for kind in InjectedKind::ALL {
         for slot in 0..params.per_kind {
-            if let Some(attack) = plan_attack(
-                kind,
-                &topo,
-                &alloc,
-                &workload,
-                &mut used_victims,
-                &mut rng,
-            ) {
+            if let Some(attack) =
+                plan_attack(kind, &topo, &alloc, &workload, &mut used_victims, &mut rng)
+            {
                 apply_attack(&attack, &mut workload, inject_time + slot as u32 * 600);
                 injections.push(attack);
             }
@@ -260,8 +256,7 @@ fn plan_attack(
             let target = *blackhole_targets.first()?;
             let t16 = target.as_u16()?;
             for victim in &stubs {
-                let Some(v4) = alloc.prefixes_of(*victim).iter().find_map(|p| p.as_v4())
-                else {
+                let Some(v4) = alloc.prefixes_of(*victim).iter().find_map(|p| p.as_v4()) else {
                     continue;
                 };
                 if v4.len() > 24 {
@@ -274,7 +269,9 @@ fn plan_attack(
                 let victim_providers: BTreeSet<Asn> = topo.providers_of(*victim).collect();
                 let Some(attacker) = stubs.iter().copied().find(|a| {
                     *a != *victim
-                        && topo.providers_of(*a).all(|p| !victim_providers.contains(&p))
+                        && topo
+                            .providers_of(*a)
+                            .all(|p| !victim_providers.contains(&p))
                 }) else {
                     continue;
                 };
@@ -298,9 +295,32 @@ fn plan_attack(
             } else {
                 &prepend_targets
             };
+            // Steering abuse is only a *scorable* label when its effect can
+            // reach a collector: the target's prepending is visible on the
+            // target's own full-feed collector session, provided the target
+            // also re-exports the triggering community (ForwardAll, or
+            // StripUnknown — the community names the target itself).
+            let full_feed_peers: BTreeSet<Asn> = workload
+                .collectors
+                .iter()
+                .flat_map(|c| c.peers.iter())
+                .filter(|(_, feed)| *feed == FeedKind::Full)
+                .map(|(peer, _)| *peer)
+                .collect();
+            let visible_steering_target = |t: &Asn| {
+                let Some(cfg) = workload.configs.get(t) else {
+                    return false;
+                };
+                full_feed_peers.contains(t)
+                    && cfg.sends_communities()
+                    && matches!(
+                        cfg.propagation,
+                        CommunityPropagationPolicy::ForwardAll
+                            | CommunityPropagationPolicy::StripUnknown
+                    )
+            };
             for victim in &stubs {
-                let Some(v4) = alloc.prefixes_of(*victim).iter().find_map(|p| p.as_v4())
-                else {
+                let Some(v4) = alloc.prefixes_of(*victim).iter().find_map(|p| p.as_v4()) else {
                     continue;
                 };
                 // The attacker is one of the victim's providers (on-path by
@@ -314,13 +334,16 @@ fn plan_attack(
                 // injections would be undetectable-by-construction labels.
                 let victim_providers: BTreeSet<Asn> = topo.providers_of(*victim).collect();
                 for attacker in victim_providers.iter().copied() {
-                    let Some(target) = topo.providers_of(attacker).find(|t| {
-                        targets.contains(t)
-                            && *t != attacker
-                            && !victim_providers.contains(t)
-                    }) else {
-                        continue;
+                    let usable = |t: &Asn| {
+                        targets.contains(t) && *t != attacker && !victim_providers.contains(t)
                     };
+                    let target = match kind {
+                        InjectedKind::SteeringPrepend => topo
+                            .providers_of(attacker)
+                            .find(|t| usable(t) && visible_steering_target(t)),
+                        _ => topo.providers_of(attacker).find(usable),
+                    };
+                    let Some(target) = target else { continue };
                     let Some(t16) = target.as_u16() else { continue };
                     let community = if kind == InjectedKind::RtbhOnPath {
                         Community::new(t16, 666)
@@ -370,7 +393,9 @@ fn plan_attack(
                 let Some(attackee) = members.iter().copied().find(|m| *m != attacker) else {
                     continue;
                 };
-                let Some(a16) = attackee.as_u16() else { continue };
+                let Some(a16) = attackee.as_u16() else {
+                    continue;
+                };
                 let Some(own) = alloc.prefixes_of(attacker).first().copied() else {
                     continue;
                 };
@@ -409,23 +434,30 @@ fn apply_attack(attack: &InjectedAttack, workload: &mut Workload, time: u32) {
             // §7.3: the hijack required updating the IRR — circumvention.
             workload.irr.register(attack.attack_prefix, attack.attacker);
             workload.originations.push(
-                Origination::announce(attack.attacker, attack.attack_prefix, vec![
-                    attack.community,
-                ])
+                Origination::announce(
+                    attack.attacker,
+                    attack.attack_prefix,
+                    vec![attack.community],
+                )
                 .at(time),
             );
         }
         InjectedKind::RtbhForgedOrigin => {
             make_attacker_cooperative(workload, attack.attacker);
             workload.originations.push(
-                Origination::announce(attack.attacker, attack.attack_prefix, vec![
-                    attack.community,
-                ])
+                Origination::announce(
+                    attack.attacker,
+                    attack.attack_prefix,
+                    vec![attack.community],
+                )
                 .at(time)
                 .forging(attack.victim),
             );
         }
         InjectedKind::RtbhOnPath | InjectedKind::SteeringPrepend => {
+            // A deliberate on-path tagger configures its router to actually
+            // send communities (otherwise the tag would die on its egress).
+            make_attacker_cooperative(workload, attack.attacker);
             if let Some(cfg) = workload.configs.get_mut(&attack.attacker) {
                 cfg.tagging
                     .targeted_egress
@@ -437,10 +469,11 @@ fn apply_attack(attack: &InjectedAttack, workload: &mut Workload, time: u32) {
             let a16 = attack.community.value_part();
             let rs16 = attack.target.as_u16().unwrap_or(0);
             workload.originations.push(
-                Origination::announce(attack.attacker, attack.attack_prefix, vec![
-                    Community::new(rs16, a16),
-                    Community::new(0, a16),
-                ])
+                Origination::announce(
+                    attack.attacker,
+                    attack.attack_prefix,
+                    vec![Community::new(rs16, a16), Community::new(0, a16)],
+                )
                 .at(time),
             );
         }
@@ -618,8 +651,7 @@ mod tests {
         assert!(!run.observations.observations.is_empty());
         assert!(!run.truth_dict.is_empty());
         // Injections name distinct attack prefixes.
-        let prefixes: BTreeSet<Prefix> =
-            run.injections.iter().map(|i| i.attack_prefix).collect();
+        let prefixes: BTreeSet<Prefix> = run.injections.iter().map(|i| i.attack_prefix).collect();
         assert_eq!(prefixes.len(), run.injections.len());
     }
 

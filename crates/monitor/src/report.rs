@@ -16,8 +16,14 @@ pub fn render_detection(run: &LabeledRun, alerts: &[Alert], eval: &DetectionEval
         alerts.len(),
         eval.attack_alerts
     );
-    let _ = writeln!(out, "\nkind                 injected  detected  attributed  recall");
-    let _ = writeln!(out, "-------------------------------------------------------------");
+    let _ = writeln!(
+        out,
+        "\nkind                 injected  detected  attributed  recall"
+    );
+    let _ = writeln!(
+        out,
+        "-------------------------------------------------------------"
+    );
     for (label, k) in &eval.per_kind {
         let injected = k.detected + k.missed;
         if injected == 0 {

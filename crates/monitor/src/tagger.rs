@@ -188,9 +188,7 @@ pub fn attribute_among(
                 Some(f) => (1..=i).any(|j| {
                     let from = obs.path[j];
                     let to = obs.path[j - 1];
-                    f.edge(from, to)
-                        .map(|e| e.filtered > 0)
-                        .unwrap_or(false)
+                    f.edge(from, to).map(|e| e.filtered > 0).unwrap_or(false)
                 }),
                 None => false,
             };
@@ -273,7 +271,11 @@ mod tests {
         let att = attribute(&s, P.parse().unwrap(), Community::new(9, 42), None);
         assert_eq!(att.tagged_paths, 3);
         assert_eq!(att.untagged_paths, 0);
-        assert_eq!(att.best(), Some(Asn::new(1)), "only common AS is the origin");
+        assert_eq!(
+            att.best(),
+            Some(Asn::new(1)),
+            "only common AS is the origin"
+        );
         assert_eq!(att.candidates.len(), 1);
     }
 
@@ -290,7 +292,11 @@ mod tests {
         ]);
         let att = attribute(&s, P.parse().unwrap(), Community::new(9, 42), None);
         assert_eq!(att.best(), Some(Asn::new(2)));
-        let one = att.candidates.iter().find(|x| x.asn == Asn::new(1)).unwrap();
+        let one = att
+            .candidates
+            .iter()
+            .find(|x| x.asn == Asn::new(1))
+            .unwrap();
         assert_eq!(one.unexplained_absences, 1);
     }
 
@@ -299,10 +305,7 @@ mod tests {
         // Tag of AS2 present on all paths; both 2 and 1 are clean
         // candidates, but 2 owns the community.
         let c = (2u16, 666u16);
-        let s = set(vec![
-            obs(P, &[3, 2, 1], &[c]),
-            obs(P, &[4, 2, 1], &[c]),
-        ]);
+        let s = set(vec![obs(P, &[3, 2, 1], &[c]), obs(P, &[4, 2, 1], &[c])]);
         let att = attribute(&s, P.parse().unwrap(), Community::new(2, 666), None);
         assert_eq!(att.best(), Some(Asn::new(2)), "owner prior wins");
         assert!(att.candidates[0].score > att.candidates[1].score);
@@ -327,9 +330,21 @@ mod tests {
                 filtered: 10,
             },
         );
-        let att = attribute(&s, P.parse().unwrap(), Community::new(9, 42), Some(&filters));
-        let one = att.candidates.iter().find(|x| x.asn == Asn::new(1)).unwrap();
-        assert_eq!(one.unexplained_absences, 0, "stripping explains the absence");
+        let att = attribute(
+            &s,
+            P.parse().unwrap(),
+            Community::new(9, 42),
+            Some(&filters),
+        );
+        let one = att
+            .candidates
+            .iter()
+            .find(|x| x.asn == Asn::new(1))
+            .unwrap();
+        assert_eq!(
+            one.unexplained_absences, 0,
+            "stripping explains the absence"
+        );
         assert_eq!(att.best(), Some(Asn::new(1)), "origin-side tie-break");
     }
 
@@ -360,10 +375,7 @@ mod tests {
     #[test]
     fn in_top_and_best_set() {
         let c = (9u16, 42u16);
-        let s = set(vec![
-            obs(P, &[3, 2, 1], &[c]),
-            obs(P, &[4, 2, 1], &[c]),
-        ]);
+        let s = set(vec![obs(P, &[3, 2, 1], &[c]), obs(P, &[4, 2, 1], &[c])]);
         let att = attribute(&s, P.parse().unwrap(), Community::new(9, 42), None);
         // candidates {2, 1}, equal scores (no absences, no owner on path)
         assert_eq!(att.best_set().len(), 2);
@@ -380,7 +392,11 @@ mod tests {
         let s = set(vec![obs(P, &[4, 3, 2, 1], &[c])]);
         let att = attribute(&s, P.parse().unwrap(), Community::new(9, 42), None);
         assert_eq!(att.best(), Some(Asn::new(1)));
-        let dists: Vec<usize> = att.candidates.iter().map(|x| x.distance_from_origin).collect();
+        let dists: Vec<usize> = att
+            .candidates
+            .iter()
+            .map(|x| x.distance_from_origin)
+            .collect();
         assert_eq!(dists, vec![0, 1, 2, 3]);
     }
 }

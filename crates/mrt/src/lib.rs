@@ -51,6 +51,5 @@ pub use record::{
     StateChange, BGP4MP, BGP4MP_ET, TABLE_DUMP_V2,
 };
 pub use write::{
-    write_rib_dump, write_state_change, write_update, write_update_into, MrtWriter,
-    TableDumpWriter,
+    write_rib_dump, write_state_change, write_update, write_update_into, MrtWriter, TableDumpWriter,
 };

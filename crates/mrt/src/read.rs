@@ -44,19 +44,23 @@ impl<R: Read> MrtReader<R> {
             ReadOutcome::Full => {}
         }
 
-        let timestamp = u32::from_be_bytes([header_buf[0], header_buf[1], header_buf[2], header_buf[3]]);
+        let timestamp =
+            u32::from_be_bytes([header_buf[0], header_buf[1], header_buf[2], header_buf[3]]);
         let mrt_type = u16::from_be_bytes([header_buf[4], header_buf[5]]);
         let subtype = u16::from_be_bytes([header_buf[6], header_buf[7]]);
-        let length = u32::from_be_bytes([header_buf[8], header_buf[9], header_buf[10], header_buf[11]]);
+        let length =
+            u32::from_be_bytes([header_buf[8], header_buf[9], header_buf[10], header_buf[11]]);
 
         if length > MAX_RECORD_LEN {
             return Err(MrtError::BadRecordLength(length));
         }
 
         let mut body = vec![0u8; length as usize];
-        self.inner.read_exact(&mut body).map_err(|_| MrtError::Truncated {
-            what: "MRT record body",
-        })?;
+        self.inner
+            .read_exact(&mut body)
+            .map_err(|_| MrtError::Truncated {
+                what: "MRT record body",
+            })?;
 
         self.records_read += 1;
 
@@ -74,8 +78,7 @@ impl<R: Read> MrtReader<R> {
                     what: "extended timestamp",
                 });
             }
-            header.microseconds =
-                Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
+            header.microseconds = Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
             &body[4..]
         } else {
             &body
@@ -132,10 +135,7 @@ fn parse_bgp4mp(header: MrtHeader, body: &[u8]) -> Result<MrtRecord, MrtError> {
     let (peer_as, local_as) = if as4 {
         (c.u32("peer AS")?, c.u32("local AS")?)
     } else {
-        (
-            u32::from(c.u16("peer AS")?),
-            u32::from(c.u16("local AS")?),
-        )
+        (u32::from(c.u16("peer AS")?), u32::from(c.u16("local AS")?))
     };
     let ifindex = c.u16("interface index")?;
     let afi = c.u16("address family")?;
@@ -237,8 +237,7 @@ fn parse_table_dump_v2(header: MrtHeader, body: &[u8]) -> Result<MrtRecord, MrtE
                 let attr_len = c.u16("rib attribute length")? as usize;
                 let attr_bytes = c.take("rib attributes", attr_len)?;
                 // RFC 6396 §4.3.4: RIB attributes always use 4-octet ASNs.
-                let decoded =
-                    bgpworms_wire::decode_attributes(attr_bytes, CodecConfig::modern())?;
+                let decoded = bgpworms_wire::decode_attributes(attr_bytes, CodecConfig::modern())?;
                 entries.push(RibEntry {
                     peer_index,
                     originated_time,
@@ -324,10 +323,7 @@ mod tests {
         let mut h = vec![0u8; 12];
         h[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
         let mut r = MrtReader::new(h.as_slice());
-        assert!(matches!(
-            r.next_record(),
-            Err(MrtError::BadRecordLength(_))
-        ));
+        assert!(matches!(r.next_record(), Err(MrtError::BadRecordLength(_))));
     }
 
     #[test]

@@ -128,12 +128,7 @@ pub fn write_state_change<W: Write>(
     push_ip(&mut body, unspecified_like(peer_ip));
     body.extend_from_slice(&old_state.to_be_bytes());
     body.extend_from_slice(&new_state.to_be_bytes());
-    w.write_record(
-        timestamp,
-        BGP4MP,
-        bgp4mp_subtype::STATE_CHANGE_AS4,
-        &body,
-    )
+    w.write_record(timestamp, BGP4MP, bgp4mp_subtype::STATE_CHANGE_AS4, &body)
 }
 
 /// Writer for a TABLE_DUMP_V2 RIB dump: emits the PEER_INDEX_TABLE first,

@@ -2,7 +2,7 @@
 //! reader survives arbitrary byte soup without panicking.
 
 use bgpworms_mrt::{write_update_into, MrtReader, MrtRecord, MrtWriter, UpdateStream};
-use bgpworms_types::{Asn, AsPath, Community, Ipv4Prefix, PathAttributes, Prefix, RouteUpdate};
+use bgpworms_types::{AsPath, Asn, Community, Ipv4Prefix, PathAttributes, Prefix, RouteUpdate};
 use proptest::prelude::*;
 
 fn arb_update() -> impl Strategy<Value = RouteUpdate> {

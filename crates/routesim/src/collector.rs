@@ -255,10 +255,7 @@ mod tests {
             }
         }
         assert_eq!(rib_prefixes.len(), 1, "only 20/16 survives");
-        assert_eq!(
-            rib_prefixes[0],
-            "20.0.0.0/16".parse::<Prefix>().unwrap()
-        );
+        assert_eq!(rib_prefixes[0], "20.0.0.0/16".parse::<Prefix>().unwrap());
         assert_eq!(entry_counts[0], 2, "both peers advertise it");
     }
 

@@ -2,17 +2,40 @@
 //! convergence over the topology, records collector observations, and
 //! (optionally) retains final per-AS routes for data-plane construction.
 //!
+//! # Index-based core
+//!
+//! The engine compiles one [`RunContext`] per [`Simulation::run`] call:
+//! every AS is addressed by its dense [`NodeId`], per-AS router
+//! configurations are resolved **once per run** into a `Vec<RouterConfig>`
+//! borrowed read-only by all worker threads, and adjacency comes from the
+//! topology's CSR view as `(NodeId, Role, is_route_server)` slices. The
+//! per-event hot path of [`run_prefix`](RunContext::run_prefix) therefore
+//! performs only `Vec` indexing — no `BTreeMap<Asn, …>` lookups, no
+//! per-event config clones, and no per-edge `role_of` scans (the sender's
+//! role rides along in the event).
+//!
+//! # Parallelism & determinism
+//!
 //! Distinct prefixes never interact (no aggregation, no per-table limits),
-//! so the engine shards the prefix set across worker threads with
-//! `crossbeam` and merges results in deterministic prefix order.
+//! so the engine shards the prefix set across `std::thread::scope` workers.
+//! Workers claim prefixes dynamically from an atomic counter and publish
+//! into per-prefix `OnceLock` slots (disjoint writes, no locks, balanced
+//! load); results are merged in prefix order and
+//! observations are sorted by `(time, peer, prefix)`, which makes
+//! `threads = 1` and `threads = N` produce identical [`SimResult`]s. A
+//! panic inside one worker is caught per prefix and re-raised with the
+//! failing prefix named.
 
 use crate::collector::{CollectorObservation, CollectorSpec, FeedKind};
 use crate::policy::{IrrDatabase, RouterConfig};
 use crate::route::Route;
 use crate::router::{PrefixRouter, ValidationCtx};
-use bgpworms_topology::{Role, Tier, Topology};
+use bgpworms_topology::{NodeId, Role, Tier, Topology};
 use bgpworms_types::{AsPath, Asn, Community, Origin, Prefix};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// One announcement (or withdrawal) episode injected at an origin AS.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,7 +121,8 @@ pub struct Simulation<'a> {
     /// The AS-level topology.
     pub topo: &'a Topology,
     /// Per-AS router configuration; ASes missing from the map get
-    /// [`RouterConfig::defaults`].
+    /// [`RouterConfig::defaults`]. Resolved into a [`NodeId`]-indexed
+    /// `Vec` once per [`Simulation::run`] call.
     pub configs: BTreeMap<Asn, RouterConfig>,
     /// Route collectors.
     pub collectors: Vec<CollectorSpec>,
@@ -113,7 +137,7 @@ pub struct Simulation<'a> {
 }
 
 /// Everything a run produces.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimResult {
     /// Per-collector observations, sorted by (time, peer, prefix).
     pub observations: BTreeMap<String, Vec<CollectorObservation>>,
@@ -133,12 +157,48 @@ impl SimResult {
     }
 }
 
-/// In-flight update message.
+/// In-flight update message. The sender's role (what `from` plays for
+/// `to`) is resolved from the CSR entry at emit time, so import needs no
+/// adjacency scan.
 #[derive(Debug, Clone)]
 struct Event {
-    from: Asn,
-    to: Asn,
+    from: NodeId,
+    to: NodeId,
+    sender_role: Role,
     route: Option<Route>,
+}
+
+/// The role `a` plays for `b`, given the role `b` plays for `a`. Edges are
+/// symmetric inverses by construction (`Topology::add_edge`).
+fn inverse_role(role: Role) -> Role {
+    match role {
+        Role::Customer => Role::Provider,
+        Role::Provider => Role::Customer,
+        Role::Peer => Role::Peer,
+    }
+}
+
+/// Per-run compiled state: everything [`run_prefix`](RunContext::run_prefix)
+/// touches per event, resolved once and shared read-only by all workers.
+struct RunContext<'a> {
+    topo: &'a Topology,
+    /// Per-node config, indexed by [`NodeId::index`].
+    configs: Vec<RouterConfig>,
+    /// Per-node ASN, indexed by [`NodeId::index`].
+    asns: Vec<Asn>,
+    /// Per-node route-server flag, indexed by [`NodeId::index`].
+    is_rs: Vec<bool>,
+    /// Collector sessions resolved to node ids: `(collector index, peer)`.
+    /// Peers absent from the topology are dropped here, once, instead of
+    /// per episode.
+    collector_peers: Vec<(usize, NodeId, FeedKind)>,
+    irr: &'a IrrDatabase,
+    rpki: &'a IrrDatabase,
+    retain: &'a RetainRoutes,
+    n_collectors: usize,
+    /// Event budget per prefix (hoisted out of the prefix loop: the edge
+    /// sum is one CSR length read).
+    event_budget: u64,
 }
 
 impl<'a> Simulation<'a> {
@@ -160,19 +220,46 @@ impl<'a> Simulation<'a> {
         self.configs.insert(cfg.asn, cfg);
     }
 
-    /// Config of `asn` (default if not set).
-    fn config_of(&self, asn: Asn) -> RouterConfig {
-        self.configs
-            .get(&asn)
-            .cloned()
-            .unwrap_or_else(|| RouterConfig::defaults(asn))
-    }
-
-    fn should_retain(&self, prefix: &Prefix) -> bool {
-        match &self.retain {
-            RetainRoutes::None => false,
-            RetainRoutes::Prefixes(set) => set.contains(prefix),
-            RetainRoutes::All => true,
+    /// Compiles the per-run context: CSR adjacency forced, configs
+    /// resolved once into a dense `Vec`, collector peers interned.
+    fn compile(&self) -> RunContext<'_> {
+        // Forces CSR compilation before worker threads share `topo`, and
+        // doubles as the edge sum for the per-prefix event budget.
+        let adjacency_entries = self.topo.adjacency_len() as u64;
+        let n = self.topo.len();
+        let mut configs = Vec::with_capacity(n);
+        let mut asns = Vec::with_capacity(n);
+        let mut is_rs = Vec::with_capacity(n);
+        for id in self.topo.node_ids() {
+            let node = self.topo.node_by_id(id);
+            configs.push(
+                self.configs
+                    .get(&node.asn)
+                    .cloned()
+                    .unwrap_or_else(|| RouterConfig::defaults(node.asn)),
+            );
+            asns.push(node.asn);
+            is_rs.push(node.tier == Tier::RouteServer);
+        }
+        let mut collector_peers = Vec::new();
+        for (ci, spec) in self.collectors.iter().enumerate() {
+            for &(peer, feed) in &spec.peers {
+                if let Some(id) = self.topo.node_id(peer) {
+                    collector_peers.push((ci, id, feed));
+                }
+            }
+        }
+        RunContext {
+            topo: self.topo,
+            configs,
+            asns,
+            is_rs,
+            collector_peers,
+            irr: &self.irr,
+            rpki: &self.rpki,
+            retain: &self.retain,
+            n_collectors: self.collectors.len(),
+            event_budget: (adjacency_entries * 64).max(10_000),
         }
     }
 
@@ -187,13 +274,14 @@ impl<'a> Simulation<'a> {
             eps.sort_by_key(|o| o.time);
         }
 
+        let ctx = self.compile();
         let prefixes: Vec<Prefix> = by_prefix.keys().copied().collect();
         let results: Vec<PrefixOutcome> = if self.threads > 1 && prefixes.len() > 1 {
-            self.run_parallel(&by_prefix, &prefixes)
+            run_parallel(&ctx, self.threads, &by_prefix, &prefixes)
         } else {
             prefixes
                 .iter()
-                .map(|p| self.run_prefix(*p, &by_prefix[p]))
+                .map(|p| ctx.run_prefix(*p, &by_prefix[p]))
                 .collect()
         };
 
@@ -207,102 +295,119 @@ impl<'a> Simulation<'a> {
         for (prefix, outcome) in prefixes.into_iter().zip(results) {
             out.events += outcome.events;
             out.converged &= outcome.converged;
-            for (name, mut obs) in outcome.observations {
-                out.observations.entry(name).or_default().append(&mut obs);
+            for (ci, mut obs) in outcome.observations.into_iter().enumerate() {
+                if !obs.is_empty() {
+                    out.observations
+                        .get_mut(&self.collectors[ci].name)
+                        .expect("collector registered")
+                        .append(&mut obs);
+                }
             }
             if let Some(routes) = outcome.final_routes {
                 out.final_routes.insert(prefix, routes);
             }
         }
         for obs in out.observations.values_mut() {
-            obs.sort_by(|a, b| {
-                (a.time, a.peer, a.prefix)
-                    .cmp(&(b.time, b.peer, b.prefix))
-            });
+            obs.sort_by_key(|o| (o.time, o.peer, o.prefix));
         }
         out
     }
+}
 
-    fn run_parallel(
-        &self,
-        by_prefix: &BTreeMap<Prefix, Vec<&Origination>>,
-        prefixes: &[Prefix],
-    ) -> Vec<PrefixOutcome> {
-        let n = prefixes.len();
-        let mut results: Vec<Option<PrefixOutcome>> = Vec::with_capacity(n);
-        results.resize_with(n, || None);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results_mx = parking_lot::Mutex::new(&mut results);
+/// Shards `prefixes` over scoped worker threads with dynamic load
+/// balancing: workers claim prefixes from a shared atomic counter (per-
+/// prefix convergence cost varies wildly, so static chunking would let one
+/// unlucky worker run the whole wall-clock) and publish each outcome into
+/// that prefix's own [`OnceLock`] slot — per-slot disjoint writes, no
+/// locks. A panic while simulating one prefix is caught and re-raised
+/// naming the prefix.
+fn run_parallel(
+    ctx: &RunContext<'_>,
+    threads: usize,
+    by_prefix: &BTreeMap<Prefix, Vec<&Origination>>,
+    prefixes: &[Prefix],
+) -> Vec<PrefixOutcome> {
+    let n = prefixes.len();
+    let results: Vec<OnceLock<Result<PrefixOutcome, String>>> =
+        (0..n).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
 
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..self.threads.min(n) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let p = prefixes[i];
-                    let outcome = self.run_prefix(p, &by_prefix[&p]);
-                    results_mx.lock()[i] = Some(outcome);
-                });
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let (results, next) = (&results, &next);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(prefix) = prefixes.get(i) else { break };
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    ctx.run_prefix(*prefix, &by_prefix[prefix])
+                }));
+                let published = results[i]
+                    .set(outcome.map_err(|payload| panic_message(&payload)))
+                    .is_ok();
+                debug_assert!(published, "slot {i} claimed twice");
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .zip(prefixes)
+        .map(|(slot, prefix)| {
+            match slot
+                .into_inner()
+                .expect("every prefix slot is written by exactly one worker")
+            {
+                Ok(outcome) => outcome,
+                Err(msg) => panic!("worker panicked while simulating prefix {prefix}: {msg}"),
             }
         })
-        .expect("worker thread panicked");
+        .collect()
+}
 
-        results
-            .into_iter()
-            .map(|o| o.expect("all prefixes processed"))
-            .collect()
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
+}
 
+impl RunContext<'_> {
     /// Runs the episodes of a single prefix to convergence.
     fn run_prefix(&self, prefix: Prefix, episodes: &[&Origination]) -> PrefixOutcome {
-        let ctx = ValidationCtx {
-            irr: &self.irr,
-            rpki: &self.rpki,
+        let vctx = ValidationCtx {
+            irr: self.irr,
+            rpki: self.rpki,
         };
-        let mut routers: BTreeMap<Asn, PrefixRouter> = BTreeMap::new();
-        let mut configs: BTreeMap<Asn, RouterConfig> = BTreeMap::new();
-        for node in self.topo.ases() {
-            routers.insert(
-                node.asn,
-                PrefixRouter::new(node.asn, node.tier == Tier::RouteServer),
-            );
-            configs.insert(node.asn, self.config_of(node.asn));
-        }
+        let n = self.asns.len();
+        let mut routers: Vec<PrefixRouter> = (0..n)
+            .map(|i| PrefixRouter::new(self.asns[i], self.is_rs[i]))
+            .collect();
 
-        // Per-collector: what each peer session currently advertises to the
-        // monitor, so only changes produce observations.
-        let mut monitor_state: BTreeMap<(usize, Asn), Route> = BTreeMap::new();
+        // Per collector session: what the peer currently advertises to the
+        // monitor, so only changes produce observations. Indexed in step
+        // with `collector_peers`.
+        let mut monitor_state: Vec<Option<Route>> = vec![None; self.collector_peers.len()];
 
         let mut outcome = PrefixOutcome {
-            observations: BTreeMap::new(),
+            observations: vec![Vec::new(); self.n_collectors],
             final_routes: None,
             events: 0,
             converged: true,
-        };
-        for spec in &self.collectors {
-            outcome.observations.entry(spec.name.clone()).or_default();
-        }
-
-        let event_budget: u64 = {
-            let edges: u64 = self
-                .topo
-                .ases()
-                .map(|n| self.topo.degree(n.asn) as u64)
-                .sum();
-            (edges * 64).max(10_000)
         };
 
         let mut queue: VecDeque<Event> = VecDeque::new();
 
         for ep in episodes {
-            if !self.topo.contains(ep.origin) {
+            let Some(origin) = self.topo.node_id(ep.origin) else {
                 continue;
-            }
+            };
             // Apply the origination at its router.
             {
-                let router = routers.get_mut(&ep.origin).expect("origin exists");
+                let router = &mut routers[origin.index()];
                 if ep.withdraw {
                     router.withdraw_local();
                 } else {
@@ -315,72 +420,57 @@ impl<'a> Simulation<'a> {
                     router.originate(route);
                 }
             }
-            self.emit_exports(ep.origin, &mut routers, &configs, &mut queue);
+            self.emit_exports(origin, &mut routers, &mut queue);
 
             // Drain to convergence.
             while let Some(ev) = queue.pop_front() {
                 outcome.events += 1;
-                if outcome.events > event_budget {
+                if outcome.events > self.event_budget {
                     outcome.converged = false;
                     queue.clear();
                     break;
                 }
-                let sender_role = match self.topo.role_of(ev.to, ev.from) {
-                    Some(r) => r,
-                    None => continue, // stale edge
-                };
-                let cfg = configs.get(&ev.to).expect("config exists").clone();
-                let router = routers.get_mut(&ev.to).expect("router exists");
-                router.import(&cfg, ev.from, sender_role, ev.route, ctx);
-                self.emit_exports(ev.to, &mut routers, &configs, &mut queue);
+                let cfg = &self.configs[ev.to.index()];
+                let router = &mut routers[ev.to.index()];
+                router.import(
+                    cfg,
+                    self.asns[ev.from.index()],
+                    ev.sender_role,
+                    ev.route,
+                    vctx,
+                );
+                self.emit_exports(ev.to, &mut routers, &mut queue);
             }
 
             // Record collector observations for this episode.
-            for (ci, spec) in self.collectors.iter().enumerate() {
-                for (peer, feed) in &spec.peers {
-                    let Some(router) = routers.get(peer) else {
-                        continue;
-                    };
-                    let cfg = configs.get(peer).expect("config exists");
-                    let new = collector_export(router, cfg, *feed);
-                    let key = (ci, *peer);
-                    let old = monitor_state.get(&key);
-                    let changed = match (&new, old) {
-                        (None, None) => false,
-                        (Some(n), Some(o)) => n != o,
-                        _ => true,
-                    };
-                    if !changed {
-                        continue;
-                    }
-                    let obs = CollectorObservation {
-                        time: ep.time,
-                        peer: *peer,
-                        prefix,
-                        route: new.clone(),
-                    };
-                    outcome
-                        .observations
-                        .get_mut(&spec.name)
-                        .expect("collector registered")
-                        .push(obs);
-                    match new {
-                        Some(r) => {
-                            monitor_state.insert(key, r);
-                        }
-                        None => {
-                            monitor_state.remove(&key);
-                        }
-                    }
+            for (si, &(ci, peer, feed)) in self.collector_peers.iter().enumerate() {
+                let router = &routers[peer.index()];
+                let cfg = &self.configs[peer.index()];
+                let new = collector_export(router, cfg, feed);
+                let old = monitor_state[si].as_ref();
+                let changed = match (&new, old) {
+                    (None, None) => false,
+                    (Some(n), Some(o)) => n != o,
+                    _ => true,
+                };
+                if !changed {
+                    continue;
                 }
+                outcome.observations[ci].push(CollectorObservation {
+                    time: ep.time,
+                    peer: self.asns[peer.index()],
+                    prefix,
+                    route: new.clone(),
+                });
+                monitor_state[si] = new;
             }
         }
 
         if self.should_retain(&prefix) {
             let mut finals: BTreeMap<Asn, Route> = BTreeMap::new();
-            for (asn, router) in &routers {
+            for (i, router) in routers.iter().enumerate() {
                 if let Some(best) = router.best() {
-                    finals.insert(*asn, best.clone());
+                    finals.insert(self.asns[i], best.clone());
                 }
             }
             outcome.final_routes = Some(finals);
@@ -389,36 +479,28 @@ impl<'a> Simulation<'a> {
         outcome
     }
 
-    /// Recomputes `asn`'s exports to every neighbor and enqueues the ones
-    /// that changed.
-    fn emit_exports(
-        &self,
-        asn: Asn,
-        routers: &mut BTreeMap<Asn, PrefixRouter>,
-        configs: &BTreeMap<Asn, RouterConfig>,
-        queue: &mut VecDeque<Event>,
-    ) {
-        let cfg = configs.get(&asn).expect("config exists").clone();
-        let neighbors: Vec<(Asn, Role, bool)> = self
-            .topo
-            .neighbors(asn)
-            .iter()
-            .map(|n| {
-                let nb_is_rs = self
-                    .topo
-                    .node(n.asn)
-                    .map(|node| node.tier == Tier::RouteServer)
-                    .unwrap_or(false);
-                (n.asn, n.role, nb_is_rs)
-            })
-            .collect();
-        let router = routers.get_mut(&asn).expect("router exists");
-        for (nb, role, nb_is_rs) in neighbors {
-            let new = router.export_for(&cfg, nb, role, nb_is_rs);
-            if let Some(update) = router.diff_export(nb, new) {
+    fn should_retain(&self, prefix: &Prefix) -> bool {
+        match self.retain {
+            RetainRoutes::None => false,
+            RetainRoutes::Prefixes(set) => set.contains(prefix),
+            RetainRoutes::All => true,
+        }
+    }
+
+    /// Recomputes `id`'s exports to every neighbor and enqueues the ones
+    /// that changed. Adjacency comes straight off the CSR slice; the only
+    /// mutable state is this node's router.
+    fn emit_exports(&self, id: NodeId, routers: &mut [PrefixRouter], queue: &mut VecDeque<Event>) {
+        let cfg = &self.configs[id.index()];
+        let router = &mut routers[id.index()];
+        for &(nb, role, nb_is_rs) in self.topo.neighbors_ix(id) {
+            let nb_asn = self.asns[nb.index()];
+            let new = router.export_for(cfg, nb_asn, role, nb_is_rs);
+            if let Some(update) = router.diff_export(nb_asn, new) {
                 queue.push_back(Event {
-                    from: asn,
+                    from: id,
                     to: nb,
+                    sender_role: inverse_role(role),
                     route: update,
                 });
             }
@@ -441,9 +523,10 @@ fn collector_export(router: &PrefixRouter, cfg: &RouterConfig, feed: FeedKind) -
     router.export_for(cfg, crate::MONITOR_ASN, role_for_export, false)
 }
 
-/// Per-prefix result before merging.
+/// Per-prefix result before merging. Observations are indexed by collector
+/// position (resolved to names once, during the merge).
 struct PrefixOutcome {
-    observations: BTreeMap<String, Vec<CollectorObservation>>,
+    observations: Vec<Vec<CollectorObservation>>,
     final_routes: Option<BTreeMap<Asn, Route>>,
     events: u64,
     converged: bool,
@@ -593,7 +676,11 @@ mod tests {
             peers: vec![(Asn::new(2), FeedKind::Full)],
         });
         let tag = Community::new(4, 77);
-        let res = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![tag])]);
+        let res = sim.run(&[Origination::announce(
+            Asn::new(4),
+            p("10.0.0.0/16"),
+            vec![tag],
+        )]);
         let obs = &res.observations["rrc00"];
         assert!(!obs.is_empty());
         let route = obs[0].route.as_ref().unwrap();
@@ -610,8 +697,9 @@ mod tests {
         let mut sim = Simulation::new(&topo);
         sim.retain = RetainRoutes::All;
         let lc = LargeCommunity::new(4_200_000_007, 666, 1);
-        let res = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![])
-            .with_large(vec![lc])]);
+        let res = sim.run(&[
+            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![]).with_large(vec![lc])
+        ]);
         let r1 = res.route_at(Asn::new(1), &p("10.0.0.0/16")).unwrap();
         assert!(
             r1.has_large_community(lc),
@@ -622,8 +710,9 @@ mod tests {
         let mut cfg3 = RouterConfig::defaults(Asn::new(3));
         cfg3.propagation = crate::policy::CommunityPropagationPolicy::StripAll;
         sim.configure(cfg3);
-        let res = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![])
-            .with_large(vec![lc])]);
+        let res = sim.run(&[
+            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![]).with_large(vec![lc])
+        ]);
         let r3 = res.route_at(Asn::new(3), &p("10.0.0.0/16")).unwrap();
         assert!(r3.has_large_community(lc), "AS3 received it");
         let r2 = res.route_at(Asn::new(2), &p("10.0.0.0/16")).unwrap();
@@ -636,7 +725,11 @@ mod tests {
         let mut sim = Simulation::new(&topo);
         sim.retain = RetainRoutes::All;
         let tag = Community::new(4, 77);
-        let res = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![tag])]);
+        let res = sim.run(&[Origination::announce(
+            Asn::new(4),
+            p("10.0.0.0/16"),
+            vec![tag],
+        )]);
         let r1 = res.route_at(Asn::new(1), &p("10.0.0.0/16")).unwrap();
         assert!(
             r1.has_community(tag),
@@ -653,7 +746,11 @@ mod tests {
         cfg3.propagation = crate::policy::CommunityPropagationPolicy::StripAll;
         sim.configure(cfg3);
         let tag = Community::new(4, 77);
-        let res = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![tag])]);
+        let res = sim.run(&[Origination::announce(
+            Asn::new(4),
+            p("10.0.0.0/16"),
+            vec![tag],
+        )]);
         let r3 = res.route_at(Asn::new(3), &p("10.0.0.0/16")).unwrap();
         assert!(r3.has_community(tag), "AS3 received the tag");
         let r2 = res.route_at(Asn::new(2), &p("10.0.0.0/16")).unwrap();
@@ -704,8 +801,10 @@ mod tests {
             Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![]),
         ]);
         let obs = &res.observations["pch"];
-        assert!(obs.iter().all(|o| o.prefix == p("10.0.0.0/16")),
-            "only the customer-learned prefix is exported on a partial feed");
+        assert!(
+            obs.iter().all(|o| o.prefix == p("10.0.0.0/16")),
+            "only the customer-learned prefix is exported on a partial feed"
+        );
         assert!(!obs.is_empty());
     }
 
@@ -732,6 +831,16 @@ mod tests {
         let par = sim.run(&originations);
         assert_eq!(seq.events, par.events);
         assert_eq!(seq.observations, par.observations);
+    }
+
+    #[test]
+    fn panic_payloads_render_for_the_failure_message() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("boom".to_string());
+        assert_eq!(panic_message(&*payload), "boom");
+        let payload: Box<dyn std::any::Any + Send> = Box::new("static");
+        assert_eq!(panic_message(&*payload), "static");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(&*payload), "non-string panic payload");
     }
 
     #[test]

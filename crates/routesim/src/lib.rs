@@ -25,10 +25,41 @@
 //!   controlled by announce/suppress communities with a configurable
 //!   evaluation order (§5.3/§7.5).
 //!
+//! # Engine architecture: index-based propagation core
+//!
 //! Propagation is computed per prefix to convergence with a deterministic
-//! FIFO event queue; distinct prefixes are independent, which the engine
-//! exploits for parallelism. Route collectors observe sessions exactly like
-//! RIS/RouteViews peers and emit RFC 6396 MRT archives via `bgpworms-mrt`.
+//! FIFO event queue. The engine is built on the topology's **`NodeId`
+//! arena**: every AS is interned to a dense `u32` index, adjacency is a
+//! compiled CSR view of `(NodeId, Role, is_route_server)` slices, and all
+//! per-run state lives in `NodeId`-indexed `Vec`s —
+//!
+//! * router configurations are resolved **once per run** into a
+//!   `Vec<RouterConfig>` (borrowed read-only by all workers), never
+//!   cloned per prefix or per event;
+//! * the per-event hot path of `run_prefix` is pure `Vec` indexing — no
+//!   `BTreeMap<Asn, …>` lookups and no adjacency scans (the sender's role
+//!   is carried in the event, resolved from the CSR entry at emit time);
+//! * the per-prefix event budget (an edge-count sum) is hoisted out of the
+//!   prefix loop into the compiled run context.
+//!
+//! Distinct prefixes are independent, which the engine exploits for
+//! parallelism: prefixes are claimed dynamically from an atomic counter by
+//! scoped worker threads, each publishing into that prefix's own
+//! `OnceLock` result slot (disjoint writes, no locks, balanced load).
+//! Results are merged in prefix order and observations sorted by
+//! `(time, peer, prefix)`, so `threads = 1` and `threads = N` produce
+//! identical results — a guarantee locked in by property tests over random
+//! topologies (`tests/determinism.rs`). A worker panic is caught per
+//! prefix and re-raised naming the failing prefix.
+//!
+//! The index core unlocks follow-on optimizations: route interning (hash-
+//! cons `Route` values so per-neighbor RIBs store small ids), batched
+//! export diffing (recompute exports once per converged episode instead of
+//! per event), and per-`NodeId` flat RIB arrays replacing the remaining
+//! per-router neighbor maps.
+//!
+//! Route collectors observe sessions exactly like RIS/RouteViews peers and
+//! emit RFC 6396 MRT archives via `bgpworms-mrt`.
 
 #![warn(missing_docs)]
 
@@ -44,9 +75,7 @@ pub mod route;
 pub mod router;
 pub mod workload;
 
-pub use collector::{
-    archive_all, CollectorArchive, CollectorObservation, CollectorSpec, FeedKind,
-};
+pub use collector::{archive_all, CollectorArchive, CollectorObservation, CollectorSpec, FeedKind};
 pub use engine::{Origination, RetainRoutes, SimResult, Simulation};
 pub use policy::{
     ActScope, BlackholeService, CommunityPropagationPolicy, CommunityServices, IrrDatabase,

@@ -70,8 +70,7 @@ pub enum CommunityPropagationPolicy {
 
 /// Who a community target acts for (§7.4: "providers typically … only act
 /// on traffic steering communities that arrive from a BGP customer").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ActScope {
     /// Act only when the announcement arrives from a customer session.
     #[default]
@@ -135,7 +134,6 @@ impl CommunityServices {
         self.blackhole.is_some() || !self.prepend.is_empty() || !self.local_pref.is_empty()
     }
 }
-
 
 /// Informational communities an AS attaches.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

@@ -114,12 +114,7 @@ impl Route {
         self.local_pref
             .cmp(&other.local_pref)
             .then_with(|| other.path.hop_count().cmp(&self.path.hop_count()))
-            .then_with(|| {
-                other
-                    .origin
-                    .code()
-                    .cmp(&self.origin.code())
-            })
+            .then_with(|| other.origin.code().cmp(&self.origin.code()))
             .then_with(|| other.med.cmp(&self.med))
             .then_with(|| {
                 let a = self.source.neighbor().map(Asn::get).unwrap_or(0);
@@ -216,9 +211,11 @@ mod tests {
 
     #[test]
     fn select_best_is_deterministic_and_total() {
-        let routes = [route(100, &[2, 1], 2),
+        let routes = [
+            route(100, &[2, 1], 2),
             route(100, &[3, 1], 3),
-            route(200, &[4, 4, 4, 1], 4)];
+            route(200, &[4, 4, 4, 1], 4),
+        ];
         let best = select_best(routes.iter()).unwrap();
         assert_eq!(best.source, RouteSource::Ebgp(Asn::new(4)));
         assert!(select_best(std::iter::empty()).is_none());

@@ -3,12 +3,11 @@
 //! community propagation, prepending, route-server redistribution).
 
 use crate::policy::{
-    ActScope, CommunityPropagationPolicy, IrrDatabase, OriginValidation, RouterConfig,
-    RsEvalOrder,
+    ActScope, CommunityPropagationPolicy, IrrDatabase, OriginValidation, RouterConfig, RsEvalOrder,
 };
 use crate::route::{select_best, Route, RouteSource};
-use bgpworms_types::{community, Asn, Community, Prefix, WellKnown};
 use bgpworms_topology::Role;
+use bgpworms_types::{community, Asn, Community, Prefix, WellKnown};
 use std::collections::BTreeMap;
 
 /// Validation context shared by all routers in a run.
@@ -123,10 +122,7 @@ impl PrefixRouter {
         // --- RTBH applicability (checked before everything else because
         //     the misconfigured validation order depends on it). ---
         let rtbh = cfg.services.blackhole.as_ref().and_then(|bh| {
-            let own = self
-                .asn
-                .as_u16()
-                .map(|hi| Community::new(hi, bh.value));
+            let own = self.asn.as_u16().map(|hi| Community::new(hi, bh.value));
             let triggered = route.has_community(Community::BLACKHOLE)
                 || own.is_some_and(|c| route.has_community(c));
             let scope_ok = match bh.scope {
@@ -291,9 +287,7 @@ impl PrefixRouter {
         let learned_role = self.best_learned_role();
         let exportable = match best.source {
             RouteSource::Local => true,
-            _ => {
-                learned_role == Some(Role::Customer) || neighbor_role == Role::Customer
-            }
+            _ => learned_role == Some(Role::Customer) || neighbor_role == Role::Customer,
         };
         if !exportable {
             return None;
@@ -349,9 +343,7 @@ impl PrefixRouter {
             ForwardSet::All => true,
             ForwardSet::None => false,
             ForwardSet::Foreign => Some(c.asn_part()) != own_hi,
-            ForwardSet::OwnAndWellKnown => {
-                Some(c.asn_part()) == own_hi || c.well_known().is_some()
-            }
+            ForwardSet::OwnAndWellKnown => Some(c.asn_part()) == own_hi || c.well_known().is_some(),
             ForwardSet::ScopedToReceiver => Some(c.asn_part()) == neighbor16,
         });
         // Large communities follow the same egress policy; their Global
@@ -395,15 +387,8 @@ impl PrefixRouter {
 
     /// Route-server redistribution: transparent path, control communities,
     /// configurable evaluation order.
-    fn route_server_export(
-        &self,
-        cfg: &RouterConfig,
-        best: &Route,
-        member: Asn,
-    ) -> Option<Route> {
-        if best.has_community(Community::NO_ADVERTISE)
-            || best.has_community(Community::NO_EXPORT)
-        {
+    fn route_server_export(&self, cfg: &RouterConfig, best: &Route, member: Asn) -> Option<Route> {
+        if best.has_community(Community::NO_ADVERTISE) || best.has_community(Community::NO_EXPORT) {
             return None;
         }
         let rs16 = self.asn.as_u16()?;
@@ -457,11 +442,7 @@ impl PrefixRouter {
     /// Records what was last advertised to `neighbor` and reports whether a
     /// new message is needed. Returns `Some(update)` when the advertisement
     /// changed (including transitions to/from withdrawal).
-    pub fn diff_export(
-        &mut self,
-        neighbor: Asn,
-        new: Option<Route>,
-    ) -> Option<Option<Route>> {
+    pub fn diff_export(&mut self, neighbor: Asn, new: Option<Route>) -> Option<Option<Route>> {
         let old = self.exported.get(&neighbor);
         let changed = match (&new, old) {
             (None, None) => false,
@@ -572,7 +553,10 @@ mod tests {
             Asn::new(2),
             Role::Customer,
             Some(incoming(2, &[2, 5, 1], &[])),
-            ValidationCtx { irr: &irr, rpki: &rpki },
+            ValidationCtx {
+                irr: &irr,
+                rpki: &rpki,
+            },
         );
         assert_eq!(v, ImportVerdict::LoopRejected);
         assert!(r.best().is_none());
@@ -583,10 +567,25 @@ mod tests {
         let cfg = RouterConfig::defaults(Asn::new(5));
         let mut r = PrefixRouter::new(Asn::new(5), false);
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         // Longer customer route should still beat shorter provider route.
-        r.import(&cfg, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 9, 1], &[])), ctx);
-        r.import(&cfg, Asn::new(3), Role::Provider, Some(incoming(3, &[3, 1], &[])), ctx);
+        r.import(
+            &cfg,
+            Asn::new(2),
+            Role::Customer,
+            Some(incoming(2, &[2, 9, 1], &[])),
+            ctx,
+        );
+        r.import(
+            &cfg,
+            Asn::new(3),
+            Role::Provider,
+            Some(incoming(3, &[3, 1], &[])),
+            ctx,
+        );
         let best = r.best().unwrap();
         assert_eq!(best.source, RouteSource::Ebgp(Asn::new(2)));
         assert_eq!(r.best_learned_role(), Some(Role::Customer));
@@ -597,8 +596,17 @@ mod tests {
         let cfg = RouterConfig::defaults(Asn::new(5));
         let mut r = PrefixRouter::new(Asn::new(5), false);
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
-        r.import(&cfg, Asn::new(2), Role::Peer, Some(incoming(2, &[2, 1], &[])), ctx);
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
+        r.import(
+            &cfg,
+            Asn::new(2),
+            Role::Peer,
+            Some(incoming(2, &[2, 1], &[])),
+            ctx,
+        );
         assert!(r.best().is_some());
         let v = r.import(&cfg, Asn::new(2), Role::Peer, None, ctx);
         assert_eq!(v, ImportVerdict::Withdrawn);
@@ -611,7 +619,10 @@ mod tests {
         cfg.services.blackhole = Some(BlackholeService::default());
         let mut r = PrefixRouter::new(Asn::new(5), false);
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut route = incoming(2, &[2, 1], &[]);
         route.prefix = "10.0.0.0/30".parse().unwrap();
         let v = r.import(&cfg, Asn::new(2), Role::Peer, Some(route.clone()), ctx);
@@ -634,7 +645,10 @@ mod tests {
         cfg.services.blackhole = Some(BlackholeService::default());
         let mut r = PrefixRouter::new(Asn::new(5), false);
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut victim = incoming(2, &[2, 1], &[]);
         victim.prefix = "10.0.0.0/24".parse().unwrap();
         r.import(&cfg, Asn::new(2), Role::Customer, Some(victim), ctx);
@@ -655,7 +669,10 @@ mod tests {
         });
         let mut r = PrefixRouter::new(Asn::new(5), false);
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut route = incoming(3, &[3, 1], &[Community::new(5, 666)]);
         route.prefix = "10.0.0.0/24".parse().unwrap();
         r.import(&cfg, Asn::new(3), Role::Peer, Some(route.clone()), ctx);
@@ -673,13 +690,28 @@ mod tests {
         let mut irr = IrrDatabase::new();
         irr.register(prefix(), Asn::new(1));
         let rpki = IrrDatabase::new();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut r = PrefixRouter::new(Asn::new(5), false);
         // legit origin AS1
-        let v = r.import(&cfg, Asn::new(2), Role::Peer, Some(incoming(2, &[2, 1], &[])), ctx);
+        let v = r.import(
+            &cfg,
+            Asn::new(2),
+            Role::Peer,
+            Some(incoming(2, &[2, 1], &[])),
+            ctx,
+        );
         assert_eq!(v, ImportVerdict::Accepted);
         // hijacker origin AS9
-        let v = r.import(&cfg, Asn::new(3), Role::Peer, Some(incoming(3, &[3, 9], &[])), ctx);
+        let v = r.import(
+            &cfg,
+            Asn::new(3),
+            Role::Peer,
+            Some(incoming(3, &[3, 9], &[])),
+            ctx,
+        );
         assert_eq!(v, ImportVerdict::ValidationRejected);
     }
 
@@ -695,7 +727,10 @@ mod tests {
         let mut irr = IrrDatabase::new();
         irr.register(prefix(), Asn::new(1));
         let rpki = IrrDatabase::new();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut r = PrefixRouter::new(Asn::new(5), false);
         let mut hijack = incoming(3, &[3, 9], &[Community::new(5, 666)]);
         hijack.prefix = "10.0.0.0/24".parse().unwrap();
@@ -721,7 +756,10 @@ mod tests {
             steering_scope: ActScope::CustomersOnly,
         };
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut r = PrefixRouter::new(Asn::new(5), false);
         let route = incoming(2, &[2, 1], &[Community::new(5, 422), Community::new(5, 70)]);
         r.import(&cfg, Asn::new(2), Role::Customer, Some(route.clone()), ctx);
@@ -742,7 +780,10 @@ mod tests {
         cfg.services.prepend.insert(423, 3);
         cfg.services.steering_scope = ActScope::Any;
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut r = PrefixRouter::new(Asn::new(5), false);
         r.import(
             &cfg,
@@ -770,37 +811,74 @@ mod tests {
     fn gao_rexford_export_filtering() {
         let cfg = RouterConfig::defaults(Asn::new(5));
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut r = PrefixRouter::new(Asn::new(5), false);
         // Route learned from a provider…
-        r.import(&cfg, Asn::new(2), Role::Provider, Some(incoming(2, &[2, 1], &[])), ctx);
+        r.import(
+            &cfg,
+            Asn::new(2),
+            Role::Provider,
+            Some(incoming(2, &[2, 1], &[])),
+            ctx,
+        );
         // …goes to customers…
-        assert!(r.export_for(&cfg, Asn::new(7), Role::Customer, false).is_some());
+        assert!(r
+            .export_for(&cfg, Asn::new(7), Role::Customer, false)
+            .is_some());
         // …but not to peers or providers.
         assert!(r.export_for(&cfg, Asn::new(8), Role::Peer, false).is_none());
-        assert!(r.export_for(&cfg, Asn::new(9), Role::Provider, false).is_none());
+        assert!(r
+            .export_for(&cfg, Asn::new(9), Role::Provider, false)
+            .is_none());
         // Customer routes go everywhere.
         let mut r2 = PrefixRouter::new(Asn::new(5), false);
-        r2.import(&cfg, Asn::new(3), Role::Customer, Some(incoming(3, &[3, 1], &[])), ctx);
-        assert!(r2.export_for(&cfg, Asn::new(8), Role::Peer, false).is_some());
-        assert!(r2.export_for(&cfg, Asn::new(9), Role::Provider, false).is_some());
+        r2.import(
+            &cfg,
+            Asn::new(3),
+            Role::Customer,
+            Some(incoming(3, &[3, 1], &[])),
+            ctx,
+        );
+        assert!(r2
+            .export_for(&cfg, Asn::new(8), Role::Peer, false)
+            .is_some());
+        assert!(r2
+            .export_for(&cfg, Asn::new(9), Role::Provider, false)
+            .is_some());
     }
 
     #[test]
     fn never_export_back_to_sender() {
         let cfg = RouterConfig::defaults(Asn::new(5));
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut r = PrefixRouter::new(Asn::new(5), false);
-        r.import(&cfg, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 1], &[])), ctx);
-        assert!(r.export_for(&cfg, Asn::new(2), Role::Customer, false).is_none());
+        r.import(
+            &cfg,
+            Asn::new(2),
+            Role::Customer,
+            Some(incoming(2, &[2, 1], &[])),
+            ctx,
+        );
+        assert!(r
+            .export_for(&cfg, Asn::new(2), Role::Customer, false)
+            .is_none());
     }
 
     #[test]
     fn no_export_and_no_advertise_honoured() {
         let cfg = RouterConfig::defaults(Asn::new(5));
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut r = PrefixRouter::new(Asn::new(5), false);
         r.import(
             &cfg,
@@ -809,7 +887,9 @@ mod tests {
             Some(incoming(2, &[2, 1], &[Community::NO_EXPORT])),
             ctx,
         );
-        assert!(r.export_for(&cfg, Asn::new(7), Role::Customer, false).is_none());
+        assert!(r
+            .export_for(&cfg, Asn::new(7), Role::Customer, false)
+            .is_none());
         let mut r2 = PrefixRouter::new(Asn::new(5), false);
         r2.import(
             &cfg,
@@ -818,8 +898,12 @@ mod tests {
             Some(incoming(2, &[2, 1], &[Community::NO_PEER])),
             ctx,
         );
-        assert!(r2.export_for(&cfg, Asn::new(8), Role::Peer, false).is_none());
-        assert!(r2.export_for(&cfg, Asn::new(7), Role::Customer, false).is_some());
+        assert!(r2
+            .export_for(&cfg, Asn::new(8), Role::Peer, false)
+            .is_none());
+        assert!(r2
+            .export_for(&cfg, Asn::new(7), Role::Customer, false)
+            .is_some());
     }
 
     #[test]
@@ -827,7 +911,10 @@ mod tests {
         let foreign = Community::new(9, 42);
         let wk = Community::BLACKHOLE;
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
 
         let make = |policy: CommunityPropagationPolicy| {
             let mut cfg = RouterConfig::defaults(Asn::new(5));
@@ -841,27 +928,33 @@ mod tests {
                 &cfg,
                 Asn::new(2),
                 Role::Customer,
-                Some(incoming(
-                    2,
-                    &[2, 1],
-                    &[foreign, wk, Community::new(5, 77)],
-                )),
+                Some(incoming(2, &[2, 1], &[foreign, wk, Community::new(5, 77)])),
                 ctx,
             );
-            r.export_for(&cfg, Asn::new(7), Role::Customer, false).unwrap()
+            r.export_for(&cfg, Asn::new(7), Role::Customer, false)
+                .unwrap()
         };
 
         let out = make(CommunityPropagationPolicy::ForwardAll);
         assert!(out.has_community(foreign) && out.has_community(wk));
-        assert!(out.has_community(Community::new(5, 100)), "own tag rides along");
+        assert!(
+            out.has_community(Community::new(5, 100)),
+            "own tag rides along"
+        );
 
         let out = make(CommunityPropagationPolicy::StripAll);
         assert!(!out.has_community(foreign) && !out.has_community(wk));
-        assert!(out.has_community(Community::new(5, 100)), "own tag still attached");
+        assert!(
+            out.has_community(Community::new(5, 100)),
+            "own tag still attached"
+        );
 
         let out = make(CommunityPropagationPolicy::StripOwn);
         assert!(out.has_community(foreign));
-        assert!(!out.has_community(Community::new(5, 77)), "own received stripped");
+        assert!(
+            !out.has_community(Community::new(5, 77)),
+            "own received stripped"
+        );
         assert!(out.has_community(Community::new(5, 100)), "own *tag* kept");
 
         let out = make(CommunityPropagationPolicy::StripUnknown);
@@ -880,10 +973,21 @@ mod tests {
             to_providers: true,
         };
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut r = PrefixRouter::new(Asn::new(5), false);
-        r.import(&cfg, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 1], &[foreign])), ctx);
-        let to_cust = r.export_for(&cfg, Asn::new(7), Role::Customer, false).unwrap();
+        r.import(
+            &cfg,
+            Asn::new(2),
+            Role::Customer,
+            Some(incoming(2, &[2, 1], &[foreign])),
+            ctx,
+        );
+        let to_cust = r
+            .export_for(&cfg, Asn::new(7), Role::Customer, false)
+            .unwrap();
         assert!(to_cust.has_community(foreign));
         let to_peer = r.export_for(&cfg, Asn::new(8), Role::Peer, false).unwrap();
         assert!(!to_peer.has_community(foreign), "stripped toward peers");
@@ -895,7 +999,10 @@ mod tests {
         cfg.vendor = Vendor::Cisco;
         cfg.send_community_configured = false;
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut r = PrefixRouter::new(Asn::new(5), false);
         r.import(
             &cfg,
@@ -904,7 +1011,9 @@ mod tests {
             Some(incoming(2, &[2, 1], &[Community::new(9, 42)])),
             ctx,
         );
-        let out = r.export_for(&cfg, Asn::new(7), Role::Customer, false).unwrap();
+        let out = r
+            .export_for(&cfg, Asn::new(7), Role::Customer, false)
+            .unwrap();
         assert!(out.communities.is_empty());
     }
 
@@ -913,14 +1022,20 @@ mod tests {
         let rs = Asn::new(59_000);
         let cfg = RouterConfig::defaults(rs);
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut r = PrefixRouter::new(rs, true);
         // Member AS1 announces with: announce-to-AS2 (RS:2) and suppress-to-AS3 (0:3).
-        let comms = vec![
-            Community::new(59_000, 2),
-            Community::new(0, 3),
-        ];
-        r.import(&cfg, Asn::new(1), Role::Peer, Some(incoming(1, &[1], &comms)), ctx);
+        let comms = vec![Community::new(59_000, 2), Community::new(0, 3)];
+        r.import(
+            &cfg,
+            Asn::new(1),
+            Role::Peer,
+            Some(incoming(1, &[1], &comms)),
+            ctx,
+        );
 
         // AS2: no suppress, default announce.
         let out = r.export_for(&cfg, Asn::new(2), Role::Peer, false).unwrap();
@@ -943,10 +1058,19 @@ mod tests {
         let rs = Asn::new(59_000);
         let mut cfg = RouterConfig::defaults(rs);
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let comms = vec![Community::new(59_000, 4), Community::new(0, 4)];
         let mut r = PrefixRouter::new(rs, true);
-        r.import(&cfg, Asn::new(1), Role::Peer, Some(incoming(1, &[1], &comms)), ctx);
+        r.import(
+            &cfg,
+            Asn::new(1),
+            Role::Peer,
+            Some(incoming(1, &[1], &comms)),
+            ctx,
+        );
         assert!(
             r.export_for(&cfg, Asn::new(4), Role::Peer, false).is_none(),
             "suppress-first: conflict resolves to suppression"
@@ -965,10 +1089,21 @@ mod tests {
         let mut cfg = RouterConfig::defaults(Asn::new(5));
         cfg.tagging.egress_tags = vec![Community::new(9, 666)];
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut r = PrefixRouter::new(Asn::new(5), false);
-        r.import(&cfg, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 1], &[])), ctx);
-        let out = r.export_for(&cfg, Asn::new(7), Role::Provider, false).unwrap();
+        r.import(
+            &cfg,
+            Asn::new(2),
+            Role::Customer,
+            Some(incoming(2, &[2, 1], &[])),
+            ctx,
+        );
+        let out = r
+            .export_for(&cfg, Asn::new(7), Role::Provider, false)
+            .unwrap();
         assert!(out.has_community(Community::new(9, 666)));
     }
 
@@ -979,10 +1114,21 @@ mod tests {
         let mut cfg = RouterConfig::defaults(Asn::new(5));
         cfg.tagging.targeted_egress = vec![(prefix(), Community::new(9, 666))];
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut r = PrefixRouter::new(Asn::new(5), false);
-        r.import(&cfg, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 1], &[])), ctx);
-        let out = r.export_for(&cfg, Asn::new(7), Role::Provider, false).unwrap();
+        r.import(
+            &cfg,
+            Asn::new(2),
+            Role::Customer,
+            Some(incoming(2, &[2, 1], &[])),
+            ctx,
+        );
+        let out = r
+            .export_for(&cfg, Asn::new(7), Role::Provider, false)
+            .unwrap();
         assert!(out.has_community(Community::new(9, 666)));
 
         // a different prefix through the same router stays clean
@@ -990,8 +1136,16 @@ mod tests {
         let mut cfg2 = RouterConfig::defaults(Asn::new(5));
         cfg2.tagging.targeted_egress = vec![(other, Community::new(9, 666))];
         let mut r2 = PrefixRouter::new(Asn::new(5), false);
-        r2.import(&cfg2, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 1], &[])), ctx);
-        let out2 = r2.export_for(&cfg2, Asn::new(7), Role::Provider, false).unwrap();
+        r2.import(
+            &cfg2,
+            Asn::new(2),
+            Role::Customer,
+            Some(incoming(2, &[2, 1], &[])),
+            ctx,
+        );
+        let out2 = r2
+            .export_for(&cfg2, Asn::new(7), Role::Provider, false)
+            .unwrap();
         assert!(!out2.has_community(Community::new(9, 666)));
     }
 
@@ -1002,10 +1156,21 @@ mod tests {
         cfg.send_community_configured = true;
         cfg.tagging.egress_tags = (0..40).map(|i| Community::new(5, 1000 + i)).collect();
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut r = PrefixRouter::new(Asn::new(5), false);
-        r.import(&cfg, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 1], &[])), ctx);
-        let out = r.export_for(&cfg, Asn::new(7), Role::Customer, false).unwrap();
+        r.import(
+            &cfg,
+            Asn::new(2),
+            Role::Customer,
+            Some(incoming(2, &[2, 1], &[])),
+            ctx,
+        );
+        let out = r
+            .export_for(&cfg, Asn::new(7), Role::Customer, false)
+            .unwrap();
         assert_eq!(out.communities.len(), 32, "Cisco adds at most 32");
     }
 
@@ -1013,9 +1178,18 @@ mod tests {
     fn diff_export_tracks_changes() {
         let cfg = RouterConfig::defaults(Asn::new(5));
         let (irr, rpki) = ctx_empty();
-        let ctx = ValidationCtx { irr: &irr, rpki: &rpki };
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
         let mut r = PrefixRouter::new(Asn::new(5), false);
-        r.import(&cfg, Asn::new(2), Role::Customer, Some(incoming(2, &[2, 1], &[])), ctx);
+        r.import(
+            &cfg,
+            Asn::new(2),
+            Role::Customer,
+            Some(incoming(2, &[2, 1], &[])),
+            ctx,
+        );
         let exp = r.export_for(&cfg, Asn::new(7), Role::Customer, false);
         // first export: change
         assert!(r.diff_export(Asn::new(7), exp.clone()).is_some());

@@ -57,8 +57,11 @@ impl Default for PolicyMix {
 
 impl PolicyMix {
     fn sample(&self, rng: &mut StdRng) -> CommunityPropagationPolicy {
-        let total =
-            self.forward_all + self.strip_all + self.strip_own + self.strip_unknown + self.selective;
+        let total = self.forward_all
+            + self.strip_all
+            + self.strip_own
+            + self.strip_unknown
+            + self.selective;
         let mut x: f64 = rng.gen::<f64>() * total;
         if x < self.forward_all {
             return CommunityPropagationPolicy::ForwardAll;
@@ -186,12 +189,20 @@ impl Workload {
     }
 
     /// Wires the workload into a [`Simulation`] over `topo`.
+    ///
+    /// The simulation defaults to one worker thread per available core:
+    /// the engine's determinism guarantee (`threads = 1` ≡ `threads = N`,
+    /// locked in by `tests/determinism.rs`) makes parallelism purely a
+    /// throughput knob, and single-prefix runs stay sequential anyway.
     pub fn simulation<'a>(&self, topo: &'a Topology) -> Simulation<'a> {
         let mut sim = Simulation::new(topo);
         sim.configs = self.configs.clone();
         sim.collectors = self.collectors.clone();
         sim.irr = self.irr.clone();
         sim.rpki = self.rpki.clone();
+        sim.threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         sim
     }
 }
@@ -218,8 +229,7 @@ fn assign_configs(
         // The short-circuit keeps the RNG stream identical when the
         // defense is not deployed (adoption 0), preserving all baseline
         // results byte for byte.
-        if params.scoped_defense_adoption > 0.0 && rng.gen_bool(params.scoped_defense_adoption)
-        {
+        if params.scoped_defense_adoption > 0.0 && rng.gen_bool(params.scoped_defense_adoption) {
             cfg.propagation = CommunityPropagationPolicy::ScopedToReceiver;
         }
 
@@ -307,11 +317,9 @@ fn assign_configs(
                     };
                     // Values cluster on "convenient" numbers (Fig 5c): 100,
                     // 200, 1000, 3000 … with a long tail.
-                    let value = *[
-                        100u16, 200, 300, 500, 1000, 2000, 3000, 5000,
-                    ]
-                    .choose(rng)
-                    .expect("non-empty")
+                    let value = *[100u16, 200, 300, 500, 1000, 2000, 3000, 5000]
+                        .choose(rng)
+                        .expect("non-empty")
                         + if rng.gen_bool(0.3) {
                             rng.gen_range(0..40)
                         } else {
@@ -533,11 +541,7 @@ fn build_originations(
         let Some(&provider) = providers.first() else {
             continue;
         };
-        let Some(v4) = alloc
-            .prefixes_of(node.asn)
-            .iter()
-            .find_map(|p| p.as_v4())
-        else {
+        let Some(v4) = alloc.prefixes_of(node.asn).iter().find_map(|p| p.as_v4()) else {
             continue;
         };
         // Most RTBH announcements target a /32 host; some networks
@@ -651,15 +655,9 @@ mod tests {
     #[test]
     fn collectors_cover_all_four_platforms() {
         let (_, _, wl) = setup();
-        let platforms: std::collections::BTreeSet<&str> = wl
-            .collectors
-            .iter()
-            .map(|c| c.platform.as_str())
-            .collect();
-        assert_eq!(
-            platforms,
-            ["IS", "PCH", "RIS", "RV"].into_iter().collect()
-        );
+        let platforms: std::collections::BTreeSet<&str> =
+            wl.collectors.iter().map(|c| c.platform.as_str()).collect();
+        assert_eq!(platforms, ["IS", "PCH", "RIS", "RV"].into_iter().collect());
         for c in &wl.collectors {
             assert!(!c.peers.is_empty(), "{} has no peers", c.name);
         }
@@ -736,7 +734,10 @@ mod tests {
             }
         }
         // originations carry the configured large tags
-        let tagged = wl.originations.iter().any(|o| !o.large_communities.is_empty());
+        let tagged = wl
+            .originations
+            .iter()
+            .any(|o| !o.large_communities.is_empty());
         assert!(tagged, "large tags reach the origination stream");
     }
 

@@ -1,0 +1,209 @@
+//! Property tests locking in the engine's parallel-determinism guarantee:
+//! `threads = 1` and `threads = N` must produce **identical** [`SimResult`]s
+//! (events, observations, final routes, convergence) on arbitrary
+//! topologies, policy assignments, and episode schedules — not just the
+//! single hand-built case in the unit suite. The guarantee is structural
+//! (per-prefix isolation + ordered merge), so it must survive any input.
+
+use bgpworms_routesim::{
+    CollectorSpec, CommunityPropagationPolicy, FeedKind, Origination, RetainRoutes, RouterConfig,
+    Simulation,
+};
+use bgpworms_topology::{EdgeKind, Tier, Topology, TopologyParams};
+use bgpworms_types::{Asn, Community, Prefix};
+use proptest::prelude::*;
+
+/// Raw material for a random topology + workload; the test body assembles
+/// it (indices are taken modulo the node count, so every draw is valid).
+#[derive(Debug, Clone)]
+struct RawWorld {
+    n_nodes: usize,
+    tiers: Vec<u8>,
+    edges: Vec<(usize, usize, bool)>,
+    policies: Vec<(usize, u8)>,
+    episodes: Vec<RawEpisode>,
+    collector_peers: Vec<(usize, bool)>,
+}
+
+#[derive(Debug, Clone)]
+struct RawEpisode {
+    origin: usize,
+    prefix_octet: u8,
+    community: u16,
+    time: u32,
+    withdraw: bool,
+}
+
+fn arb_world() -> impl Strategy<Value = RawWorld> {
+    (
+        4usize..16,
+        proptest::collection::vec(0u8..4, 16),
+        proptest::collection::vec((0usize..16, 0usize..16, any::<bool>()), 3..40),
+        proptest::collection::vec((0usize..16, 0u8..6), 0..8),
+        proptest::collection::vec(
+            (0usize..16, 0u8..6, 0u16..1000, 0u32..5000, any::<bool>()),
+            1..16,
+        ),
+        proptest::collection::vec((0usize..16, any::<bool>()), 1..4),
+    )
+        .prop_map(
+            |(n_nodes, tiers, edges, policies, episodes, collector_peers)| RawWorld {
+                n_nodes,
+                tiers,
+                edges,
+                policies,
+                episodes: episodes
+                    .into_iter()
+                    .map(
+                        |(origin, prefix_octet, community, time, withdraw)| RawEpisode {
+                            origin,
+                            prefix_octet,
+                            community,
+                            time,
+                            withdraw,
+                        },
+                    )
+                    .collect(),
+                collector_peers,
+            },
+        )
+}
+
+/// Assembles the simulation input out of the raw draws.
+fn build_world(
+    raw: &RawWorld,
+) -> (
+    Topology,
+    Vec<RouterConfig>,
+    Vec<CollectorSpec>,
+    Vec<Origination>,
+) {
+    let n = raw.n_nodes;
+    let mut topo = Topology::new();
+    for i in 0..n {
+        let tier = match raw.tiers[i % raw.tiers.len()] {
+            0 => Tier::Tier1,
+            1 => Tier::Transit,
+            2 => Tier::Stub,
+            _ if i == n - 1 => Tier::RouteServer, // at most one route server
+            _ => Tier::Transit,
+        };
+        topo.add_simple(Asn::new(i as u32 + 1), tier);
+    }
+    for &(a, b, p2c) in &raw.edges {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        let kind = if p2c {
+            EdgeKind::ProviderToCustomer
+        } else {
+            EdgeKind::PeerToPeer
+        };
+        topo.add_edge(Asn::new(a as u32 + 1), Asn::new(b as u32 + 1), kind);
+    }
+
+    let mut configs = Vec::new();
+    for &(idx, policy) in &raw.policies {
+        let asn = Asn::new((idx % n) as u32 + 1);
+        let mut cfg = RouterConfig::defaults(asn);
+        cfg.propagation = match policy {
+            0 => CommunityPropagationPolicy::ForwardAll,
+            1 => CommunityPropagationPolicy::StripAll,
+            2 => CommunityPropagationPolicy::StripOwn,
+            3 => CommunityPropagationPolicy::StripUnknown,
+            4 => CommunityPropagationPolicy::ScopedToReceiver,
+            _ => CommunityPropagationPolicy::Selective {
+                to_customers: true,
+                to_peers: false,
+                to_providers: true,
+            },
+        };
+        configs.push(cfg);
+    }
+
+    let collectors = vec![CollectorSpec {
+        name: "prop".into(),
+        platform: "RIS".into(),
+        collector_id: 1,
+        peers: raw
+            .collector_peers
+            .iter()
+            .map(|&(idx, full)| {
+                (
+                    Asn::new((idx % n) as u32 + 1),
+                    if full {
+                        FeedKind::Full
+                    } else {
+                        FeedKind::CustomerRoutesOnly
+                    },
+                )
+            })
+            .collect(),
+    }];
+
+    let originations = raw
+        .episodes
+        .iter()
+        .map(|e| {
+            let prefix: Prefix = format!("10.{}.0.0/16", e.prefix_octet)
+                .parse()
+                .expect("valid prefix");
+            let origin = Asn::new((e.origin % n) as u32 + 1);
+            if e.withdraw {
+                Origination::withdrawal(origin, prefix, e.time)
+            } else {
+                Origination::announce(
+                    origin,
+                    prefix,
+                    vec![Community::new(e.community % 16, e.community)],
+                )
+                .at(e.time)
+            }
+        })
+        .collect();
+
+    (topo, configs, collectors, originations)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn threads_never_change_results_on_random_worlds(raw in arb_world(), threads in 2usize..6) {
+        let (topo, configs, collectors, originations) = build_world(&raw);
+        let mut sim = Simulation::new(&topo);
+        for cfg in configs {
+            sim.configure(cfg);
+        }
+        sim.collectors = collectors;
+        sim.retain = RetainRoutes::All;
+
+        let seq = sim.run(&originations);
+        sim.threads = threads;
+        let par = sim.run(&originations);
+
+        // Full structural equality: events, convergence, every collector
+        // observation, every retained route.
+        prop_assert_eq!(&seq, &par);
+    }
+
+    #[test]
+    fn threads_never_change_results_on_generated_internets(seed in 0u64..64, threads in 2usize..6) {
+        let topo = TopologyParams::tiny().seed(seed).build();
+        let alloc = bgpworms_topology::PrefixAllocation::assign(
+            &topo,
+            bgpworms_topology::addressing::AddressingParams::default(),
+        );
+        let originations: Vec<Origination> = alloc
+            .iter()
+            .map(|(asn, prefix)| Origination::announce(asn, prefix, vec![]))
+            .collect();
+        let mut sim = Simulation::new(&topo);
+        sim.retain = RetainRoutes::All;
+        let seq = sim.run(&originations);
+        sim.threads = threads;
+        let par = sim.run(&originations);
+        prop_assert_eq!(&seq, &par);
+    }
+}

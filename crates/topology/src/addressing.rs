@@ -173,16 +173,10 @@ mod tests {
     #[test]
     fn no_overlapping_v4_allocations() {
         let (_, alloc) = sample();
-        let v4: Vec<Ipv4Prefix> = alloc
-            .iter()
-            .filter_map(|(_, p)| p.as_v4())
-            .collect();
+        let v4: Vec<Ipv4Prefix> = alloc.iter().filter_map(|(_, p)| p.as_v4()).collect();
         for (i, a) in v4.iter().enumerate() {
             for b in &v4[i + 1..] {
-                assert!(
-                    !a.covers(*b) && !b.covers(*a),
-                    "{a} and {b} overlap"
-                );
+                assert!(!a.covers(*b) && !b.covers(*a), "{a} and {b} overlap");
             }
         }
     }
@@ -208,10 +202,7 @@ mod tests {
         let topo = TopologyParams::tiny().seed(5).build();
         let a = PrefixAllocation::assign(&topo, AddressingParams::default());
         let b = PrefixAllocation::assign(&topo, AddressingParams::default());
-        assert_eq!(
-            a.iter().collect::<Vec<_>>(),
-            b.iter().collect::<Vec<_>>()
-        );
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
     }
 
     #[test]

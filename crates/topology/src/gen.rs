@@ -395,11 +395,9 @@ mod tests {
                     "{} needs a provider",
                     n.asn
                 ),
-                Tier::RouteServer => assert_eq!(
-                    t.providers_of(n.asn).count(),
-                    0,
-                    "route servers only peer"
-                ),
+                Tier::RouteServer => {
+                    assert_eq!(t.providers_of(n.asn).count(), 0, "route servers only peer")
+                }
             }
         }
     }

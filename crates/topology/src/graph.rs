@@ -1,9 +1,19 @@
 //! The AS graph: nodes with tiers, adjacency with business roles, and
 //! structural statistics.
+//!
+//! Internally the graph is an **arena**: every AS is interned to a dense
+//! [`NodeId`] (a `u32` index) at insertion, and a CSR-style adjacency
+//! (per-node slices of `(NodeId, Role, is_route_server)` entries over one
+//! flat edge array) is compiled lazily and cached. Hot consumers — above
+//! all the propagation engine in `bgpworms-routesim` — address nodes by
+//! `NodeId` and get O(1) `Vec` indexing with no tree walks; the original
+//! `Asn`-keyed API is kept intact as thin wrappers over the interning map
+//! so existing callers migrate incrementally.
 
 use crate::relationship::{EdgeKind, RelLine, Role};
 use bgpworms_types::Asn;
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 /// Where an AS sits in the generated hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -17,6 +27,45 @@ pub enum Tier {
     /// An IXP route server: peers with many members, transparent in the AS
     /// path, and by convention off-path for community attribution.
     RouteServer,
+}
+
+/// A dense, stable index identifying one node of a [`Topology`].
+///
+/// Ids are assigned in insertion order, cover `0..topology.len()` without
+/// gaps, and never change once assigned (replacing a node via
+/// [`Topology::add_as`] keeps its id). They exist so per-node state can
+/// live in plain `Vec`s indexed by [`NodeId::index`] instead of
+/// `BTreeMap<Asn, …>` — the engine's per-event hot path depends on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The id as a `Vec` index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The id for a known-valid index (the inverse of [`NodeId::index`]).
+    #[inline]
+    pub const fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+}
+
+/// One compiled adjacency entry: the neighbor's id, the role the neighbor
+/// plays for the owning node, and whether the neighbor is a route server.
+pub type CsrEdge = (NodeId, Role, bool);
+
+/// The compiled CSR adjacency: one flat edge array plus per-node offsets.
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    /// `offsets[i]..offsets[i + 1]` delimits node `i`'s slice of `edges`.
+    offsets: Vec<u32>,
+    /// All adjacency entries, grouped by owning node in id order; within a
+    /// node, entries keep edge-insertion order (the engine's deterministic
+    /// event order depends on it).
+    edges: Vec<CsrEdge>,
 }
 
 /// One AS in the topology.
@@ -54,14 +103,24 @@ pub struct TopologyStats {
     pub max_degree: usize,
 }
 
-/// The AS-level topology: nodes plus role-labelled adjacency.
+/// The AS-level topology: an interned node arena plus role-labelled
+/// adjacency, with a lazily compiled CSR view for index-based consumers.
 ///
-/// Uses `BTreeMap` so iteration order — and therefore everything derived
-/// from it, including simulation event order — is deterministic.
+/// Iteration APIs ([`Topology::ases`], [`Topology::to_caida_lines`], …)
+/// remain ordered by ascending ASN, and per-node neighbor order remains
+/// edge-insertion order — everything derived from them, including
+/// simulation event order, stays deterministic.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
-    nodes: BTreeMap<Asn, AsNode>,
-    adj: BTreeMap<Asn, Vec<Neighbor>>,
+    /// ASN → dense id (sorted, so ASN-ordered iteration stays cheap).
+    ids: BTreeMap<Asn, NodeId>,
+    /// Node arena, indexed by [`NodeId::index`].
+    nodes: Vec<AsNode>,
+    /// Building adjacency, indexed by [`NodeId::index`]; entries keep
+    /// insertion order.
+    adj: Vec<Vec<Neighbor>>,
+    /// Compiled CSR adjacency; reset by every mutation, rebuilt on demand.
+    csr: OnceLock<Csr>,
 }
 
 impl Topology {
@@ -70,10 +129,19 @@ impl Topology {
         Topology::default()
     }
 
-    /// Adds an AS. Replaces any existing node with the same ASN.
+    /// Adds an AS. Replaces any existing node with the same ASN (keeping
+    /// its [`NodeId`]).
     pub fn add_as(&mut self, node: AsNode) {
-        self.adj.entry(node.asn).or_default();
-        self.nodes.insert(node.asn, node);
+        self.csr = OnceLock::new();
+        match self.ids.get(&node.asn) {
+            Some(&id) => self.nodes[id.index()] = node,
+            None => {
+                let id = NodeId::from_index(self.nodes.len());
+                self.ids.insert(node.asn, id);
+                self.nodes.push(node);
+                self.adj.push(Vec::new());
+            }
+        }
     }
 
     /// Convenience: add a plain AS of the given tier.
@@ -89,45 +157,111 @@ impl Topology {
     /// for [`EdgeKind::ProviderToCustomer`]. Both ASes must exist. Duplicate
     /// edges are ignored.
     pub fn add_edge(&mut self, a: Asn, b: Asn, kind: EdgeKind) {
-        assert!(self.nodes.contains_key(&a), "unknown AS {a}");
-        assert!(self.nodes.contains_key(&b), "unknown AS {b}");
+        let ia = *self.ids.get(&a).unwrap_or_else(|| panic!("unknown AS {a}"));
+        let ib = *self.ids.get(&b).unwrap_or_else(|| panic!("unknown AS {b}"));
         assert_ne!(a, b, "self-loops are not allowed");
-        if self.role_of(a, b).is_some() {
+        if self.adj[ia.index()].iter().any(|n| n.asn == b) {
             return;
         }
+        self.csr = OnceLock::new();
         let (role_of_b_for_a, role_of_a_for_b) = match kind {
             // a provides transit to b: b is a's customer.
             EdgeKind::ProviderToCustomer => (Role::Customer, Role::Provider),
             EdgeKind::PeerToPeer => (Role::Peer, Role::Peer),
         };
-        self.adj.get_mut(&a).expect("node a exists").push(Neighbor {
+        self.adj[ia.index()].push(Neighbor {
             asn: b,
             role: role_of_b_for_a,
         });
-        self.adj.get_mut(&b).expect("node b exists").push(Neighbor {
+        self.adj[ib.index()].push(Neighbor {
             asn: a,
             role: role_of_a_for_b,
         });
     }
 
+    // --- Index-based (NodeId) API ------------------------------------
+
+    /// The dense id of `asn`, if present.
+    #[inline]
+    pub fn node_id(&self, asn: Asn) -> Option<NodeId> {
+        self.ids.get(&asn).copied()
+    }
+
+    /// The ASN of a node id.
+    #[inline]
+    pub fn asn_of(&self, id: NodeId) -> Asn {
+        self.nodes[id.index()].asn
+    }
+
+    /// The node for an id.
+    #[inline]
+    pub fn node_by_id(&self, id: NodeId) -> &AsNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All node ids, in id (insertion) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Compiled adjacency entries of `id`: `(neighbor id, neighbor's role
+    /// for this node, neighbor is a route server)`, in edge-insertion
+    /// order. Compiles the CSR view on first use after a mutation.
+    #[inline]
+    pub fn neighbors_ix(&self, id: NodeId) -> &[CsrEdge] {
+        let csr = self.csr();
+        &csr.edges[csr.offsets[id.index()] as usize..csr.offsets[id.index() + 1] as usize]
+    }
+
+    /// Total adjacency entries (twice the undirected edge count). Also
+    /// forces CSR compilation, so callers about to share `&self` across
+    /// worker threads can pre-build the view.
+    pub fn adjacency_len(&self) -> usize {
+        self.csr().edges.len()
+    }
+
+    fn csr(&self) -> &Csr {
+        self.csr.get_or_init(|| {
+            let mut offsets = Vec::with_capacity(self.nodes.len() + 1);
+            let total: usize = self.adj.iter().map(Vec::len).sum();
+            let mut edges = Vec::with_capacity(total);
+            offsets.push(0u32);
+            for nbrs in &self.adj {
+                for n in nbrs {
+                    let nid = self.ids[&n.asn];
+                    let is_rs = self.nodes[nid.index()].tier == Tier::RouteServer;
+                    edges.push((nid, n.role, is_rs));
+                }
+                offsets.push(edges.len() as u32);
+            }
+            Csr { offsets, edges }
+        })
+    }
+
+    // --- Asn-keyed API (thin wrappers over the arena) -----------------
+
     /// The node for `asn`, if present.
     pub fn node(&self, asn: Asn) -> Option<&AsNode> {
-        self.nodes.get(&asn)
+        self.node_id(asn).map(|id| &self.nodes[id.index()])
     }
 
     /// Mutable node access (used by the generator for IXP memberships).
     pub fn node_mut(&mut self, asn: Asn) -> Option<&mut AsNode> {
-        self.nodes.get_mut(&asn)
+        self.csr = OnceLock::new();
+        self.ids
+            .get(&asn)
+            .copied()
+            .map(|id| &mut self.nodes[id.index()])
     }
 
     /// True if the AS exists.
     pub fn contains(&self, asn: Asn) -> bool {
-        self.nodes.contains_key(&asn)
+        self.ids.contains_key(&asn)
     }
 
     /// All ASes in ascending ASN order.
     pub fn ases(&self) -> impl Iterator<Item = &AsNode> {
-        self.nodes.values()
+        self.ids.values().map(|id| &self.nodes[id.index()])
     }
 
     /// Number of nodes (including route servers).
@@ -143,12 +277,18 @@ impl Topology {
     /// Neighbors of `asn` in insertion order (deterministic: the generator
     /// inserts in sorted order).
     pub fn neighbors(&self, asn: Asn) -> &[Neighbor] {
-        self.adj.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+        match self.node_id(asn) {
+            Some(id) => &self.adj[id.index()],
+            None => &[],
+        }
     }
 
     /// The role `b` plays for `a`, if the edge exists.
     pub fn role_of(&self, a: Asn, b: Asn) -> Option<Role> {
-        self.neighbors(a).iter().find(|n| n.asn == b).map(|n| n.role)
+        self.neighbors(a)
+            .iter()
+            .find(|n| n.asn == b)
+            .map(|n| n.role)
     }
 
     /// The IXP route server both ASes are members of, if any. Routes
@@ -202,18 +342,19 @@ impl Topology {
     /// Aggregate counts.
     pub fn stats(&self) -> TopologyStats {
         let mut s = TopologyStats::default();
-        for n in self.nodes.values() {
+        for n in &self.nodes {
             if n.tier == Tier::RouteServer {
                 s.route_servers += 1;
             } else {
                 s.ases += 1;
             }
         }
-        for (asn, neighbors) in &self.adj {
+        for (&asn, &id) in &self.ids {
+            let neighbors = &self.adj[id.index()];
             s.max_degree = s.max_degree.max(neighbors.len());
             for n in neighbors {
                 // Count each undirected edge once, from the lower ASN side.
-                if *asn < n.asn {
+                if asn < n.asn {
                     match n.role {
                         Role::Peer => s.p2p_edges += 1,
                         // Counting from either role direction once.
@@ -229,16 +370,16 @@ impl Topology {
     /// peering edges).
     pub fn to_caida_lines(&self) -> Vec<RelLine> {
         let mut out = Vec::new();
-        for (asn, neighbors) in &self.adj {
-            for n in neighbors {
+        for (&asn, &id) in &self.ids {
+            for n in &self.adj[id.index()] {
                 match n.role {
                     Role::Customer => out.push(RelLine {
-                        a: *asn,
+                        a: asn,
                         b: n.asn,
                         kind: EdgeKind::ProviderToCustomer,
                     }),
-                    Role::Peer if *asn < n.asn => out.push(RelLine {
-                        a: *asn,
+                    Role::Peer if asn < n.asn => out.push(RelLine {
+                        a: asn,
                         b: n.asn,
                         kind: EdgeKind::PeerToPeer,
                     }),
@@ -353,5 +494,63 @@ mod tests {
                 "edge {a}-{b}"
             );
         }
+    }
+
+    #[test]
+    fn node_ids_are_dense_and_stable() {
+        let mut t = triangle();
+        // Dense: ids cover 0..len exactly once.
+        let mut indices: Vec<usize> = t.node_ids().map(NodeId::index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2]);
+        // Round-trip through asn_of / node_id.
+        for id in t.node_ids() {
+            assert_eq!(t.node_id(t.asn_of(id)), Some(id));
+        }
+        // Stable: replacing a node keeps its id; adding appends.
+        let id2 = t.node_id(asn(2)).unwrap();
+        t.add_simple(asn(2), Tier::Tier1);
+        assert_eq!(t.node_id(asn(2)), Some(id2));
+        assert_eq!(t.node_by_id(id2).tier, Tier::Tier1);
+        t.add_simple(asn(99), Tier::Stub);
+        assert_eq!(t.node_id(asn(99)), Some(NodeId::from_index(3)));
+    }
+
+    #[test]
+    fn csr_matches_asn_adjacency() {
+        let t = triangle();
+        assert_eq!(t.adjacency_len(), 6, "3 undirected edges, both directions");
+        for id in t.node_ids() {
+            let asn = t.asn_of(id);
+            let via_asn: Vec<(Asn, Role)> =
+                t.neighbors(asn).iter().map(|n| (n.asn, n.role)).collect();
+            let via_csr: Vec<(Asn, Role)> = t
+                .neighbors_ix(id)
+                .iter()
+                .map(|&(nid, role, _)| (t.asn_of(nid), role))
+                .collect();
+            assert_eq!(via_asn, via_csr, "adjacency views diverge for {asn}");
+        }
+    }
+
+    #[test]
+    fn csr_flags_route_servers_and_recompiles_after_mutation() {
+        let mut t = triangle();
+        t.add_simple(asn(50), Tier::RouteServer);
+        t.add_edge(asn(3), asn(50), EdgeKind::PeerToPeer);
+        let id3 = t.node_id(asn(3)).unwrap();
+        let rs_flags: Vec<(Asn, bool)> = t
+            .neighbors_ix(id3)
+            .iter()
+            .map(|&(nid, _, is_rs)| (t.asn_of(nid), is_rs))
+            .collect();
+        assert_eq!(
+            rs_flags,
+            vec![(asn(2), false), (asn(1), false), (asn(50), true)]
+        );
+        // A later mutation invalidates and recompiles the view.
+        t.add_simple(asn(51), Tier::Stub);
+        t.add_edge(asn(3), asn(51), EdgeKind::ProviderToCustomer);
+        assert_eq!(t.neighbors_ix(id3).len(), 4);
     }
 }

@@ -41,6 +41,6 @@ pub mod relationship;
 
 pub use addressing::PrefixAllocation;
 pub use gen::TopologyParams;
-pub use graph::{AsNode, Neighbor, Tier, Topology, TopologyStats};
+pub use graph::{AsNode, CsrEdge, Neighbor, NodeId, Tier, Topology, TopologyStats};
 pub use paths::{check_valley_free, PathValidity};
 pub use relationship::{EdgeKind, Role};

@@ -67,8 +67,7 @@ impl Asn {
 
     /// True for ASNs reserved for documentation (RFC 5398).
     pub fn is_documentation(self) -> bool {
-        (DOC_16_START..=DOC_16_END).contains(&self.0)
-            || (65_536..=65_551).contains(&self.0)
+        (DOC_16_START..=DOC_16_END).contains(&self.0) || (65_536..=65_551).contains(&self.0)
     }
 
     /// True for values that must never appear in a real AS path:

@@ -123,8 +123,7 @@ impl AsPath {
                 }
             }
             _ => {
-                self.segments
-                    .insert(0, PathSegment::Sequence(vec![asn; n]));
+                self.segments.insert(0, PathSegment::Sequence(vec![asn; n]));
             }
         }
     }
@@ -262,10 +261,7 @@ mod tests {
         let p = path(&[3, 3, 3, 2, 1]);
         assert_eq!(p.prepend_runs(), vec![(Asn::new(3), 3)]);
         let p = path(&[4, 3, 3, 2, 2, 2, 1]);
-        assert_eq!(
-            p.prepend_runs(),
-            vec![(Asn::new(3), 2), (Asn::new(2), 3)]
-        );
+        assert_eq!(p.prepend_runs(), vec![(Asn::new(3), 2), (Asn::new(2), 3)]);
         assert!(path(&[3, 2, 1]).prepend_runs().is_empty());
         assert!(AsPath::empty().prepend_runs().is_empty());
         // non-adjacent repeats (a loop) are not prepend runs

@@ -2,8 +2,8 @@
 //! MED, LOCAL_PREF, communities of all three flavours, plus opaque unknown
 //! attributes preserved for transit.
 
-use crate::aspath::AsPath;
 use crate::asn::Asn;
+use crate::aspath::AsPath;
 use crate::community::Community;
 use crate::ext_community::ExtendedCommunity;
 use crate::large_community::LargeCommunity;
@@ -214,10 +214,7 @@ mod tests {
         assert!(attrs.has_communities());
         assert_eq!(attrs.communities.len(), 2);
         assert!(attrs.has_blackhole_community());
-        assert_eq!(
-            attrs.community_asns(),
-            vec![Asn::new(2914), Asn::new(3320)]
-        );
+        assert_eq!(attrs.community_asns(), vec![Asn::new(2914), Asn::new(3320)]);
         let removed = attrs.strip_communities_if(|c| c.owner() == Asn::new(3320));
         assert_eq!(removed, 1);
         assert!(!attrs.has_blackhole_community());

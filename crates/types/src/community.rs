@@ -129,9 +129,7 @@ impl Community {
 
     /// True if this is one of the six IANA well-known communities.
     pub fn well_known(self) -> Option<WellKnown> {
-        WellKnown::ALL
-            .into_iter()
-            .find(|w| w.community() == self)
+        WellKnown::ALL.into_iter().find(|w| w.community() == self)
     }
 
     /// True if the low half is the conventional blackhole value 666, whether

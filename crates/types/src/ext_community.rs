@@ -59,16 +59,12 @@ impl ExtendedCommunity {
 
     /// Builds a two-octet-AS route target.
     pub fn route_target(asn: u16, value: u32) -> Self {
-        ExtendedCommunity(
-            (0x02u64 << 48) | ((asn as u64) << 32) | value as u64,
-        )
+        ExtendedCommunity((0x02u64 << 48) | ((asn as u64) << 32) | value as u64)
     }
 
     /// Builds a two-octet-AS route origin.
     pub fn route_origin(asn: u16, value: u32) -> Self {
-        ExtendedCommunity(
-            (0x03u64 << 48) | ((asn as u64) << 32) | value as u64,
-        )
+        ExtendedCommunity((0x03u64 << 48) | ((asn as u64) << 32) | value as u64)
     }
 
     /// Classifies into the kinds we understand.

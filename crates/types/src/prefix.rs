@@ -511,7 +511,10 @@ mod tests {
     fn ordering_address_then_length() {
         let mut v = vec![p4("10.0.0.0/16"), p4("9.0.0.0/8"), p4("10.0.0.0/8")];
         v.sort();
-        assert_eq!(v, vec![p4("9.0.0.0/8"), p4("10.0.0.0/8"), p4("10.0.0.0/16")]);
+        assert_eq!(
+            v,
+            vec![p4("9.0.0.0/8"), p4("10.0.0.0/8"), p4("10.0.0.0/16")]
+        );
     }
 
     #[test]
@@ -525,12 +528,8 @@ mod tests {
     #[test]
     fn v6_containment() {
         let p: Ipv6Prefix = "2001:db8::/32".parse().unwrap();
-        assert!(p.contains(u128::from(
-            "2001:db8::1".parse::<Ipv6Addr>().unwrap()
-        )));
-        assert!(!p.contains(u128::from(
-            "2001:db9::1".parse::<Ipv6Addr>().unwrap()
-        )));
+        assert!(p.contains(u128::from("2001:db8::1".parse::<Ipv6Addr>().unwrap())));
+        assert!(!p.contains(u128::from("2001:db9::1".parse::<Ipv6Addr>().unwrap())));
         let more: Ipv6Prefix = "2001:db8:1::/48".parse().unwrap();
         assert!(p.covers(more));
         assert!(!more.covers(p));

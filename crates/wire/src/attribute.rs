@@ -6,8 +6,8 @@ use crate::error::WireError;
 use crate::nlri;
 use crate::CodecConfig;
 use bgpworms_types::{
-    attr::{Aggregator, Origin, PathAttributes, UnknownAttribute},
     aspath::{AsPath, PathSegment},
+    attr::{Aggregator, Origin, PathAttributes, UnknownAttribute},
     Asn, Community, ExtendedCommunity, Ipv6Prefix, LargeCommunity, Prefix,
 };
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
@@ -243,7 +243,12 @@ pub fn encode_attributes(
         for p in v6_announced {
             nlri::encode_v6(*p, &mut body);
         }
-        push_attr_header(&mut out, FLAG_OPTIONAL, type_code::MP_REACH_NLRI, body.len());
+        push_attr_header(
+            &mut out,
+            FLAG_OPTIONAL,
+            type_code::MP_REACH_NLRI,
+            body.len(),
+        );
         out.extend_from_slice(&body);
     }
 
@@ -486,7 +491,9 @@ mod tests {
             asn: Asn::new(2914),
             router_id: "192.0.2.1".parse().unwrap(),
         });
-        attrs.ext_communities.push(ExtendedCommunity::route_target(1, 2));
+        attrs
+            .ext_communities
+            .push(ExtendedCommunity::route_target(1, 2));
         attrs
             .large_communities
             .push(LargeCommunity::new(4_200_000_001, 666, 0));
@@ -567,7 +574,16 @@ mod tests {
             Err(WireError::BadAttributeLength { .. })
         ));
         // COMMUNITIES not a multiple of 4
-        let bytes = vec![FLAG_OPTIONAL | FLAG_TRANSITIVE, type_code::COMMUNITIES, 5, 0, 0, 0, 0, 0];
+        let bytes = vec![
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            type_code::COMMUNITIES,
+            5,
+            0,
+            0,
+            0,
+            0,
+            0,
+        ];
         assert!(matches!(
             decode_attributes(&bytes, CodecConfig::modern()),
             Err(WireError::BadAttributeLength { .. })

@@ -49,8 +49,8 @@ pub mod open;
 pub use attribute::{decode_attributes, encode_attributes};
 pub use error::WireError;
 pub use message::{
-    decode_message, encode_keepalive, encode_notification, encode_update, BgpMessage,
-    Notification, MARKER_LEN, MAX_MESSAGE_LEN, MIN_MESSAGE_LEN,
+    decode_message, encode_keepalive, encode_notification, encode_update, BgpMessage, Notification,
+    MARKER_LEN, MAX_MESSAGE_LEN, MIN_MESSAGE_LEN,
 };
 pub use open::{Capability, OpenMessage};
 

@@ -220,7 +220,7 @@ fn decode_update_body(body: &[u8], cfg: CodecConfig) -> Result<RouteUpdate, Wire
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bgpworms_types::{Asn, AsPath, Community, PathAttributes};
+    use bgpworms_types::{AsPath, Asn, Community, PathAttributes};
 
     fn sample_update() -> RouteUpdate {
         let mut attrs = PathAttributes {
@@ -376,11 +376,7 @@ mod tests {
         let mut u = sample_update();
         // ~1400 prefixes * ~5 bytes > 4096
         u.announced = (0..1400u32)
-            .map(|i| {
-                Prefix::V4(
-                    bgpworms_types::Ipv4Prefix::new(i << 12, 24).unwrap(),
-                )
-            })
+            .map(|i| Prefix::V4(bgpworms_types::Ipv4Prefix::new(i << 12, 24).unwrap()))
             .collect();
         assert!(matches!(
             encode_update(&u, CodecConfig::modern()),

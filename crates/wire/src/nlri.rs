@@ -90,7 +90,13 @@ mod tests {
 
     #[test]
     fn v4_roundtrip() {
-        for s in ["0.0.0.0/0", "10.0.0.0/8", "172.16.0.0/12", "192.0.2.0/25", "1.2.3.4/32"] {
+        for s in [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "172.16.0.0/12",
+            "192.0.2.0/25",
+            "1.2.3.4/32",
+        ] {
             let mut out = Vec::new();
             encode_v4(p4(s), &mut out);
             let mut c = Cursor::new(&out);
@@ -113,15 +119,24 @@ mod tests {
     #[test]
     fn bad_length_rejected() {
         let mut c = Cursor::new(&[33, 1, 2, 3, 4, 5]);
-        assert_eq!(decode_v4(&mut c).unwrap_err(), WireError::BadPrefixLength(33));
+        assert_eq!(
+            decode_v4(&mut c).unwrap_err(),
+            WireError::BadPrefixLength(33)
+        );
         let mut c = Cursor::new(&[129]);
-        assert_eq!(decode_v6(&mut c).unwrap_err(), WireError::BadPrefixLength(129));
+        assert_eq!(
+            decode_v6(&mut c).unwrap_err(),
+            WireError::BadPrefixLength(129)
+        );
     }
 
     #[test]
     fn truncated_address_rejected() {
         let mut c = Cursor::new(&[24, 192, 0]); // /24 needs 3 bytes, has 2
-        assert!(matches!(decode_v4(&mut c), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            decode_v4(&mut c),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -166,9 +166,11 @@ impl OpenMessage {
                         safi: cbody[3],
                     },
                     (cap_code::ROUTE_REFRESH, 0) => Capability::RouteRefresh,
-                    (cap_code::FOUR_OCTET_AS, 4) => Capability::FourOctetAs(Asn::new(
-                        u32::from_be_bytes([cbody[0], cbody[1], cbody[2], cbody[3]]),
-                    )),
+                    (cap_code::FOUR_OCTET_AS, 4) => {
+                        Capability::FourOctetAs(Asn::new(u32::from_be_bytes([
+                            cbody[0], cbody[1], cbody[2], cbody[3],
+                        ])))
+                    }
                     _ => Capability::Unknown {
                         code,
                         data: cbody.to_vec(),

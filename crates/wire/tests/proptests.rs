@@ -3,19 +3,17 @@
 
 use bgpworms_types::{
     attr::{Aggregator, Origin, PathAttributes},
-    Asn, AsPath, Community, Ipv4Prefix, Ipv6Prefix, LargeCommunity, Prefix, RouteUpdate,
+    AsPath, Asn, Community, Ipv4Prefix, Ipv6Prefix, LargeCommunity, Prefix, RouteUpdate,
 };
 use bgpworms_wire::{decode_message, encode_update, BgpMessage, CodecConfig};
 use proptest::prelude::*;
 
 fn arb_v4_prefix() -> impl Strategy<Value = Prefix> {
-    (any::<u32>(), 0u8..=32)
-        .prop_map(|(a, l)| Prefix::V4(Ipv4Prefix::new(a, l).unwrap()))
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::V4(Ipv4Prefix::new(a, l).unwrap()))
 }
 
 fn arb_v6_prefix() -> impl Strategy<Value = Prefix> {
-    (any::<u128>(), 0u8..=128)
-        .prop_map(|(a, l)| Prefix::V6(Ipv6Prefix::new(a, l).unwrap()))
+    (any::<u128>(), 0u8..=128).prop_map(|(a, l)| Prefix::V6(Ipv6Prefix::new(a, l).unwrap()))
 }
 
 fn arb_attrs() -> impl Strategy<Value = PathAttributes> {

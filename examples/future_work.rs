@@ -146,8 +146,7 @@ fn main() {
     let mut sim4 = workload4.simulation(&topo4);
     sim4.threads = 4;
     let result4 = sim4.run(&workload4.originations);
-    let archives4 =
-        archive_all(&workload4.collectors, &result4.observations, 0).expect("archive");
+    let archives4 = archive_all(&workload4.collectors, &result4.observations, 0).expect("archive");
     let inputs4: Vec<ArchiveInput> = archives4
         .into_iter()
         .map(|a| ArchiveInput {

@@ -19,9 +19,19 @@ fn main() {
     let topo = TopologyParams::small().seed(seed).build();
     let alloc = PrefixAllocation::assign(
         &topo,
-        bgpworms::topology::addressing::AddressingParams { seed, ..Default::default() },
+        bgpworms::topology::addressing::AddressingParams {
+            seed,
+            ..Default::default()
+        },
     );
-    let workload = Workload::generate(&topo, &alloc, &WorkloadParams { seed, ..Default::default() });
+    let workload = Workload::generate(
+        &topo,
+        &alloc,
+        &WorkloadParams {
+            seed,
+            ..Default::default()
+        },
+    );
     let mut sim = workload.simulation(&topo);
     sim.threads = 4;
     let result = sim.run(&workload.originations);

@@ -54,8 +54,8 @@
 
 #![warn(missing_docs)]
 
-pub use bgpworms_core as analysis;
 pub use bgpworms_attacks as attacks;
+pub use bgpworms_core as analysis;
 pub use bgpworms_dataplane as dataplane;
 pub use bgpworms_monitor as monitor;
 pub use bgpworms_mrt as mrt;
@@ -72,20 +72,18 @@ pub mod prelude {
     };
     pub use bgpworms_dataplane::{ping, trace, AtlasPlatform, Fib, LookingGlass};
     pub use bgpworms_monitor::{
-        Alert, AlertKind, CommunityDictionary, CommunityKind, DictionaryInference,
-        HygieneReport, Monitor,
+        Alert, AlertKind, CommunityDictionary, CommunityKind, DictionaryInference, HygieneReport,
+        Monitor,
     };
     pub use bgpworms_mrt::{MrtReader, MrtRecord, UpdateStream};
     pub use bgpworms_routesim::{
         ActScope, BlackholeService, CollectorSpec, CommunityPropagationPolicy, FeedKind,
-        Origination, OriginValidation, RetainRoutes, RouterConfig, Simulation, Workload,
+        OriginValidation, Origination, RetainRoutes, RouterConfig, Simulation, Workload,
         WorkloadParams,
     };
-    pub use bgpworms_topology::{
-        EdgeKind, PrefixAllocation, Role, Tier, Topology, TopologyParams,
-    };
+    pub use bgpworms_topology::{EdgeKind, PrefixAllocation, Role, Tier, Topology, TopologyParams};
     pub use bgpworms_types::{
-        Asn, AsPath, Community, Ipv4Prefix, Ipv6Prefix, PathAttributes, Prefix, RouteUpdate,
+        AsPath, Asn, Community, Ipv4Prefix, Ipv6Prefix, PathAttributes, Prefix, RouteUpdate,
     };
     pub use bgpworms_wire::{decode_message, encode_update, BgpMessage, CodecConfig};
 }

@@ -5,13 +5,7 @@
 
 use bgpworms::prelude::*;
 
-fn converged_world(
-    seed: u64,
-) -> (
-    Topology,
-    PrefixAllocation,
-    bgpworms::routesim::SimResult,
-) {
+fn converged_world(seed: u64) -> (Topology, PrefixAllocation, bgpworms::routesim::SimResult) {
     let topo = TopologyParams::tiny().seed(seed).build();
     let alloc = PrefixAllocation::assign(
         &topo,
@@ -68,13 +62,19 @@ fn every_delivered_trace_ends_at_the_true_origin() {
                     delivered += 1;
                 }
                 bgpworms::dataplane::TraceOutcome::Loop => {
-                    panic!("forwarding loop from {} to {prefix}: {:?}", node.asn, t.path)
+                    panic!(
+                        "forwarding loop from {} to {prefix}: {:?}",
+                        node.asn, t.path
+                    )
                 }
                 _ => unreachable += 1,
             }
         }
     }
-    assert!(delivered > 100, "most traces deliver ({delivered} ok, {unreachable} not)");
+    assert!(
+        delivered > 100,
+        "most traces deliver ({delivered} ok, {unreachable} not)"
+    );
 }
 
 #[test]
@@ -138,7 +138,10 @@ fn control_plane_blackhole_equals_data_plane_drop() {
             }
         }
     }
-    assert!(blackholed_routes > 0, "the RTBH workload blackholed something");
+    assert!(
+        blackholed_routes > 0,
+        "the RTBH workload blackholed something"
+    );
 }
 
 #[test]

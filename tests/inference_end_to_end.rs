@@ -3,9 +3,7 @@
 //! detectors over parsed MRT, and the evaluation against ground truth.
 
 use bgpworms::analysis::FilteringAnalysis;
-use bgpworms::monitor::{
-    groundtruth, DictionaryEval, DictionaryInference, HygieneReport, Monitor,
-};
+use bgpworms::monitor::{groundtruth, DictionaryEval, DictionaryInference, HygieneReport, Monitor};
 use bgpworms::prelude::*;
 use bgpworms::routesim::workload::APRIL_2018;
 
@@ -117,7 +115,10 @@ fn hygiene_report_on_a_benign_world() {
     let graded: usize = report.grade_counts().values().sum();
     assert_eq!(graded, report.per_as.len());
     // Reserved/private owners are not graded.
-    assert!(report.per_as.keys().all(|a| a.get() != 65_535 && !a.is_private()));
+    assert!(report
+        .per_as
+        .keys()
+        .all(|a| a.get() != 65_535 && !a.is_private()));
 }
 
 #[test]

@@ -35,7 +35,11 @@ fn same_seed_produces_byte_identical_archives() {
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.name, y.name);
-        assert_eq!(x.updates_mrt, y.updates_mrt, "update archive {} differs", x.name);
+        assert_eq!(
+            x.updates_mrt, y.updates_mrt,
+            "update archive {} differs",
+            x.name
+        );
         assert_eq!(x.rib_mrt, y.rib_mrt, "RIB archive {} differs", x.name);
     }
     let c = archives(43);

@@ -26,9 +26,8 @@ fn build_set(seed: u64) -> (Topology, ObservationSet) {
     let result = sim.run(&workload.originations);
     assert!(result.converged, "propagation must converge");
 
-    let archives =
-        bgpworms::routesim::archive_all(&workload.collectors, &result.observations, 0)
-            .expect("archive");
+    let archives = bgpworms::routesim::archive_all(&workload.collectors, &result.observations, 0)
+        .expect("archive");
     let inputs: Vec<ArchiveInput> = archives
         .into_iter()
         .map(|a| ArchiveInput {

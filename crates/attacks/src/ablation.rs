@@ -65,9 +65,7 @@ pub fn rtbh_preference() -> Vec<AblationOutcome> {
 /// non-owner* dies there.
 pub fn scoped_defense() -> Vec<AblationOutcome> {
     use bgpworms_routesim::router::blackhole_community_of;
-    use bgpworms_routesim::{
-        BlackholeService, Origination, RetainRoutes, RouterConfig, Simulation,
-    };
+    use bgpworms_routesim::{BlackholeService, Origination, RetainRoutes, RouterConfig, SimSpec};
     use bgpworms_topology::{EdgeKind, Tier, Topology};
     use bgpworms_types::{Asn, Prefix};
 
@@ -90,29 +88,31 @@ pub fn scoped_defense() -> Vec<AblationOutcome> {
         topo.add_edge(Asn::new(4), Asn::new(3), EdgeKind::ProviderToCustomer);
         topo.add_edge(Asn::new(5), Asn::new(4), EdgeKind::ProviderToCustomer);
 
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
         let target_community = blackhole_community_of(Asn::new(5)).expect("small ASN");
 
         let mut attacker = RouterConfig::defaults(Asn::new(2));
         attacker.tagging.egress_tags = vec![target_community];
-        sim.configure(attacker);
+        let mut target = RouterConfig::defaults(Asn::new(5));
+        target.services.blackhole = Some(BlackholeService::default());
+        let mut spec = SimSpec::new(&topo)
+            .retain(RetainRoutes::All)
+            .configure(attacker)
+            .configure(target);
         if mid3_defended {
             let mut mid = RouterConfig::defaults(Asn::new(3));
             mid.propagation = CommunityPropagationPolicy::ScopedToReceiver;
-            sim.configure(mid);
+            spec = spec.configure(mid);
         }
         if mid4_defended {
             let mut mid = RouterConfig::defaults(Asn::new(4));
             mid.propagation = CommunityPropagationPolicy::ScopedToReceiver;
-            sim.configure(mid);
+            spec = spec.configure(mid);
         }
-        let mut target = RouterConfig::defaults(Asn::new(5));
-        target.services.blackhole = Some(BlackholeService::default());
-        sim.configure(target);
 
         let p: Prefix = "10.10.0.0/24".parse().expect("valid");
-        let result = sim.run(&[Origination::announce(Asn::new(1), p, vec![])]);
+        let result = spec
+            .compile()
+            .run(&[Origination::announce(Asn::new(1), p, vec![])]);
         result
             .route_at(Asn::new(5), &p)
             .map(|r| r.blackholed)

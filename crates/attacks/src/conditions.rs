@@ -12,7 +12,7 @@
 //! low bits a value not seen in the wild — and observe whether it arrives
 //! at the target.
 
-use bgpworms_routesim::{Origination, RetainRoutes, RouterConfig, Simulation};
+use bgpworms_routesim::{Origination, RetainRoutes, RouterConfig, SimSpec};
 use bgpworms_topology::Topology;
 use bgpworms_types::{Asn, Community, Prefix};
 use std::collections::BTreeMap;
@@ -95,15 +95,18 @@ pub fn check_conditions(
         .as_u16()
         .map(|hi| Community::new(hi, BENIGN_VALUE))
         .unwrap_or_else(|| Community::new(65_000, BENIGN_VALUE));
-    let mut sim = Simulation::new(topo);
-    sim.configs = configs.clone();
-    sim.irr = irr.clone();
-    sim.rpki = rpki.clone();
-    sim.retain = RetainRoutes::All;
-    // Register the probe prefix so validation along the way passes — the
-    // probe tests community propagation, not hijackability.
-    sim.irr.register(probe_prefix(), attacker);
-    sim.rpki.register(probe_prefix(), attacker);
+    // The spec borrows configs and registries; only the probe registration
+    // below clones the (small) registries, never the config map.
+    let sim = SimSpec::new(topo)
+        .configs(configs)
+        .irr(irr)
+        .rpki(rpki)
+        .retain(RetainRoutes::All)
+        // Register the probe prefix so validation along the way passes —
+        // the probe tests community propagation, not hijackability.
+        .register_irr(probe_prefix(), attacker)
+        .register_rpki(probe_prefix(), attacker)
+        .compile();
     let res = sim.run(&[Origination::announce(
         attacker,
         probe_prefix(),
@@ -114,13 +117,14 @@ pub fn check_conditions(
         .map(|r| r.has_community(benign))
         .unwrap_or(false);
 
-    // Hijack probe.
+    // Hijack probe: a pure borrow — nothing is cloned to compile this one.
     let hijack_accepted = victim_prefix.map(|p| {
-        let mut sim = Simulation::new(topo);
-        sim.configs = configs.clone();
-        sim.irr = irr.clone();
-        sim.rpki = rpki.clone();
-        sim.retain = RetainRoutes::All;
+        let sim = SimSpec::new(topo)
+            .configs(configs)
+            .irr(irr)
+            .rpki(rpki)
+            .retain(RetainRoutes::All)
+            .compile();
         let res = sim.run(&[Origination::announce(attacker, p, vec![])]);
         res.route_at(target, &p)
             .map(|r| r.path.contains(attacker))

@@ -3,7 +3,7 @@
 //! a small controlled topology and reported as a finding.
 
 use bgpworms_routesim::{
-    BlackholeService, OriginValidation, Origination, RetainRoutes, RouterConfig, Simulation, Vendor,
+    BlackholeService, OriginValidation, Origination, RetainRoutes, RouterConfig, SimSpec, Vendor,
 };
 use bgpworms_topology::{EdgeKind, Tier, Topology};
 use bgpworms_types::{Asn, Community, Prefix};
@@ -49,9 +49,10 @@ fn p() -> Prefix {
 
 fn community_visible_at_as3(middle: RouterConfig) -> bool {
     let topo = chain();
-    let mut sim = Simulation::new(&topo);
-    sim.retain = RetainRoutes::All;
-    sim.configure(middle);
+    let sim = SimSpec::new(&topo)
+        .retain(RetainRoutes::All)
+        .configure(middle)
+        .compile();
     let tag = Community::new(1, 77);
     let res = sim.run(&[Origination::announce(Asn::new(1), p(), vec![tag])]);
     res.route_at(Asn::new(3), &p())
@@ -91,13 +92,14 @@ pub fn cisco_requires_send_community() -> LabFinding {
 /// §6.1 — Cisco caps added communities at 32; received ones ride along.
 pub fn cisco_add_limit() -> LabFinding {
     let topo = chain();
-    let mut sim = Simulation::new(&topo);
-    sim.retain = RetainRoutes::All;
     let mut middle = RouterConfig::defaults(Asn::new(2));
     middle.vendor = Vendor::Cisco;
     middle.send_community_configured = true;
     middle.tagging.egress_tags = (0..48).map(|i| Community::new(2, 5000 + i)).collect();
-    sim.configure(middle);
+    let sim = SimSpec::new(&topo)
+        .retain(RetainRoutes::All)
+        .configure(middle)
+        .compile();
     // The origin attaches 4 of its own; AS2 tries to add 48 more.
     let origin_tags: Vec<Community> = (0..4).map(|i| Community::new(1, i)).collect();
     let res = sim.run(&[Origination::announce(Asn::new(1), p(), origin_tags)]);
@@ -124,14 +126,15 @@ pub fn rtbh_preference_beats_shorter_path() -> LabFinding {
     topo.add_edge(Asn::new(3), Asn::new(1), EdgeKind::ProviderToCustomer);
     topo.add_edge(Asn::new(2), Asn::new(1), EdgeKind::ProviderToCustomer);
     topo.add_edge(Asn::new(3), Asn::new(2), EdgeKind::ProviderToCustomer);
-    let mut sim = Simulation::new(&topo);
-    sim.retain = RetainRoutes::All;
     let mut target = RouterConfig::defaults(Asn::new(3));
     target.services.blackhole = Some(BlackholeService::default());
-    sim.configure(target);
     let mut attacker = RouterConfig::defaults(Asn::new(2));
     attacker.tagging.egress_tags = vec![Community::new(3, 666)];
-    sim.configure(attacker);
+    let sim = SimSpec::new(&topo)
+        .retain(RetainRoutes::All)
+        .configure(target)
+        .configure(attacker)
+        .compile();
     let victim: Prefix = "10.61.0.0/24".parse().expect("valid");
     let res = sim.run(&[Origination::announce(Asn::new(1), victim, vec![])]);
     let observed = res
@@ -156,16 +159,17 @@ pub fn misordered_validation_enables_hijack() -> LabFinding {
         topo.add_edge(Asn::new(3), Asn::new(1), EdgeKind::ProviderToCustomer);
         topo.add_edge(Asn::new(3), Asn::new(2), EdgeKind::ProviderToCustomer);
         let victim: Prefix = "10.62.0.0/24".parse().expect("valid");
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
         let mut target = RouterConfig::defaults(Asn::new(3));
         target.services.blackhole = Some(BlackholeService::default());
         target.validation = OriginValidation::Irr {
             validate_after_blackhole: misordered,
         };
-        sim.configure(target);
-        sim.irr.register(victim, Asn::new(1));
-        sim.rpki.register(victim, Asn::new(1));
+        let sim = SimSpec::new(&topo)
+            .retain(RetainRoutes::All)
+            .configure(target)
+            .register_irr(victim, Asn::new(1))
+            .register_rpki(victim, Asn::new(1))
+            .compile();
         let res = sim.run(&[
             Origination::announce(Asn::new(1), victim, vec![]),
             Origination::announce(Asn::new(2), victim, vec![Community::new(3, 666)]).at(10),

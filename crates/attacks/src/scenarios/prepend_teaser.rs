@@ -23,7 +23,7 @@ use crate::roles::AttackRoles;
 use crate::scenarios::{ScenarioOutcome, ScenarioReport};
 use bgpworms_dataplane::{trace, Fib};
 use bgpworms_routesim::{
-    ActScope, CommunityPropagationPolicy, Origination, RetainRoutes, RouterConfig, Simulation,
+    ActScope, CommunityPropagationPolicy, Origination, RetainRoutes, RouterConfig, SimSpec,
 };
 use bgpworms_topology::{EdgeKind, Tier, Topology};
 use bgpworms_types::{Asn, Community, Prefix};
@@ -98,16 +98,12 @@ impl PrependTeaser {
         let prepend_value = 100 + u16::from(self.prepends);
         let prepend_community = Community::new(TARGET.as_u16().expect("small ASN"), prepend_value);
 
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
-
         let mut target_cfg = RouterConfig::defaults(TARGET);
         target_cfg
             .services
             .prepend
             .extend([(101u16, 1u8), (102, 2), (103, 3)]);
         target_cfg.services.steering_scope = self.target_scope;
-        sim.configure(target_cfg);
 
         let mut transit_cfg = RouterConfig::defaults(TRANSIT);
         transit_cfg.propagation = if self.transit_forwards_communities {
@@ -115,18 +111,28 @@ impl PrependTeaser {
         } else {
             CommunityPropagationPolicy::StripAll
         };
-        sim.configure(transit_cfg);
+
+        let spec = SimSpec::new(&topo)
+            .retain(RetainRoutes::All)
+            .configure(target_cfg)
+            .configure(transit_cfg);
 
         // Baseline run.
-        let baseline = sim.run(&[Origination::announce(ORIGIN, p, vec![])]);
+        let baseline = spec
+            .clone()
+            .compile()
+            .run(&[Origination::announce(ORIGIN, p, vec![])]);
         let base_fib = Fib::from_sim(&baseline);
         let base_trace = trace(&base_fib, SOURCE, host);
 
-        // Attack: AS2 adds AS3's prepend community on egress.
+        // Attack: AS2 adds AS3's prepend community on egress (a config
+        // lever, so the armed world compiles from a spec clone).
         let mut attacker_cfg = RouterConfig::defaults(ATTACKER);
         attacker_cfg.tagging.egress_tags = vec![prepend_community];
-        sim.configure(attacker_cfg);
-        let attacked = sim.run(&[Origination::announce(ORIGIN, p, vec![])]);
+        let attacked = spec
+            .configure(attacker_cfg)
+            .compile()
+            .run(&[Origination::announce(ORIGIN, p, vec![])]);
         let attack_fib = Fib::from_sim(&attacked);
         let attack_trace = trace(&attack_fib, SOURCE, host);
 

@@ -9,7 +9,7 @@
 use crate::roles::AttackRoles;
 use crate::scenarios::{ScenarioOutcome, ScenarioReport};
 use bgpworms_routesim::{
-    OriginValidation, Origination, RetainRoutes, RouterConfig, RsEvalOrder, Simulation,
+    OriginValidation, Origination, RetainRoutes, RouterConfig, RsEvalOrder, SimSpec,
 };
 use bgpworms_topology::{EdgeKind, Tier, Topology};
 use bgpworms_types::{Asn, Community, Prefix};
@@ -92,19 +92,19 @@ impl RouteManipulationScenario {
         topo
     }
 
-    fn base_sim<'t>(&self, topo: &'t Topology, p: Prefix) -> Simulation<'t> {
-        let mut sim = Simulation::new(topo);
-        sim.retain = RetainRoutes::All;
+    fn base_spec<'t>(&self, topo: &'t Topology, p: Prefix) -> SimSpec<'t> {
         let mut rs_cfg = RouterConfig::defaults(ROUTE_SERVER);
         rs_cfg.route_server.eval_order = self.eval_order;
         rs_cfg.validation = self.validation;
-        sim.configure(rs_cfg);
-        sim.irr.register(p, ORIGIN);
-        sim.rpki.register(p, ORIGIN);
+        let mut spec = SimSpec::new(topo)
+            .retain(RetainRoutes::All)
+            .configure(rs_cfg)
+            .register_irr(p, ORIGIN)
+            .register_rpki(p, ORIGIN);
         if self.attacker_registers_irr {
-            sim.irr.register(p, ATTACKER);
+            spec = spec.register_irr(p, ATTACKER);
         }
-        sim
+        spec
     }
 
     /// Runs the scenario.
@@ -118,23 +118,29 @@ impl RouteManipulationScenario {
 
         let legit = Origination::announce(ORIGIN, p, vec![announce_victim]);
 
-        // Baseline: no attack lever anywhere.
-        let baseline_sim = self.base_sim(&topo, p);
+        // Baseline: no attack lever anywhere. The hijack variant's lever is
+        // an extra *episode*, so it reuses this same compiled session; only
+        // the conflicting-communities variant (an egress-policy lever)
+        // compiles an armed world.
+        let spec = self.base_spec(&topo, p);
+        let baseline_sim = spec.clone().compile();
         let baseline = baseline_sim.run(std::slice::from_ref(&legit));
 
-        // Attack.
-        let mut attack_sim = self.base_sim(&topo, p);
-        let episodes = match self.variant {
+        let armed_sim;
+        let (attack_sim, episodes) = match self.variant {
             RsAttackVariant::ConflictingCommunities => {
                 let mut attacker_cfg = RouterConfig::defaults(ATTACKER);
                 attacker_cfg.tagging.egress_tags = vec![suppress_victim];
-                attack_sim.configure(attacker_cfg);
-                vec![legit]
+                armed_sim = spec.configure(attacker_cfg).compile();
+                (&armed_sim, vec![legit])
             }
-            RsAttackVariant::Hijack => vec![
-                legit,
-                Origination::announce(ATTACKER, p, vec![suppress_victim]).at(100),
-            ],
+            RsAttackVariant::Hijack => (
+                &baseline_sim,
+                vec![
+                    legit,
+                    Origination::announce(ATTACKER, p, vec![suppress_victim]).at(100),
+                ],
+            ),
         };
         let attacked = attack_sim.run(&episodes);
 

@@ -27,7 +27,7 @@ use crate::scenarios::{ScenarioOutcome, ScenarioReport};
 use bgpworms_dataplane::{trace, Fib, LookingGlass, TraceOutcome};
 use bgpworms_routesim::{
     ActScope, BlackholeService, CommunityPropagationPolicy, OriginValidation, Origination,
-    RetainRoutes, RouterConfig, Simulation,
+    RetainRoutes, RouterConfig, SimSpec,
 };
 use bgpworms_topology::{EdgeKind, Tier, Topology};
 use bgpworms_types::{Asn, Community, Ipv4Prefix, Prefix};
@@ -115,10 +115,7 @@ impl RtbhScenario {
         topo
     }
 
-    fn configure<'t>(&self, topo: &'t Topology, armed: bool) -> Simulation<'t> {
-        let mut sim = Simulation::new(topo);
-        sim.retain = RetainRoutes::All;
-
+    fn spec<'t>(&self, topo: &'t Topology, armed: bool) -> SimSpec<'t> {
         let mut target_cfg = RouterConfig::defaults(TARGET);
         target_cfg.services.blackhole = Some(BlackholeService {
             scope: self.target_scope,
@@ -128,7 +125,6 @@ impl RtbhScenario {
             ..BlackholeService::default()
         });
         target_cfg.validation = self.validation;
-        sim.configure(target_cfg);
 
         let mut attacker_cfg = RouterConfig::defaults(ATTACKER);
         attacker_cfg.send_community_configured = self.attacker_sends_communities;
@@ -137,22 +133,24 @@ impl RtbhScenario {
             // Fig 7a: the attacker tags the transited announcement.
             attacker_cfg.tagging.egress_tags = vec![self.blackhole_community()];
         }
-        sim.configure(attacker_cfg);
-
-        if let Some(policy) = &self.intermediate {
-            let mut mid = RouterConfig::defaults(INTERMEDIATE);
-            mid.propagation = policy.clone();
-            sim.configure(mid);
-        }
 
         // Ground truth registries: victim owns p.
         let p = Prefix::V4(Self::victim_prefix());
-        sim.irr.register(p, ATTACKEE);
-        sim.rpki.register(p, ATTACKEE);
-        if self.attacker_registers_irr {
-            sim.irr.register(p, ATTACKER);
+        let mut spec = SimSpec::new(topo)
+            .retain(RetainRoutes::All)
+            .configure(target_cfg)
+            .configure(attacker_cfg)
+            .register_irr(p, ATTACKEE)
+            .register_rpki(p, ATTACKEE);
+        if let Some(policy) = &self.intermediate {
+            let mut mid = RouterConfig::defaults(INTERMEDIATE);
+            mid.propagation = policy.clone();
+            spec = spec.configure(mid);
         }
-        sim
+        if self.attacker_registers_irr {
+            spec = spec.register_irr(p, ATTACKER);
+        }
+        spec
     }
 
     fn blackhole_community(&self) -> Community {
@@ -169,14 +167,22 @@ impl RtbhScenario {
                 .expect("valid host"),
         );
 
-        // Baseline: only the legitimate origination, attack lever disarmed.
-        let baseline_sim = self.configure(&topo, false);
+        // Hijack variant: baseline and attack share one config world (the
+        // lever is an extra *episode*), so one compiled session runs both.
+        // No-hijack variant: the lever is the attacker's egress policy, so
+        // the armed world compiles separately.
+        let baseline_sim = self.spec(&topo, false).compile();
         let baseline = baseline_sim.run(&[Origination::announce(ATTACKEE, p, vec![])]);
         let base_fib = Fib::from_sim(&baseline);
         let base_trace = trace(&base_fib, SOURCE, host);
 
-        // Attack.
-        let sim = self.configure(&topo, true);
+        let armed_sim;
+        let sim = if self.hijack {
+            &baseline_sim
+        } else {
+            armed_sim = self.spec(&topo, true).compile();
+            &armed_sim
+        };
         let mut episodes = vec![Origination::announce(ATTACKEE, p, vec![])];
         if self.hijack {
             episodes

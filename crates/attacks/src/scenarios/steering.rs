@@ -6,7 +6,7 @@ use crate::roles::AttackRoles;
 use crate::scenarios::{ScenarioOutcome, ScenarioReport};
 use bgpworms_dataplane::{trace, Fib};
 use bgpworms_routesim::{
-    ActScope, OriginValidation, Origination, RetainRoutes, RouterConfig, Simulation,
+    ActScope, OriginValidation, Origination, RetainRoutes, RouterConfig, SimSpec,
 };
 use bgpworms_topology::{EdgeKind, Tier, Topology};
 use bgpworms_types::{Asn, Community, Prefix};
@@ -95,8 +95,6 @@ impl PrependHijackScenario {
         );
         let prepend2 = Community::new(TARGET.as_u16().expect("small"), 422);
 
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
         let mut target_cfg = RouterConfig::defaults(TARGET);
         target_cfg
             .services
@@ -104,12 +102,16 @@ impl PrependHijackScenario {
             .extend([(421u16, 1u8), (422, 2)]);
         target_cfg.services.steering_scope = self.target_scope;
         target_cfg.validation = self.validation;
-        sim.configure(target_cfg);
-        sim.irr.register(p, VICTIM);
-        sim.rpki.register(p, VICTIM);
+        let mut spec = SimSpec::new(&topo)
+            .retain(RetainRoutes::All)
+            .configure(target_cfg)
+            .register_irr(p, VICTIM)
+            .register_rpki(p, VICTIM);
         if self.attacker_registers_irr {
-            sim.irr.register(p, ATTACKER);
+            spec = spec.register_irr(p, ATTACKER);
         }
+        // The attack lever is an extra episode: one session, two runs.
+        let sim = spec.compile();
 
         let legit = Origination::announce(VICTIM, p, vec![]);
         let baseline = sim.run(std::slice::from_ref(&legit));
@@ -206,24 +208,30 @@ impl LocalPrefScenario {
         let p = Self::prefix();
         let backup = Community::new(LP_ATTACKEE.as_u16().expect("small"), 70);
 
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
         let mut attackee_cfg = RouterConfig::defaults(LP_ATTACKEE);
         attackee_cfg.services.local_pref.insert(70, 70);
         attackee_cfg.services.steering_scope = self.target_scope;
-        sim.configure(attackee_cfg);
+        let spec = SimSpec::new(&topo)
+            .retain(RetainRoutes::All)
+            .configure(attackee_cfg);
 
-        let baseline = sim.run(&[Origination::announce(LP_ORIGIN, p, vec![])]);
+        let baseline = spec
+            .clone()
+            .compile()
+            .run(&[Origination::announce(LP_ORIGIN, p, vec![])]);
         let base_via = baseline
             .route_at(LP_ATTACKEE, &p)
             .and_then(|r| r.source.neighbor());
 
         // Attack: the attacker tags its announcements with the attackee's
-        // "backup" community.
+        // "backup" community — a config lever, so the armed world compiles
+        // from a clone of the baseline spec.
         let mut attacker_cfg = RouterConfig::defaults(LP_ATTACKER);
         attacker_cfg.tagging.egress_tags = vec![backup];
-        sim.configure(attacker_cfg);
-        let attacked = sim.run(&[Origination::announce(LP_ORIGIN, p, vec![])]);
+        let attacked = spec
+            .configure(attacker_cfg)
+            .compile()
+            .run(&[Origination::announce(LP_ORIGIN, p, vec![])]);
         let attack_route = attacked.route_at(LP_ATTACKEE, &p);
         let attack_via = attack_route.and_then(|r| r.source.neighbor());
         let best_lp = attack_route.map(|r| r.local_pref).unwrap_or(0);

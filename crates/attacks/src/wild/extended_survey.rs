@@ -139,14 +139,16 @@ pub fn steering_survey(params: &SurveyParams) -> SteeringSurveyReport {
     }
     candidates.truncate(params.max_communities);
 
-    let baseline = ctx.trace_paths(&[]);
+    // One compiled session serves the baseline and every candidate run.
+    let session = ctx.session();
+    let baseline = ctx.trace_paths(&session, &[]);
     let mut report = SteeringSurveyReport {
         tested: candidates.len(),
         total_vps: ctx.total_vps(),
         ..SteeringSurveyReport::default()
     };
     for &c in &candidates {
-        let tagged = ctx.trace_paths(&[c]);
+        let tagged = ctx.trace_paths(&session, &[c]);
         let mut changed = 0usize;
         for (vp, base_path) in &baseline {
             match tagged.get(vp) {
@@ -178,7 +180,7 @@ pub struct LocationInjectionReport {
 }
 
 /// Injects contradictory location communities and counts how many
-/// collectors see the contradiction (the paper "observe[d] the prefix at
+/// collectors see the contradiction (the paper "observe\[d\] the prefix at
 /// remote collectors labeled with communities indicating reception on
 /// different continents").
 ///
@@ -208,8 +210,11 @@ pub fn location_injection(params: &SurveyParams) -> Option<LocationInjectionRepo
     ];
 
     let p = Prefix::V4(ctx.injector.prefix);
-    let mut sim = ctx.workload.simulation(&ctx.topo);
-    sim.retain = RetainRoutes::None;
+    let sim = ctx
+        .workload
+        .simulation(&ctx.topo)
+        .retain(RetainRoutes::None)
+        .compile();
     let result = sim.run(&[Origination::announce(ctx.injector.asn, p, injected.clone())]);
 
     let mut observing = 0usize;

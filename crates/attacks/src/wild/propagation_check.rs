@@ -68,8 +68,11 @@ pub fn run(
         "100.64.1.0/24".parse().expect("valid"),
     );
 
-    let research_result = probe(&topo, &workload, research);
-    let peering_result = probe(&topo, &workload, peering);
+    // Both platforms probe over identical configs: one compiled session,
+    // one run per platform.
+    let sim = workload.simulation(&topo).compile();
+    let research_result = probe(&sim, research);
+    let peering_result = probe(&sim, peering);
 
     PropagationCheckReport {
         research: research_result,
@@ -78,15 +81,13 @@ pub fn run(
 }
 
 fn probe(
-    topo: &bgpworms_topology::Topology,
-    workload: &Workload,
+    sim: &bgpworms_routesim::CompiledSim<'_>,
     platform: InjectionPlatform,
 ) -> PlatformPropagation {
     let benign = Community::new(
         platform.asn.as_u16().expect("platform ASN fits"),
         BENIGN_VALUE,
     );
-    let sim = workload.simulation(topo);
     let p = Prefix::V4(platform.prefix);
     let result = sim.run(&[Origination::announce(platform.asn, p, vec![benign])]);
 

@@ -67,8 +67,11 @@ pub fn run(
     let suppress_to = Community::new(0, attackee16);
     let p = Prefix::V4(injector.prefix);
 
-    let mut sim = workload.simulation(&topo);
-    sim.retain = RetainRoutes::Prefixes([p].into_iter().collect());
+    // One compiled session, two episode schedules.
+    let sim = workload
+        .simulation(&topo)
+        .retain(RetainRoutes::Prefixes([p].into_iter().collect()))
+        .compile();
 
     // Step 1: announce-to only.
     let before = sim.run(&[Origination::announce(injector.asn, p, vec![announce_to])]);

@@ -171,8 +171,12 @@ pub fn run(
     retained.insert(p);
     let target_addr = AtlasPlatform::target_in(bh_prefix);
 
-    let mut sim = workload.simulation(&topo);
-    sim.retain = RetainRoutes::Prefixes(retained);
+    // One session for the whole experiment: the baseline and every
+    // candidate target replay different episode schedules on it.
+    let sim = workload
+        .simulation(&topo)
+        .retain(RetainRoutes::Prefixes(retained))
+        .compile();
 
     // Baseline: plain announcement.
     let mut base_eps = episodes.clone();

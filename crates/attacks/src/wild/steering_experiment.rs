@@ -5,7 +5,9 @@
 
 use crate::wild::{attach_peering_platform, InjectionPlatform};
 use bgpworms_dataplane::LookingGlass;
-use bgpworms_routesim::{ActScope, Origination, RetainRoutes, Workload, WorkloadParams};
+use bgpworms_routesim::{
+    ActScope, Origination, RetainRoutes, RouterConfig, Workload, WorkloadParams,
+};
 use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, Topology, TopologyParams};
 use bgpworms_types::{Asn, Community, Prefix};
 
@@ -93,22 +95,27 @@ pub fn run(
     for (target, intermediate) in candidates {
         // Steering services in the wild act on customer announcements; the
         // intermediate *is* the target's customer, so CustomersOnly works.
-        // Set it in place for this candidate's runs, restoring afterwards
-        // (cloning the whole workload per candidate would be pure churn).
-        let old_scope = workload
+        // The override lives only in this candidate's spec (configure
+        // copy-on-writes the config map); the shared workload stays
+        // untouched.
+        let mut target_cfg = workload
             .configs
             .get(&target)
-            .map(|c| c.services.steering_scope);
-        if let Some(cfg) = workload.configs.get_mut(&target) {
-            cfg.services.steering_scope = ActScope::CustomersOnly;
-        }
+            .cloned()
+            .unwrap_or_else(|| RouterConfig::defaults(target));
+        target_cfg.services.steering_scope = ActScope::CustomersOnly;
 
         let target16 = target.as_u16().expect("small");
         let prepend2 = Community::new(target16, 422);
         let fallback = Community::new(target16, 70);
 
-        let mut sim = workload.simulation(&topo);
-        sim.retain = RetainRoutes::Prefixes([p].into_iter().collect());
+        // One compiled session per candidate config; all three runs
+        // (prepend, local-pref baseline, local-pref tagged) replay on it.
+        let sim = workload
+            .simulation(&topo)
+            .retain(RetainRoutes::Prefixes([p].into_iter().collect()))
+            .configure(target_cfg)
+            .compile();
 
         // --- Prepend experiment. ---
         let attacked = sim.run(&[Origination::announce(injector.asn, p, vec![prepend2])]);
@@ -147,9 +154,6 @@ pub fn run(
             local_pref_before: lp_before,
             local_pref_after: lp_after,
         };
-        if let (Some(scope), Some(cfg)) = (old_scope, workload.configs.get_mut(&target)) {
-            cfg.services.steering_scope = scope;
-        }
 
         // Canonical success: prepending visible at collectors AND the
         // local-pref community demoted the route to the advertised service

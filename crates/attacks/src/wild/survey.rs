@@ -6,7 +6,7 @@
 
 use crate::wild::{attach_peering_platform, InjectionPlatform};
 use bgpworms_dataplane::{trace, AtlasPlatform, Fib};
-use bgpworms_routesim::{Origination, RetainRoutes, Workload, WorkloadParams};
+use bgpworms_routesim::{CompiledSim, Origination, RetainRoutes, Workload, WorkloadParams};
 use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, TopologyParams};
 use bgpworms_types::{Asn, Community, Prefix};
 use std::collections::{BTreeMap, BTreeSet};
@@ -151,15 +151,20 @@ impl SurveyContext {
                 }
             }
         }
-        let mut vp_sim = workload.simulation(&topo);
-        vp_sim.retain = RetainRoutes::Prefixes(retained);
-        vp_sim.threads = 4;
+        let vp_sim = workload
+            .simulation(&topo)
+            .retain(RetainRoutes::Prefixes(retained))
+            .threads(4)
+            .compile();
         let vp_fib = Fib::from_sim(&vp_sim.run(&vp_episodes));
 
         // Baseline responsiveness with the plain /24.
-        let mut p_sim = workload.simulation(&topo);
-        p_sim.retain = RetainRoutes::Prefixes([p].into_iter().collect());
+        let p_sim = workload
+            .simulation(&topo)
+            .retain(RetainRoutes::Prefixes([p].into_iter().collect()))
+            .compile();
         let base_result = p_sim.run(&[Origination::announce(injector.asn, p, vec![])]);
+        drop((vp_sim, p_sim));
         let mut base_fib = vp_fib.clone();
         base_fib.merge(&Fib::from_sim(&base_result));
         let before = atlas.ping_campaign(&base_fib, target_addr).responsive;
@@ -177,21 +182,25 @@ impl SurveyContext {
         }
     }
 
-    /// A per-prefix simulation retaining only the experiment prefix.
-    fn p_sim(&self) -> bgpworms_routesim::Simulation<'_> {
+    /// Compiles the campaign session: a [`CompiledSim`] retaining only the
+    /// experiment prefix, borrowing this context's workload. Compile it
+    /// **once** per campaign and replay one episode schedule per candidate
+    /// community — the compile cost (config resolution, CSR, collector
+    /// interning) is paid once, not per candidate.
+    pub fn session(&self) -> CompiledSim<'_> {
         let p = Prefix::V4(self.injector.prefix);
-        let mut sim = self.workload.simulation(&self.topo);
-        sim.retain = RetainRoutes::Prefixes([p].into_iter().collect());
-        sim
+        self.workload
+            .simulation(&self.topo)
+            .retain(RetainRoutes::Prefixes([p].into_iter().collect()))
+            .compile()
     }
 
     /// The FIB when the experiment prefix is announced with `communities`
     /// (plain announce, then tagged re-announce — exactly the paper's
-    /// step-1/step-3 sequence).
-    pub fn fib_with(&self, communities: &[Community]) -> Fib {
+    /// step-1/step-3 sequence), replayed on the shared `session`.
+    pub fn fib_with(&self, session: &CompiledSim<'_>, communities: &[Community]) -> Fib {
         let p = Prefix::V4(self.injector.prefix);
-        let sim = self.p_sim();
-        let result = sim.run(&[
+        let result = session.run(&[
             Origination::announce(self.injector.asn, p, vec![]),
             Origination::announce(self.injector.asn, p, communities.to_vec()).at(300),
         ]);
@@ -201,11 +210,13 @@ impl SurveyContext {
     }
 
     /// One campaign round: per candidate community, the set of vantage
-    /// points that were responsive at baseline but lost reachability.
+    /// points that were responsive at baseline but lost reachability. The
+    /// session compiles once; every candidate is one more `run`.
     pub fn blackhole_round(&self, candidates: &[Community]) -> BTreeMap<Community, Vec<Asn>> {
+        let session = self.session();
         let mut out = BTreeMap::new();
         for &c in candidates {
-            let fib = self.fib_with(&[c]);
+            let fib = self.fib_with(&session, &[c]);
             let campaign = self.atlas.ping_campaign(&fib, self.target_addr);
             let lost: Vec<Asn> = campaign
                 .responsive
@@ -222,11 +233,15 @@ impl SurveyContext {
     /// with `communities` (empty = baseline). Only delivered traces are
     /// returned — the non-RTBH detection signal is a *path change*, not a
     /// reachability loss.
-    pub fn trace_paths(&self, communities: &[Community]) -> BTreeMap<Asn, Vec<Asn>> {
+    pub fn trace_paths(
+        &self,
+        session: &CompiledSim<'_>,
+        communities: &[Community],
+    ) -> BTreeMap<Asn, Vec<Asn>> {
         let fib = if communities.is_empty() {
             self.base_fib.clone()
         } else {
-            self.fib_with(communities)
+            self.fib_with(session, communities)
         };
         let mut out = BTreeMap::new();
         for &(vp, _) in &self.atlas.vantage_points {

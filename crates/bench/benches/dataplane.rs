@@ -41,8 +41,10 @@ fn bench_dataplane(c: &mut Criterion) {
         bgpworms_topology::addressing::AddressingParams::default(),
     );
     let workload = bgpworms_routesim::Workload::generate(&topo, &alloc, &Default::default());
-    let mut sim = workload.simulation(&topo);
-    sim.retain = bgpworms_routesim::RetainRoutes::All;
+    let sim = workload
+        .simulation(&topo)
+        .retain(bgpworms_routesim::RetainRoutes::All)
+        .compile();
     let episodes: Vec<_> = alloc
         .iter()
         .map(|(asn, p)| bgpworms_routesim::Origination::announce(asn, p, vec![]))

@@ -1,10 +1,21 @@
-//! Engine-core benchmark: sequential vs. parallel `Simulation::run` over a
-//! ~500-AS generated topology with 100 single-prefix episodes — the
-//! workload shape every §4/§5 experiment scales along. Results seed the
-//! perf trajectory recorded in `BENCH_engine.json` at the repo root.
+//! Engine-core benchmark over a ~500-AS generated topology with 100
+//! single-prefix episodes — the workload shape every §4/§5 experiment
+//! scales along. Results seed the perf trajectory recorded in
+//! `BENCH_engine.json` at the repo root.
+//!
+//! The benchmark mirrors the engine's compile-once/run-many API split:
+//!
+//! * `compile` — `SimSpec::compile` alone (config resolution, CSR +
+//!   reverse-slot forcing, collector interning);
+//! * `run-500as-100px/N` — `CompiledSim::run` alone on a pre-compiled
+//!   session, per thread count;
+//! * `ab-pair/compile-once` vs `ab-pair/recompile-per-run` — the paper's
+//!   baseline+attack A/B shape: one compile + two runs against the old
+//!   model's compile+run twice. The gap is the amortization win.
 
-use bgpworms_routesim::{Origination, Simulation};
+use bgpworms_routesim::{Origination, SimSpec, Workload, WorkloadParams};
 use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, TopologyParams};
+use bgpworms_types::Community;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_engine(c: &mut Criterion) {
@@ -26,16 +37,37 @@ fn bench_engine(c: &mut Criterion) {
         .collect();
     assert_eq!(originations.len(), 100);
 
+    // The attack schedule of the A/B pair: the same world, plus one
+    // community-tagged re-announcement of the first prefix.
+    let mut attacked = originations.clone();
+    let first = attacked[0].clone();
+    attacked.push(
+        Origination::announce(first.origin, first.prefix, vec![Community::new(666, 666)]).at(1000),
+    );
+
+    // A full generated workload gives compile a realistic cost: ~500
+    // per-AS configs to resolve plus four collector platforms to intern.
+    let workload = Workload::generate(&topo, &alloc, &WorkloadParams::default());
+
     let mut group = c.benchmark_group("engine");
     group.sample_size(10);
+
+    // Phase 1: compilation alone — bare spec and workload-wired spec.
+    group.bench_function("compile-500as/bare", |b| {
+        b.iter(|| SimSpec::new(&topo).compile())
+    });
+    group.bench_function("compile-500as/workload", |b| {
+        b.iter(|| workload.simulation(&topo).threads(1).compile())
+    });
+
+    // Phase 2: runs on one pre-compiled session.
     for threads in [1usize, 2, 4, 8] {
+        let sim = SimSpec::new(&topo).threads(threads).compile();
         group.bench_with_input(
             BenchmarkId::new("run-500as-100px", threads),
             &threads,
-            |b, &threads| {
+            |b, _| {
                 b.iter(|| {
-                    let mut sim = Simulation::new(&topo);
-                    sim.threads = threads;
                     let res = sim.run(&originations);
                     assert!(res.converged);
                     res.events
@@ -43,6 +75,34 @@ fn bench_engine(c: &mut Criterion) {
             },
         );
     }
+
+    // The A/B pair over the workload-wired spec: compile once + run twice …
+    group.bench_function("ab-pair/compile-once", |b| {
+        let sim = workload.simulation(&topo).threads(1).compile();
+        b.iter(|| {
+            let base = sim.run(&originations);
+            let attack = sim.run(&attacked);
+            assert!(base.converged && attack.converged);
+            base.events + attack.events
+        })
+    });
+    // … against the pre-session model's compile-per-run.
+    group.bench_function("ab-pair/recompile-per-run", |b| {
+        b.iter(|| {
+            let base = workload
+                .simulation(&topo)
+                .threads(1)
+                .compile()
+                .run(&originations);
+            let attack = workload
+                .simulation(&topo)
+                .threads(1)
+                .compile()
+                .run(&attacked);
+            assert!(base.converged && attack.converged);
+            base.events + attack.events
+        })
+    });
     group.finish();
 }
 

@@ -21,8 +21,8 @@ fn bench_propagation(c: &mut Criterion) {
             BenchmarkId::new("converge", name),
             &(&topo, &workload),
             |b, (topo, workload)| {
+                let sim = workload.simulation(topo).threads(1).compile();
                 b.iter(|| {
-                    let sim = workload.simulation(topo);
                     let res = sim.run(&workload.originations);
                     assert!(res.converged);
                     res.events
@@ -33,9 +33,8 @@ fn bench_propagation(c: &mut Criterion) {
             BenchmarkId::new("converge-parallel", name),
             &(&topo, &workload),
             |b, (topo, workload)| {
+                let sim = workload.simulation(topo).threads(4).compile();
                 b.iter(|| {
-                    let mut sim = workload.simulation(topo);
-                    sim.threads = 4;
                     let res = sim.run(&workload.originations);
                     assert!(res.converged);
                     res.events

@@ -244,9 +244,11 @@ fn fig3(opts: &Options) -> String {
             },
         );
         let workload = bgpworms_routesim::Workload::generate(&topo, &alloc, &params);
-        let mut sim = workload.simulation(&topo);
-        sim.threads = 4;
-        let result = sim.run(&workload.originations);
+        let result = workload
+            .simulation(&topo)
+            .threads(4)
+            .compile()
+            .run(&workload.originations);
         let archives =
             bgpworms_routesim::archive_all(&workload.collectors, &result.observations, 0)
                 .expect("in-memory archive");

@@ -95,11 +95,10 @@ impl Snapshot {
         };
         let workload = Workload::generate(&topo, &alloc, &params);
 
-        let mut sim = workload.simulation(&topo);
-        sim.threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
-        let result = sim.run(&workload.originations);
+        let result = workload
+            .simulation(&topo)
+            .compile()
+            .run(&workload.originations);
 
         let archives = archive_all(
             &workload.collectors,

@@ -20,7 +20,7 @@ pub mod strategy;
 
 pub use strategy::{any, Arbitrary, Just, Strategy};
 
-/// Test-runner configuration ([`ProptestConfig`]) and the deterministic RNG.
+/// Test-runner configuration ([`test_runner::ProptestConfig`]) and the deterministic RNG.
 pub mod test_runner {
     /// Number of random cases each property runs by default. The real
     /// proptest defaults to 256; 64 keeps hermetic CI fast while still
@@ -165,7 +165,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -79,7 +79,7 @@ impl<'a> LookingGlass<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bgpworms_routesim::{Origination, Simulation};
+    use bgpworms_routesim::{Origination, SimSpec};
     use bgpworms_topology::{EdgeKind, Tier, Topology};
     use bgpworms_types::Community;
 
@@ -88,8 +88,9 @@ mod tests {
         topo.add_simple(Asn::new(1), Tier::Tier1);
         topo.add_simple(Asn::new(2), Tier::Stub);
         topo.add_edge(Asn::new(1), Asn::new(2), EdgeKind::ProviderToCustomer);
-        let mut sim = Simulation::new(&topo);
-        sim.retain = bgpworms_routesim::engine::RetainRoutes::All;
+        let sim = SimSpec::new(&topo)
+            .retain(bgpworms_routesim::engine::RetainRoutes::All)
+            .compile();
         sim.run(&[Origination::announce(
             Asn::new(2),
             "10.0.0.0/16".parse().unwrap(),

@@ -179,11 +179,9 @@ pub fn build(params: &LabeledRunParams) -> LabeledRun {
         }
     }
 
-    let mut sim = workload.simulation(&topo);
-    sim.threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let sim = workload.simulation(&topo).compile();
     let result = sim.run(&workload.originations);
+    drop(sim);
     let archives = archive_all(&workload.collectors, &result.observations, inject_time)
         .expect("in-memory archiving cannot fail");
     let inputs: Vec<ArchiveInput> = archives

@@ -1,18 +1,33 @@
-//! The propagation engine: drives per-prefix announcement episodes to
-//! convergence over the topology, records collector observations, and
-//! (optionally) retains final per-AS routes for data-plane construction.
+//! The propagation engine: a **compile-once / run-many** session API over
+//! the index-based core.
 //!
-//! # Index-based core
+//! # Two-phase model
 //!
-//! The engine compiles one [`RunContext`] per [`Simulation::run`] call:
-//! every AS is addressed by its dense [`NodeId`], per-AS router
-//! configurations are resolved **once per run** into a `Vec<RouterConfig>`
-//! borrowed read-only by all worker threads, and adjacency comes from the
-//! topology's CSR view as `(NodeId, Role, is_route_server)` slices. The
-//! per-event hot path of [`run_prefix`](RunContext::run_prefix) therefore
-//! performs only `Vec` indexing — no `BTreeMap<Asn, …>` lookups, no
-//! per-event config clones, and no per-edge `role_of` scans (the sender's
-//! role rides along in the event).
+//! The paper's methodology is inherently A/B: every scenario compares a
+//! baseline episode against an attacked episode over the *same* topology
+//! and configs, and the wild experiments replay dozens of episode schedules
+//! per setup. The engine therefore splits setup from execution:
+//!
+//! * [`SimSpec`] is the builder. It owns (or borrows — every heavy input is
+//!   a [`Cow`]) the per-AS configs, collectors, IRR/RPKI registries,
+//!   retention policy, and thread count.
+//! * [`SimSpec::compile`] resolves everything **once** into a
+//!   [`CompiledSim`]: per-AS configs as a dense [`NodeId`]-indexed `Vec`,
+//!   collector sessions interned to node ids, the CSR adjacency (and its
+//!   reverse-slot view) forced, and the per-prefix event budget hoisted.
+//! * [`CompiledSim::run`] replays any episode schedule against that
+//!   compiled state. It takes `&self`, so one session runs many schedules —
+//!   baseline and attack, candidate after candidate — and is shareable
+//!   read-only across threads.
+//!
+//! # Flat adjacency-slot RIBs
+//!
+//! Per-neighbor router state ([`crate::router::PrefixRouter`]) is dense and
+//! **slot-indexed**: each node's Adj-RIB-In and last-exported cache are
+//! arrays addressed by the neighbor's position in the node's CSR slice.
+//! Events carry the receiver-side slot (precompiled reverse-slot array), so
+//! the per-event hot path is pure `Vec` indexing end to end — no
+//! `BTreeMap<Asn, …>` anywhere on it.
 //!
 //! # Parallelism & determinism
 //!
@@ -20,11 +35,12 @@
 //! so the engine shards the prefix set across `std::thread::scope` workers.
 //! Workers claim prefixes dynamically from an atomic counter and publish
 //! into per-prefix `OnceLock` slots (disjoint writes, no locks, balanced
-//! load); results are merged in prefix order and
-//! observations are sorted by `(time, peer, prefix)`, which makes
-//! `threads = 1` and `threads = N` produce identical [`SimResult`]s. A
-//! panic inside one worker is caught per prefix and re-raised with the
-//! failing prefix named.
+//! load); results are merged in prefix order and observations are sorted by
+//! `(time, peer, prefix)`, which makes `threads = 1` and `threads = N`
+//! produce identical [`SimResult`]s — and repeated [`CompiledSim::run`]
+//! calls bit-identical (`run` never mutates the session). A panic inside
+//! one worker is caught per prefix and re-raised with the failing prefix
+//! named.
 
 use crate::collector::{CollectorObservation, CollectorSpec, FeedKind};
 use crate::policy::{IrrDatabase, RouterConfig};
@@ -32,6 +48,7 @@ use crate::route::Route;
 use crate::router::{PrefixRouter, ValidationCtx};
 use bgpworms_topology::{NodeId, Role, Tier, Topology};
 use bgpworms_types::{AsPath, Asn, Community, Origin, Prefix};
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -104,7 +121,7 @@ impl Origination {
 }
 
 /// Which per-AS final routes to keep in the result.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub enum RetainRoutes {
     /// Keep nothing (cheapest; collector output only).
     #[default]
@@ -113,27 +130,6 @@ pub enum RetainRoutes {
     Prefixes(BTreeSet<Prefix>),
     /// Keep everything (small topologies / attack scenarios only).
     All,
-}
-
-/// The simulation: topology + per-AS configs + collectors + databases.
-#[derive(Debug, Clone)]
-pub struct Simulation<'a> {
-    /// The AS-level topology.
-    pub topo: &'a Topology,
-    /// Per-AS router configuration; ASes missing from the map get
-    /// [`RouterConfig::defaults`]. Resolved into a [`NodeId`]-indexed
-    /// `Vec` once per [`Simulation::run`] call.
-    pub configs: BTreeMap<Asn, RouterConfig>,
-    /// Route collectors.
-    pub collectors: Vec<CollectorSpec>,
-    /// The IRR (pollutable by attackers).
-    pub irr: IrrDatabase,
-    /// Ground truth (RPKI-like).
-    pub rpki: IrrDatabase,
-    /// Route retention policy.
-    pub retain: RetainRoutes,
-    /// Worker threads for per-prefix sharding (1 = sequential).
-    pub threads: usize,
 }
 
 /// Everything a run produces.
@@ -157,74 +153,111 @@ impl SimResult {
     }
 }
 
-/// In-flight update message. The sender's role (what `from` plays for
-/// `to`) is resolved from the CSR entry at emit time, so import needs no
-/// adjacency scan.
+/// Builder for a simulation session: topology + per-AS configs +
+/// collectors + registries + run policy.
+///
+/// Every heavy input is a [`Cow`], so a spec can *borrow* a workload's
+/// config map, collector list, and registries without cloning them — the
+/// clone happens only if the caller then mutates that input (e.g.
+/// [`SimSpec::configure`] on a borrowed map). [`SimSpec::compile`] turns
+/// the spec into a reusable [`CompiledSim`] session.
 #[derive(Debug, Clone)]
-struct Event {
-    from: NodeId,
-    to: NodeId,
-    sender_role: Role,
-    route: Option<Route>,
-}
-
-/// The role `a` plays for `b`, given the role `b` plays for `a`. Edges are
-/// symmetric inverses by construction (`Topology::add_edge`).
-fn inverse_role(role: Role) -> Role {
-    match role {
-        Role::Customer => Role::Provider,
-        Role::Provider => Role::Customer,
-        Role::Peer => Role::Peer,
-    }
-}
-
-/// Per-run compiled state: everything [`run_prefix`](RunContext::run_prefix)
-/// touches per event, resolved once and shared read-only by all workers.
-struct RunContext<'a> {
+pub struct SimSpec<'a> {
     topo: &'a Topology,
-    /// Per-node config, indexed by [`NodeId::index`].
-    configs: Vec<RouterConfig>,
-    /// Per-node ASN, indexed by [`NodeId::index`].
-    asns: Vec<Asn>,
-    /// Per-node route-server flag, indexed by [`NodeId::index`].
-    is_rs: Vec<bool>,
-    /// Collector sessions resolved to node ids: `(collector index, peer)`.
-    /// Peers absent from the topology are dropped here, once, instead of
-    /// per episode.
-    collector_peers: Vec<(usize, NodeId, FeedKind)>,
-    irr: &'a IrrDatabase,
-    rpki: &'a IrrDatabase,
-    retain: &'a RetainRoutes,
-    n_collectors: usize,
-    /// Event budget per prefix (hoisted out of the prefix loop: the edge
-    /// sum is one CSR length read).
-    event_budget: u64,
+    configs: Cow<'a, BTreeMap<Asn, RouterConfig>>,
+    collectors: Cow<'a, [CollectorSpec]>,
+    irr: Cow<'a, IrrDatabase>,
+    rpki: Cow<'a, IrrDatabase>,
+    retain: RetainRoutes,
+    threads: usize,
 }
 
-impl<'a> Simulation<'a> {
-    /// A simulation with default configs for every AS and no collectors.
+impl<'a> SimSpec<'a> {
+    /// A spec over `topo` with default configs for every AS, no
+    /// collectors, empty registries, no retention, one thread.
     pub fn new(topo: &'a Topology) -> Self {
-        Simulation {
+        SimSpec {
             topo,
-            configs: BTreeMap::new(),
-            collectors: Vec::new(),
-            irr: IrrDatabase::new(),
-            rpki: IrrDatabase::new(),
+            configs: Cow::Owned(BTreeMap::new()),
+            collectors: Cow::Owned(Vec::new()),
+            irr: Cow::Owned(IrrDatabase::new()),
+            rpki: Cow::Owned(IrrDatabase::new()),
             retain: RetainRoutes::None,
             threads: 1,
         }
     }
 
-    /// Sets (replacing) the config of one AS.
-    pub fn configure(&mut self, cfg: RouterConfig) {
-        self.configs.insert(cfg.asn, cfg);
+    /// Borrows a full per-AS config map (ASes missing from it get
+    /// [`RouterConfig::defaults`]). Replaces any configs set so far.
+    pub fn configs(mut self, configs: &'a BTreeMap<Asn, RouterConfig>) -> Self {
+        self.configs = Cow::Borrowed(configs);
+        self
     }
 
-    /// Compiles the per-run context: CSR adjacency forced, configs
-    /// resolved once into a dense `Vec`, collector peers interned.
-    fn compile(&self) -> RunContext<'_> {
-        // Forces CSR compilation before worker threads share `topo`, and
-        // doubles as the edge sum for the per-prefix event budget.
+    /// Sets (replacing) the config of one AS.
+    pub fn configure(mut self, cfg: RouterConfig) -> Self {
+        self.configs.to_mut().insert(cfg.asn, cfg);
+        self
+    }
+
+    /// Borrows a collector list. Replaces any collectors set so far.
+    pub fn collectors(mut self, collectors: &'a [CollectorSpec]) -> Self {
+        self.collectors = Cow::Borrowed(collectors);
+        self
+    }
+
+    /// Adds one collector.
+    pub fn collector(mut self, spec: CollectorSpec) -> Self {
+        self.collectors.to_mut().push(spec);
+        self
+    }
+
+    /// Borrows the (pollutable) IRR database.
+    pub fn irr(mut self, irr: &'a IrrDatabase) -> Self {
+        self.irr = Cow::Borrowed(irr);
+        self
+    }
+
+    /// Borrows the ground-truth (RPKI-like) database.
+    pub fn rpki(mut self, rpki: &'a IrrDatabase) -> Self {
+        self.rpki = Cow::Borrowed(rpki);
+        self
+    }
+
+    /// Registers a route object in the IRR (clones a borrowed database
+    /// once, on first mutation).
+    pub fn register_irr(mut self, prefix: Prefix, origin: Asn) -> Self {
+        self.irr.to_mut().register(prefix, origin);
+        self
+    }
+
+    /// Registers ground truth in the RPKI-like database.
+    pub fn register_rpki(mut self, prefix: Prefix, origin: Asn) -> Self {
+        self.rpki.to_mut().register(prefix, origin);
+        self
+    }
+
+    /// Sets the route-retention policy.
+    pub fn retain(mut self, retain: RetainRoutes) -> Self {
+        self.retain = retain;
+        self
+    }
+
+    /// Sets the worker-thread count for per-prefix sharding (1 =
+    /// sequential; results are identical either way).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Compiles the session: CSR adjacency (and reverse slots) forced,
+    /// configs resolved once into a dense [`NodeId`]-indexed `Vec`,
+    /// collector peers interned, event budget hoisted. The returned
+    /// [`CompiledSim`] runs any number of episode schedules.
+    pub fn compile(self) -> CompiledSim<'a> {
+        // Forces CSR compilation (adjacency + reverse slots) before worker
+        // threads share `topo`, and doubles as the edge sum for the
+        // per-prefix event budget.
         let adjacency_entries = self.topo.adjacency_len() as u64;
         let n = self.topo.len();
         let mut configs = Vec::with_capacity(n);
@@ -241,6 +274,8 @@ impl<'a> Simulation<'a> {
             asns.push(node.asn);
             is_rs.push(node.tier == Tier::RouteServer);
         }
+        // Collector sessions resolved to node ids; peers absent from the
+        // topology are dropped here, once, instead of per episode.
         let mut collector_peers = Vec::new();
         for (ci, spec) in self.collectors.iter().enumerate() {
             for &(peer, feed) in &spec.peers {
@@ -249,21 +284,73 @@ impl<'a> Simulation<'a> {
                 }
             }
         }
-        RunContext {
+        let collector_names = self.collectors.iter().map(|s| s.name.clone()).collect();
+        CompiledSim {
             topo: self.topo,
             configs,
             asns,
             is_rs,
+            collector_names,
             collector_peers,
-            irr: &self.irr,
-            rpki: &self.rpki,
-            retain: &self.retain,
-            n_collectors: self.collectors.len(),
+            irr: self.irr,
+            rpki: self.rpki,
+            retain: self.retain,
+            threads: self.threads,
             event_budget: (adjacency_entries * 64).max(10_000),
         }
     }
+}
+
+/// A compiled simulation session: everything the per-event hot path
+/// touches, resolved once by [`SimSpec::compile`] and reusable across any
+/// number of [`CompiledSim::run`] calls.
+///
+/// `run` takes `&self` and never mutates the session, so one session can be
+/// shared read-only across threads and replayed indefinitely; repeated runs
+/// of the same schedule are bit-identical (locked in by
+/// `tests/determinism.rs`).
+#[derive(Debug, Clone)]
+pub struct CompiledSim<'a> {
+    topo: &'a Topology,
+    /// Per-node config, indexed by [`NodeId::index`].
+    configs: Vec<RouterConfig>,
+    /// Per-node ASN, indexed by [`NodeId::index`].
+    asns: Vec<Asn>,
+    /// Per-node route-server flag, indexed by [`NodeId::index`].
+    is_rs: Vec<bool>,
+    /// Collector names, in spec order (keys of the result map).
+    collector_names: Vec<String>,
+    /// Collector sessions resolved to node ids: `(collector index, peer,
+    /// feed)`.
+    collector_peers: Vec<(usize, NodeId, FeedKind)>,
+    irr: Cow<'a, IrrDatabase>,
+    rpki: Cow<'a, IrrDatabase>,
+    retain: RetainRoutes,
+    threads: usize,
+    /// Event budget per prefix (hoisted out of the prefix loop: the edge
+    /// sum is one CSR length read).
+    event_budget: u64,
+}
+
+impl<'a> CompiledSim<'a> {
+    /// The topology this session was compiled over.
+    pub fn topology(&self) -> &'a Topology {
+        self.topo
+    }
+
+    /// Current worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Re-targets the worker-thread count without recompiling (results are
+    /// independent of it).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
 
     /// Runs all origination episodes to convergence and collects results.
+    /// Callable any number of times; the session is never mutated.
     pub fn run(&self, originations: &[Origination]) -> SimResult {
         // Group episodes by prefix, preserving time order within a prefix.
         let mut by_prefix: BTreeMap<Prefix, Vec<&Origination>> = BTreeMap::new();
@@ -274,14 +361,13 @@ impl<'a> Simulation<'a> {
             eps.sort_by_key(|o| o.time);
         }
 
-        let ctx = self.compile();
         let prefixes: Vec<Prefix> = by_prefix.keys().copied().collect();
         let results: Vec<PrefixOutcome> = if self.threads > 1 && prefixes.len() > 1 {
-            run_parallel(&ctx, self.threads, &by_prefix, &prefixes)
+            run_parallel(self, &by_prefix, &prefixes)
         } else {
             prefixes
                 .iter()
-                .map(|p| ctx.run_prefix(*p, &by_prefix[p]))
+                .map(|p| self.run_prefix(*p, &by_prefix[p]))
                 .collect()
         };
 
@@ -289,8 +375,8 @@ impl<'a> Simulation<'a> {
             converged: true,
             ..SimResult::default()
         };
-        for spec in &self.collectors {
-            out.observations.entry(spec.name.clone()).or_default();
+        for name in &self.collector_names {
+            out.observations.entry(name.clone()).or_default();
         }
         for (prefix, outcome) in prefixes.into_iter().zip(results) {
             out.events += outcome.events;
@@ -298,7 +384,7 @@ impl<'a> Simulation<'a> {
             for (ci, mut obs) in outcome.observations.into_iter().enumerate() {
                 if !obs.is_empty() {
                     out.observations
-                        .get_mut(&self.collectors[ci].name)
+                        .get_mut(&self.collector_names[ci])
                         .expect("collector registered")
                         .append(&mut obs);
                 }
@@ -314,6 +400,30 @@ impl<'a> Simulation<'a> {
     }
 }
 
+/// In-flight update message. The sender's role (what `from` plays for `to`)
+/// and the sender's slot within the receiver's adjacency are resolved from
+/// the CSR views at emit time, so import needs no adjacency scan and no map
+/// lookup.
+#[derive(Debug, Clone)]
+struct Event {
+    from: NodeId,
+    to: NodeId,
+    /// Slot of `from` within `to`'s adjacency slice.
+    to_slot: u32,
+    sender_role: Role,
+    route: Option<Route>,
+}
+
+/// The role `a` plays for `b`, given the role `b` plays for `a`. Edges are
+/// symmetric inverses by construction (`Topology::add_edge`).
+fn inverse_role(role: Role) -> Role {
+    match role {
+        Role::Customer => Role::Provider,
+        Role::Provider => Role::Customer,
+        Role::Peer => Role::Peer,
+    }
+}
+
 /// Shards `prefixes` over scoped worker threads with dynamic load
 /// balancing: workers claim prefixes from a shared atomic counter (per-
 /// prefix convergence cost varies wildly, so static chunking would let one
@@ -322,8 +432,7 @@ impl<'a> Simulation<'a> {
 /// locks. A panic while simulating one prefix is caught and re-raised
 /// naming the prefix.
 fn run_parallel(
-    ctx: &RunContext<'_>,
-    threads: usize,
+    sim: &CompiledSim<'_>,
     by_prefix: &BTreeMap<Prefix, Vec<&Origination>>,
     prefixes: &[Prefix],
 ) -> Vec<PrefixOutcome> {
@@ -333,13 +442,13 @@ fn run_parallel(
     let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
+        for _ in 0..sim.threads.min(n) {
             let (results, next) = (&results, &next);
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(prefix) = prefixes.get(i) else { break };
                 let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    ctx.run_prefix(*prefix, &by_prefix[prefix])
+                    sim.run_prefix(*prefix, &by_prefix[prefix])
                 }));
                 let published = results[i]
                     .set(outcome.map_err(|payload| panic_message(&payload)))
@@ -375,16 +484,23 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-impl RunContext<'_> {
+impl CompiledSim<'_> {
     /// Runs the episodes of a single prefix to convergence.
     fn run_prefix(&self, prefix: Prefix, episodes: &[&Origination]) -> PrefixOutcome {
         let vctx = ValidationCtx {
-            irr: self.irr,
-            rpki: self.rpki,
+            irr: &self.irr,
+            rpki: &self.rpki,
         };
         let n = self.asns.len();
         let mut routers: Vec<PrefixRouter> = (0..n)
-            .map(|i| PrefixRouter::new(self.asns[i], self.is_rs[i]))
+            .map(|i| {
+                let id = NodeId::from_index(i);
+                PrefixRouter::new(
+                    self.asns[i],
+                    self.is_rs[i],
+                    self.topo.neighbors_ix(id).len(),
+                )
+            })
             .collect();
 
         // Per collector session: what the peer currently advertises to the
@@ -393,7 +509,7 @@ impl RunContext<'_> {
         let mut monitor_state: Vec<Option<Route>> = vec![None; self.collector_peers.len()];
 
         let mut outcome = PrefixOutcome {
-            observations: vec![Vec::new(); self.n_collectors],
+            observations: vec![Vec::new(); self.collector_names.len()],
             final_routes: None,
             events: 0,
             converged: true,
@@ -435,6 +551,7 @@ impl RunContext<'_> {
                 router.import(
                     cfg,
                     self.asns[ev.from.index()],
+                    ev.to_slot as usize,
                     ev.sender_role,
                     ev.route,
                     vctx,
@@ -480,7 +597,7 @@ impl RunContext<'_> {
     }
 
     fn should_retain(&self, prefix: &Prefix) -> bool {
-        match self.retain {
+        match &self.retain {
             RetainRoutes::None => false,
             RetainRoutes::Prefixes(set) => set.contains(prefix),
             RetainRoutes::All => true,
@@ -488,18 +605,22 @@ impl RunContext<'_> {
     }
 
     /// Recomputes `id`'s exports to every neighbor and enqueues the ones
-    /// that changed. Adjacency comes straight off the CSR slice; the only
-    /// mutable state is this node's router.
+    /// that changed. Adjacency comes straight off the CSR slice; the
+    /// receiver-side slot comes off the precompiled reverse-slot array; the
+    /// only mutable state is this node's router.
     fn emit_exports(&self, id: NodeId, routers: &mut [PrefixRouter], queue: &mut VecDeque<Event>) {
         let cfg = &self.configs[id.index()];
         let router = &mut routers[id.index()];
-        for &(nb, role, nb_is_rs) in self.topo.neighbors_ix(id) {
+        let edges = self.topo.neighbors_ix(id);
+        let reverse = self.topo.reverse_slots_ix(id);
+        for (slot, &(nb, role, nb_is_rs)) in edges.iter().enumerate() {
             let nb_asn = self.asns[nb.index()];
             let new = router.export_for(cfg, nb_asn, role, nb_is_rs);
-            if let Some(update) = router.diff_export(nb_asn, new) {
+            if let Some(update) = router.diff_export(slot, new) {
                 queue.push_back(Event {
                     from: id,
                     to: nb,
+                    to_slot: reverse[slot],
                     sender_role: inverse_role(role),
                     route: update,
                 });
@@ -535,6 +656,7 @@ struct PrefixOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::collector::CollectorSpec;
     use bgpworms_topology::{EdgeKind, TopologyParams};
 
     fn line_topo() -> Topology {
@@ -557,8 +679,7 @@ mod tests {
     #[test]
     fn customer_route_reaches_everyone_uphill() {
         let topo = line_topo();
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
         let res = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![])]);
         assert!(res.converged);
         // Everyone has a route; paths are the provider chain.
@@ -576,8 +697,7 @@ mod tests {
         // Announce at the top: everyone below gets it (it's always toward
         // customers), and paths descend the chain.
         let topo = line_topo();
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
         let res = sim.run(&[Origination::announce(Asn::new(1), p("20.0.0.0/16"), vec![])]);
         let r4 = res.route_at(Asn::new(4), &p("20.0.0.0/16")).unwrap();
         assert_eq!(
@@ -598,8 +718,7 @@ mod tests {
         topo.add_edge(Asn::new(1), Asn::new(5), EdgeKind::PeerToPeer);
         topo.add_edge(Asn::new(5), Asn::new(6), EdgeKind::ProviderToCustomer);
         topo.add_edge(Asn::new(1), Asn::new(7), EdgeKind::PeerToPeer);
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
         let res = sim.run(&[Origination::announce(Asn::new(6), p("30.0.0.0/16"), vec![])]);
         // 6 → 5 → (peer) 1 → customer chain 2,3,4. But NOT 1 → 7.
         assert!(res.route_at(Asn::new(1), &p("30.0.0.0/16")).is_some());
@@ -613,8 +732,7 @@ mod tests {
     #[test]
     fn withdrawal_clears_routes() {
         let topo = line_topo();
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
         let res = sim.run(&[
             Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![]),
             Origination::withdrawal(Asn::new(4), p("10.0.0.0/16"), 100),
@@ -628,11 +746,12 @@ mod tests {
         // The §8 defense on AS3: forward to a neighbor only communities of
         // that neighbor's form. Chain 1—2—3—4 (providers downward).
         let topo = line_topo();
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
         let mut cfg3 = RouterConfig::defaults(Asn::new(3));
         cfg3.propagation = crate::policy::CommunityPropagationPolicy::ScopedToReceiver;
-        sim.configure(cfg3);
+        let sim = SimSpec::new(&topo)
+            .retain(RetainRoutes::All)
+            .configure(cfg3)
+            .compile();
 
         // One-hop service: AS4 tags its announcement with AS3's community —
         // AS3 receives it and acts; the community is NOT forwarded to AS2
@@ -665,16 +784,17 @@ mod tests {
     fn scoped_defense_exempts_collectors() {
         // The paper: "if AS2 is a route collector … AS1 might not filter."
         let topo = line_topo();
-        let mut sim = Simulation::new(&topo);
         let mut cfg2 = RouterConfig::defaults(Asn::new(2));
         cfg2.propagation = crate::policy::CommunityPropagationPolicy::ScopedToReceiver;
-        sim.configure(cfg2);
-        sim.collectors.push(CollectorSpec {
-            name: "rrc00".into(),
-            platform: "RIS".into(),
-            collector_id: 1,
-            peers: vec![(Asn::new(2), FeedKind::Full)],
-        });
+        let sim = SimSpec::new(&topo)
+            .configure(cfg2)
+            .collector(CollectorSpec {
+                name: "rrc00".into(),
+                platform: "RIS".into(),
+                collector_id: 1,
+                peers: vec![(Asn::new(2), FeedKind::Full)],
+            })
+            .compile();
         let tag = Community::new(4, 77);
         let res = sim.run(&[Origination::announce(
             Asn::new(4),
@@ -694,12 +814,14 @@ mod tests {
     fn large_communities_propagate_and_strip_like_classic() {
         use bgpworms_types::LargeCommunity;
         let topo = line_topo();
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
+        let spec = SimSpec::new(&topo).retain(RetainRoutes::All);
         let lc = LargeCommunity::new(4_200_000_007, 666, 1);
-        let res = sim.run(&[
-            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![]).with_large(vec![lc])
-        ]);
+        let res = spec.clone().compile().run(&[Origination::announce(
+            Asn::new(4),
+            p("10.0.0.0/16"),
+            vec![],
+        )
+        .with_large(vec![lc])]);
         let r1 = res.route_at(Asn::new(1), &p("10.0.0.0/16")).unwrap();
         assert!(
             r1.has_large_community(lc),
@@ -709,10 +831,12 @@ mod tests {
         // A StripAll AS removes large communities on egress too.
         let mut cfg3 = RouterConfig::defaults(Asn::new(3));
         cfg3.propagation = crate::policy::CommunityPropagationPolicy::StripAll;
-        sim.configure(cfg3);
-        let res = sim.run(&[
-            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![]).with_large(vec![lc])
-        ]);
+        let res = spec.configure(cfg3).compile().run(&[Origination::announce(
+            Asn::new(4),
+            p("10.0.0.0/16"),
+            vec![],
+        )
+        .with_large(vec![lc])]);
         let r3 = res.route_at(Asn::new(3), &p("10.0.0.0/16")).unwrap();
         assert!(r3.has_large_community(lc), "AS3 received it");
         let r2 = res.route_at(Asn::new(2), &p("10.0.0.0/16")).unwrap();
@@ -722,8 +846,7 @@ mod tests {
     #[test]
     fn communities_propagate_along_the_chain() {
         let topo = line_topo();
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
         let tag = Community::new(4, 77);
         let res = sim.run(&[Origination::announce(
             Asn::new(4),
@@ -740,11 +863,12 @@ mod tests {
     #[test]
     fn strip_all_blocks_community_propagation() {
         let topo = line_topo();
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
         let mut cfg3 = RouterConfig::defaults(Asn::new(3));
         cfg3.propagation = crate::policy::CommunityPropagationPolicy::StripAll;
-        sim.configure(cfg3);
+        let sim = SimSpec::new(&topo)
+            .retain(RetainRoutes::All)
+            .configure(cfg3)
+            .compile();
         let tag = Community::new(4, 77);
         let res = sim.run(&[Origination::announce(
             Asn::new(4),
@@ -760,13 +884,14 @@ mod tests {
     #[test]
     fn collectors_record_updates_and_withdrawals() {
         let topo = line_topo();
-        let mut sim = Simulation::new(&topo);
-        sim.collectors.push(CollectorSpec {
-            name: "rrc00".into(),
-            platform: "RIS".into(),
-            collector_id: 1,
-            peers: vec![(Asn::new(1), FeedKind::Full)],
-        });
+        let sim = SimSpec::new(&topo)
+            .collector(CollectorSpec {
+                name: "rrc00".into(),
+                platform: "RIS".into(),
+                collector_id: 1,
+                peers: vec![(Asn::new(1), FeedKind::Full)],
+            })
+            .compile();
         let res = sim.run(&[
             Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![]).at(10),
             Origination::withdrawal(Asn::new(4), p("10.0.0.0/16"), 20),
@@ -787,13 +912,14 @@ mod tests {
     #[test]
     fn partial_feed_excludes_provider_routes() {
         let topo = line_topo();
-        let mut sim = Simulation::new(&topo);
-        sim.collectors.push(CollectorSpec {
-            name: "pch".into(),
-            platform: "PCH".into(),
-            collector_id: 2,
-            peers: vec![(Asn::new(3), FeedKind::CustomerRoutesOnly)],
-        });
+        let sim = SimSpec::new(&topo)
+            .collector(CollectorSpec {
+                name: "pch".into(),
+                platform: "PCH".into(),
+                collector_id: 2,
+                peers: vec![(Asn::new(3), FeedKind::CustomerRoutesOnly)],
+            })
+            .compile();
         // Prefix from AS1 (AS3 learns it from its provider AS2): partial
         // feed must not show it.
         let res = sim.run(&[
@@ -809,7 +935,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_sequential_agree() {
+    fn parallel_and_sequential_agree_on_one_session() {
         let topo = TopologyParams::tiny().seed(3).build();
         let alloc = bgpworms_topology::PrefixAllocation::assign(
             &topo,
@@ -819,18 +945,39 @@ mod tests {
             .iter()
             .map(|(asn, prefix)| Origination::announce(asn, prefix, vec![]))
             .collect();
-        let mut sim = Simulation::new(&topo);
-        sim.collectors.push(CollectorSpec {
-            name: "c".into(),
-            platform: "RV".into(),
-            collector_id: 3,
-            peers: vec![(Asn::new(1), FeedKind::Full), (Asn::new(2), FeedKind::Full)],
-        });
+        let mut sim = SimSpec::new(&topo)
+            .collector(CollectorSpec {
+                name: "c".into(),
+                platform: "RV".into(),
+                collector_id: 3,
+                peers: vec![(Asn::new(1), FeedKind::Full), (Asn::new(2), FeedKind::Full)],
+            })
+            .compile();
         let seq = sim.run(&originations);
-        sim.threads = 4;
+        sim.set_threads(4);
         let par = sim.run(&originations);
         assert_eq!(seq.events, par.events);
         assert_eq!(seq.observations, par.observations);
+    }
+
+    #[test]
+    fn compiled_session_borrows_without_cloning_until_mutated() {
+        // A spec borrowing a config map must not clone it just to compile.
+        let topo = line_topo();
+        let configs: BTreeMap<Asn, RouterConfig> =
+            [(Asn::new(3), RouterConfig::defaults(Asn::new(3)))]
+                .into_iter()
+                .collect();
+        let irr = IrrDatabase::new();
+        let spec = SimSpec::new(&topo).configs(&configs).irr(&irr);
+        assert!(matches!(spec.configs, Cow::Borrowed(_)));
+        assert!(matches!(spec.irr, Cow::Borrowed(_)));
+        // Mutating clones exactly once, leaving the original untouched.
+        let spec = spec.register_irr(p("10.0.0.0/16"), Asn::new(4));
+        assert!(matches!(spec.irr, Cow::Owned(_)));
+        assert!(!irr.is_registered(&p("10.0.0.0/16"), Asn::new(4)));
+        let sim = spec.compile();
+        assert!(sim.irr.is_registered(&p("10.0.0.0/16"), Asn::new(4)));
     }
 
     #[test]
@@ -846,8 +993,7 @@ mod tests {
     #[test]
     fn more_specific_rejected_by_length_filter() {
         let topo = line_topo();
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
         let res = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/28"), vec![])]);
         assert!(
             res.route_at(Asn::new(3), &p("10.0.0.0/28")).is_none(),

@@ -25,22 +25,63 @@
 //!   controlled by announce/suppress communities with a configurable
 //!   evaluation order (§5.3/§7.5).
 //!
-//! # Engine architecture: index-based propagation core
+//! # Engine architecture: compile-once / run-many sessions
+//!
+//! The engine's public API is a two-phase **compile/run** model:
+//!
+//! ```text
+//! SimSpec::new(&topo)          // builder: borrows heavy inputs (Cow)
+//!     .configs(&map)           //   per-AS configs, by reference
+//!     .collectors(&specs)      //   collector platforms, by reference
+//!     .irr(&irr).rpki(&rpki)   //   registries, by reference
+//!     .retain(RetainRoutes::All)
+//!     .threads(8)
+//!     .compile()               // resolve once → CompiledSim
+//!     .run(&episodes)          // replay any schedule, any number of times
+//! ```
+//!
+//! [`SimSpec::compile`] resolves per-AS configs into a dense
+//! `NodeId`-indexed `Vec`, interns collector peers, and forces the
+//! topology's CSR adjacency (including its reverse-slot view) — all paid
+//! **once per session**. [`CompiledSim::run`] takes `&self`: a session runs
+//! any number of episode schedules (the paper's baseline/attack A/B pairs
+//! compile once and run twice) and is shareable read-only across threads.
+//!
+//! ## Migrating from the old mutable-field `Simulation`
+//!
+//! The pre-session API (`Simulation` with public mutable fields, one
+//! resolve per `run` call) maps onto the builder one-for-one:
+//!
+//! | old `Simulation` usage              | new [`SimSpec`] call                  |
+//! |-------------------------------------|---------------------------------------|
+//! | `Simulation::new(&topo)`            | `SimSpec::new(&topo)`                 |
+//! | `sim.configs = map.clone()`         | `.configs(&map)` (borrows, no clone)  |
+//! | `sim.configure(cfg)`                | `.configure(cfg)`                     |
+//! | `sim.collectors = specs.clone()`    | `.collectors(&specs)` / `.collector(spec)` |
+//! | `sim.irr = irr.clone()`             | `.irr(&irr)`                          |
+//! | `sim.irr.register(p, asn)`          | `.register_irr(p, asn)`               |
+//! | `sim.rpki = rpki.clone()`           | `.rpki(&rpki)` / `.register_rpki(…)`  |
+//! | `sim.retain = RetainRoutes::All`    | `.retain(RetainRoutes::All)`          |
+//! | `sim.threads = n`                   | `.threads(n)` (or [`CompiledSim::set_threads`]) |
+//! | `sim.run(&eps)` (re-resolves)       | `.compile()` once, then [`CompiledSim::run`] many times |
+//! |  —                                  | [`Workload::simulation`] returns a ready-wired `SimSpec` |
+//!
+//! Config variants (e.g. an armed attacker) clone the spec, not the world:
+//! `spec.clone().configure(attacker_cfg).compile()` — borrowed inputs stay
+//! borrowed in the clone.
+//!
+//! # Inside the compiled core
 //!
 //! Propagation is computed per prefix to convergence with a deterministic
-//! FIFO event queue. The engine is built on the topology's **`NodeId`
-//! arena**: every AS is interned to a dense `u32` index, adjacency is a
-//! compiled CSR view of `(NodeId, Role, is_route_server)` slices, and all
-//! per-run state lives in `NodeId`-indexed `Vec`s —
-//!
-//! * router configurations are resolved **once per run** into a
-//!   `Vec<RouterConfig>` (borrowed read-only by all workers), never
-//!   cloned per prefix or per event;
-//! * the per-event hot path of `run_prefix` is pure `Vec` indexing — no
-//!   `BTreeMap<Asn, …>` lookups and no adjacency scans (the sender's role
-//!   is carried in the event, resolved from the CSR entry at emit time);
-//! * the per-prefix event budget (an edge-count sum) is hoisted out of the
-//!   prefix loop into the compiled run context.
+//! FIFO event queue over the topology's **`NodeId` arena**: every AS is
+//! interned to a dense `u32` index, adjacency is a compiled CSR view of
+//! `(NodeId, Role, is_route_server)` slices, and all per-run state lives in
+//! `NodeId`-indexed `Vec`s. Per-neighbor router state is **flat and
+//! adjacency-slot indexed**: each node's Adj-RIB-In and last-exported cache
+//! are dense arrays addressed by the neighbor's position in the node's CSR
+//! slice, and events carry the receiver-side slot (precompiled reverse-slot
+//! array) — the per-event hot path is pure `Vec` indexing end to end, with
+//! no `BTreeMap<Asn, …>` on it.
 //!
 //! Distinct prefixes are independent, which the engine exploits for
 //! parallelism: prefixes are claimed dynamically from an atomic counter by
@@ -48,15 +89,15 @@
 //! `OnceLock` result slot (disjoint writes, no locks, balanced load).
 //! Results are merged in prefix order and observations sorted by
 //! `(time, peer, prefix)`, so `threads = 1` and `threads = N` produce
-//! identical results — a guarantee locked in by property tests over random
+//! identical results, and repeated `run` calls on one session are
+//! bit-identical — guarantees locked in by property tests over random
 //! topologies (`tests/determinism.rs`). A worker panic is caught per
 //! prefix and re-raised naming the failing prefix.
 //!
-//! The index core unlocks follow-on optimizations: route interning (hash-
-//! cons `Route` values so per-neighbor RIBs store small ids), batched
-//! export diffing (recompute exports once per converged episode instead of
-//! per event), and per-`NodeId` flat RIB arrays replacing the remaining
-//! per-router neighbor maps.
+//! The compiled core unlocks follow-on optimizations: route interning
+//! (hash-cons `Route` values so per-slot RIB entries store small ids) and
+//! batched export diffing (recompute exports once per converged episode
+//! instead of per event).
 //!
 //! Route collectors observe sessions exactly like RIS/RouteViews peers and
 //! emit RFC 6396 MRT archives via `bgpworms-mrt`.
@@ -76,7 +117,7 @@ pub mod router;
 pub mod workload;
 
 pub use collector::{archive_all, CollectorArchive, CollectorObservation, CollectorSpec, FeedKind};
-pub use engine::{Origination, RetainRoutes, SimResult, Simulation};
+pub use engine::{CompiledSim, Origination, RetainRoutes, SimResult, SimSpec};
 pub use policy::{
     ActScope, BlackholeService, CommunityPropagationPolicy, CommunityServices, IrrDatabase,
     OriginValidation, RouteServerConfig, RouterConfig, RsEvalOrder, TaggingConfig, Vendor,

@@ -124,24 +124,6 @@ impl Route {
     }
 }
 
-/// Selects the best route among candidates (deterministic).
-pub fn select_best<'a, I: IntoIterator<Item = &'a Route>>(candidates: I) -> Option<&'a Route> {
-    let mut best: Option<&Route> = None;
-    for r in candidates {
-        best = match best {
-            None => Some(r),
-            Some(b) => {
-                if r.prefer(b) == Ordering::Greater {
-                    Some(r)
-                } else {
-                    Some(b)
-                }
-            }
-        };
-    }
-    best
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,15 +192,26 @@ mod tests {
     }
 
     #[test]
-    fn select_best_is_deterministic_and_total() {
+    fn prefer_is_total_over_distinct_candidates() {
+        // The decision process bottoms out in a strict neighbor-ASN
+        // tie-break, so distinct candidates never compare Equal — the
+        // property PrefixRouter::best_entry's fold relies on.
         let routes = [
             route(100, &[2, 1], 2),
             route(100, &[3, 1], 3),
             route(200, &[4, 4, 4, 1], 4),
         ];
-        let best = select_best(routes.iter()).unwrap();
-        assert_eq!(best.source, RouteSource::Ebgp(Asn::new(4)));
-        assert!(select_best(std::iter::empty()).is_none());
+        for (i, a) in routes.iter().enumerate() {
+            for (j, b) in routes.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a.prefer(b), Ordering::Equal, "{i} vs {j}");
+                }
+            }
+        }
+        // …and the unique maximum is the high-local-pref route.
+        assert!(routes[..2]
+            .iter()
+            .all(|r| routes[2].prefer(r) == Ordering::Greater));
     }
 
     #[test]

@@ -5,10 +5,10 @@
 use crate::policy::{
     ActScope, CommunityPropagationPolicy, IrrDatabase, OriginValidation, RouterConfig, RsEvalOrder,
 };
-use crate::route::{select_best, Route, RouteSource};
+use crate::route::{Route, RouteSource};
 use bgpworms_topology::Role;
 use bgpworms_types::{community, Asn, Community, Prefix, WellKnown};
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
 
 /// Validation context shared by all routers in a run.
 #[derive(Debug, Clone, Copy)]
@@ -34,7 +34,21 @@ pub enum ImportVerdict {
     Withdrawn,
 }
 
+/// One accepted Adj-RIB-In candidate: the route plus the business role the
+/// sending neighbor plays for this AS.
+#[derive(Debug, Clone)]
+struct RibEntry {
+    route: Route,
+    role: Role,
+}
+
 /// Per-prefix state of one router.
+///
+/// All per-neighbor state is **adjacency-slot indexed**: the engine compiles
+/// each node's CSR neighbor slice once, and both the Adj-RIB-In and the
+/// last-exported cache are dense arrays addressed by a neighbor's position
+/// in that slice. The per-event import/export path therefore performs pure
+/// `Vec` indexing — no `BTreeMap<Asn, …>` remains on it.
 #[derive(Debug, Clone)]
 pub struct PrefixRouter {
     /// This router's AS.
@@ -42,26 +56,24 @@ pub struct PrefixRouter {
     /// True when the node is an IXP route server (transparent path,
     /// community-controlled redistribution).
     pub is_route_server: bool,
-    /// Accepted candidate per sending neighbor.
-    rib_in: BTreeMap<Asn, Route>,
-    /// Role of the neighbor each candidate was learned from.
-    rib_in_role: BTreeMap<Asn, Role>,
+    /// Accepted candidate per sending neighbor, indexed by the sender's
+    /// slot in this node's adjacency slice.
+    rib_in: Vec<Option<RibEntry>>,
     /// Locally originated route, if any.
     local: Option<Route>,
-    /// Last advertisement sent per neighbor (None entries are absent).
-    exported: BTreeMap<Asn, Route>,
+    /// Last advertisement sent per neighbor slot (None = withdrawn/never).
+    exported: Vec<Option<Route>>,
 }
 
 impl PrefixRouter {
-    /// Fresh state.
-    pub fn new(asn: Asn, is_route_server: bool) -> Self {
+    /// Fresh state for a router with `degree` adjacency slots.
+    pub fn new(asn: Asn, is_route_server: bool, degree: usize) -> Self {
         PrefixRouter {
             asn,
             is_route_server,
-            rib_in: BTreeMap::new(),
-            rib_in_role: BTreeMap::new(),
+            rib_in: vec![None; degree],
             local: None,
-            exported: BTreeMap::new(),
+            exported: vec![None; degree],
         }
     }
 
@@ -76,46 +88,62 @@ impl PrefixRouter {
         self.local = None;
     }
 
+    /// Best candidate plus the role it was learned under (None for local).
+    /// Every comparison in [`Route::prefer`] bottoms out in a strict
+    /// tie-break, so the winner is independent of iteration order.
+    fn best_entry(&self) -> Option<(&Route, Option<Role>)> {
+        let mut best: Option<(&Route, Option<Role>)> = None;
+        for entry in self.rib_in.iter().flatten() {
+            best = match best {
+                None => Some((&entry.route, Some(entry.role))),
+                Some((b, _)) if entry.route.prefer(b) == Ordering::Greater => {
+                    Some((&entry.route, Some(entry.role)))
+                }
+                keep => keep,
+            };
+        }
+        if let Some(local) = &self.local {
+            best = match best {
+                None => Some((local, None)),
+                Some((b, _)) if local.prefer(b) == Ordering::Greater => Some((local, None)),
+                keep => keep,
+            };
+        }
+        best
+    }
+
     /// The current best route.
     pub fn best(&self) -> Option<&Route> {
-        select_best(self.rib_in.values().chain(self.local.iter()))
+        self.best_entry().map(|(route, _)| route)
     }
 
     /// Role of the neighbor the current best was learned from (None for
     /// local routes).
     pub fn best_learned_role(&self) -> Option<Role> {
-        let best = self.best()?;
-        best.source
-            .neighbor()
-            .and_then(|n| self.rib_in_role.get(&n).copied())
-    }
-
-    /// Candidate learned from `neighbor`, if accepted.
-    pub fn candidate_from(&self, neighbor: Asn) -> Option<&Route> {
-        self.rib_in.get(&neighbor)
+        self.best_entry().and_then(|(_, role)| role)
     }
 
     /// Processes an incoming update (Some = announce, None = withdraw) from
-    /// `sender` which plays `sender_role` for this AS.
+    /// `sender`, which occupies adjacency slot `sender_slot` of this node
+    /// and plays `sender_role` for this AS.
     pub fn import(
         &mut self,
         cfg: &RouterConfig,
         sender: Asn,
+        sender_slot: usize,
         sender_role: Role,
         route: Option<Route>,
         ctx: ValidationCtx<'_>,
     ) -> ImportVerdict {
         let Some(mut route) = route else {
-            self.rib_in.remove(&sender);
-            self.rib_in_role.remove(&sender);
+            self.rib_in[sender_slot] = None;
             return ImportVerdict::Withdrawn;
         };
 
         // Loop protection. Route servers are transparent and never appear
         // in the path, so only regular routers check.
         if !self.is_route_server && route.path.contains(self.asn) {
-            self.rib_in.remove(&sender);
-            self.rib_in_role.remove(&sender);
+            self.rib_in[sender_slot] = None;
             return ImportVerdict::LoopRejected;
         }
 
@@ -156,8 +184,7 @@ impl PrefixRouter {
                 },
             };
             if !valid {
-                self.rib_in.remove(&sender);
-                self.rib_in_role.remove(&sender);
+                self.rib_in[sender_slot] = None;
                 return ImportVerdict::ValidationRejected;
             }
         }
@@ -169,8 +196,7 @@ impl PrefixRouter {
                 Prefix::V6(p) => p.len() > 48,
             };
             if too_long {
-                self.rib_in.remove(&sender);
-                self.rib_in_role.remove(&sender);
+                self.rib_in[sender_slot] = None;
                 return ImportVerdict::TooSpecific;
             }
         }
@@ -243,8 +269,10 @@ impl PrefixRouter {
         route.source = RouteSource::Ebgp(sender);
         route.med = 0;
 
-        self.rib_in.insert(sender, route);
-        self.rib_in_role.insert(sender, sender_role);
+        self.rib_in[sender_slot] = Some(RibEntry {
+            route,
+            role: sender_role,
+        });
         ImportVerdict::Accepted
     }
 
@@ -439,11 +467,12 @@ impl PrefixRouter {
         Some(out)
     }
 
-    /// Records what was last advertised to `neighbor` and reports whether a
-    /// new message is needed. Returns `Some(update)` when the advertisement
-    /// changed (including transitions to/from withdrawal).
-    pub fn diff_export(&mut self, neighbor: Asn, new: Option<Route>) -> Option<Option<Route>> {
-        let old = self.exported.get(&neighbor);
+    /// Records what was last advertised to the neighbor at `slot` and
+    /// reports whether a new message is needed. Returns `Some(update)` when
+    /// the advertisement changed (including transitions to/from
+    /// withdrawal).
+    pub fn diff_export(&mut self, slot: usize, new: Option<Route>) -> Option<Option<Route>> {
+        let old = &self.exported[slot];
         let changed = match (&new, old) {
             (None, None) => false,
             (Some(n), Some(o)) => n != o,
@@ -452,20 +481,8 @@ impl PrefixRouter {
         if !changed {
             return None;
         }
-        match &new {
-            Some(r) => {
-                self.exported.insert(neighbor, r.clone());
-            }
-            None => {
-                self.exported.remove(&neighbor);
-            }
-        }
+        self.exported[slot] = new.clone();
         Some(new)
-    }
-
-    /// What is currently advertised to `neighbor`.
-    pub fn advertised_to(&self, neighbor: Asn) -> Option<&Route> {
-        self.exported.get(&neighbor)
     }
 }
 
@@ -546,11 +563,12 @@ mod tests {
     #[test]
     fn loop_rejected() {
         let cfg = RouterConfig::defaults(Asn::new(5));
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         let (irr, rpki) = ctx_empty();
         let v = r.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Customer,
             Some(incoming(2, &[2, 5, 1], &[])),
             ValidationCtx {
@@ -565,7 +583,7 @@ mod tests {
     #[test]
     fn local_pref_by_role_and_decision() {
         let cfg = RouterConfig::defaults(Asn::new(5));
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         let (irr, rpki) = ctx_empty();
         let ctx = ValidationCtx {
             irr: &irr,
@@ -575,6 +593,7 @@ mod tests {
         r.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Customer,
             Some(incoming(2, &[2, 9, 1], &[])),
             ctx,
@@ -582,6 +601,7 @@ mod tests {
         r.import(
             &cfg,
             Asn::new(3),
+            2,
             Role::Provider,
             Some(incoming(3, &[3, 1], &[])),
             ctx,
@@ -594,7 +614,7 @@ mod tests {
     #[test]
     fn withdraw_removes_candidate() {
         let cfg = RouterConfig::defaults(Asn::new(5));
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         let (irr, rpki) = ctx_empty();
         let ctx = ValidationCtx {
             irr: &irr,
@@ -603,12 +623,13 @@ mod tests {
         r.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Peer,
             Some(incoming(2, &[2, 1], &[])),
             ctx,
         );
         assert!(r.best().is_some());
-        let v = r.import(&cfg, Asn::new(2), Role::Peer, None, ctx);
+        let v = r.import(&cfg, Asn::new(2), 1, Role::Peer, None, ctx);
         assert_eq!(v, ImportVerdict::Withdrawn);
         assert!(r.best().is_none());
     }
@@ -617,7 +638,7 @@ mod tests {
     fn too_specific_rejected_unless_blackhole() {
         let mut cfg = RouterConfig::defaults(Asn::new(5));
         cfg.services.blackhole = Some(BlackholeService::default());
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         let (irr, rpki) = ctx_empty();
         let ctx = ValidationCtx {
             irr: &irr,
@@ -625,11 +646,11 @@ mod tests {
         };
         let mut route = incoming(2, &[2, 1], &[]);
         route.prefix = "10.0.0.0/30".parse().unwrap();
-        let v = r.import(&cfg, Asn::new(2), Role::Peer, Some(route.clone()), ctx);
+        let v = r.import(&cfg, Asn::new(2), 1, Role::Peer, Some(route.clone()), ctx);
         assert_eq!(v, ImportVerdict::TooSpecific);
         // Same prefix tagged with the provider's blackhole community passes.
         route.communities = vec![Community::new(5, 666)];
-        let v = r.import(&cfg, Asn::new(2), Role::Peer, Some(route), ctx);
+        let v = r.import(&cfg, Asn::new(2), 1, Role::Peer, Some(route), ctx);
         assert_eq!(v, ImportVerdict::Accepted);
         let best = r.best().unwrap();
         assert!(best.blackholed);
@@ -643,7 +664,7 @@ mod tests {
         // attacking AS path is longer".
         let mut cfg = RouterConfig::defaults(Asn::new(5));
         cfg.services.blackhole = Some(BlackholeService::default());
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         let (irr, rpki) = ctx_empty();
         let ctx = ValidationCtx {
             irr: &irr,
@@ -651,10 +672,10 @@ mod tests {
         };
         let mut victim = incoming(2, &[2, 1], &[]);
         victim.prefix = "10.0.0.0/24".parse().unwrap();
-        r.import(&cfg, Asn::new(2), Role::Customer, Some(victim), ctx);
+        r.import(&cfg, Asn::new(2), 1, Role::Customer, Some(victim), ctx);
         let mut attack = incoming(3, &[3, 9, 8, 1], &[Community::new(5, 666)]);
         attack.prefix = "10.0.0.0/24".parse().unwrap();
-        r.import(&cfg, Asn::new(3), Role::Peer, Some(attack), ctx);
+        r.import(&cfg, Asn::new(3), 2, Role::Peer, Some(attack), ctx);
         let best = r.best().unwrap();
         assert!(best.blackholed, "blackhole local-pref beats shorter path");
         assert_eq!(best.source, RouteSource::Ebgp(Asn::new(3)));
@@ -667,7 +688,7 @@ mod tests {
             scope: ActScope::CustomersOnly,
             ..BlackholeService::default()
         });
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         let (irr, rpki) = ctx_empty();
         let ctx = ValidationCtx {
             irr: &irr,
@@ -675,9 +696,9 @@ mod tests {
         };
         let mut route = incoming(3, &[3, 1], &[Community::new(5, 666)]);
         route.prefix = "10.0.0.0/24".parse().unwrap();
-        r.import(&cfg, Asn::new(3), Role::Peer, Some(route.clone()), ctx);
+        r.import(&cfg, Asn::new(3), 2, Role::Peer, Some(route.clone()), ctx);
         assert!(!r.best().unwrap().blackholed, "peer may not trigger RTBH");
-        r.import(&cfg, Asn::new(3), Role::Customer, Some(route), ctx);
+        r.import(&cfg, Asn::new(3), 2, Role::Customer, Some(route), ctx);
         assert!(r.best().unwrap().blackholed);
     }
 
@@ -694,11 +715,12 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         // legit origin AS1
         let v = r.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Peer,
             Some(incoming(2, &[2, 1], &[])),
             ctx,
@@ -708,6 +730,7 @@ mod tests {
         let v = r.import(
             &cfg,
             Asn::new(3),
+            2,
             Role::Peer,
             Some(incoming(3, &[3, 9], &[])),
             ctx,
@@ -731,18 +754,18 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         let mut hijack = incoming(3, &[3, 9], &[Community::new(5, 666)]);
         hijack.prefix = "10.0.0.0/24".parse().unwrap();
-        let v = r.import(&cfg, Asn::new(3), Role::Peer, Some(hijack.clone()), ctx);
+        let v = r.import(&cfg, Asn::new(3), 2, Role::Peer, Some(hijack.clone()), ctx);
         assert_eq!(v, ImportVerdict::Accepted, "hijack slips past validation");
         assert!(r.best().unwrap().blackholed);
         // With correct ordering the same update is rejected.
         cfg.validation = OriginValidation::Irr {
             validate_after_blackhole: false,
         };
-        let mut r2 = PrefixRouter::new(Asn::new(5), false);
-        let v = r2.import(&cfg, Asn::new(3), Role::Peer, Some(hijack), ctx);
+        let mut r2 = PrefixRouter::new(Asn::new(5), false, 8);
+        let v = r2.import(&cfg, Asn::new(3), 2, Role::Peer, Some(hijack), ctx);
         assert_eq!(v, ImportVerdict::ValidationRejected);
     }
 
@@ -760,15 +783,22 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         let route = incoming(2, &[2, 1], &[Community::new(5, 422), Community::new(5, 70)]);
-        r.import(&cfg, Asn::new(2), Role::Customer, Some(route.clone()), ctx);
+        r.import(
+            &cfg,
+            Asn::new(2),
+            1,
+            Role::Customer,
+            Some(route.clone()),
+            ctx,
+        );
         let best = r.best().unwrap();
         assert_eq!(best.local_pref, 70, "local-pref community acted on");
         assert_eq!(best.pending_prepend, 2, "prepend community recorded");
         // From a provider the same communities are ignored.
-        let mut r2 = PrefixRouter::new(Asn::new(5), false);
-        r2.import(&cfg, Asn::new(2), Role::Provider, Some(route), ctx);
+        let mut r2 = PrefixRouter::new(Asn::new(5), false, 8);
+        r2.import(&cfg, Asn::new(2), 1, Role::Provider, Some(route), ctx);
         let best = r2.best().unwrap();
         assert_eq!(best.local_pref, cfg.local_pref.provider);
         assert_eq!(best.pending_prepend, 0);
@@ -784,10 +814,11 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Customer,
             Some(incoming(2, &[2, 1], &[Community::new(5, 423)])),
             ctx,
@@ -815,11 +846,12 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         // Route learned from a provider…
         r.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Provider,
             Some(incoming(2, &[2, 1], &[])),
             ctx,
@@ -834,10 +866,11 @@ mod tests {
             .export_for(&cfg, Asn::new(9), Role::Provider, false)
             .is_none());
         // Customer routes go everywhere.
-        let mut r2 = PrefixRouter::new(Asn::new(5), false);
+        let mut r2 = PrefixRouter::new(Asn::new(5), false, 8);
         r2.import(
             &cfg,
             Asn::new(3),
+            2,
             Role::Customer,
             Some(incoming(3, &[3, 1], &[])),
             ctx,
@@ -858,10 +891,11 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Customer,
             Some(incoming(2, &[2, 1], &[])),
             ctx,
@@ -879,10 +913,11 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Customer,
             Some(incoming(2, &[2, 1], &[Community::NO_EXPORT])),
             ctx,
@@ -890,10 +925,11 @@ mod tests {
         assert!(r
             .export_for(&cfg, Asn::new(7), Role::Customer, false)
             .is_none());
-        let mut r2 = PrefixRouter::new(Asn::new(5), false);
+        let mut r2 = PrefixRouter::new(Asn::new(5), false, 8);
         r2.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Customer,
             Some(incoming(2, &[2, 1], &[Community::NO_PEER])),
             ctx,
@@ -923,10 +959,11 @@ mod tests {
                 tag_origin_class: true,
                 ..TaggingConfig::default()
             };
-            let mut r = PrefixRouter::new(Asn::new(5), false);
+            let mut r = PrefixRouter::new(Asn::new(5), false, 8);
             r.import(
                 &cfg,
                 Asn::new(2),
+                1,
                 Role::Customer,
                 Some(incoming(2, &[2, 1], &[foreign, wk, Community::new(5, 77)])),
                 ctx,
@@ -977,10 +1014,11 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Customer,
             Some(incoming(2, &[2, 1], &[foreign])),
             ctx,
@@ -1003,10 +1041,11 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Customer,
             Some(incoming(2, &[2, 1], &[Community::new(9, 42)])),
             ctx,
@@ -1026,12 +1065,13 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(rs, true);
+        let mut r = PrefixRouter::new(rs, true, 8);
         // Member AS1 announces with: announce-to-AS2 (RS:2) and suppress-to-AS3 (0:3).
         let comms = vec![Community::new(59_000, 2), Community::new(0, 3)];
         r.import(
             &cfg,
             Asn::new(1),
+            0,
             Role::Peer,
             Some(incoming(1, &[1], &comms)),
             ctx,
@@ -1063,10 +1103,11 @@ mod tests {
             rpki: &rpki,
         };
         let comms = vec![Community::new(59_000, 4), Community::new(0, 4)];
-        let mut r = PrefixRouter::new(rs, true);
+        let mut r = PrefixRouter::new(rs, true, 8);
         r.import(
             &cfg,
             Asn::new(1),
+            0,
             Role::Peer,
             Some(incoming(1, &[1], &comms)),
             ctx,
@@ -1093,10 +1134,11 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Customer,
             Some(incoming(2, &[2, 1], &[])),
             ctx,
@@ -1118,10 +1160,11 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Customer,
             Some(incoming(2, &[2, 1], &[])),
             ctx,
@@ -1135,10 +1178,11 @@ mod tests {
         let other: Prefix = "99.99.0.0/16".parse().unwrap();
         let mut cfg2 = RouterConfig::defaults(Asn::new(5));
         cfg2.tagging.targeted_egress = vec![(other, Community::new(9, 666))];
-        let mut r2 = PrefixRouter::new(Asn::new(5), false);
+        let mut r2 = PrefixRouter::new(Asn::new(5), false, 8);
         r2.import(
             &cfg2,
             Asn::new(2),
+            1,
             Role::Customer,
             Some(incoming(2, &[2, 1], &[])),
             ctx,
@@ -1160,10 +1204,11 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Customer,
             Some(incoming(2, &[2, 1], &[])),
             ctx,
@@ -1182,22 +1227,23 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false);
+        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
+            1,
             Role::Customer,
             Some(incoming(2, &[2, 1], &[])),
             ctx,
         );
         let exp = r.export_for(&cfg, Asn::new(7), Role::Customer, false);
         // first export: change
-        assert!(r.diff_export(Asn::new(7), exp.clone()).is_some());
+        assert!(r.diff_export(6, exp.clone()).is_some());
         // same again: no change
-        assert!(r.diff_export(Asn::new(7), exp).is_none());
+        assert!(r.diff_export(6, exp).is_none());
         // withdraw: change
-        assert!(r.diff_export(Asn::new(7), None).is_some());
+        assert!(r.diff_export(6, None).is_some());
         // withdraw again: no change
-        assert!(r.diff_export(Asn::new(7), None).is_none());
+        assert!(r.diff_export(6, None).is_none());
     }
 }

@@ -9,7 +9,7 @@
 //! those numbers down.
 
 use crate::collector::{CollectorSpec, FeedKind};
-use crate::engine::{Origination, Simulation};
+use crate::engine::{Origination, SimSpec};
 use crate::policy::{
     ActScope, BlackholeService, CommunityPropagationPolicy, CommunityServices, IrrDatabase,
     OriginValidation, RouterConfig, TaggingConfig, Vendor,
@@ -188,22 +188,27 @@ impl Workload {
         }
     }
 
-    /// Wires the workload into a [`Simulation`] over `topo`.
+    /// Wires the workload into a [`SimSpec`] over `topo` — **by
+    /// reference**: the spec borrows this workload's configs, collectors,
+    /// and registries instead of deep-cloning them per call, so building a
+    /// spec is O(1) and a clone only happens if the caller mutates one of
+    /// those inputs (e.g. [`SimSpec::configure`]).
     ///
-    /// The simulation defaults to one worker thread per available core:
-    /// the engine's determinism guarantee (`threads = 1` ≡ `threads = N`,
+    /// The spec defaults to one worker thread per available core: the
+    /// engine's determinism guarantee (`threads = 1` ≡ `threads = N`,
     /// locked in by `tests/determinism.rs`) makes parallelism purely a
     /// throughput knob, and single-prefix runs stay sequential anyway.
-    pub fn simulation<'a>(&self, topo: &'a Topology) -> Simulation<'a> {
-        let mut sim = Simulation::new(topo);
-        sim.configs = self.configs.clone();
-        sim.collectors = self.collectors.clone();
-        sim.irr = self.irr.clone();
-        sim.rpki = self.rpki.clone();
-        sim.threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        sim
+    pub fn simulation<'a>(&'a self, topo: &'a Topology) -> SimSpec<'a> {
+        SimSpec::new(topo)
+            .configs(&self.configs)
+            .collectors(&self.collectors)
+            .irr(&self.irr)
+            .rpki(&self.rpki)
+            .threads(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
     }
 }
 
@@ -753,7 +758,7 @@ mod tests {
     #[test]
     fn simulation_wiring_runs_end_to_end() {
         let (topo, _, wl) = setup();
-        let sim = wl.simulation(&topo);
+        let sim = wl.simulation(&topo).compile();
         // run only the first 40 episodes to keep the test quick
         let episodes: Vec<_> = wl.originations.iter().take(40).cloned().collect();
         let res = sim.run(&episodes);
@@ -761,5 +766,7 @@ mod tests {
         assert!(res.events > 0);
         let total_obs: usize = res.observations.values().map(Vec::len).sum();
         assert!(total_obs > 0, "collectors observed something");
+        // The compiled session replays: a second run is bit-identical.
+        assert_eq!(sim.run(&episodes), res);
     }
 }

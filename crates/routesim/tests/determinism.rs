@@ -1,13 +1,20 @@
-//! Property tests locking in the engine's parallel-determinism guarantee:
-//! `threads = 1` and `threads = N` must produce **identical** [`SimResult`]s
-//! (events, observations, final routes, convergence) on arbitrary
-//! topologies, policy assignments, and episode schedules — not just the
-//! single hand-built case in the unit suite. The guarantee is structural
-//! (per-prefix isolation + ordered merge), so it must survive any input.
+//! Property tests locking in the engine's determinism guarantees:
+//!
+//! * **Parallel determinism** — `threads = 1` and `threads = N` must
+//!   produce **identical** [`SimResult`]s (events, observations, final
+//!   routes, convergence) on arbitrary topologies, policy assignments, and
+//!   episode schedules — not just the single hand-built case in the unit
+//!   suite. The guarantee is structural (per-prefix isolation + ordered
+//!   merge), so it must survive any input.
+//! * **Session reuse** — a [`CompiledSim`] is a pure function of its spec:
+//!   running the same episodes twice on one session is bit-identical, and
+//!   equals a fresh compile (`compile→run ≡ compile→run→run`), across
+//!   `threads = 1/N`. This is what makes the compile-once/run-many A/B
+//!   methodology sound.
 
 use bgpworms_routesim::{
-    CollectorSpec, CommunityPropagationPolicy, FeedKind, Origination, RetainRoutes, RouterConfig,
-    Simulation,
+    CollectorSpec, CommunityPropagationPolicy, CompiledSim, FeedKind, Origination, RetainRoutes,
+    RouterConfig, SimSpec,
 };
 use bgpworms_topology::{EdgeKind, Tier, Topology, TopologyParams};
 use bgpworms_types::{Asn, Community, Prefix};
@@ -166,21 +173,33 @@ fn build_world(
     (topo, configs, collectors, originations)
 }
 
+/// Builds the spec for a raw world (compilation left to the caller so each
+/// property can exercise a different compile/run shape).
+fn spec_for<'a>(
+    topo: &'a Topology,
+    configs: Vec<RouterConfig>,
+    collectors: Vec<CollectorSpec>,
+) -> SimSpec<'a> {
+    let mut spec = SimSpec::new(topo).retain(RetainRoutes::All);
+    for cfg in configs {
+        spec = spec.configure(cfg);
+    }
+    for c in collectors {
+        spec = spec.collector(c);
+    }
+    spec
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn threads_never_change_results_on_random_worlds(raw in arb_world(), threads in 2usize..6) {
         let (topo, configs, collectors, originations) = build_world(&raw);
-        let mut sim = Simulation::new(&topo);
-        for cfg in configs {
-            sim.configure(cfg);
-        }
-        sim.collectors = collectors;
-        sim.retain = RetainRoutes::All;
+        let mut sim = spec_for(&topo, configs, collectors).compile();
 
         let seq = sim.run(&originations);
-        sim.threads = threads;
+        sim.set_threads(threads);
         let par = sim.run(&originations);
 
         // Full structural equality: events, convergence, every collector
@@ -199,11 +218,71 @@ proptest! {
             .iter()
             .map(|(asn, prefix)| Origination::announce(asn, prefix, vec![]))
             .collect();
-        let mut sim = Simulation::new(&topo);
-        sim.retain = RetainRoutes::All;
+        let mut sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
         let seq = sim.run(&originations);
-        sim.threads = threads;
+        sim.set_threads(threads);
         let par = sim.run(&originations);
         prop_assert_eq!(&seq, &par);
+    }
+
+    /// Session reuse: one compiled session replayed is bit-identical to
+    /// itself and to a fresh compile of the same spec —
+    /// `compile→run ≡ compile→run→run` — across `threads = 1/N`.
+    #[test]
+    fn session_reuse_is_bit_identical_on_random_worlds(raw in arb_world(), threads in 2usize..6) {
+        let (topo, configs, collectors, originations) = build_world(&raw);
+        let spec = spec_for(&topo, configs, collectors);
+
+        let session: CompiledSim<'_> = spec.clone().compile();
+        let first = session.run(&originations);
+        let second = session.run(&originations);
+        prop_assert_eq!(&first, &second, "rerun on one session diverged");
+
+        let fresh = spec.clone().compile().run(&originations);
+        prop_assert_eq!(&first, &fresh, "session run diverged from fresh compile");
+
+        // The same holds when the reused session runs parallel.
+        let mut par_session = spec.threads(threads).compile();
+        let par_first = par_session.run(&originations);
+        let par_second = par_session.run(&originations);
+        prop_assert_eq!(&par_first, &par_second, "parallel rerun diverged");
+        prop_assert_eq!(&first, &par_first, "parallel session diverged from sequential");
+        // …and thread count can change mid-session without recompiling.
+        par_session.set_threads(1);
+        prop_assert_eq!(&par_session.run(&originations), &first);
+    }
+
+    /// Session reuse on generated internets: interleaving *different*
+    /// schedules on one session must not leak state between runs.
+    #[test]
+    fn interleaved_schedules_do_not_contaminate_a_session(seed in 0u64..32) {
+        let topo = TopologyParams::tiny().seed(seed).build();
+        let alloc = bgpworms_topology::PrefixAllocation::assign(
+            &topo,
+            bgpworms_topology::addressing::AddressingParams::default(),
+        );
+        let baseline: Vec<Origination> = alloc
+            .iter()
+            .map(|(asn, prefix)| Origination::announce(asn, prefix, vec![]))
+            .collect();
+        let mut attacked = baseline.clone();
+        if let Some(first) = attacked.first().cloned() {
+            attacked.push(
+                Origination::announce(
+                    first.origin,
+                    first.prefix,
+                    vec![Community::new(666, 666)],
+                )
+                .at(first.time + 1000),
+            );
+        }
+
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+        let base_1 = sim.run(&baseline);
+        let attack_1 = sim.run(&attacked);
+        let base_2 = sim.run(&baseline);
+        let attack_2 = sim.run(&attacked);
+        prop_assert_eq!(&base_1, &base_2, "baseline polluted by attack run");
+        prop_assert_eq!(&attack_1, &attack_2, "attack run not reproducible");
     }
 }

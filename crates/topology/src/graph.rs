@@ -66,6 +66,11 @@ struct Csr {
     /// node, entries keep edge-insertion order (the engine's deterministic
     /// event order depends on it).
     edges: Vec<CsrEdge>,
+    /// Parallel to `edges`: for the directed entry `u → v`, the slot of `u`
+    /// within `v`'s own slice (edges are symmetric by construction). This is
+    /// what lets flat, slot-indexed per-neighbor state address the *sender*
+    /// of an update without any map lookup.
+    reverse_slot: Vec<u32>,
 }
 
 /// One AS in the topology.
@@ -213,6 +218,17 @@ impl Topology {
         &csr.edges[csr.offsets[id.index()] as usize..csr.offsets[id.index() + 1] as usize]
     }
 
+    /// For each adjacency entry of `id` (aligned with
+    /// [`Topology::neighbors_ix`]): the slot this node occupies within that
+    /// neighbor's own adjacency slice. Engine hot paths use this to stamp
+    /// events with the receiver-side slot, so per-neighbor router state can
+    /// live in dense slot-indexed arrays instead of `BTreeMap<Asn, …>`.
+    #[inline]
+    pub fn reverse_slots_ix(&self, id: NodeId) -> &[u32] {
+        let csr = self.csr();
+        &csr.reverse_slot[csr.offsets[id.index()] as usize..csr.offsets[id.index() + 1] as usize]
+    }
+
     /// Total adjacency entries (twice the undirected edge count). Also
     /// forces CSR compilation, so callers about to share `&self` across
     /// worker threads can pre-build the view.
@@ -234,7 +250,27 @@ impl Topology {
                 }
                 offsets.push(edges.len() as u32);
             }
-            Csr { offsets, edges }
+            // Reverse slots: one map over all directed entries, then one
+            // lookup per entry — O(E) total, built once per compilation.
+            let mut slot_by_edge: std::collections::HashMap<(u32, u32), u32> =
+                std::collections::HashMap::with_capacity(edges.len());
+            for (owner, nbrs) in self.adj.iter().enumerate() {
+                for (slot, n) in nbrs.iter().enumerate() {
+                    slot_by_edge.insert((owner as u32, self.ids[&n.asn].0), slot as u32);
+                }
+            }
+            let mut reverse_slot = Vec::with_capacity(edges.len());
+            for (owner, nbrs) in self.adj.iter().enumerate() {
+                for n in nbrs {
+                    let nid = self.ids[&n.asn];
+                    reverse_slot.push(slot_by_edge[&(nid.0, owner as u32)]);
+                }
+            }
+            Csr {
+                offsets,
+                edges,
+                reverse_slot,
+            }
         })
     }
 
@@ -530,6 +566,27 @@ mod tests {
                 .map(|&(nid, role, _)| (t.asn_of(nid), role))
                 .collect();
             assert_eq!(via_asn, via_csr, "adjacency views diverge for {asn}");
+        }
+    }
+
+    #[test]
+    fn reverse_slots_invert_every_directed_edge() {
+        let mut t = triangle();
+        t.add_simple(asn(50), Tier::RouteServer);
+        t.add_edge(asn(3), asn(50), EdgeKind::PeerToPeer);
+        t.add_edge(asn(2), asn(50), EdgeKind::PeerToPeer);
+        for id in t.node_ids() {
+            let edges = t.neighbors_ix(id);
+            let rev = t.reverse_slots_ix(id);
+            assert_eq!(edges.len(), rev.len(), "aligned arrays");
+            for (slot, (&(nb, _, _), &back)) in edges.iter().zip(rev).enumerate() {
+                // Entry `back` of the neighbor's slice must point straight
+                // back at `id`…
+                let (nb_of_nb, _, _) = t.neighbors_ix(nb)[back as usize];
+                assert_eq!(nb_of_nb, id, "reverse slot round-trips");
+                // …and its own reverse slot must be this entry.
+                assert_eq!(t.reverse_slots_ix(nb)[back as usize] as usize, slot);
+            }
         }
     }
 

@@ -96,8 +96,7 @@ fn main() {
         },
     );
     let workload = Workload::generate(&topo, &alloc, &WorkloadParams::default());
-    let mut sim = workload.simulation(&topo);
-    sim.threads = 4;
+    let sim = workload.simulation(&topo).threads(4).compile();
     let result = sim.run(&workload.originations);
     let archives = archive_all(&workload.collectors, &result.observations, 0).expect("archive");
     let inputs: Vec<ArchiveInput> = archives
@@ -143,8 +142,7 @@ fn main() {
         ..WorkloadParams::default()
     };
     let workload4 = Workload::generate(&topo4, &alloc4, &params4);
-    let mut sim4 = workload4.simulation(&topo4);
-    sim4.threads = 4;
+    let sim4 = workload4.simulation(&topo4).threads(4).compile();
     let result4 = sim4.run(&workload4.originations);
     let archives4 = archive_all(&workload4.collectors, &result4.observations, 0).expect("archive");
     let inputs4: Vec<ArchiveInput> = archives4

@@ -32,8 +32,7 @@ fn main() {
             ..Default::default()
         },
     );
-    let mut sim = workload.simulation(&topo);
-    sim.threads = 4;
+    let sim = workload.simulation(&topo).threads(4).compile();
     let result = sim.run(&workload.originations);
 
     // Collector MRT out, observation set in.

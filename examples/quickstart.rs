@@ -31,8 +31,7 @@ fn main() {
     );
 
     // 3. Propagate everything to convergence.
-    let mut sim = workload.simulation(&topo);
-    sim.threads = 4;
+    let sim = workload.simulation(&topo).threads(4).compile();
     let result = sim.run(&workload.originations);
     println!(
         "propagation: {} update events, converged = {}",

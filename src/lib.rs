@@ -40,8 +40,8 @@
 //! topo.add_edge(Asn::new(3), Asn::new(2), EdgeKind::ProviderToCustomer);
 //!
 //! // AS1 announces a prefix tagged with an informational community.
-//! let mut sim = Simulation::new(&topo);
-//! sim.retain = RetainRoutes::All;
+//! // Compile the session once; `run` replays any number of schedules.
+//! let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
 //! let p: Prefix = "10.0.0.0/16".parse().unwrap();
 //! let result = sim.run(&[Origination::announce(
 //!     Asn::new(1), p, vec![Community::new(1, 100)],
@@ -77,8 +77,8 @@ pub mod prelude {
     };
     pub use bgpworms_mrt::{MrtReader, MrtRecord, UpdateStream};
     pub use bgpworms_routesim::{
-        ActScope, BlackholeService, CollectorSpec, CommunityPropagationPolicy, FeedKind,
-        OriginValidation, Origination, RetainRoutes, RouterConfig, Simulation, Workload,
+        ActScope, BlackholeService, CollectorSpec, CommunityPropagationPolicy, CompiledSim,
+        FeedKind, OriginValidation, Origination, RetainRoutes, RouterConfig, SimSpec, Workload,
         WorkloadParams,
     };
     pub use bgpworms_topology::{EdgeKind, PrefixAllocation, Role, Tier, Topology, TopologyParams};

@@ -23,8 +23,10 @@ fn converged_world(seed: u64) -> (Topology, PrefixAllocation, bgpworms::routesim
             ..Default::default()
         },
     );
-    let mut sim = workload.simulation(&topo);
-    sim.retain = RetainRoutes::All;
+    let sim = workload
+        .simulation(&topo)
+        .retain(RetainRoutes::All)
+        .compile();
     // Base announcements only (no churn/withdraw noise): announce every
     // allocated prefix once.
     let episodes: Vec<_> = alloc
@@ -99,8 +101,10 @@ fn control_plane_blackhole_equals_data_plane_drop() {
             ..Default::default()
         },
     );
-    let mut sim = workload.simulation(&topo);
-    sim.retain = RetainRoutes::All;
+    let sim = workload
+        .simulation(&topo)
+        .retain(RetainRoutes::All)
+        .compile();
     // Stop before the withdrawals so the blackholes are live at the end.
     let episodes: Vec<_> = workload
         .originations

@@ -20,8 +20,7 @@ fn build(adoption: f64) -> (ObservationSet, BlackholeDetector) {
         ..WorkloadParams::default()
     };
     let workload = Workload::generate(&topo, &alloc, &params);
-    let mut sim = workload.simulation(&topo);
-    sim.threads = 4;
+    let sim = workload.simulation(&topo).threads(4).compile();
     let result = sim.run(&workload.originations);
     let archives =
         bgpworms::routesim::archive_all(&workload.collectors, &result.observations, APRIL_2018)

@@ -88,8 +88,7 @@ fn hygiene_report_on_a_benign_world() {
         },
     );
     let workload = Workload::generate(&topo, &alloc, &WorkloadParams::default());
-    let mut sim = workload.simulation(&topo);
-    sim.threads = 4;
+    let sim = workload.simulation(&topo).threads(4).compile();
     let result = sim.run(&workload.originations);
     let archives =
         bgpworms::routesim::archive_all(&workload.collectors, &result.observations, APRIL_2018)
@@ -165,8 +164,7 @@ fn fake_location_injection_is_caught_by_the_monitor() {
         .expect("stub with a v4 prefix");
     let prefix = alloc.prefixes_of(injector)[0];
 
-    let mut sim = workload.simulation(&topo);
-    sim.threads = 4;
+    let sim = workload.simulation(&topo).threads(4).compile();
     let result = sim.run(&[bgpworms::routesim::Origination::announce(
         injector,
         prefix,
@@ -212,8 +210,7 @@ fn monitor_is_quiet_on_a_benign_world_apart_from_rtbh_lookalikes() {
         },
     );
     let workload = Workload::generate(&topo, &alloc, &WorkloadParams::default());
-    let mut sim = workload.simulation(&topo);
-    sim.threads = 4;
+    let sim = workload.simulation(&topo).threads(4).compile();
     let result = sim.run(&workload.originations);
     let archives =
         bgpworms::routesim::archive_all(&workload.collectors, &result.observations, APRIL_2018)

@@ -22,7 +22,7 @@ fn archives(seed: u64) -> Vec<bgpworms::routesim::CollectorArchive> {
             ..Default::default()
         },
     );
-    let sim = workload.simulation(&topo);
+    let sim = workload.simulation(&topo).compile();
     let result = sim.run(&workload.originations);
     bgpworms::routesim::archive_all(&workload.collectors, &result.observations, 1_525_132_800)
         .expect("archive")

@@ -21,8 +21,7 @@ fn build_set(seed: u64) -> (Topology, ObservationSet) {
             ..Default::default()
         },
     );
-    let mut sim = workload.simulation(&topo);
-    sim.threads = 4;
+    let sim = workload.simulation(&topo).threads(4).compile();
     let result = sim.run(&workload.originations);
     assert!(result.converged, "propagation must converge");
 

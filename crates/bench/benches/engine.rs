@@ -1,7 +1,9 @@
 //! Engine-core benchmark over a ~500-AS generated topology with 100
 //! single-prefix episodes — the workload shape every §4/§5 experiment
-//! scales along. Results seed the perf trajectory recorded in
-//! `BENCH_engine.json` at the repo root.
+//! scales along — plus one `TopologyParams::large()` (~8.6 K-AS) datapoint.
+//! Results seed the perf trajectory recorded in `BENCH_engine.json` at the
+//! repo root, and the CI perf gate (`bench_check`) compares fresh runs of
+//! these benchmarks against that baseline.
 //!
 //! The benchmark mirrors the engine's compile-once/run-many API split:
 //!
@@ -11,7 +13,10 @@
 //!   session, per thread count;
 //! * `ab-pair/compile-once` vs `ab-pair/recompile-per-run` — the paper's
 //!   baseline+attack A/B shape: one compile + two runs against the old
-//!   model's compile+run twice. The gap is the amortization win.
+//!   model's compile+run twice. The gap is the amortization win;
+//! * `run-large-1px/1` — one announcement episode propagated across the
+//!   headline ~8.6 K-AS topology, so the big-topology hot path has a
+//!   guarded number too.
 
 use bgpworms_routesim::{Origination, SimSpec, Workload, WorkloadParams};
 use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, TopologyParams};
@@ -103,6 +108,22 @@ fn bench_engine(c: &mut Criterion) {
             base.events + attack.events
         })
     });
+    // The headline scale: one episode across ~8.6 K ASes on a pre-compiled
+    // session. Kept to a single prefix so the bench-smoke job stays fast;
+    // the large-smoke CI job covers correctness at this scale.
+    let large_topo = TopologyParams::large().seed(2018).build();
+    let large_alloc = PrefixAllocation::assign(&large_topo, AddressingParams::default());
+    let (large_origin, large_prefix) = large_alloc.iter().next().expect("allocation non-empty");
+    let large_eps = vec![Origination::announce(large_origin, large_prefix, vec![])];
+    let large_sim = SimSpec::new(&large_topo).threads(1).compile();
+    group.bench_with_input(BenchmarkId::new("run-large-1px", 1), &1usize, |b, _| {
+        b.iter(|| {
+            let res = large_sim.run(&large_eps);
+            assert!(res.converged);
+            res.events
+        })
+    });
+
     group.finish();
 }
 

@@ -1,0 +1,295 @@
+//! CI perf-regression gate for the engine benchmarks.
+//!
+//! Runs `cargo bench -p bgpworms-bench --bench engine` (or parses an
+//! already-captured output file), extracts the per-benchmark medians from
+//! the harness's `bench: <name> median_ns=<n> …` lines, and compares each
+//! one against the committed `BENCH_engine.json` baseline. Any benchmark
+//! whose fresh median exceeds its baseline median by more than the
+//! tolerance (default 15 %) fails the gate with a non-zero exit.
+//!
+//! ```text
+//! bench_check [--baseline BENCH_engine.json]
+//!             [--bench-output bench-output.txt]   # skip re-running
+//!             [--tolerance 15]
+//! ```
+//!
+//! Every entry in the baseline's `"results"` array is a real benchmark
+//! (historical context like `seed_baseline` lives outside that array and
+//! is never parsed), so a baseline entry with **no** fresh measurement is
+//! itself a failure — deleting or renaming a benchmark cannot silently
+//! remove its gate; the baseline must be updated in the same change. The
+//! JSON "parser" is deliberately minimal — the workspace builds
+//! hermetically without serde — and only extracts
+//! `"benchmark"`/`"median_ns"` pairs from the `"results"` array.
+//!
+//! Medians are absolute wall times, so they only transfer between machines
+//! of similar speed: when the gate trips on hardware change rather than a
+//! code change, re-measure and re-commit the baseline alongside it.
+
+use std::process::{Command, ExitCode};
+
+struct Args {
+    baseline: String,
+    bench_output: Option<String>,
+    tolerance_pct: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: "BENCH_engine.json".to_string(),
+        bench_output: None,
+        tolerance_pct: 15.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--baseline" => args.baseline = value("--baseline")?,
+            "--bench-output" => args.bench_output = Some(value("--bench-output")?),
+            "--tolerance" => {
+                args.tolerance_pct = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Extracts `(benchmark name, median_ns)` pairs from the baseline JSON's
+/// `"results"` array. Entries are flat objects, so the array spans from the
+/// `[` after the `"results"` key to the next `]`.
+fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+    let Some(results_key) = json.find("\"results\"") else {
+        return Vec::new();
+    };
+    let after = &json[results_key..];
+    let Some(open) = after.find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = after[open..].find(']') else {
+        return Vec::new();
+    };
+    let body = &after[open..open + close];
+
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(pos) = rest.find("\"benchmark\"") {
+        rest = &rest[pos + "\"benchmark\"".len()..];
+        let Some(name) = quoted_value(rest) else {
+            break;
+        };
+        // The median must belong to this entry: stop at the next
+        // "benchmark" key if one appears first.
+        let entry_end = rest.find("\"benchmark\"").unwrap_or(rest.len());
+        if let Some(median) = numeric_field(&rest[..entry_end], "\"median_ns\"") {
+            out.push((name, median));
+        }
+    }
+    out
+}
+
+/// The next `"quoted string"` after a `:` in `rest`.
+fn quoted_value(rest: &str) -> Option<String> {
+    let colon = rest.find(':')?;
+    let after = &rest[colon + 1..];
+    let start = after.find('"')? + 1;
+    let len = after[start..].find('"')?;
+    Some(after[start..start + len].to_string())
+}
+
+/// The numeric value of `"key": <number>` within `segment`.
+fn numeric_field(segment: &str, key: &str) -> Option<f64> {
+    let pos = segment.find(key)?;
+    let after = &segment[pos + key.len()..];
+    let colon = after.find(':')?;
+    let digits: String = after[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    digits.parse().ok()
+}
+
+/// Extracts `(name, median_ns)` from the bench harness's stdout lines:
+/// `bench: <name> median_ns=<n> min_ns=… max_ns=… iters=…`.
+fn parse_bench_output(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("bench: ") else {
+            continue;
+        };
+        let mut parts = rest.split_whitespace();
+        let Some(name) = parts.next() else { continue };
+        let Some(median) = parts
+            .filter_map(|p| p.strip_prefix("median_ns="))
+            .next()
+            .and_then(|v| v.parse::<f64>().ok())
+        else {
+            continue;
+        };
+        out.push((name.to_string(), median));
+    }
+    out
+}
+
+fn run_engine_bench() -> Result<String, String> {
+    eprintln!("bench_check: running `cargo bench -p bgpworms-bench --bench engine` …");
+    let output = Command::new("cargo")
+        .args(["bench", "-p", "bgpworms-bench", "--bench", "engine"])
+        .output()
+        .map_err(|e| format!("failed to spawn cargo bench: {e}"))?;
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    eprint!("{}", String::from_utf8_lossy(&output.stderr));
+    print!("{stdout}");
+    if !output.status.success() {
+        return Err(format!("cargo bench failed with {}", output.status));
+    }
+    Ok(stdout)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let baseline_text = match std::fs::read_to_string(&args.baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_check: cannot read baseline {}: {e}", args.baseline);
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = parse_baseline(&baseline_text);
+    if baseline.is_empty() {
+        eprintln!(
+            "bench_check: no results parsed from baseline {}",
+            args.baseline
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let fresh_text = match &args.bench_output {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_check: cannot read bench output {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match run_engine_bench() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_check: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let fresh = parse_bench_output(&fresh_text);
+
+    let mut matched = 0usize;
+    let mut missing = Vec::new();
+    let mut regressions = Vec::new();
+    println!(
+        "bench_check: gate at +{:.0}% vs {}",
+        args.tolerance_pct, args.baseline
+    );
+    for (name, base_median) in &baseline {
+        let Some((_, fresh_median)) = fresh.iter().find(|(n, _)| n == name) else {
+            println!("  FAIL  {name}: no fresh measurement (bench crashed or renamed?)");
+            missing.push(name.clone());
+            continue;
+        };
+        matched += 1;
+        let delta_pct = (fresh_median / base_median - 1.0) * 100.0;
+        let verdict = if delta_pct > args.tolerance_pct {
+            regressions.push((name.clone(), delta_pct));
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {verdict:<5} {name}: baseline {base_median:.0} ns → fresh {fresh_median:.0} ns ({delta_pct:+.1}%)"
+        );
+    }
+
+    if matched == 0 {
+        eprintln!("bench_check: no benchmark matched the baseline — rename drift?");
+        return ExitCode::FAILURE;
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "bench_check: {} baseline benchmark(s) have no fresh measurement: {}",
+            missing.len(),
+            missing.join(", ")
+        );
+        eprintln!(
+            "bench_check: update BENCH_engine.json in the same change if this is intentional"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !regressions.is_empty() {
+        eprintln!(
+            "bench_check: {} benchmark(s) regressed more than {:.0}%:",
+            regressions.len(),
+            args.tolerance_pct
+        );
+        for (name, delta) in &regressions {
+            eprintln!("  {name}: {delta:+.1}%");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("bench_check: all {matched} matched benchmarks within tolerance");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+      "benchmark": "engine (phases)",
+      "results": [
+        { "benchmark": "engine/run/1", "median_ns": 1000, "min_ns": 900, "max_ns": 1200, "iters": 10 },
+        { "benchmark": "engine/compile", "median_ns": 50, "min_ns": 45, "max_ns": 60, "iters": 100 }
+      ],
+      "seed_baseline": { "benchmark": "old (PR 1)", "median_ns": 2000 }
+    }"#;
+
+    #[test]
+    fn baseline_parsing_extracts_results_only() {
+        let parsed = parse_baseline(BASELINE);
+        assert_eq!(
+            parsed,
+            vec![
+                ("engine/run/1".to_string(), 1000.0),
+                ("engine/compile".to_string(), 50.0)
+            ],
+            "top-level and seed_baseline entries must not leak in"
+        );
+    }
+
+    #[test]
+    fn bench_output_parsing() {
+        let text = "noise\nbench: engine/run/1 median_ns=1100 min_ns=1000 max_ns=1300 iters=10\n\
+                    bench: engine/compile median_ns=49 min_ns=40 max_ns=55 iters=100\n";
+        let parsed = parse_bench_output(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], ("engine/run/1".to_string(), 1100.0));
+        assert_eq!(parsed[1], ("engine/compile".to_string(), 49.0));
+    }
+
+    #[test]
+    fn numeric_field_handles_whitespace() {
+        assert_eq!(
+            numeric_field("\"median_ns\":  42 ,", "\"median_ns\""),
+            Some(42.0)
+        );
+        assert_eq!(numeric_field("\"median_ns\": }", "\"median_ns\""), None);
+    }
+}

@@ -20,14 +20,28 @@
 //!   baseline and attack, candidate after candidate — and is shareable
 //!   read-only across threads.
 //!
-//! # Flat adjacency-slot RIBs
+//! # Flat adjacency-slot RIBs over a RouteId arena
 //!
 //! Per-neighbor router state ([`crate::router::PrefixRouter`]) is dense and
 //! **slot-indexed**: each node's Adj-RIB-In and last-exported cache are
 //! arrays addressed by the neighbor's position in the node's CSR slice.
 //! Events carry the receiver-side slot (precompiled reverse-slot array), so
 //! the per-event hot path is pure `Vec` indexing end to end — no
-//! `BTreeMap<Asn, …>` anywhere on it.
+//! `BTreeMap<Asn, …>` anywhere on it. Those arrays hold [`RouteId`]s into a
+//! per-prefix-worker [`RouteArena`] (hash-consed routes, u32 handles): the
+//! export-diffing predicate is an id compare, events allocate nothing, and
+//! each distinct route is stored once per prefix.
+//!
+//! # Dirty-set batched convergence
+//!
+//! Within [`CompiledSim::run`], importing an update only marks the
+//! receiving node **dirty**; once the in-flight queue drains, every dirty
+//! node recomputes its exports exactly once (ascending node order) and the
+//! import/export cycle repeats until nothing is dirty. Nodes whose best
+//! route id is unchanged skip the recompute outright, so steady-state
+//! episodes converge without cloning a single route. The batching is
+//! semantically transparent — `tests/determinism.rs` pins the fixed point
+//! against a per-import re-export reference loop.
 //!
 //! # Parallelism & determinism
 //!
@@ -44,7 +58,7 @@
 
 use crate::collector::{CollectorObservation, CollectorSpec, FeedKind};
 use crate::policy::{IrrDatabase, RouterConfig};
-use crate::route::Route;
+use crate::route::{Route, RouteArena, RouteId};
 use crate::router::{PrefixRouter, ValidationCtx};
 use bgpworms_topology::{NodeId, Role, Tier, Topology};
 use bgpworms_types::{AsPath, Asn, Community, Origin, Prefix};
@@ -403,15 +417,63 @@ impl<'a> CompiledSim<'a> {
 /// In-flight update message. The sender's role (what `from` plays for `to`)
 /// and the sender's slot within the receiver's adjacency are resolved from
 /// the CSR views at emit time, so import needs no adjacency scan and no map
-/// lookup.
-#[derive(Debug, Clone)]
+/// lookup. The route rides along as an id into the prefix-worker's
+/// [`RouteArena`]: enqueuing an update allocates nothing.
+#[derive(Debug, Clone, Copy)]
 struct Event {
     from: NodeId,
     to: NodeId,
     /// Slot of `from` within `to`'s adjacency slice.
     to_slot: u32,
     sender_role: Role,
-    route: Option<Route>,
+    route: Option<RouteId>,
+}
+
+/// The set of nodes whose Adj-RIB-In changed since their last export
+/// recompute, drained once per convergence round in ascending node order
+/// (the order is what keeps batched runs deterministic). Membership is a
+/// dense bitmap so inserts from repeated imports are O(1) and duplicate
+/// marks are free.
+#[derive(Debug)]
+struct DirtySet {
+    member: Vec<bool>,
+    nodes: Vec<u32>,
+}
+
+impl DirtySet {
+    fn new(n: usize) -> Self {
+        DirtySet {
+            member: vec![false; n],
+            nodes: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, index: usize) {
+        if !self.member[index] {
+            self.member[index] = true;
+            self.nodes.push(index as u32);
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn clear(&mut self) {
+        for &i in &self.nodes {
+            self.member[i as usize] = false;
+        }
+        self.nodes.clear();
+    }
+
+    /// Sorts the dirty list in place (ascending) and exposes it for the
+    /// export sweep; the caller [`DirtySet::clear`]s afterwards. In-place
+    /// so the list's capacity is reused round after round — the sweep loop
+    /// allocates nothing.
+    fn sorted(&mut self) -> &[u32] {
+        self.nodes.sort_unstable();
+        &self.nodes
+    }
 }
 
 /// The role `a` plays for `b`, given the role `b` plays for `a`. Edges are
@@ -486,12 +548,26 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 impl CompiledSim<'_> {
     /// Runs the episodes of a single prefix to convergence.
+    ///
+    /// The convergence loop is **dirty-set batched**: importing an update
+    /// only marks the receiving node dirty; once the in-flight queue is
+    /// drained, every dirty node recomputes its exports exactly once (in
+    /// ascending node order, which keeps batched runs deterministic), and
+    /// the cycle repeats until nothing is dirty. A node that absorbs many
+    /// updates in one round therefore diffs its adjacency once instead of
+    /// once per update, and a node whose best route did not change skips
+    /// the recompute entirely ([`PrefixRouter::begin_export_pass`]).
     fn run_prefix(&self, prefix: Prefix, episodes: &[&Origination]) -> PrefixOutcome {
         let vctx = ValidationCtx {
             irr: &self.irr,
             rpki: &self.rpki,
         };
         let n = self.asns.len();
+        // Every route this prefix's propagation produces is hash-consed in
+        // here; RIBs, export caches, events, and the collector dedup state
+        // below all hold `RouteId`s into it. One arena per prefix-worker
+        // keeps the sharded path lock-free.
+        let mut arena = RouteArena::new();
         let mut routers: Vec<PrefixRouter> = (0..n)
             .map(|i| {
                 let id = NodeId::from_index(i);
@@ -506,7 +582,7 @@ impl CompiledSim<'_> {
         // Per collector session: what the peer currently advertises to the
         // monitor, so only changes produce observations. Indexed in step
         // with `collector_peers`.
-        let mut monitor_state: Vec<Option<Route>> = vec![None; self.collector_peers.len()];
+        let mut monitor_state: Vec<Option<RouteId>> = vec![None; self.collector_peers.len()];
 
         let mut outcome = PrefixOutcome {
             observations: vec![Vec::new(); self.collector_names.len()],
@@ -516,6 +592,7 @@ impl CompiledSim<'_> {
         };
 
         let mut queue: VecDeque<Event> = VecDeque::new();
+        let mut dirty = DirtySet::new(n);
 
         for ep in episodes {
             let Some(origin) = self.topo.node_id(ep.origin) else {
@@ -533,51 +610,64 @@ impl CompiledSim<'_> {
                         route.path = AsPath::from_asns([victim]);
                         route.origin = Origin::Igp;
                     }
-                    router.originate(route);
+                    router.originate(route, &mut arena);
                 }
             }
-            self.emit_exports(origin, &mut routers, &mut queue);
+            dirty.insert(origin.index());
 
-            // Drain to convergence.
-            while let Some(ev) = queue.pop_front() {
-                outcome.events += 1;
-                if outcome.events > self.event_budget {
-                    outcome.converged = false;
-                    queue.clear();
+            // Drain to convergence: alternate import rounds (which only
+            // mark receivers dirty) with batched export recomputes.
+            'converge: loop {
+                while let Some(ev) = queue.pop_front() {
+                    outcome.events += 1;
+                    if outcome.events > self.event_budget {
+                        outcome.converged = false;
+                        queue.clear();
+                        dirty.clear();
+                        break 'converge;
+                    }
+                    let cfg = &self.configs[ev.to.index()];
+                    let router = &mut routers[ev.to.index()];
+                    router.import(
+                        cfg,
+                        self.asns[ev.from.index()],
+                        ev.to_slot as usize,
+                        ev.sender_role,
+                        ev.route,
+                        &mut arena,
+                        vctx,
+                    );
+                    dirty.insert(ev.to.index());
+                }
+                if dirty.is_empty() {
                     break;
                 }
-                let cfg = &self.configs[ev.to.index()];
-                let router = &mut routers[ev.to.index()];
-                router.import(
-                    cfg,
-                    self.asns[ev.from.index()],
-                    ev.to_slot as usize,
-                    ev.sender_role,
-                    ev.route,
-                    vctx,
-                );
-                self.emit_exports(ev.to, &mut routers, &mut queue);
+                for &i in dirty.sorted() {
+                    self.emit_exports(
+                        NodeId::from_index(i as usize),
+                        &mut routers,
+                        &mut arena,
+                        &mut queue,
+                    );
+                }
+                dirty.clear();
             }
 
-            // Record collector observations for this episode.
+            // Record collector observations for this episode. Interning
+            // makes the changed-predicate an id compare; the owned route is
+            // cloned out of the arena only for actual observations.
             for (si, &(ci, peer, feed)) in self.collector_peers.iter().enumerate() {
                 let router = &routers[peer.index()];
                 let cfg = &self.configs[peer.index()];
-                let new = collector_export(router, cfg, feed);
-                let old = monitor_state[si].as_ref();
-                let changed = match (&new, old) {
-                    (None, None) => false,
-                    (Some(n), Some(o)) => n != o,
-                    _ => true,
-                };
-                if !changed {
+                let new = collector_export(router, cfg, feed, &mut arena);
+                if monitor_state[si] == new {
                     continue;
                 }
                 outcome.observations[ci].push(CollectorObservation {
                     time: ep.time,
                     peer: self.asns[peer.index()],
                     prefix,
-                    route: new.clone(),
+                    route: new.map(|id| arena.get(id).clone()),
                 });
                 monitor_state[si] = new;
             }
@@ -586,7 +676,7 @@ impl CompiledSim<'_> {
         if self.should_retain(&prefix) {
             let mut finals: BTreeMap<Asn, Route> = BTreeMap::new();
             for (i, router) in routers.iter().enumerate() {
-                if let Some(best) = router.best() {
+                if let Some(best) = router.best(&arena) {
                     finals.insert(self.asns[i], best.clone());
                 }
             }
@@ -607,20 +697,30 @@ impl CompiledSim<'_> {
     /// Recomputes `id`'s exports to every neighbor and enqueues the ones
     /// that changed. Adjacency comes straight off the CSR slice; the
     /// receiver-side slot comes off the precompiled reverse-slot array; the
-    /// only mutable state is this node's router.
-    fn emit_exports(&self, id: NodeId, routers: &mut [PrefixRouter], queue: &mut VecDeque<Event>) {
+    /// mutable state is this node's router plus the shared arena. When the
+    /// node's best route is unchanged since its last pass the whole sweep
+    /// is skipped — exports are a pure function of the best route, so the
+    /// steady-state cost is one best-scan and zero clones.
+    fn emit_exports(
+        &self,
+        id: NodeId,
+        routers: &mut [PrefixRouter],
+        arena: &mut RouteArena,
+        queue: &mut VecDeque<Event>,
+    ) {
         let cfg = &self.configs[id.index()];
         let router = &mut routers[id.index()];
-        let edges = self.topo.neighbors_ix(id);
-        let reverse = self.topo.reverse_slots_ix(id);
-        for (slot, &(nb, role, nb_is_rs)) in edges.iter().enumerate() {
+        if !router.begin_export_pass(arena) {
+            return;
+        }
+        for (slot, (nb, role, nb_is_rs), rev_slot) in self.topo.adjacency_with_reverse_ix(id) {
             let nb_asn = self.asns[nb.index()];
-            let new = router.export_for(cfg, nb_asn, role, nb_is_rs);
+            let new = router.export_for(cfg, nb_asn, role, nb_is_rs, arena);
             if let Some(update) = router.diff_export(slot, new) {
                 queue.push_back(Event {
                     from: id,
                     to: nb,
-                    to_slot: reverse[slot],
+                    to_slot: rev_slot,
                     sender_role: inverse_role(role),
                     route: update,
                 });
@@ -635,13 +735,18 @@ impl CompiledSim<'_> {
 /// treated like a customer); a partial-feed peer shares only customer and
 /// local routes (monitor treated like a peer). The session still honours
 /// NO_EXPORT/NO_ADVERTISE and the peer's community-sending configuration.
-fn collector_export(router: &PrefixRouter, cfg: &RouterConfig, feed: FeedKind) -> Option<Route> {
+fn collector_export(
+    router: &PrefixRouter,
+    cfg: &RouterConfig,
+    feed: FeedKind,
+    arena: &mut RouteArena,
+) -> Option<RouteId> {
     let role_for_export = match feed {
         FeedKind::Full => Role::Customer,
         FeedKind::CustomerRoutesOnly => Role::Peer,
     };
     // The collector's "ASN" never appears in paths (see [`crate::MONITOR_ASN`]).
-    router.export_for(cfg, crate::MONITOR_ASN, role_for_export, false)
+    router.export_for(cfg, crate::MONITOR_ASN, role_for_export, false, arena)
 }
 
 /// Per-prefix result before merging. Observations are indexed by collector
@@ -988,6 +1093,27 @@ mod tests {
         assert_eq!(panic_message(&*payload), "static");
         let payload: Box<dyn std::any::Any + Send> = Box::new(42u32);
         assert_eq!(panic_message(&*payload), "non-string panic payload");
+    }
+
+    #[test]
+    fn identical_reannouncement_is_event_free() {
+        // Dirty-set batching + the best-id export skip make a re-announced
+        // episode with unchanged attributes converge without emitting a
+        // single propagation event: the origin is marked dirty, its best
+        // id is unchanged, and the export sweep is skipped.
+        let topo = line_topo();
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+        let once = sim.run(&[Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![])]);
+        let twice = sim.run(&[
+            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![]),
+            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![]).at(500),
+        ]);
+        assert!(once.converged && twice.converged);
+        assert_eq!(
+            once.events, twice.events,
+            "steady-state episode must process zero events"
+        );
+        assert_eq!(once.final_routes, twice.final_routes);
     }
 
     #[test]

@@ -72,16 +72,36 @@
 //!
 //! # Inside the compiled core
 //!
-//! Propagation is computed per prefix to convergence with a deterministic
-//! FIFO event queue over the topology's **`NodeId` arena**: every AS is
-//! interned to a dense `u32` index, adjacency is a compiled CSR view of
-//! `(NodeId, Role, is_route_server)` slices, and all per-run state lives in
-//! `NodeId`-indexed `Vec`s. Per-neighbor router state is **flat and
-//! adjacency-slot indexed**: each node's Adj-RIB-In and last-exported cache
-//! are dense arrays addressed by the neighbor's position in the node's CSR
-//! slice, and events carry the receiver-side slot (precompiled reverse-slot
-//! array) — the per-event hot path is pure `Vec` indexing end to end, with
-//! no `BTreeMap<Asn, …>` on it.
+//! Propagation is computed per prefix to convergence over the topology's
+//! **`NodeId` arena**: every AS is interned to a dense `u32` index,
+//! adjacency is a compiled CSR view of `(NodeId, Role, is_route_server)`
+//! slices, and all per-run state lives in `NodeId`-indexed `Vec`s.
+//! Per-neighbor router state is **flat and adjacency-slot indexed**: each
+//! node's Adj-RIB-In and last-exported cache are dense arrays addressed by
+//! the neighbor's position in the node's CSR slice, and events carry the
+//! receiver-side slot (precompiled reverse-slot array).
+//!
+//! ## The hot path: RouteId arena + dirty-set convergence
+//!
+//! Every route a prefix run produces is **hash-consed** into that
+//! prefix-worker's [`RouteArena`]: RIB slots, last-exported caches, and
+//! in-flight events all carry dense [`RouteId`]s (u32) instead of owned
+//! `Route`s. Route equality — the export-diffing predicate — is a u32
+//! compare, enqueuing an update allocates nothing, and an identical route
+//! is stored once per prefix no matter how many RIBs hold it. One arena
+//! per prefix-worker keeps the sharded path lock-free.
+//!
+//! Convergence is **dirty-set batched**: importing an update only marks
+//! the receiving node dirty; when the in-flight queue drains, each dirty
+//! node recomputes its exports exactly once (ascending node order, for
+//! determinism) and the cycle repeats until nothing is dirty. A node
+//! absorbing many updates per round diffs its adjacency once instead of
+//! once per update — and because exports are a pure function of the best
+//! route, a dirty node whose best id is unchanged skips the sweep
+//! entirely, making the steady state *zero-clone* (asserted by
+//! clone-counting tests against [`route_clones`]). A PR 2-shaped
+//! per-import re-export reference loop in `tests/determinism.rs` locks in
+//! that batching never changes the converged routes.
 //!
 //! Distinct prefixes are independent, which the engine exploits for
 //! parallelism: prefixes are claimed dynamically from an atomic counter by
@@ -93,11 +113,6 @@
 //! bit-identical — guarantees locked in by property tests over random
 //! topologies (`tests/determinism.rs`). A worker panic is caught per
 //! prefix and re-raised naming the failing prefix.
-//!
-//! The compiled core unlocks follow-on optimizations: route interning
-//! (hash-cons `Route` values so per-slot RIB entries store small ids) and
-//! batched export diffing (recompute exports once per converged episode
-//! instead of per event).
 //!
 //! Route collectors observe sessions exactly like RIS/RouteViews peers and
 //! emit RFC 6396 MRT archives via `bgpworms-mrt`.
@@ -122,5 +137,5 @@ pub use policy::{
     ActScope, BlackholeService, CommunityPropagationPolicy, CommunityServices, IrrDatabase,
     OriginValidation, RouteServerConfig, RouterConfig, RsEvalOrder, TaggingConfig, Vendor,
 };
-pub use route::{Route, RouteSource};
+pub use route::{route_clones, Route, RouteArena, RouteId, RouteSource};
 pub use workload::{PolicyMix, Workload, WorkloadParams};

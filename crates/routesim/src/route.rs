@@ -1,10 +1,21 @@
-//! The simulator's route representation and best-path comparison.
+//! The simulator's route representation, best-path comparison, and the
+//! per-run hash-consing [`RouteArena`].
+//!
+//! The propagation engine never stores owned [`Route`] values on its hot
+//! path: every route produced during a prefix run is interned into the
+//! prefix-worker's [`RouteArena`] and referenced by a dense [`RouteId`]
+//! (u32). Adj-RIB-In slots, last-exported caches, and in-flight events all
+//! carry ids, so route equality (the export-diffing predicate) is a u32
+//! compare and identical routes are allocated exactly once per prefix.
 
 use bgpworms_types::{AsPath, Asn, Community, LargeCommunity, Origin, Prefix};
+use std::cell::Cell;
 use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// Where a route entered the local RIB.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RouteSource {
     /// Originated by this AS.
     Local,
@@ -26,7 +37,12 @@ impl RouteSource {
 }
 
 /// One route as held in a router's Adj-RIB-In / Loc-RIB.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Clone` is implemented by hand so every clone is counted (see
+/// [`route_clones`]): the engine's steady-state invariant — zero `Route`
+/// clones while nothing changes — is asserted by unit tests against that
+/// counter.
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct Route {
     /// Destination prefix.
     pub prefix: Prefix,
@@ -121,6 +137,113 @@ impl Route {
                 let b = other.source.neighbor().map(Asn::get).unwrap_or(0);
                 b.cmp(&a)
             })
+    }
+}
+
+thread_local! {
+    /// Clone-counting test double: every `Route::clone` on this thread
+    /// bumps the counter. Production overhead is one thread-local add per
+    /// clone — and the whole point of the arena is that clones are rare.
+    static ROUTE_CLONES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total `Route::clone` calls performed on the current thread so far.
+///
+/// Tests snapshot this before and after a steady-state operation to assert
+/// the zero-clone invariant; deltas are meaningful, absolute values are not.
+pub fn route_clones() -> u64 {
+    ROUTE_CLONES.with(|c| c.get())
+}
+
+impl Clone for Route {
+    fn clone(&self) -> Self {
+        ROUTE_CLONES.with(|c| c.set(c.get() + 1));
+        Route {
+            prefix: self.prefix,
+            path: self.path.clone(),
+            origin: self.origin,
+            communities: self.communities.clone(),
+            large_communities: self.large_communities.clone(),
+            source: self.source,
+            local_pref: self.local_pref,
+            med: self.med,
+            blackholed: self.blackholed,
+            pending_prepend: self.pending_prepend,
+            own_tags: self.own_tags.clone(),
+        }
+    }
+}
+
+/// Dense handle of a route interned in a [`RouteArena`].
+///
+/// Ids are assigned in first-intern order within one arena, so for a fixed
+/// per-prefix event sequence the id assignment is deterministic — which is
+/// what lets compiled-session reruns and `threads = 1 ≡ N` stay
+/// bit-identical while the engine compares routes by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RouteId(u32);
+
+impl RouteId {
+    /// The id as a dense vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A per-run hash-consing arena: every distinct [`Route`] value is stored
+/// exactly once and addressed by a [`RouteId`].
+///
+/// One arena lives per prefix-worker (prefixes never interact), so sharded
+/// runs stay lock-free and id assignment is a pure function of the prefix's
+/// event sequence. Collision handling is an explicit bucket list — the map
+/// stores `hash → candidate ids` and full [`Route`] equality resolves the
+/// bucket, so the route bytes are never stored twice.
+#[derive(Debug, Default)]
+pub struct RouteArena {
+    routes: Vec<Route>,
+    index: HashMap<u64, Vec<RouteId>>,
+}
+
+impl RouteArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        RouteArena::default()
+    }
+
+    /// Number of distinct routes interned.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// The route behind `id`. Ids are only minted by [`RouteArena::intern`]
+    /// on the same arena, so the index is always in bounds.
+    #[inline]
+    pub fn get(&self, id: RouteId) -> &Route {
+        &self.routes[id.index()]
+    }
+
+    /// Interns `route`, returning the id of the already-stored identical
+    /// route when one exists (dropping `route` without copying it anywhere)
+    /// and storing `route` under a fresh id otherwise.
+    pub fn intern(&mut self, route: Route) -> RouteId {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        route.hash(&mut hasher);
+        let bucket = self.index.entry(hasher.finish()).or_default();
+        for &id in bucket.iter() {
+            if self.routes[id.index()] == route {
+                return id;
+            }
+        }
+        let id = RouteId(u32::try_from(self.routes.len()).expect("more than u32::MAX routes"));
+        self.routes.push(route);
+        bucket.push(id);
+        id
     }
 }
 
@@ -230,5 +353,44 @@ mod tests {
     fn origin_as_from_path() {
         let r = route(100, &[3, 2, 1], 3);
         assert_eq!(r.origin_as(Asn::new(9)), Some(Asn::new(1)));
+    }
+
+    #[test]
+    fn arena_interns_identical_routes_once() {
+        let mut arena = RouteArena::new();
+        let a = arena.intern(route(100, &[2, 1], 2));
+        let b = arena.intern(route(100, &[2, 1], 2));
+        let c = arena.intern(route(100, &[3, 1], 3));
+        assert_eq!(a, b, "identical content maps to one id");
+        assert_ne!(a, c);
+        assert_eq!(arena.len(), 2, "only distinct routes are stored");
+        assert_eq!(arena.get(a), &route(100, &[2, 1], 2));
+        assert_eq!(arena.get(c), &route(100, &[3, 1], 3));
+    }
+
+    #[test]
+    fn arena_id_assignment_is_insertion_ordered() {
+        let mut arena = RouteArena::new();
+        let ids: Vec<RouteId> = (0..20)
+            .map(|i| arena.intern(route(100 + i, &[2, 1], 2)))
+            .collect();
+        let again: Vec<RouteId> = (0..20)
+            .map(|i| arena.intern(route(100 + i, &[2, 1], 2)))
+            .collect();
+        assert_eq!(ids, again, "re-interning reproduces the same ids");
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "dense, ordered ids");
+        assert_eq!(arena.len(), 20);
+    }
+
+    #[test]
+    fn re_interning_does_not_clone() {
+        let mut arena = RouteArena::new();
+        arena.intern(route(100, &[2, 1], 2));
+        let template = route(100, &[2, 1], 2);
+        let before = route_clones();
+        // Moving an already-known route into the arena drops it; nothing on
+        // the intern path ever calls Route::clone.
+        arena.intern(template);
+        assert_eq!(route_clones() - before, 0);
     }
 }

@@ -5,7 +5,7 @@
 use crate::policy::{
     ActScope, CommunityPropagationPolicy, IrrDatabase, OriginValidation, RouterConfig, RsEvalOrder,
 };
-use crate::route::{Route, RouteSource};
+use crate::route::{Route, RouteArena, RouteId, RouteSource};
 use bgpworms_topology::Role;
 use bgpworms_types::{community, Asn, Community, Prefix, WellKnown};
 use std::cmp::Ordering;
@@ -34,11 +34,11 @@ pub enum ImportVerdict {
     Withdrawn,
 }
 
-/// One accepted Adj-RIB-In candidate: the route plus the business role the
-/// sending neighbor plays for this AS.
-#[derive(Debug, Clone)]
+/// One accepted Adj-RIB-In candidate: the interned route plus the business
+/// role the sending neighbor plays for this AS.
+#[derive(Debug, Clone, Copy)]
 struct RibEntry {
-    route: Route,
+    route: RouteId,
     role: Role,
 }
 
@@ -47,8 +47,10 @@ struct RibEntry {
 /// All per-neighbor state is **adjacency-slot indexed**: the engine compiles
 /// each node's CSR neighbor slice once, and both the Adj-RIB-In and the
 /// last-exported cache are dense arrays addressed by a neighbor's position
-/// in that slice. The per-event import/export path therefore performs pure
-/// `Vec` indexing — no `BTreeMap<Asn, …>` remains on it.
+/// in that slice. Both arrays hold [`RouteId`]s into the prefix-worker's
+/// [`RouteArena`] rather than owned routes, so the per-event import/export
+/// path is pure `Vec` indexing plus u32 compares — no `BTreeMap<Asn, …>`,
+/// no owned `Route` storage, and export diffing never clones.
 #[derive(Debug, Clone)]
 pub struct PrefixRouter {
     /// This router's AS.
@@ -60,9 +62,16 @@ pub struct PrefixRouter {
     /// slot in this node's adjacency slice.
     rib_in: Vec<Option<RibEntry>>,
     /// Locally originated route, if any.
-    local: Option<Route>,
+    local: Option<RouteId>,
     /// Last advertisement sent per neighbor slot (None = withdrawn/never).
-    exported: Vec<Option<Route>>,
+    exported: Vec<Option<RouteId>>,
+    /// Best-route id at the end of the last export pass (`None` = no pass
+    /// yet). Exports are a pure function of the best route — configs and
+    /// neighbor roles are fixed per run, and a route's content pins the
+    /// neighbor (and therefore the slot and role) it was learned from — so
+    /// an unchanged best id proves every export is unchanged and the whole
+    /// per-neighbor recompute can be skipped.
+    last_emit_best: Option<Option<RouteId>>,
 }
 
 impl PrefixRouter {
@@ -74,13 +83,14 @@ impl PrefixRouter {
             rib_in: vec![None; degree],
             local: None,
             exported: vec![None; degree],
+            last_emit_best: None,
         }
     }
 
     /// Originates (or re-originates) a local route.
-    pub fn originate(&mut self, route: Route) {
+    pub fn originate(&mut self, route: Route, arena: &mut RouteArena) {
         debug_assert_eq!(route.source, RouteSource::Local);
-        self.local = Some(route);
+        self.local = Some(arena.intern(route));
     }
 
     /// Withdraws the local origination.
@@ -91,21 +101,25 @@ impl PrefixRouter {
     /// Best candidate plus the role it was learned under (None for local).
     /// Every comparison in [`Route::prefer`] bottoms out in a strict
     /// tie-break, so the winner is independent of iteration order.
-    fn best_entry(&self) -> Option<(&Route, Option<Role>)> {
-        let mut best: Option<(&Route, Option<Role>)> = None;
+    fn best_entry(&self, arena: &RouteArena) -> Option<(RouteId, Option<Role>)> {
+        let mut best: Option<(RouteId, Option<Role>)> = None;
         for entry in self.rib_in.iter().flatten() {
             best = match best {
-                None => Some((&entry.route, Some(entry.role))),
-                Some((b, _)) if entry.route.prefer(b) == Ordering::Greater => {
-                    Some((&entry.route, Some(entry.role)))
+                None => Some((entry.route, Some(entry.role))),
+                Some((b, _))
+                    if arena.get(entry.route).prefer(arena.get(b)) == Ordering::Greater =>
+                {
+                    Some((entry.route, Some(entry.role)))
                 }
                 keep => keep,
             };
         }
-        if let Some(local) = &self.local {
+        if let Some(local) = self.local {
             best = match best {
                 None => Some((local, None)),
-                Some((b, _)) if local.prefer(b) == Ordering::Greater => Some((local, None)),
+                Some((b, _)) if arena.get(local).prefer(arena.get(b)) == Ordering::Greater => {
+                    Some((local, None))
+                }
                 keep => keep,
             };
         }
@@ -113,36 +127,65 @@ impl PrefixRouter {
     }
 
     /// The current best route.
-    pub fn best(&self) -> Option<&Route> {
-        self.best_entry().map(|(route, _)| route)
+    pub fn best<'a>(&self, arena: &'a RouteArena) -> Option<&'a Route> {
+        self.best_id(arena).map(|id| arena.get(id))
+    }
+
+    /// The current best route's arena id.
+    pub fn best_id(&self, arena: &RouteArena) -> Option<RouteId> {
+        self.best_entry(arena).map(|(id, _)| id)
     }
 
     /// Role of the neighbor the current best was learned from (None for
     /// local routes).
-    pub fn best_learned_role(&self) -> Option<Role> {
-        self.best_entry().and_then(|(_, role)| role)
+    pub fn best_learned_role(&self, arena: &RouteArena) -> Option<Role> {
+        self.best_entry(arena).and_then(|(_, role)| role)
+    }
+
+    /// Reports whether an export pass is needed — i.e. whether the best
+    /// route changed since the last pass — and records the current best as
+    /// emitted. Exports depend only on the best route (see
+    /// `last_emit_best`), so a `false` return proves a full
+    /// [`PrefixRouter::export_for`]/[`PrefixRouter::diff_export`] sweep
+    /// would produce no updates, letting the engine skip it entirely: the
+    /// steady-state path performs one best-route scan and zero clones.
+    pub fn begin_export_pass(&mut self, arena: &RouteArena) -> bool {
+        let best = self.best_id(arena);
+        if self.last_emit_best == Some(best) {
+            return false;
+        }
+        self.last_emit_best = Some(best);
+        true
     }
 
     /// Processes an incoming update (Some = announce, None = withdraw) from
     /// `sender`, which occupies adjacency slot `sender_slot` of this node
     /// and plays `sender_role` for this AS.
+    ///
+    /// The route arrives as an id into the shared arena; every rejection
+    /// check runs against the arena route by reference, so refused updates
+    /// cost zero clones. Only an accepted route is cloned (once) to apply
+    /// import policy, and the result is re-interned for the RIB slot.
+    #[allow(clippy::too_many_arguments)] // hot path: flat args, no wrapper struct
     pub fn import(
         &mut self,
         cfg: &RouterConfig,
         sender: Asn,
         sender_slot: usize,
         sender_role: Role,
-        route: Option<Route>,
+        route: Option<RouteId>,
+        arena: &mut RouteArena,
         ctx: ValidationCtx<'_>,
     ) -> ImportVerdict {
-        let Some(mut route) = route else {
+        let Some(incoming_id) = route else {
             self.rib_in[sender_slot] = None;
             return ImportVerdict::Withdrawn;
         };
+        let incoming = arena.get(incoming_id);
 
         // Loop protection. Route servers are transparent and never appear
         // in the path, so only regular routers check.
-        if !self.is_route_server && route.path.contains(self.asn) {
+        if !self.is_route_server && incoming.path.contains(self.asn) {
             self.rib_in[sender_slot] = None;
             return ImportVerdict::LoopRejected;
         }
@@ -151,13 +194,13 @@ impl PrefixRouter {
         //     the misconfigured validation order depends on it). ---
         let rtbh = cfg.services.blackhole.as_ref().and_then(|bh| {
             let own = self.asn.as_u16().map(|hi| Community::new(hi, bh.value));
-            let triggered = route.has_community(Community::BLACKHOLE)
-                || own.is_some_and(|c| route.has_community(c));
+            let triggered = incoming.has_community(Community::BLACKHOLE)
+                || own.is_some_and(|c| incoming.has_community(c));
             let scope_ok = match bh.scope {
                 ActScope::Any => true,
                 ActScope::CustomersOnly => sender_role == Role::Customer,
             };
-            let len_ok = match route.prefix {
+            let len_ok = match incoming.prefix {
                 Prefix::V4(p) => p.len() >= bh.min_prefix_len,
                 Prefix::V6(p) => p.len() >= 96,
             };
@@ -174,12 +217,12 @@ impl PrefixRouter {
         if !skip_validation {
             let valid = match cfg.validation {
                 OriginValidation::None => true,
-                OriginValidation::Irr { .. } => match route.path.origin() {
-                    Some(origin) => ctx.irr.is_registered(&route.prefix, origin),
+                OriginValidation::Irr { .. } => match incoming.path.origin() {
+                    Some(origin) => ctx.irr.is_registered(&incoming.prefix, origin),
                     None => false,
                 },
-                OriginValidation::Strict => match route.path.origin() {
-                    Some(origin) => ctx.rpki.is_registered(&route.prefix, origin),
+                OriginValidation::Strict => match incoming.path.origin() {
+                    Some(origin) => ctx.rpki.is_registered(&incoming.prefix, origin),
                     None => false,
                 },
             };
@@ -191,7 +234,7 @@ impl PrefixRouter {
 
         // --- Prefix-length policy: small prefixes only enter as blackholes.
         if rtbh.is_none() {
-            let too_long = match route.prefix {
+            let too_long = match incoming.prefix {
                 Prefix::V4(p) => p.len() > cfg.max_prefix_len_v4,
                 Prefix::V6(p) => p.len() > 48,
             };
@@ -200,6 +243,9 @@ impl PrefixRouter {
                 return ImportVerdict::TooSpecific;
             }
         }
+
+        // Accepted: clone once out of the arena to apply import policy.
+        let mut route = incoming.clone();
 
         // --- Base import local-pref by business relationship. ---
         route.local_pref = match sender_role {
@@ -270,23 +316,25 @@ impl PrefixRouter {
         route.med = 0;
 
         self.rib_in[sender_slot] = Some(RibEntry {
-            route,
+            route: arena.intern(route),
             role: sender_role,
         });
         ImportVerdict::Accepted
     }
 
     /// Computes the advertisement this router should currently send to
-    /// `neighbor` (playing `neighbor_role` for us), or `None` when nothing
-    /// may be exported.
+    /// `neighbor` (playing `neighbor_role` for us), interned into `arena`,
+    /// or `None` when nothing may be exported.
     pub fn export_for(
         &self,
         cfg: &RouterConfig,
         neighbor: Asn,
         neighbor_role: Role,
         neighbor_is_route_server: bool,
-    ) -> Option<Route> {
-        let best = self.best()?;
+        arena: &mut RouteArena,
+    ) -> Option<RouteId> {
+        let (best_id, learned_role) = self.best_entry(arena)?;
+        let best = arena.get(best_id);
 
         // Never send a route back to the neighbor we learned it from.
         if best.source.neighbor() == Some(neighbor) {
@@ -294,7 +342,7 @@ impl PrefixRouter {
         }
 
         if self.is_route_server {
-            return self.route_server_export(cfg, best, neighbor);
+            return self.route_server_export(cfg, best_id, neighbor, arena);
         }
 
         // Well-known scope-limiting communities.
@@ -312,7 +360,6 @@ impl PrefixRouter {
         }
 
         // Gao–Rexford: routes from peers/providers go only to customers.
-        let learned_role = self.best_learned_role();
         let exportable = match best.source {
             RouteSource::Local => true,
             _ => learned_role == Some(Role::Customer) || neighbor_role == Role::Customer,
@@ -410,12 +457,19 @@ impl PrefixRouter {
         out.large_communities.dedup();
 
         let _ = neighbor_is_route_server; // same egress processing either way
-        Some(out)
+        Some(arena.intern(out))
     }
 
     /// Route-server redistribution: transparent path, control communities,
     /// configurable evaluation order.
-    fn route_server_export(&self, cfg: &RouterConfig, best: &Route, member: Asn) -> Option<Route> {
+    fn route_server_export(
+        &self,
+        cfg: &RouterConfig,
+        best_id: RouteId,
+        member: Asn,
+        arena: &mut RouteArena,
+    ) -> Option<RouteId> {
+        let best = arena.get(best_id);
         if best.has_community(Community::NO_ADVERTISE) || best.has_community(Community::NO_EXPORT) {
             return None;
         }
@@ -464,24 +518,23 @@ impl PrefixRouter {
         let own_tags = std::mem::take(&mut out.own_tags);
         out.communities.extend(own_tags);
         community::normalize(&mut out.communities);
-        Some(out)
+        Some(arena.intern(out))
     }
 
     /// Records what was last advertised to the neighbor at `slot` and
     /// reports whether a new message is needed. Returns `Some(update)` when
     /// the advertisement changed (including transitions to/from
     /// withdrawal).
-    pub fn diff_export(&mut self, slot: usize, new: Option<Route>) -> Option<Option<Route>> {
-        let old = &self.exported[slot];
-        let changed = match (&new, old) {
-            (None, None) => false,
-            (Some(n), Some(o)) => n != o,
-            _ => true,
-        };
-        if !changed {
+    ///
+    /// Routes are interned, so the change predicate is a u32 compare and
+    /// updating the last-exported cache is a u32 store — the double clone
+    /// of the owned-`Route` era (once into the cache, once into the event)
+    /// is gone entirely.
+    pub fn diff_export(&mut self, slot: usize, new: Option<RouteId>) -> Option<Option<RouteId>> {
+        if self.exported[slot] == new {
             return None;
         }
-        self.exported[slot] = new.clone();
+        self.exported[slot] = new;
         Some(new)
     }
 }
@@ -560,10 +613,82 @@ mod tests {
         }
     }
 
+    /// A [`PrefixRouter`] bundled with its own [`RouteArena`], exposing the
+    /// pre-arena owned-`Route` call shapes so the policy tests read as
+    /// before: incoming routes are interned on the way in, export results
+    /// cloned out of the arena for inspection.
+    struct TestRouter {
+        r: PrefixRouter,
+        arena: RouteArena,
+    }
+
+    impl TestRouter {
+        fn new(asn: Asn, is_route_server: bool, degree: usize) -> Self {
+            TestRouter {
+                r: PrefixRouter::new(asn, is_route_server, degree),
+                arena: RouteArena::new(),
+            }
+        }
+
+        fn import(
+            &mut self,
+            cfg: &RouterConfig,
+            sender: Asn,
+            sender_slot: usize,
+            sender_role: Role,
+            route: Option<Route>,
+            ctx: ValidationCtx<'_>,
+        ) -> ImportVerdict {
+            let id = route.map(|r| self.arena.intern(r));
+            self.r.import(
+                cfg,
+                sender,
+                sender_slot,
+                sender_role,
+                id,
+                &mut self.arena,
+                ctx,
+            )
+        }
+
+        fn best(&self) -> Option<&Route> {
+            self.r.best(&self.arena)
+        }
+
+        fn best_learned_role(&self) -> Option<Role> {
+            self.r.best_learned_role(&self.arena)
+        }
+
+        fn export_for(
+            &mut self,
+            cfg: &RouterConfig,
+            neighbor: Asn,
+            neighbor_role: Role,
+            neighbor_is_route_server: bool,
+        ) -> Option<Route> {
+            self.r
+                .export_for(
+                    cfg,
+                    neighbor,
+                    neighbor_role,
+                    neighbor_is_route_server,
+                    &mut self.arena,
+                )
+                .map(|id| self.arena.get(id).clone())
+        }
+
+        fn diff_export(&mut self, slot: usize, new: Option<Route>) -> Option<Option<Route>> {
+            let id = new.map(|r| self.arena.intern(r));
+            self.r
+                .diff_export(slot, id)
+                .map(|u| u.map(|id| self.arena.get(id).clone()))
+        }
+    }
+
     #[test]
     fn loop_rejected() {
         let cfg = RouterConfig::defaults(Asn::new(5));
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         let (irr, rpki) = ctx_empty();
         let v = r.import(
             &cfg,
@@ -583,7 +708,7 @@ mod tests {
     #[test]
     fn local_pref_by_role_and_decision() {
         let cfg = RouterConfig::defaults(Asn::new(5));
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         let (irr, rpki) = ctx_empty();
         let ctx = ValidationCtx {
             irr: &irr,
@@ -614,7 +739,7 @@ mod tests {
     #[test]
     fn withdraw_removes_candidate() {
         let cfg = RouterConfig::defaults(Asn::new(5));
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         let (irr, rpki) = ctx_empty();
         let ctx = ValidationCtx {
             irr: &irr,
@@ -638,7 +763,7 @@ mod tests {
     fn too_specific_rejected_unless_blackhole() {
         let mut cfg = RouterConfig::defaults(Asn::new(5));
         cfg.services.blackhole = Some(BlackholeService::default());
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         let (irr, rpki) = ctx_empty();
         let ctx = ValidationCtx {
             irr: &irr,
@@ -664,7 +789,7 @@ mod tests {
         // attacking AS path is longer".
         let mut cfg = RouterConfig::defaults(Asn::new(5));
         cfg.services.blackhole = Some(BlackholeService::default());
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         let (irr, rpki) = ctx_empty();
         let ctx = ValidationCtx {
             irr: &irr,
@@ -688,7 +813,7 @@ mod tests {
             scope: ActScope::CustomersOnly,
             ..BlackholeService::default()
         });
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         let (irr, rpki) = ctx_empty();
         let ctx = ValidationCtx {
             irr: &irr,
@@ -715,7 +840,7 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         // legit origin AS1
         let v = r.import(
             &cfg,
@@ -754,7 +879,7 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         let mut hijack = incoming(3, &[3, 9], &[Community::new(5, 666)]);
         hijack.prefix = "10.0.0.0/24".parse().unwrap();
         let v = r.import(&cfg, Asn::new(3), 2, Role::Peer, Some(hijack.clone()), ctx);
@@ -764,7 +889,7 @@ mod tests {
         cfg.validation = OriginValidation::Irr {
             validate_after_blackhole: false,
         };
-        let mut r2 = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r2 = TestRouter::new(Asn::new(5), false, 8);
         let v = r2.import(&cfg, Asn::new(3), 2, Role::Peer, Some(hijack), ctx);
         assert_eq!(v, ImportVerdict::ValidationRejected);
     }
@@ -783,7 +908,7 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         let route = incoming(2, &[2, 1], &[Community::new(5, 422), Community::new(5, 70)]);
         r.import(
             &cfg,
@@ -797,7 +922,7 @@ mod tests {
         assert_eq!(best.local_pref, 70, "local-pref community acted on");
         assert_eq!(best.pending_prepend, 2, "prepend community recorded");
         // From a provider the same communities are ignored.
-        let mut r2 = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r2 = TestRouter::new(Asn::new(5), false, 8);
         r2.import(&cfg, Asn::new(2), 1, Role::Provider, Some(route), ctx);
         let best = r2.best().unwrap();
         assert_eq!(best.local_pref, cfg.local_pref.provider);
@@ -814,7 +939,7 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
@@ -846,7 +971,7 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         // Route learned from a provider…
         r.import(
             &cfg,
@@ -866,7 +991,7 @@ mod tests {
             .export_for(&cfg, Asn::new(9), Role::Provider, false)
             .is_none());
         // Customer routes go everywhere.
-        let mut r2 = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r2 = TestRouter::new(Asn::new(5), false, 8);
         r2.import(
             &cfg,
             Asn::new(3),
@@ -891,7 +1016,7 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
@@ -913,7 +1038,7 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
@@ -925,7 +1050,7 @@ mod tests {
         assert!(r
             .export_for(&cfg, Asn::new(7), Role::Customer, false)
             .is_none());
-        let mut r2 = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r2 = TestRouter::new(Asn::new(5), false, 8);
         r2.import(
             &cfg,
             Asn::new(2),
@@ -959,7 +1084,7 @@ mod tests {
                 tag_origin_class: true,
                 ..TaggingConfig::default()
             };
-            let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+            let mut r = TestRouter::new(Asn::new(5), false, 8);
             r.import(
                 &cfg,
                 Asn::new(2),
@@ -1014,7 +1139,7 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
@@ -1041,7 +1166,7 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
@@ -1065,7 +1190,7 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(rs, true, 8);
+        let mut r = TestRouter::new(rs, true, 8);
         // Member AS1 announces with: announce-to-AS2 (RS:2) and suppress-to-AS3 (0:3).
         let comms = vec![Community::new(59_000, 2), Community::new(0, 3)];
         r.import(
@@ -1103,7 +1228,7 @@ mod tests {
             rpki: &rpki,
         };
         let comms = vec![Community::new(59_000, 4), Community::new(0, 4)];
-        let mut r = PrefixRouter::new(rs, true, 8);
+        let mut r = TestRouter::new(rs, true, 8);
         r.import(
             &cfg,
             Asn::new(1),
@@ -1134,7 +1259,7 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
@@ -1160,7 +1285,7 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
@@ -1178,7 +1303,7 @@ mod tests {
         let other: Prefix = "99.99.0.0/16".parse().unwrap();
         let mut cfg2 = RouterConfig::defaults(Asn::new(5));
         cfg2.tagging.targeted_egress = vec![(other, Community::new(9, 666))];
-        let mut r2 = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r2 = TestRouter::new(Asn::new(5), false, 8);
         r2.import(
             &cfg2,
             Asn::new(2),
@@ -1204,7 +1329,7 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),
@@ -1220,6 +1345,69 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_path_performs_zero_route_clones() {
+        // The regression this locks in: the owned-`Route` diff_export used
+        // to clone the new advertisement into `self.exported` (and the
+        // call site cloned again to build it). With arena ids, a router
+        // whose best route is unchanged skips the export sweep outright —
+        // and an explicit re-diff of the same id is a u32 no-op — so the
+        // steady-state path must not clone a single `Route`.
+        let cfg = RouterConfig::defaults(Asn::new(5));
+        let (irr, rpki) = ctx_empty();
+        let ctx = ValidationCtx {
+            irr: &irr,
+            rpki: &rpki,
+        };
+        let mut t = TestRouter::new(Asn::new(5), false, 8);
+        t.import(
+            &cfg,
+            Asn::new(2),
+            1,
+            Role::Customer,
+            Some(incoming(2, &[2, 1], &[])),
+            ctx,
+        );
+
+        // First pass: the best route is new, so the sweep runs and clones.
+        assert!(t.r.begin_export_pass(&t.arena));
+        let first =
+            t.r.export_for(&cfg, Asn::new(7), Role::Customer, false, &mut t.arena);
+        assert!(t.r.diff_export(6, first).is_some());
+
+        // Steady state: nothing changed since the pass above.
+        let before = crate::route::route_clones();
+        assert!(
+            !t.r.begin_export_pass(&t.arena),
+            "unchanged best ⇒ export pass skipped"
+        );
+        assert!(
+            t.r.diff_export(6, first).is_none(),
+            "same id ⇒ no update, no cache write"
+        );
+        assert_eq!(
+            crate::route::route_clones() - before,
+            0,
+            "steady-state path cloned a Route"
+        );
+
+        // A genuinely new best re-arms the pass.
+        t.import(
+            &cfg,
+            Asn::new(3),
+            2,
+            Role::Customer,
+            Some(incoming(3, &[3, 9, 1], &[Community::new(9, 42)])),
+            ctx,
+        );
+        assert!(
+            !t.r.begin_export_pass(&t.arena),
+            "worse candidate: best id unchanged"
+        );
+        t.import(&cfg, Asn::new(2), 1, Role::Customer, None, ctx);
+        assert!(t.r.begin_export_pass(&t.arena), "withdrawal changed best");
+    }
+
+    #[test]
     fn diff_export_tracks_changes() {
         let cfg = RouterConfig::defaults(Asn::new(5));
         let (irr, rpki) = ctx_empty();
@@ -1227,7 +1415,7 @@ mod tests {
             irr: &irr,
             rpki: &rpki,
         };
-        let mut r = PrefixRouter::new(Asn::new(5), false, 8);
+        let mut r = TestRouter::new(Asn::new(5), false, 8);
         r.import(
             &cfg,
             Asn::new(2),

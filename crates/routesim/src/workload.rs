@@ -198,6 +198,13 @@ impl Workload {
     /// engine's determinism guarantee (`threads = 1` ≡ `threads = N`,
     /// locked in by `tests/determinism.rs`) makes parallelism purely a
     /// throughput knob, and single-prefix runs stay sequential anyway.
+    ///
+    /// The generated episode stream is churn-heavy by design (re-
+    /// announcements, RTBH on/off pairs), which is exactly the shape the
+    /// engine's dirty-set batching and steady-state export skip are built
+    /// for: a churn round that re-announces unchanged attributes converges
+    /// with zero propagation events, so month-like schedules cost roughly
+    /// their *changed* announcements, not their total announcements.
     pub fn simulation<'a>(&'a self, topo: &'a Topology) -> SimSpec<'a> {
         SimSpec::new(topo)
             .configs(&self.configs)

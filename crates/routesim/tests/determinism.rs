@@ -11,14 +11,24 @@
 //!   equals a fresh compile (`compile→run ≡ compile→run→run`), across
 //!   `threads = 1/N`. This is what makes the compile-once/run-many A/B
 //!   methodology sound.
+//! * **Batching transparency** — the interned-arena engine converges each
+//!   episode with dirty-set batched export recomputes; a PR 2-shaped
+//!   reference loop (per-import immediate re-export, no dirty set, no
+//!   best-id skip) built from the same `PrefixRouter` policy code must
+//!   reach the **same fixed point** on arbitrary worlds. Batching and
+//!   interning are throughput levers, never semantic ones.
 
+use bgpworms_routesim::route::RouteArena;
+use bgpworms_routesim::router::{PrefixRouter, ValidationCtx};
 use bgpworms_routesim::{
-    CollectorSpec, CommunityPropagationPolicy, CompiledSim, FeedKind, Origination, RetainRoutes,
-    RouterConfig, SimSpec,
+    CollectorSpec, CommunityPropagationPolicy, CompiledSim, FeedKind, IrrDatabase, Origination,
+    RetainRoutes, Route, RouterConfig, SimSpec,
 };
-use bgpworms_topology::{EdgeKind, Tier, Topology, TopologyParams};
+use bgpworms_topology::{EdgeKind, NodeId, Role, Tier, Topology, TopologyParams};
 use bgpworms_types::{Asn, Community, Prefix};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// Raw material for a random topology + workload; the test body assembles
 /// it (indices are taken modulo the node count, so every draw is valid).
@@ -190,6 +200,146 @@ fn spec_for<'a>(
     spec
 }
 
+/// A PR 2-shaped reference engine over the *same* `PrefixRouter` policy
+/// code: FIFO event queue, and every import immediately recomputes the
+/// receiver's exports (no dirty set, no best-id skip). Returns the final
+/// best route per (prefix, AS), or `None` when the event budget blows
+/// (oscillating worlds are excluded from the comparison by both sides).
+fn reference_final_routes(
+    topo: &Topology,
+    configs: &[RouterConfig],
+    originations: &[Origination],
+) -> Option<BTreeMap<Prefix, BTreeMap<Asn, Route>>> {
+    let inverse = |role: Role| match role {
+        Role::Customer => Role::Provider,
+        Role::Provider => Role::Customer,
+        Role::Peer => Role::Peer,
+    };
+    // `SimSpec::configure` semantics: a later config for the same ASN
+    // replaces the earlier one (the raw worlds do produce duplicates).
+    let mut by_asn: BTreeMap<Asn, &RouterConfig> = BTreeMap::new();
+    for cfg in configs {
+        by_asn.insert(cfg.asn, cfg);
+    }
+    let dense_cfgs: Vec<RouterConfig> = topo
+        .node_ids()
+        .map(|id| {
+            let asn = topo.asn_of(id);
+            by_asn
+                .get(&asn)
+                .map(|c| (*c).clone())
+                .unwrap_or_else(|| RouterConfig::defaults(asn))
+        })
+        .collect();
+    let irr = IrrDatabase::new();
+    let rpki = IrrDatabase::new();
+    let vctx = ValidationCtx {
+        irr: &irr,
+        rpki: &rpki,
+    };
+    let budget = (topo.adjacency_len() as u64 * 64).max(10_000);
+
+    let mut by_prefix: BTreeMap<Prefix, Vec<&Origination>> = BTreeMap::new();
+    for o in originations {
+        by_prefix.entry(o.prefix).or_default().push(o);
+    }
+    for eps in by_prefix.values_mut() {
+        eps.sort_by_key(|o| o.time);
+    }
+
+    struct Ev {
+        from: NodeId,
+        to: NodeId,
+        to_slot: usize,
+        sender_role: Role,
+        route: Option<bgpworms_routesim::RouteId>,
+    }
+
+    let mut out = BTreeMap::new();
+    for (prefix, episodes) in by_prefix {
+        let mut arena = RouteArena::new();
+        let mut routers: Vec<PrefixRouter> = topo
+            .node_ids()
+            .map(|id| {
+                let node = topo.node_by_id(id);
+                PrefixRouter::new(
+                    node.asn,
+                    node.tier == Tier::RouteServer,
+                    topo.neighbors_ix(id).len(),
+                )
+            })
+            .collect();
+        let mut queue: VecDeque<Ev> = VecDeque::new();
+        let mut events = 0u64;
+
+        // Per-import immediate re-export, exactly the pre-batching shape.
+        let emit = |id: NodeId,
+                    routers: &mut Vec<PrefixRouter>,
+                    arena: &mut RouteArena,
+                    queue: &mut VecDeque<Ev>,
+                    dense_cfgs: &[RouterConfig]| {
+            let cfg = &dense_cfgs[id.index()];
+            let router = &mut routers[id.index()];
+            for (slot, (nb, role, nb_is_rs), rev) in topo.adjacency_with_reverse_ix(id) {
+                let new = router.export_for(cfg, topo.asn_of(nb), role, nb_is_rs, arena);
+                if let Some(update) = router.diff_export(slot, new) {
+                    queue.push_back(Ev {
+                        from: id,
+                        to: nb,
+                        to_slot: rev as usize,
+                        sender_role: inverse(role),
+                        route: update,
+                    });
+                }
+            }
+        };
+
+        for ep in episodes {
+            let Some(origin) = topo.node_id(ep.origin) else {
+                continue;
+            };
+            assert!(ep.forged_origin.is_none(), "reference skips forged paths");
+            let router = &mut routers[origin.index()];
+            if ep.withdraw {
+                router.withdraw_local();
+            } else {
+                router.originate(
+                    Route::originate(prefix, ep.communities.clone())
+                        .with_large_communities(ep.large_communities.clone()),
+                    &mut arena,
+                );
+            }
+            emit(origin, &mut routers, &mut arena, &mut queue, &dense_cfgs);
+            while let Some(ev) = queue.pop_front() {
+                events += 1;
+                if events > budget {
+                    return None;
+                }
+                let cfg = &dense_cfgs[ev.to.index()];
+                routers[ev.to.index()].import(
+                    cfg,
+                    topo.asn_of(ev.from),
+                    ev.to_slot,
+                    ev.sender_role,
+                    ev.route,
+                    &mut arena,
+                    vctx,
+                );
+                emit(ev.to, &mut routers, &mut arena, &mut queue, &dense_cfgs);
+            }
+        }
+
+        let mut finals = BTreeMap::new();
+        for (i, router) in routers.iter().enumerate() {
+            if let Some(best) = router.best(&arena) {
+                finals.insert(topo.asn_of(NodeId::from_index(i)), best.clone());
+            }
+        }
+        out.insert(prefix, finals);
+    }
+    Some(out)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -250,6 +400,63 @@ proptest! {
         // …and thread count can change mid-session without recompiling.
         par_session.set_threads(1);
         prop_assert_eq!(&par_session.run(&originations), &first);
+    }
+
+    /// Batching transparency: the dirty-set batched, arena-interned engine
+    /// must reach the same fixed point as the PR 2-shaped per-import
+    /// re-export reference loop on arbitrary worlds — across `threads =
+    /// 1/N` and on a reused session (`compile→run→run`). Batched export
+    /// diffing reorders *when* exports are recomputed, never *what* the
+    /// converged routes are.
+    #[test]
+    fn batched_engine_matches_per_import_reference(raw in arb_world(), threads in 2usize..6) {
+        let (topo, configs, _collectors, originations) = build_world(&raw);
+        let Some(reference) = reference_final_routes(&topo, &configs, &originations) else {
+            // Oscillating world: the reference blew its budget; the batched
+            // engine flags the same worlds via `converged`, nothing to compare.
+            return Ok(());
+        };
+
+        let mut spec = SimSpec::new(&topo).retain(RetainRoutes::All);
+        for cfg in configs {
+            spec = spec.configure(cfg);
+        }
+        let mut sim = spec.compile();
+        let run = sim.run(&originations);
+        prop_assert!(run.converged, "reference converged but batched engine did not");
+        prop_assert_eq!(&run.final_routes, &reference, "batched fixed point diverged");
+
+        // The equivalence survives sharding and session reuse.
+        sim.set_threads(threads);
+        let par = sim.run(&originations);
+        prop_assert_eq!(&par.final_routes, &reference);
+        prop_assert_eq!(&sim.run(&originations), &par, "rerun diverged");
+    }
+
+    /// Churn-heavy schedules — every episode immediately applied twice —
+    /// exercise the steady-state skip: applying an origination is
+    /// idempotent, so each duplicate must converge with **zero** extra
+    /// propagation events and zero extra observations, making the doubled
+    /// schedule's result bit-identical to the plain one. (The per-prefix
+    /// episode sort is stable, so a same-time duplicate stays adjacent.)
+    #[test]
+    fn duplicated_episodes_are_free_and_deterministic(raw in arb_world(), threads in 2usize..6) {
+        let (topo, configs, collectors, originations) = build_world(&raw);
+        let churny: Vec<Origination> = originations
+            .iter()
+            .flat_map(|o| [o.clone(), o.clone()])
+            .collect();
+
+        let mut sim = spec_for(&topo, configs, collectors).compile();
+        let base = sim.run(&originations);
+        let churned = sim.run(&churny);
+        prop_assert_eq!(
+            &base, &churned,
+            "idempotent duplicate episodes must be event-free steady state"
+        );
+
+        sim.set_threads(threads);
+        prop_assert_eq!(&sim.run(&churny), &churned, "sharded churny run diverged");
     }
 
     /// Session reuse on generated internets: interleaving *different*

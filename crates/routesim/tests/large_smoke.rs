@@ -1,0 +1,38 @@
+//! Large-scale smoke: compile and run one episode over the headline
+//! `TopologyParams::large()` (~8.6 K-AS) topology. `#[ignore]`d because it
+//! takes tens of seconds in release; CI runs it in a dedicated
+//! `large-smoke` job under a timeout so the big-topology path cannot
+//! silently rot.
+
+use bgpworms_routesim::{Origination, RetainRoutes, SimSpec};
+use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, TopologyParams};
+
+#[test]
+#[ignore = "multi-second large-topology run; exercised by the CI large-smoke job"]
+fn large_topology_compiles_and_converges_one_episode() {
+    let topo = TopologyParams::large().seed(2018).build();
+    assert!(
+        topo.len() > 5_000,
+        "large() drifted below headline scale: {} nodes",
+        topo.len()
+    );
+    let alloc = PrefixAllocation::assign(&topo, AddressingParams::default());
+    let (origin, prefix) = alloc.iter().next().expect("allocation non-empty");
+
+    let sim = SimSpec::new(&topo)
+        .retain(RetainRoutes::Prefixes([prefix].into_iter().collect()))
+        .compile();
+    let res = sim.run(&[Origination::announce(origin, prefix, vec![])]);
+    assert!(res.converged, "large run must converge within budget");
+    assert!(res.events > 0);
+    assert!(
+        res.route_at(origin, &prefix).is_some(),
+        "origin retains its own route"
+    );
+    // The session replays: a second run over the same schedule is
+    // bit-identical (the compile-once/run-many contract at scale).
+    assert_eq!(
+        sim.run(&[Origination::announce(origin, prefix, vec![])]),
+        res
+    );
+}

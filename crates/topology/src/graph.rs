@@ -229,6 +229,27 @@ impl Topology {
         &csr.reverse_slot[csr.offsets[id.index()] as usize..csr.offsets[id.index() + 1] as usize]
     }
 
+    /// The adjacency slice of `id` zipped with its reverse slots: for each
+    /// local slot, the edge `(neighbor, role, neighbor is a route server)`
+    /// plus the slot this node occupies in that neighbor's slice. This is
+    /// the engine's export-sweep view — one call replaces the paired
+    /// [`Topology::neighbors_ix`] / [`Topology::reverse_slots_ix`] lookups
+    /// and keeps the two slices' alignment a topology-crate invariant.
+    #[inline]
+    pub fn adjacency_with_reverse_ix(
+        &self,
+        id: NodeId,
+    ) -> impl Iterator<Item = (usize, CsrEdge, u32)> + '_ {
+        let csr = self.csr();
+        let lo = csr.offsets[id.index()] as usize;
+        let hi = csr.offsets[id.index() + 1] as usize;
+        csr.edges[lo..hi]
+            .iter()
+            .zip(&csr.reverse_slot[lo..hi])
+            .enumerate()
+            .map(|(slot, (&edge, &rev))| (slot, edge, rev))
+    }
+
     /// Total adjacency entries (twice the undirected edge count). Also
     /// forces CSR compilation, so callers about to share `&self` across
     /// worker threads can pre-build the view.
@@ -586,6 +607,23 @@ mod tests {
                 assert_eq!(nb_of_nb, id, "reverse slot round-trips");
                 // …and its own reverse slot must be this entry.
                 assert_eq!(t.reverse_slots_ix(nb)[back as usize] as usize, slot);
+            }
+        }
+    }
+
+    #[test]
+    fn zipped_adjacency_matches_the_paired_slices() {
+        let mut t = triangle();
+        t.add_simple(asn(50), Tier::RouteServer);
+        t.add_edge(asn(3), asn(50), EdgeKind::PeerToPeer);
+        for id in t.node_ids() {
+            let zipped: Vec<(usize, CsrEdge, u32)> = t.adjacency_with_reverse_ix(id).collect();
+            let edges = t.neighbors_ix(id);
+            let rev = t.reverse_slots_ix(id);
+            assert_eq!(zipped.len(), edges.len());
+            for (slot, edge, back) in zipped {
+                assert_eq!(edge, edges[slot]);
+                assert_eq!(back, rev[slot]);
             }
         }
     }

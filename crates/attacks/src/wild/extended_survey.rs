@@ -16,7 +16,7 @@
 //!   count the collectors that observe the contradiction.
 
 use crate::wild::survey::{SurveyContext, SurveyParams};
-use bgpworms_routesim::{Origination, RetainRoutes};
+use bgpworms_routesim::{Campaign, CampaignSink, Origination, PrefixOutcome, RetainRoutes};
 use bgpworms_types::{Asn, Community, Prefix};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -215,37 +215,61 @@ pub fn location_injection(params: &SurveyParams) -> Option<LocationInjectionRepo
         .simulation(&ctx.topo)
         .retain(RetainRoutes::None)
         .compile();
-    let result = sim.run(&[Origination::announce(ctx.injector.asn, p, injected.clone())]);
 
-    let mut observing = 0usize;
-    let mut with_contradiction = 0usize;
-    for observations in result.observations.values() {
-        let mut saw_prefix = false;
-        let mut saw_both = false;
-        for obs in observations {
-            if obs.prefix != p {
-                continue;
-            }
-            if let Some(route) = &obs.route {
-                saw_prefix = true;
-                if injected.iter().all(|c| route.has_community(*c)) {
-                    saw_both = true;
+    // Streaming fold: per collector, did it see the prefix at all / with
+    // both contradictory tags? The observation lists themselves never
+    // outlive the fold.
+    struct ContradictionSink<'c> {
+        prefix: Prefix,
+        injected: &'c [Community],
+        // Indexed by collector position in the compiled spec.
+        saw_prefix: Vec<bool>,
+        saw_both: Vec<bool>,
+    }
+
+    impl CampaignSink for ContradictionSink<'_> {
+        fn fold(&mut self, _prefix: Prefix, outcome: PrefixOutcome) {
+            for (ci, observations) in outcome.observations.iter().enumerate() {
+                for obs in observations {
+                    if obs.prefix != self.prefix {
+                        continue;
+                    }
+                    if let Some(route) = &obs.route {
+                        self.saw_prefix[ci] = true;
+                        if self.injected.iter().all(|c| route.has_community(*c)) {
+                            self.saw_both[ci] = true;
+                        }
+                    }
                 }
             }
         }
-        if saw_prefix {
-            observing += 1;
-        }
-        if saw_both {
-            with_contradiction += 1;
+
+        fn merge(&mut self, other: Self) {
+            for (a, b) in self.saw_prefix.iter_mut().zip(other.saw_prefix) {
+                *a |= b;
+            }
+            for (a, b) in self.saw_both.iter_mut().zip(other.saw_both) {
+                *a |= b;
+            }
         }
     }
 
+    let n_collectors = sim.collector_names().len();
+    let run = Campaign::new(&sim).run(
+        &[Origination::announce(ctx.injector.asn, p, injected.clone())],
+        || ContradictionSink {
+            prefix: p,
+            injected: &injected,
+            saw_prefix: vec![false; n_collectors],
+            saw_both: vec![false; n_collectors],
+        },
+    );
+
     Some(LocationInjectionReport {
-        injected,
-        collectors_observing: observing,
-        collectors_with_contradiction: with_contradiction,
+        collectors_observing: run.sink.saw_prefix.iter().filter(|&&b| b).count(),
+        collectors_with_contradiction: run.sink.saw_both.iter().filter(|&&b| b).count(),
         total_collectors: ctx.workload.collectors.len(),
+        injected,
     })
 }
 

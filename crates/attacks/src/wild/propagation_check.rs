@@ -9,7 +9,9 @@
 
 use crate::conditions::BENIGN_VALUE;
 use crate::wild::{attach_peering_platform, attach_research_network, InjectionPlatform};
-use bgpworms_routesim::{Origination, Workload, WorkloadParams};
+use bgpworms_routesim::{
+    Campaign, CampaignSink, Origination, PrefixOutcome, Workload, WorkloadParams,
+};
 use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, TopologyParams};
 use bgpworms_types::{Asn, Community, Prefix};
 use std::collections::BTreeSet;
@@ -80,6 +82,48 @@ pub fn run(
     }
 }
 
+/// Streaming aggregate for one platform probe: collector observations are
+/// reduced to the forwarder/on-path AS sets the moment their prefix
+/// finishes — the observation lists themselves are dropped in the fold, so
+/// the probe retains O(distinct ASes), not O(observations).
+struct PropagationSink {
+    origin: Asn,
+    benign: Community,
+    forwarders: BTreeSet<Asn>,
+    ases_on_paths: BTreeSet<Asn>,
+}
+
+impl CampaignSink for PropagationSink {
+    fn fold(&mut self, _prefix: Prefix, outcome: PrefixOutcome) {
+        for observations in &outcome.observations {
+            for obs in observations {
+                let Some(route) = &obs.route else { continue };
+                let path = route.path.deprepended().to_vec();
+                for &asn in &path {
+                    if asn != self.origin {
+                        self.ases_on_paths.insert(asn);
+                    }
+                }
+                if route.has_community(self.benign) {
+                    // Everyone between the origin (exclusive) and the
+                    // monitor relayed the tag, including the collector
+                    // peer itself.
+                    for &asn in &path {
+                        if asn != self.origin {
+                            self.forwarders.insert(asn);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.forwarders.extend(other.forwarders);
+        self.ases_on_paths.extend(other.ases_on_paths);
+    }
+}
+
 fn probe(
     sim: &bgpworms_routesim::CompiledSim<'_>,
     platform: InjectionPlatform,
@@ -89,34 +133,19 @@ fn probe(
         BENIGN_VALUE,
     );
     let p = Prefix::V4(platform.prefix);
-    let result = sim.run(&[Origination::announce(platform.asn, p, vec![benign])]);
-
-    let mut forwarders = BTreeSet::new();
-    let mut ases_on_paths = BTreeSet::new();
-    for observations in result.observations.values() {
-        for obs in observations {
-            let Some(route) = &obs.route else { continue };
-            let path = route.path.deprepended().to_vec();
-            for &asn in &path {
-                if asn != platform.asn {
-                    ases_on_paths.insert(asn);
-                }
-            }
-            if route.has_community(benign) {
-                // Everyone between the origin (exclusive) and the monitor
-                // relayed the tag, including the collector peer itself.
-                for &asn in &path {
-                    if asn != platform.asn {
-                        forwarders.insert(asn);
-                    }
-                }
-            }
-        }
-    }
+    let run = Campaign::new(sim).run(
+        &[Origination::announce(platform.asn, p, vec![benign])],
+        || PropagationSink {
+            origin: platform.asn,
+            benign,
+            forwarders: BTreeSet::new(),
+            ases_on_paths: BTreeSet::new(),
+        },
+    );
     PlatformPropagation {
         platform,
-        forwarders,
-        ases_on_paths,
+        forwarders: run.sink.forwarders,
+        ases_on_paths: run.sink.ases_on_paths,
     }
 }
 

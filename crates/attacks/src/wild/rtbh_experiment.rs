@@ -10,8 +10,11 @@
 //! with Atlas pings plus the target's looking glass.
 
 use crate::wild::InjectionPlatform;
-use bgpworms_dataplane::{AtlasPlatform, Fib, LookingGlass};
-use bgpworms_routesim::{Origination, RetainRoutes, RouterConfig, Workload, WorkloadParams};
+use bgpworms_dataplane::{AtlasPlatform, Fib};
+use bgpworms_routesim::{
+    Campaign, CampaignSink, Origination, PrefixOutcome, RetainRoutes, Route, RouterConfig,
+    Workload, WorkloadParams,
+};
 use bgpworms_topology::{
     addressing::AddressingParams, EdgeKind, PrefixAllocation, Tier, Topology, TopologyParams,
 };
@@ -66,6 +69,50 @@ fn forwards_foreign_upward(workload: &Workload, asn: Asn) -> bool {
                 }
         })
         .unwrap_or(false)
+}
+
+/// Streaming aggregate for one run: the forwarding tables feeding the
+/// Atlas campaign, plus the looking-glass view at the community target for
+/// the blackholed prefix — everything the validation needs, folded per
+/// prefix so the run retains no per-prefix route collections. `target` and
+/// `bh_prefix` are fold-time context, seeded by the factory closure.
+#[derive(Debug)]
+struct RtbhSink {
+    target: Asn,
+    bh_prefix: Prefix,
+    fib: Fib,
+    target_route: Option<Route>,
+}
+
+impl RtbhSink {
+    fn factory(target: Asn, bh_prefix: Prefix) -> impl Fn() -> RtbhSink {
+        move || RtbhSink {
+            target,
+            bh_prefix,
+            fib: Fib::default(),
+            target_route: None,
+        }
+    }
+}
+
+impl CampaignSink for RtbhSink {
+    fn fold(&mut self, prefix: Prefix, outcome: PrefixOutcome) {
+        if prefix == self.bh_prefix {
+            self.target_route = outcome
+                .final_routes
+                .as_ref()
+                .and_then(|finals| finals.get(&self.target))
+                .cloned();
+        }
+        self.fib.fold(prefix, outcome);
+    }
+
+    fn merge(&mut self, other: Self) {
+        CampaignSink::merge(&mut self.fib, other.fib);
+        // The blackholed prefix lives in exactly one chunk, so at most one
+        // side holds the snapshot.
+        self.target_route = self.target_route.take().or(other.target_route);
+    }
 }
 
 /// Candidate targets: RTBH-offering providers of the (community-
@@ -178,11 +225,11 @@ pub fn run(
         .retain(RetainRoutes::Prefixes(retained))
         .compile();
 
-    // Baseline: plain announcement.
+    // Baseline: plain announcement, streamed straight into forwarding
+    // actions (no per-prefix route tables survive the fold).
     let mut base_eps = episodes.clone();
     base_eps.push(Origination::announce(injector.asn, p, vec![]));
-    let baseline = sim.run(&base_eps);
-    let base_fib = Fib::from_sim(&baseline);
+    let base_fib = Campaign::new(&sim).run(&base_eps, Fib::default).sink;
     let before = atlas.ping_campaign(&base_fib, target_addr);
 
     // Try each candidate target until the effect is demonstrable (the
@@ -193,12 +240,12 @@ pub fn run(
         let mut attack_eps = episodes.clone();
         attack_eps.push(Origination::announce(injector.asn, p, vec![]));
         attack_eps.push(Origination::announce(injector.asn, p, vec![target_bh]).at(600));
-        let attacked = sim.run(&attack_eps);
-        let attack_fib = Fib::from_sim(&attacked);
-        let after = atlas.ping_campaign(&attack_fib, target_addr);
+        let attacked = Campaign::new(&sim)
+            .run(&attack_eps, RtbhSink::factory(target, p))
+            .sink;
+        let after = atlas.ping_campaign(&attacked.fib, target_addr);
 
-        let lg = LookingGlass::new(&attacked);
-        let target_blackholed = lg.route(target, &p).map(|r| r.blackholed).unwrap_or(false);
+        let target_blackholed = attacked.target_route.map(|r| r.blackholed).unwrap_or(false);
 
         let report = RtbhWildReport {
             injector,

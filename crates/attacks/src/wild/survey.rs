@@ -6,7 +6,9 @@
 
 use crate::wild::{attach_peering_platform, InjectionPlatform};
 use bgpworms_dataplane::{trace, AtlasPlatform, Fib};
-use bgpworms_routesim::{CompiledSim, Origination, RetainRoutes, Workload, WorkloadParams};
+use bgpworms_routesim::{
+    Campaign, CompiledSim, Origination, RetainRoutes, Workload, WorkloadParams,
+};
 use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, TopologyParams};
 use bgpworms_types::{Asn, Community, Prefix};
 use std::collections::{BTreeMap, BTreeSet};
@@ -140,9 +142,13 @@ impl SurveyContext {
         let target_addr = AtlasPlatform::target_in(injector.prefix);
         let p = Prefix::V4(injector.prefix);
 
-        // Baseline FIB for VP prefixes (reverse paths), computed once.
-        let mut retained: BTreeSet<Prefix> = BTreeSet::new();
+        // Baseline FIB for VP prefixes (reverse paths), computed once —
+        // streamed: the campaign folds each prefix's converged routes into
+        // the FIB as forwarding actions and drops them, so the run never
+        // holds a `Vec` of per-prefix route tables (at survey scale that
+        // collection would dwarf the FIB itself).
         let mut vp_episodes = Vec::new();
+        let mut retained: BTreeSet<Prefix> = BTreeSet::new();
         for &(vp, _) in &atlas.vantage_points {
             for prefix in alloc.prefixes_of(vp) {
                 if prefix.is_v4() {
@@ -156,17 +162,20 @@ impl SurveyContext {
             .retain(RetainRoutes::Prefixes(retained))
             .threads(4)
             .compile();
-        let vp_fib = Fib::from_sim(&vp_sim.run(&vp_episodes));
+        let vp_fib = Campaign::new(&vp_sim).run(&vp_episodes, Fib::default).sink;
 
         // Baseline responsiveness with the plain /24.
         let p_sim = workload
             .simulation(&topo)
             .retain(RetainRoutes::Prefixes([p].into_iter().collect()))
             .compile();
-        let base_result = p_sim.run(&[Origination::announce(injector.asn, p, vec![])]);
+        let base_run = Campaign::new(&p_sim).run(
+            &[Origination::announce(injector.asn, p, vec![])],
+            Fib::default,
+        );
         drop((vp_sim, p_sim));
         let mut base_fib = vp_fib.clone();
-        base_fib.merge(&Fib::from_sim(&base_result));
+        base_fib.merge(&base_run.sink);
         let before = atlas.ping_campaign(&base_fib, target_addr).responsive;
 
         SurveyContext {
@@ -197,15 +206,19 @@ impl SurveyContext {
 
     /// The FIB when the experiment prefix is announced with `communities`
     /// (plain announce, then tagged re-announce — exactly the paper's
-    /// step-1/step-3 sequence), replayed on the shared `session`.
+    /// step-1/step-3 sequence), replayed on the shared `session` and
+    /// streamed straight into forwarding actions.
     pub fn fib_with(&self, session: &CompiledSim<'_>, communities: &[Community]) -> Fib {
         let p = Prefix::V4(self.injector.prefix);
-        let result = session.run(&[
-            Origination::announce(self.injector.asn, p, vec![]),
-            Origination::announce(self.injector.asn, p, communities.to_vec()).at(300),
-        ]);
+        let run = Campaign::new(session).run(
+            &[
+                Origination::announce(self.injector.asn, p, vec![]),
+                Origination::announce(self.injector.asn, p, communities.to_vec()).at(300),
+            ],
+            Fib::default,
+        );
         let mut fib = self.vp_fib.clone();
-        fib.merge(&Fib::from_sim(&result));
+        fib.merge(&run.sink);
         fib
     }
 

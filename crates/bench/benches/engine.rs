@@ -16,11 +16,18 @@
 //!   model's compile+run twice. The gap is the amortization win;
 //! * `run-large-1px/1` — one announcement episode propagated across the
 //!   headline ~8.6 K-AS topology, so the big-topology hot path has a
-//!   guarded number too.
+//!   guarded number too;
+//! * `run-internet-1px/1` / `campaign-internet-2px/1` — the **internet
+//!   phase**: one episode across the full ~62 K-AS April-2018 topology
+//!   (memoized build), plus a two-prefix streaming [`Campaign`] over the
+//!   same session, so both the per-prefix hot path and the streaming-sink
+//!   driver are gated at the paper's measurement scale.
 
-use bgpworms_routesim::{Origination, SimSpec, Workload, WorkloadParams};
+use bgpworms_routesim::{
+    Campaign, CampaignSink, Origination, PrefixOutcome, SimSpec, Workload, WorkloadParams,
+};
 use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, TopologyParams};
-use bgpworms_types::Community;
+use bgpworms_types::{Community, Prefix};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_engine(c: &mut Criterion) {
@@ -123,6 +130,53 @@ fn bench_engine(c: &mut Criterion) {
             res.events
         })
     });
+
+    // The internet phase: the paper's full April-2018 scale (~62 K ASes,
+    // memoized build). One episode through `run`, and a two-prefix
+    // streaming campaign through the `Campaign` driver — the shape a
+    // full-table measurement runs at, with per-prefix results folded to a
+    // count instead of retained. Fewer samples: each iteration converges
+    // a ~62 K-node flood.
+    group.sample_size(5);
+    let internet_topo = TopologyParams::internet_cached();
+    let internet_alloc = PrefixAllocation::assign(internet_topo, AddressingParams::default());
+    let internet_eps: Vec<Origination> = internet_alloc
+        .iter()
+        .take(2)
+        .map(|(asn, prefix)| Origination::announce(asn, prefix, vec![]))
+        .collect();
+    let internet_sim = SimSpec::new(internet_topo).threads(1).compile();
+    let one_ep = vec![internet_eps[0].clone()];
+    group.bench_with_input(BenchmarkId::new("run-internet-1px", 1), &1usize, |b, _| {
+        b.iter(|| {
+            let res = internet_sim.run(&one_ep);
+            assert!(res.converged);
+            res.events
+        })
+    });
+
+    struct EventCount(u64);
+    impl CampaignSink for EventCount {
+        fn fold(&mut self, _prefix: Prefix, outcome: PrefixOutcome) {
+            self.0 += outcome.events;
+        }
+        fn merge(&mut self, other: Self) {
+            self.0 += other.0;
+        }
+    }
+    group.bench_with_input(
+        BenchmarkId::new("campaign-internet-2px", 1),
+        &1usize,
+        |b, _| {
+            b.iter(|| {
+                let run = Campaign::new(&internet_sim)
+                    .chunk_size(1)
+                    .run(&internet_eps, || EventCount(0));
+                assert!(run.converged);
+                run.sink.0
+            })
+        },
+    );
 
     group.finish();
 }

@@ -21,6 +21,10 @@ pub enum Scale {
     Medium,
     /// ~8.6 K ASes — the headline scale (slow; several minutes).
     Large,
+    /// ~62 K ASes — the paper's full April-2018 Internet. Only the
+    /// propagation engine is benchmarked at this scale today; a full
+    /// `Snapshot` (workload + MRT + analysis) would take hours.
+    Internet,
 }
 
 impl Scale {
@@ -31,6 +35,7 @@ impl Scale {
             "small" => Some(Scale::Small),
             "medium" => Some(Scale::Medium),
             "large" => Some(Scale::Large),
+            "internet" => Some(Scale::Internet),
             _ => None,
         }
     }
@@ -42,6 +47,7 @@ impl Scale {
             Scale::Small => TopologyParams::small(),
             Scale::Medium => TopologyParams::medium(),
             Scale::Large => TopologyParams::large(),
+            Scale::Internet => TopologyParams::internet(),
         }
     }
 }
@@ -157,6 +163,7 @@ mod tests {
     fn scale_parsing() {
         assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
         assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("internet"), Some(Scale::Internet));
         assert_eq!(Scale::parse("galactic"), None);
     }
 }

@@ -22,10 +22,25 @@ pub use strategy::{any, Arbitrary, Just, Strategy};
 
 /// Test-runner configuration ([`test_runner::ProptestConfig`]) and the deterministic RNG.
 pub mod test_runner {
-    /// Number of random cases each property runs by default. The real
-    /// proptest defaults to 256; 64 keeps hermetic CI fast while still
-    /// exercising the properties broadly.
-    pub const DEFAULT_CASES: u32 = 64;
+    /// Number of random cases each property runs by default, matching the
+    /// real proptest's 256. Override per process with the `PROPTEST_CASES`
+    /// environment variable (the same knob the real crate honours), so CI
+    /// jobs can dial the corpus down without touching the suites.
+    pub const DEFAULT_CASES: u32 = 256;
+
+    /// The default case count for this process: `PROPTEST_CASES` when set
+    /// to a positive integer, [`DEFAULT_CASES`] otherwise.
+    pub fn default_cases() -> u32 {
+        cases_from(std::env::var("PROPTEST_CASES").ok().as_deref())
+    }
+
+    /// Parses a `PROPTEST_CASES`-style override; `None`, empty, zero, or
+    /// garbage all fall back to [`DEFAULT_CASES`].
+    pub(crate) fn cases_from(raw: Option<&str>) -> u32 {
+        raw.and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_CASES)
+    }
 
     /// Runner configuration (only `cases` is honoured).
     #[derive(Debug, Clone)]
@@ -37,15 +52,27 @@ pub mod test_runner {
     impl Default for ProptestConfig {
         fn default() -> Self {
             ProptestConfig {
-                cases: DEFAULT_CASES,
+                cases: default_cases(),
             }
         }
     }
 
     impl ProptestConfig {
-        /// A config running `cases` cases.
+        /// A config running exactly `cases` cases (not subject to the
+        /// `PROPTEST_CASES` override — explicit beats environment).
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
+        }
+
+        /// A config whose *upper bound* is `cases`: runs
+        /// `min(cases, PROPTEST_CASES-or-default)` cases. Suites whose
+        /// per-case cost is high cap themselves with this so the default
+        /// 256-case corpus doesn't stretch CI, while still honouring a
+        /// lower environment override.
+        pub fn with_cases_capped(cases: u32) -> Self {
+            ProptestConfig {
+                cases: cases.min(default_cases()),
+            }
         }
     }
 
@@ -334,6 +361,26 @@ macro_rules! prop_oneof {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn case_count_override_parsing() {
+        use crate::test_runner::{cases_from, DEFAULT_CASES};
+        assert_eq!(cases_from(None), DEFAULT_CASES);
+        assert_eq!(cases_from(Some("64")), 64);
+        assert_eq!(cases_from(Some(" 12 ")), 12);
+        assert_eq!(cases_from(Some("0")), DEFAULT_CASES, "zero is nonsense");
+        assert_eq!(cases_from(Some("lots")), DEFAULT_CASES);
+        assert_eq!(cases_from(Some("")), DEFAULT_CASES);
+    }
+
+    #[test]
+    fn capped_config_respects_both_bounds() {
+        use crate::test_runner::default_cases;
+        let capped = ProptestConfig::with_cases_capped(48);
+        assert_eq!(capped.cases, 48.min(default_cases()));
+        let wide = ProptestConfig::with_cases_capped(u32::MAX);
+        assert_eq!(wide.cases, default_cases());
+    }
 
     proptest! {
         #[test]

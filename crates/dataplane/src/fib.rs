@@ -1,7 +1,7 @@
 //! Forwarding tables: per-AS longest-prefix match over the converged
 //! control plane, with null routes for blackholed prefixes.
 
-use bgpworms_routesim::{Route, RouteSource, SimResult};
+use bgpworms_routesim::{CampaignSink, PrefixOutcome, Route, RouteSource, SimResult};
 use bgpworms_types::{Asn, Ipv4Prefix, Prefix};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -56,12 +56,8 @@ impl Fib {
     pub fn from_sim(result: &SimResult) -> Self {
         let mut fib = Fib::default();
         for (prefix, per_as) in &result.final_routes {
-            let Prefix::V4(p4) = prefix else {
-                continue; // data-plane probing is IPv4, like §7.6
-            };
             for (asn, route) in per_as {
-                let action = action_of(route);
-                fib.tables.entry(*asn).or_default().insert(*p4, action);
+                fib.insert_route(*asn, prefix, route);
             }
         }
         fib
@@ -70,6 +66,19 @@ impl Fib {
     /// Inserts one entry (used by tests and synthetic scenarios).
     pub fn insert(&mut self, asn: Asn, prefix: Ipv4Prefix, action: FibAction) {
         self.tables.entry(asn).or_default().insert(prefix, action);
+    }
+
+    /// Inserts the forwarding action derived from one converged route.
+    /// Non-IPv4 prefixes are ignored (data-plane probing is IPv4, like
+    /// §7.6). This is the single-route form of [`Fib::from_sim`], used by
+    /// the streaming [`CampaignSink`] impl below.
+    pub fn insert_route(&mut self, asn: Asn, prefix: &Prefix, route: &Route) {
+        if let Prefix::V4(p4) = prefix {
+            self.tables
+                .entry(asn)
+                .or_default()
+                .insert(*p4, action_of(route));
+        }
     }
 
     /// Longest-prefix-match lookup at `asn`.
@@ -113,6 +122,27 @@ impl Fib {
                 p.contains(ip).then_some((p, action))
             })
             .max_by_key(|(p, _)| p.len())
+    }
+}
+
+/// Streaming aggregation: a [`bgpworms_routesim::Campaign`] over a session
+/// that retains the prefixes of interest can fold straight into a `Fib` —
+/// each prefix's route table is converted to forwarding actions and dropped
+/// the moment the prefix finishes, so no `SimResult` (and no
+/// `O(prefixes × ASes)` route collection) ever materializes.
+impl CampaignSink for Fib {
+    fn fold(&mut self, prefix: Prefix, outcome: PrefixOutcome) {
+        if let Some(finals) = outcome.final_routes {
+            for (asn, route) in finals {
+                self.insert_route(asn, &prefix, &route);
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        // Chunks cover disjoint prefixes, so the overwrite-on-conflict
+        // semantics of the inherent `merge` are moot here.
+        Fib::merge(self, &other);
     }
 }
 
@@ -193,6 +223,41 @@ mod tests {
                 fib.lookup_naive(asn, ip(probe)),
                 "mismatch at {probe}"
             );
+        }
+    }
+
+    #[test]
+    fn campaign_sink_fold_matches_from_sim() {
+        use bgpworms_routesim::{Campaign, Origination, RetainRoutes, SimSpec};
+        use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, TopologyParams};
+
+        let topo = TopologyParams::tiny().seed(12).build();
+        let alloc = PrefixAllocation::assign(&topo, AddressingParams::default());
+        let eps: Vec<Origination> = alloc
+            .iter()
+            .map(|(asn, prefix)| Origination::announce(asn, prefix, vec![]))
+            .collect();
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+
+        let collected = Fib::from_sim(&sim.run(&eps));
+        let streamed = Campaign::new(&sim).chunk_size(3).run(&eps, Fib::default);
+        assert!(streamed.converged);
+
+        // Identical lookups everywhere (Fib has no Eq; compare behaviour
+        // at every origin address).
+        assert_eq!(collected.len(), streamed.sink.len());
+        for (asn, prefix) in alloc.iter() {
+            if let bgpworms_types::Prefix::V4(p4) = prefix {
+                let probe = p4.network() | 1;
+                for node in topo.ases() {
+                    assert_eq!(
+                        collected.lookup(node.asn, probe),
+                        streamed.sink.lookup(node.asn, probe),
+                        "fib divergence at {} for {asn}/{prefix}",
+                        node.asn
+                    );
+                }
+            }
         }
     }
 

@@ -30,7 +30,7 @@ fn arb_update() -> impl Strategy<Value = RouteUpdate> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases_capped(128))]
 
     #[test]
     fn archive_roundtrips_update_batches(

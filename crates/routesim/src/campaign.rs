@@ -1,0 +1,681 @@
+//! Internet-scale campaign driver: stream per-prefix outcomes into a
+//! caller-supplied fold instead of accumulating them.
+//!
+//! [`CompiledSim::run`] returns one [`crate::SimResult`] holding every
+//! retained route and observation — fine for attack scenarios over a
+//! handful of prefixes, but a full-table run over the ~62 K-AS April-2018
+//! Internet would retain `O(prefixes × ASes)` routes. A [`Campaign`] runs
+//! the same per-prefix episodes on the same session while keeping only
+//! `O(aggregate)` state: the per-prefix loop is sharded into bounded **work
+//! chunks**, every [`PrefixOutcome`] is folded into a [`CampaignSink`] the
+//! moment its prefix finishes, and finished chunk sinks are merged into the
+//! running aggregate in chunk order. Nothing per-prefix survives the fold.
+//!
+//! # Determinism contract
+//!
+//! The driver fixes the fold/merge call sequence independent of the worker
+//! count: within a chunk, prefixes are folded in ascending prefix order
+//! into that chunk's own sink (created by the caller's factory); finished
+//! chunks are merged into the aggregate in ascending chunk order, whichever
+//! worker finished first. A sink therefore observes **exactly** the same
+//! call sequence under `threads = 1` and `threads = N` — locked in by
+//! property tests in `tests/determinism.rs` — so any deterministic
+//! `fold`/`merge` implementation yields thread-count-independent results;
+//! no commutativity is required of the sink.
+//!
+//! # Checkpointing
+//!
+//! A campaign can stop after any number of chunks and hand back a
+//! [`CampaignCheckpoint`] — the aggregate sink plus the count of completed
+//! chunks. [`Campaign::resume`] continues from the first incomplete chunk
+//! and produces a result bit-identical to an uninterrupted run (same
+//! fold/merge sequence, just spread over several calls). That is the
+//! full-table safety net: a multi-hour campaign interrupted at chunk `k`
+//! re-runs only chunks `k..`, not the table.
+//!
+//! ```
+//! use bgpworms_routesim::{Campaign, CampaignSink, Origination, PrefixOutcome, SimSpec};
+//! use bgpworms_topology::{Tier, Topology};
+//! use bgpworms_types::{Asn, Prefix};
+//!
+//! /// Aggregate: how many ASes converged a route, per prefix — O(prefixes)
+//! /// retained, O(ASes) streamed.
+//! #[derive(Default)]
+//! struct ReachCount(std::collections::BTreeMap<Prefix, usize>);
+//!
+//! impl CampaignSink for ReachCount {
+//!     fn fold(&mut self, prefix: Prefix, outcome: PrefixOutcome) {
+//!         let n = outcome.final_routes.map(|r| r.len()).unwrap_or(0);
+//!         self.0.insert(prefix, n);
+//!     }
+//!     fn merge(&mut self, other: Self) {
+//!         self.0.extend(other.0);
+//!     }
+//! }
+//!
+//! let mut topo = Topology::new();
+//! topo.add_simple(Asn::new(1), Tier::Tier1);
+//! topo.add_simple(Asn::new(2), Tier::Stub);
+//! topo.add_edge(Asn::new(1), Asn::new(2), bgpworms_topology::EdgeKind::ProviderToCustomer);
+//! let sim = SimSpec::new(&topo).retain(bgpworms_routesim::RetainRoutes::All).compile();
+//! let eps = vec![Origination::announce(Asn::new(2), "10.0.0.0/16".parse().unwrap(), vec![])];
+//! let run = Campaign::new(&sim).run(&eps, ReachCount::default);
+//! assert!(run.converged);
+//! assert_eq!(run.sink.0.len(), 1);
+//! ```
+
+use crate::engine::{group_by_prefix, panic_message, CompiledSim, Origination, PrefixOutcome};
+use bgpworms_types::Prefix;
+use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A streaming fold over per-prefix outcomes.
+///
+/// Implementations must be deterministic functions of the call sequence;
+/// the [`Campaign`] driver guarantees that sequence is independent of the
+/// worker-thread count (see the module docs). `fold` consumes the outcome —
+/// take what the aggregate needs and let the rest drop; that is what bounds
+/// a full-table run's memory.
+pub trait CampaignSink: Sized {
+    /// Absorbs one finished prefix. Called in ascending prefix order within
+    /// a work chunk, on the chunk's own sink instance.
+    fn fold(&mut self, prefix: Prefix, outcome: PrefixOutcome);
+
+    /// Absorbs a finished chunk's sink into the running aggregate. Called
+    /// in ascending chunk order, on the aggregate.
+    fn merge(&mut self, other: Self);
+}
+
+/// The campaign driver: a chunked, streaming view of one compiled session.
+///
+/// Layered on [`CompiledSim`] — it replays the same per-prefix engine the
+/// session API uses (`threads` comes from the session too); only the result
+/// handling differs.
+#[derive(Debug, Clone, Copy)]
+pub struct Campaign<'s, 't> {
+    sim: &'s CompiledSim<'t>,
+    chunk_size: usize,
+}
+
+/// Default prefixes per work chunk: small enough that a checkpoint is never
+/// far away and chunk sinks stay cheap, large enough that per-chunk
+/// bookkeeping vanishes next to per-prefix convergence cost.
+pub const DEFAULT_CHUNK_SIZE: usize = 32;
+
+/// Target minimum number of chunks a non-trivial schedule is split into
+/// (schedules with at least this many prefixes yield at least half of it
+/// after rounding; smaller schedules get one prefix per chunk): keeps
+/// small campaigns parallelizable, since chunks — not prefixes — are what
+/// workers claim. Comfortably above any realistic core count while keeping
+/// per-chunk overhead irrelevant.
+pub const MIN_SCHEDULABLE_CHUNKS: usize = 64;
+
+/// A resumable campaign position: the aggregate sink after some prefix of
+/// the chunk sequence, plus how many chunks it covers.
+#[derive(Debug, Clone)]
+pub struct CampaignCheckpoint<S> {
+    sink: S,
+    chunks_done: usize,
+    chunk_size: usize,
+    /// Digest of the prefix list this checkpoint was taken against
+    /// (`None` until the first [`Campaign::run_chunks`] call touches a
+    /// schedule); chunk boundaries derive from the prefix set, so resuming
+    /// against a drifted schedule — changed count *or* changed membership —
+    /// is rejected instead of silently mis-chunked.
+    schedule_digest: Option<u64>,
+    events: u64,
+    converged: bool,
+}
+
+impl<S> CampaignCheckpoint<S> {
+    /// The aggregate so far (read-only; resume to continue folding).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Completed chunks.
+    pub fn chunks_done(&self) -> usize {
+        self.chunks_done
+    }
+
+    /// Events processed by the completed chunks.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// True if every completed prefix converged within budget.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+}
+
+/// A finished campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignRun<S> {
+    /// The fully merged aggregate.
+    pub sink: S,
+    /// Total update events across all prefixes.
+    pub events: u64,
+    /// True if every prefix converged within its event budget.
+    pub converged: bool,
+    /// Work chunks processed (including any from a resumed checkpoint).
+    pub chunks: usize,
+}
+
+/// One chunk's worth of aggregation, produced by a worker.
+struct ChunkOutcome<S> {
+    sink: S,
+    events: u64,
+    converged: bool,
+}
+
+/// A parallel worker's publication slot: written once by the claiming
+/// worker (result or captured panic text), read once by the in-order merge.
+type ChunkSlot<S> = Mutex<Option<Result<ChunkOutcome<S>, String>>>;
+
+impl<'s, 't> Campaign<'s, 't> {
+    /// A campaign over `sim` with the [`DEFAULT_CHUNK_SIZE`].
+    pub fn new(sim: &'s CompiledSim<'t>) -> Self {
+        Campaign {
+            sim,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// Sets the prefixes-per-chunk **upper bound** (minimum 1). Small
+    /// schedules get proportionally smaller chunks — see
+    /// [`Campaign::effective_chunk_size`] — so a handful of prefixes still
+    /// spreads across every worker. Checkpoints are only portable between
+    /// campaigns with the same configured chunk size.
+    pub fn chunk_size(mut self, n: usize) -> Self {
+        self.chunk_size = n.max(1);
+        self
+    }
+
+    /// The chunk size actually used for a schedule of `n_prefixes`: the
+    /// configured bound, shrunk so the schedule splits into at least
+    /// [`MIN_SCHEDULABLE_CHUNKS`] chunks. Chunks are the parallel work
+    /// unit, so without this a 24-prefix campaign under the default bound
+    /// of 32 would be one chunk — i.e. fully serial no matter how many
+    /// worker threads the session has. The formula depends only on the
+    /// configured bound and the prefix count, never on the thread count,
+    /// which is what keeps chunk boundaries (and hence the sink's
+    /// fold/merge sequence and checkpoint grain) identical across
+    /// `threads = 1/N`.
+    pub fn effective_chunk_size(&self, n_prefixes: usize) -> usize {
+        self.chunk_size
+            .min(n_prefixes.div_ceil(MIN_SCHEDULABLE_CHUNKS))
+            .max(1)
+    }
+
+    /// An empty checkpoint wrapping the campaign's aggregate sink; feed it
+    /// to [`Campaign::run_chunks`] to execute incrementally.
+    pub fn begin<S: CampaignSink>(&self, sink: S) -> CampaignCheckpoint<S> {
+        CampaignCheckpoint {
+            sink,
+            chunks_done: 0,
+            chunk_size: self.chunk_size,
+            schedule_digest: None,
+            events: 0,
+            converged: true,
+        }
+    }
+
+    /// Runs the whole campaign: every prefix of `originations`, streamed
+    /// through per-chunk sinks from `new_sink` into one aggregate (also
+    /// from `new_sink`).
+    pub fn run<S, F>(&self, originations: &[Origination], new_sink: F) -> CampaignRun<S>
+    where
+        S: CampaignSink + Send,
+        F: Fn() -> S + Sync,
+    {
+        let start = self.begin(new_sink());
+        let (cp, _) = self.advance(originations, start, &new_sink, None);
+        finish(cp)
+    }
+
+    /// Continues an interrupted campaign to completion. Equivalent — sink
+    /// call sequence and all — to having run uninterrupted.
+    pub fn resume<S, F>(
+        &self,
+        originations: &[Origination],
+        checkpoint: CampaignCheckpoint<S>,
+        new_sink: F,
+    ) -> CampaignRun<S>
+    where
+        S: CampaignSink + Send,
+        F: Fn() -> S + Sync,
+    {
+        let (cp, _) = self.advance(originations, checkpoint, &new_sink, None);
+        finish(cp)
+    }
+
+    /// Executes at most `max_chunks` further chunks and returns the new
+    /// checkpoint plus whether the campaign is finished.
+    pub fn run_chunks<S, F>(
+        &self,
+        originations: &[Origination],
+        checkpoint: CampaignCheckpoint<S>,
+        new_sink: F,
+        max_chunks: usize,
+    ) -> (CampaignCheckpoint<S>, bool)
+    where
+        S: CampaignSink + Send,
+        F: Fn() -> S + Sync,
+    {
+        self.advance(originations, checkpoint, &new_sink, Some(max_chunks))
+    }
+
+    /// The core loop: shards the not-yet-done chunk range over the
+    /// session's worker threads (workers claim chunks from an atomic
+    /// counter and publish into per-chunk `Mutex<Option<…>>` slots — the
+    /// engine's sharding scheme one level up, with `Mutex` in place of
+    /// `OnceLock` so sinks only need `Send`), then merges finished chunk
+    /// sinks into the aggregate in chunk order.
+    fn advance<S, F>(
+        &self,
+        originations: &[Origination],
+        mut cp: CampaignCheckpoint<S>,
+        new_sink: &F,
+        max_chunks: Option<usize>,
+    ) -> (CampaignCheckpoint<S>, bool)
+    where
+        S: CampaignSink + Send,
+        F: Fn() -> S + Sync,
+    {
+        assert_eq!(
+            cp.chunk_size, self.chunk_size,
+            "checkpoint was taken with a different chunk size"
+        );
+        // Same grouping as `CompiledSim::run` — shared helper, so the two
+        // paths cannot drift apart.
+        let by_prefix = group_by_prefix(originations);
+        let prefixes: Vec<Prefix> = by_prefix.keys().copied().collect();
+
+        // Chunk boundaries are recomputed from the prefix list, so a
+        // checkpoint is only meaningful against the schedule it was taken
+        // from: a drifted schedule — fewer, more, or simply *different*
+        // prefixes — would silently skip or re-fold work.
+        let digest = schedule_digest(&prefixes);
+        match cp.schedule_digest {
+            Some(d) => assert_eq!(
+                d, digest,
+                "checkpoint was taken against a different schedule"
+            ),
+            None => cp.schedule_digest = Some(digest),
+        }
+
+        let chunk_size = self.effective_chunk_size(prefixes.len());
+        let n_chunks = prefixes.len().div_ceil(chunk_size);
+        let end = match max_chunks {
+            Some(m) => n_chunks.min(cp.chunks_done.saturating_add(m)),
+            None => n_chunks,
+        };
+        if cp.chunks_done >= end {
+            let finished = cp.chunks_done >= n_chunks;
+            return (cp, finished);
+        }
+        let todo: Vec<usize> = (cp.chunks_done..end).collect();
+
+        let threads = self.sim.threads().min(todo.len()).max(1);
+        if threads == 1 {
+            for &ci in &todo {
+                let out = self.run_chunk(ci, chunk_size, &prefixes, &by_prefix, new_sink);
+                absorb(&mut cp, out);
+            }
+        } else {
+            // Per-chunk result slots; `Mutex<Option<…>>` rather than
+            // `OnceLock` so sinks only need `Send`, never `Sync` (each
+            // slot is written once by its claiming worker, read once by
+            // the merge below — the lock is never contended).
+            let slots: Vec<ChunkSlot<S>> = (0..todo.len()).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            // Set on the first captured panic: workers stop claiming new
+            // chunks, so a sink blowing up in chunk 0 of a multi-hour
+            // full-table campaign doesn't let the fleet grind through
+            // every remaining chunk before the error surfaces.
+            let abort = std::sync::atomic::AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let (slots, next, abort, prefixes, by_prefix, todo) =
+                        (&slots, &next, &abort, &prefixes, &by_prefix, &todo);
+                    scope.spawn(move || loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&ci) = todo.get(k) else { break };
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            self.run_chunk(ci, chunk_size, prefixes, by_prefix, new_sink)
+                        }));
+                        if outcome.is_err() {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        let previous = slots[k]
+                            .lock()
+                            .expect("slot lock never poisoned")
+                            .replace(outcome.map_err(|payload| panic_message(&payload)));
+                        debug_assert!(previous.is_none(), "chunk slot {k} claimed twice");
+                    });
+                }
+            });
+            // Merge in chunk order — the slots vector *is* that order.
+            // Claims are handed out in ascending order and every claimed
+            // slot is written before its worker exits, so the written
+            // slots form a prefix of `todo`; a panicked (Err) slot is
+            // always reached before any unclaimed (None) one.
+            for (slot, &ci) in slots.into_iter().zip(&todo) {
+                match slot.into_inner().expect("slot lock never poisoned") {
+                    Some(Ok(out)) => absorb(&mut cp, out),
+                    Some(Err(msg)) => panic!("campaign worker panicked in chunk {ci}: {msg}"),
+                    None => unreachable!("unclaimed slot implies an earlier panicked slot"),
+                }
+            }
+        }
+        (cp, end >= n_chunks)
+    }
+
+    /// Runs one chunk's prefixes (ascending order) into a fresh sink.
+    /// `chunk_size` is the effective size `advance` computed for this
+    /// schedule.
+    fn run_chunk<S, F>(
+        &self,
+        ci: usize,
+        chunk_size: usize,
+        prefixes: &[Prefix],
+        by_prefix: &BTreeMap<Prefix, Vec<&Origination>>,
+        new_sink: &F,
+    ) -> ChunkOutcome<S>
+    where
+        S: CampaignSink,
+        F: Fn() -> S,
+    {
+        let lo = ci * chunk_size;
+        let hi = lo.saturating_add(chunk_size).min(prefixes.len());
+        let mut out = ChunkOutcome {
+            sink: new_sink(),
+            events: 0,
+            converged: true,
+        };
+        for &prefix in &prefixes[lo..hi] {
+            let outcome = self.sim.run_prefix(prefix, &by_prefix[&prefix]);
+            out.events += outcome.events;
+            out.converged &= outcome.converged;
+            out.sink.fold(prefix, outcome);
+        }
+        out
+    }
+}
+
+/// Digest of a schedule's sorted prefix list, binding checkpoints to the
+/// exact prefix set (and order) their chunk boundaries were computed over.
+/// Checkpoints live in memory only, so process-local stability suffices.
+fn schedule_digest(prefixes: &[Prefix]) -> u64 {
+    use std::hash::{DefaultHasher, Hash, Hasher};
+    let mut hasher = DefaultHasher::new();
+    prefixes.hash(&mut hasher);
+    hasher.finish()
+}
+
+fn absorb<S: CampaignSink>(cp: &mut CampaignCheckpoint<S>, out: ChunkOutcome<S>) {
+    cp.sink.merge(out.sink);
+    cp.events += out.events;
+    cp.converged &= out.converged;
+    cp.chunks_done += 1;
+}
+
+fn finish<S>(cp: CampaignCheckpoint<S>) -> CampaignRun<S> {
+    CampaignRun {
+        sink: cp.sink,
+        events: cp.events,
+        converged: cp.converged,
+        chunks: cp.chunks_done,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{RetainRoutes, SimSpec};
+    use crate::Origination;
+    use bgpworms_topology::{PrefixAllocation, TopologyParams};
+    use bgpworms_types::Asn;
+
+    /// Order-sensitive sink: records the exact fold/merge call sequence, so
+    /// any thread-count dependence in the driver shows up as a sequence
+    /// diff, plus per-prefix event counts for cross-checks against
+    /// `CompiledSim::run`.
+    #[derive(Debug, Default, PartialEq)]
+    struct Trace {
+        calls: Vec<String>,
+        events: u64,
+        routes: usize,
+    }
+
+    impl CampaignSink for Trace {
+        fn fold(&mut self, prefix: Prefix, outcome: PrefixOutcome) {
+            self.calls.push(format!("fold {prefix}"));
+            self.events += outcome.events;
+            self.routes += outcome.final_routes.map(|r| r.len()).unwrap_or(0);
+        }
+        fn merge(&mut self, other: Self) {
+            self.calls.push("merge".into());
+            self.calls.extend(other.calls);
+            self.events += other.events;
+            self.routes += other.routes;
+        }
+    }
+
+    fn world() -> (bgpworms_topology::Topology, Vec<Origination>) {
+        let topo = TopologyParams::tiny().seed(6).build();
+        let alloc = PrefixAllocation::assign(
+            &topo,
+            bgpworms_topology::addressing::AddressingParams::default(),
+        );
+        let eps: Vec<Origination> = alloc
+            .iter()
+            .map(|(asn, prefix)| Origination::announce(asn, prefix, vec![]))
+            .collect();
+        (topo, eps)
+    }
+
+    #[test]
+    fn campaign_matches_run_totals() {
+        let (topo, eps) = world();
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+        let reference = sim.run(&eps);
+        let run = Campaign::new(&sim).chunk_size(3).run(&eps, Trace::default);
+        assert_eq!(run.events, reference.events);
+        assert_eq!(run.converged, reference.converged);
+        let ref_routes: usize = reference.final_routes.values().map(|m| m.len()).sum();
+        assert_eq!(run.sink.routes, ref_routes);
+        assert!(run.chunks >= 2, "tiny world still spans chunks");
+    }
+
+    #[test]
+    fn small_schedules_still_split_into_many_chunks() {
+        // Chunks are the parallel work unit, so a schedule smaller than
+        // the configured bound must shrink its chunks, not collapse into
+        // one serial chunk.
+        let (topo, eps) = world();
+        let sim = SimSpec::new(&topo).compile();
+        let campaign = Campaign::new(&sim); // default bound: 32
+        assert_eq!(campaign.effective_chunk_size(24), 1);
+        assert_eq!(campaign.effective_chunk_size(1), 1);
+        assert_eq!(campaign.effective_chunk_size(0), 1);
+        assert_eq!(campaign.effective_chunk_size(640), 10);
+        assert_eq!(campaign.effective_chunk_size(64_000), 32);
+
+        let n_prefixes = eps
+            .iter()
+            .map(|o| o.prefix)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        let effective = campaign.effective_chunk_size(n_prefixes);
+        assert!(
+            effective < DEFAULT_CHUNK_SIZE,
+            "world of {n_prefixes} prefixes must shrink its chunks"
+        );
+        let run = campaign.run(&eps, Trace::default);
+        assert_eq!(
+            run.chunks,
+            n_prefixes.div_ceil(effective),
+            "chunk count must follow the effective size"
+        );
+        assert!(
+            run.chunks >= (MIN_SCHEDULABLE_CHUNKS / 2).min(n_prefixes),
+            "small schedules must still expose enough parallel work units"
+        );
+    }
+
+    #[test]
+    fn sink_call_sequence_is_thread_count_independent() {
+        let (topo, eps) = world();
+        let mut sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+        let seq = Campaign::new(&sim).chunk_size(2).run(&eps, Trace::default);
+        sim.set_threads(4);
+        let par = Campaign::new(&sim).chunk_size(2).run(&eps, Trace::default);
+        assert_eq!(seq.sink, par.sink, "fold/merge sequence diverged");
+        assert_eq!(seq.events, par.events);
+    }
+
+    #[test]
+    fn checkpoint_resume_equals_uninterrupted() {
+        let (topo, eps) = world();
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+        let campaign = Campaign::new(&sim).chunk_size(2);
+        let full = campaign.run(&eps, Trace::default);
+
+        // Stop-and-go: one chunk per call until done.
+        let mut cp = campaign.begin(Trace::default());
+        let mut guard = 0;
+        loop {
+            let (next, finished) = campaign.run_chunks(&eps, cp, Trace::default, 1);
+            cp = next;
+            guard += 1;
+            assert!(guard < 100, "campaign never finished");
+            if finished {
+                break;
+            }
+        }
+        let resumed = finish(cp);
+        assert_eq!(resumed.sink, full.sink);
+        assert_eq!(resumed.events, full.events);
+        assert_eq!(resumed.chunks, full.chunks);
+    }
+
+    #[test]
+    fn resume_after_partial_run_completes() {
+        let (topo, eps) = world();
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+        let campaign = Campaign::new(&sim).chunk_size(2);
+        let full = campaign.run(&eps, Trace::default);
+        let (cp, finished) =
+            campaign.run_chunks(&eps, campaign.begin(Trace::default()), Trace::default, 2);
+        assert!(!finished);
+        assert_eq!(cp.chunks_done(), 2);
+        let resumed = campaign.resume(&eps, cp, Trace::default);
+        assert_eq!(resumed.sink, full.sink);
+    }
+
+    #[test]
+    #[should_panic(expected = "different schedule")]
+    fn checkpoint_rejects_drifted_schedule() {
+        let (topo, mut eps) = world();
+        let sim = SimSpec::new(&topo).compile();
+        let campaign = Campaign::new(&sim);
+        let (cp, _) =
+            campaign.run_chunks(&eps, campaign.begin(Trace::default()), Trace::default, 1);
+        // One prefix is *swapped* between checkpoint and resume — the
+        // count is unchanged, but chunk contents would shift, so the
+        // resume must still refuse.
+        let last = eps.last_mut().expect("non-empty schedule");
+        last.prefix = "203.0.113.0/24".parse().unwrap();
+        let _ = campaign.resume(&eps, cp, Trace::default);
+    }
+
+    #[test]
+    #[should_panic(expected = "different chunk size")]
+    fn checkpoint_rejects_mismatched_chunking() {
+        let (topo, eps) = world();
+        let sim = SimSpec::new(&topo).compile();
+        let cp = Campaign::new(&sim).chunk_size(2).begin(Trace::default());
+        let _ = Campaign::new(&sim)
+            .chunk_size(3)
+            .resume(&eps, cp, Trace::default);
+    }
+
+    #[test]
+    fn empty_schedule_finishes_immediately() {
+        let topo = TopologyParams::tiny().seed(6).build();
+        let sim = SimSpec::new(&topo).compile();
+        let run = Campaign::new(&sim).run(&[], Trace::default);
+        assert!(run.converged);
+        assert_eq!(run.events, 0);
+        assert_eq!(run.chunks, 0);
+        assert!(run.sink.calls.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_names_the_chunk() {
+        // A panicking fold inside a parallel chunk must surface, not hang.
+        #[derive(Debug)]
+        struct Bomb;
+        impl CampaignSink for Bomb {
+            fn fold(&mut self, _prefix: Prefix, _outcome: PrefixOutcome) {
+                panic!("sink exploded");
+            }
+            fn merge(&mut self, _other: Self) {}
+        }
+        let (topo, eps) = world();
+        let mut sim = SimSpec::new(&topo).compile();
+        sim.set_threads(2);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Campaign::new(&sim).chunk_size(2).run(&eps, || Bomb)
+        }))
+        .expect_err("panic must propagate");
+        let msg = panic_message(&*err);
+        assert!(msg.contains("campaign worker panicked"), "got: {msg}");
+    }
+
+    #[test]
+    fn retained_routes_stream_through_the_fold() {
+        // Only the experiment prefix is retained; the sink must see its
+        // routes and nothing for the rest.
+        let (topo, eps) = world();
+        let keep = eps[0].prefix;
+        let sim = SimSpec::new(&topo)
+            .retain(RetainRoutes::Prefixes([keep].into_iter().collect()))
+            .compile();
+        let run = Campaign::new(&sim).run(&eps, Trace::default);
+        let reference = sim.run(&eps);
+        assert_eq!(
+            run.sink.routes,
+            reference
+                .final_routes
+                .get(&keep)
+                .map(|m| m.len())
+                .unwrap_or(0)
+        );
+    }
+
+    #[test]
+    fn origins_resolve_like_the_session_api() {
+        // An origination whose origin is not in the topology is skipped by
+        // `run_prefix`; the campaign must agree with `run` on that.
+        let (topo, mut eps) = world();
+        eps.push(Origination::announce(
+            Asn::new(999_999),
+            "99.99.0.0/16".parse().unwrap(),
+            vec![],
+        ));
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+        let reference = sim.run(&eps);
+        let run = Campaign::new(&sim).chunk_size(4).run(&eps, Trace::default);
+        assert_eq!(run.events, reference.events);
+        let ref_routes: usize = reference.final_routes.values().map(|m| m.len()).sum();
+        assert_eq!(run.sink.routes, ref_routes);
+    }
+}

@@ -363,18 +363,16 @@ impl<'a> CompiledSim<'a> {
         self.threads = threads;
     }
 
+    /// Collector names in spec order — the index space of
+    /// [`PrefixOutcome::observations`].
+    pub fn collector_names(&self) -> &[String] {
+        &self.collector_names
+    }
+
     /// Runs all origination episodes to convergence and collects results.
     /// Callable any number of times; the session is never mutated.
     pub fn run(&self, originations: &[Origination]) -> SimResult {
-        // Group episodes by prefix, preserving time order within a prefix.
-        let mut by_prefix: BTreeMap<Prefix, Vec<&Origination>> = BTreeMap::new();
-        for o in originations {
-            by_prefix.entry(o.prefix).or_default().push(o);
-        }
-        for eps in by_prefix.values_mut() {
-            eps.sort_by_key(|o| o.time);
-        }
-
+        let by_prefix = group_by_prefix(originations);
         let prefixes: Vec<Prefix> = by_prefix.keys().copied().collect();
         let results: Vec<PrefixOutcome> = if self.threads > 1 && prefixes.len() > 1 {
             run_parallel(self, &by_prefix, &prefixes)
@@ -535,8 +533,24 @@ fn run_parallel(
         .collect()
 }
 
+/// Groups episodes by prefix, preserving time order within each prefix
+/// (stable sort, so same-time duplicates keep schedule order) — the shared
+/// pre-processing of [`CompiledSim::run`] and the campaign driver. The
+/// campaign ≡ run equivalence pinned by `tests/determinism.rs` depends on
+/// both paths using exactly this grouping.
+pub(crate) fn group_by_prefix(originations: &[Origination]) -> BTreeMap<Prefix, Vec<&Origination>> {
+    let mut by_prefix: BTreeMap<Prefix, Vec<&Origination>> = BTreeMap::new();
+    for o in originations {
+        by_prefix.entry(o.prefix).or_default().push(o);
+    }
+    for eps in by_prefix.values_mut() {
+        eps.sort_by_key(|o| o.time);
+    }
+    by_prefix
+}
+
 /// Best-effort text of a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -557,7 +571,7 @@ impl CompiledSim<'_> {
     /// updates in one round therefore diffs its adjacency once instead of
     /// once per update, and a node whose best route did not change skips
     /// the recompute entirely ([`PrefixRouter::begin_export_pass`]).
-    fn run_prefix(&self, prefix: Prefix, episodes: &[&Origination]) -> PrefixOutcome {
+    pub(crate) fn run_prefix(&self, prefix: Prefix, episodes: &[&Origination]) -> PrefixOutcome {
         let vctx = ValidationCtx {
             irr: &self.irr,
             rpki: &self.rpki,
@@ -749,13 +763,23 @@ fn collector_export(
     router.export_for(cfg, crate::MONITOR_ASN, role_for_export, false, arena)
 }
 
-/// Per-prefix result before merging. Observations are indexed by collector
-/// position (resolved to names once, during the merge).
-struct PrefixOutcome {
-    observations: Vec<Vec<CollectorObservation>>,
-    final_routes: Option<BTreeMap<Asn, Route>>,
-    events: u64,
-    converged: bool,
+/// Everything one prefix's episode schedule produced, before any merging.
+///
+/// [`CompiledSim::run`] folds these into a [`SimResult`]; a
+/// [`crate::campaign::Campaign`] instead streams each one into a
+/// caller-supplied [`crate::campaign::CampaignSink`], so full-table runs
+/// never hold more than a work chunk of them at a time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefixOutcome {
+    /// Collector observations, indexed by collector **position** in the
+    /// compiled spec (resolve names via [`CompiledSim::collector_names`]).
+    pub observations: Vec<Vec<CollectorObservation>>,
+    /// Final best route per AS, when the prefix is retained.
+    pub final_routes: Option<BTreeMap<Asn, Route>>,
+    /// Update events processed for this prefix.
+    pub events: u64,
+    /// True if the prefix converged within the event budget.
+    pub converged: bool,
 }
 
 #[cfg(test)]

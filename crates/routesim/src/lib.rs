@@ -47,6 +47,35 @@
 //! any number of episode schedules (the paper's baseline/attack A/B pairs
 //! compile once and run twice) and is shareable read-only across threads.
 //!
+//! ## Full-table runs: `Campaign` + `CampaignSink`
+//!
+//! [`CompiledSim::run`] collects everything it retained into one
+//! [`SimResult`] — the right shape for attack scenarios over a few
+//! prefixes, and `O(prefixes × ASes)` at full-table scale. For
+//! Internet-scale campaigns (the ~62 K-AS April-2018 population of
+//! `TopologyParams::internet()`), layer a [`Campaign`] on the session
+//! instead:
+//!
+//! ```text
+//! Campaign::new(&compiled)         // borrows the session; threads come from it
+//!     .chunk_size(32)              // bounded work chunks (also the checkpoint grain)
+//!     .run(&episodes, MySink::default)   // fold(prefix, outcome) per prefix …
+//!     .sink                        // … merge(chunk) per chunk → one aggregate
+//! ```
+//!
+//! The campaign shards the per-prefix loop into bounded chunks and
+//! **streams** each [`PrefixOutcome`] into a caller-supplied
+//! [`CampaignSink`] — `fold(prefix, outcome)` in ascending prefix order
+//! within a chunk, `merge(chunk_sink)` in ascending chunk order — so a
+//! full-table run holds `O(aggregate)` memory, not `O(prefixes × routes)`.
+//! The fold/merge call sequence is fixed independently of the worker
+//! count (`sink(threads = 1) ≡ sink(threads = N)`), and a run can stop at
+//! any chunk boundary and [`Campaign::resume`] from the returned
+//! [`CampaignCheckpoint`] with a bit-identical result — both locked in by
+//! the determinism property suite. `bgpworms-dataplane`'s `Fib` implements
+//! the sink directly (routes fold straight into forwarding actions), and
+//! the §7 wild-experiment harness aggregates through it end to end.
+//!
 //! ## Migrating from the old mutable-field `Simulation`
 //!
 //! The pre-session API (`Simulation` with public mutable fields, one
@@ -124,6 +153,7 @@
 /// §8 defense's collector carve-out recognizes it on export.
 pub const MONITOR_ASN: bgpworms_types::Asn = bgpworms_types::Asn::new(4_000_000_000);
 
+pub mod campaign;
 pub mod collector;
 pub mod engine;
 pub mod policy;
@@ -131,8 +161,9 @@ pub mod route;
 pub mod router;
 pub mod workload;
 
+pub use campaign::{Campaign, CampaignCheckpoint, CampaignRun, CampaignSink};
 pub use collector::{archive_all, CollectorArchive, CollectorObservation, CollectorSpec, FeedKind};
-pub use engine::{CompiledSim, Origination, RetainRoutes, SimResult, SimSpec};
+pub use engine::{CompiledSim, Origination, PrefixOutcome, RetainRoutes, SimResult, SimSpec};
 pub use policy::{
     ActScope, BlackholeService, CommunityPropagationPolicy, CommunityServices, IrrDatabase,
     OriginValidation, RouteServerConfig, RouterConfig, RsEvalOrder, TaggingConfig, Vendor,

@@ -21,8 +21,8 @@
 use bgpworms_routesim::route::RouteArena;
 use bgpworms_routesim::router::{PrefixRouter, ValidationCtx};
 use bgpworms_routesim::{
-    CollectorSpec, CommunityPropagationPolicy, CompiledSim, FeedKind, IrrDatabase, Origination,
-    RetainRoutes, Route, RouterConfig, SimSpec,
+    Campaign, CampaignSink, CollectorSpec, CommunityPropagationPolicy, CompiledSim, FeedKind,
+    IrrDatabase, Origination, PrefixOutcome, RetainRoutes, Route, RouterConfig, SimResult, SimSpec,
 };
 use bgpworms_topology::{EdgeKind, NodeId, Role, Tier, Topology, TopologyParams};
 use bgpworms_types::{Asn, Community, Prefix};
@@ -340,8 +340,65 @@ fn reference_final_routes(
     Some(out)
 }
 
+/// Keyed streaming aggregate for the campaign properties: retains every
+/// [`PrefixOutcome`] under its prefix, so equality between two campaign
+/// runs is full structural equality of everything the engine produced.
+/// `fold` inserts, `merge` unions — per-prefix keying makes the aggregate
+/// independent of how the driver chunked the work, which is exactly the
+/// property the campaign API promises to *any* deterministic sink.
+#[derive(Debug, Default, PartialEq)]
+struct KeyedSink(BTreeMap<Prefix, PrefixOutcome>);
+
+impl CampaignSink for KeyedSink {
+    fn fold(&mut self, prefix: Prefix, outcome: PrefixOutcome) {
+        let previous = self.0.insert(prefix, outcome);
+        assert!(previous.is_none(), "prefix {prefix} folded twice");
+    }
+    fn merge(&mut self, other: Self) {
+        for (prefix, outcome) in other.0 {
+            self.fold(prefix, outcome);
+        }
+    }
+}
+
+/// Rebuilds the [`SimResult`] a plain [`CompiledSim::run`] would have
+/// produced from a [`KeyedSink`] aggregate — the merge logic of `run`,
+/// re-derived independently on top of the streaming API.
+fn rebuild_sim_result(sim: &CompiledSim<'_>, agg: &KeyedSink) -> SimResult {
+    let names = sim.collector_names();
+    let mut out = SimResult {
+        converged: true,
+        ..SimResult::default()
+    };
+    for name in names {
+        out.observations.entry(name.clone()).or_default();
+    }
+    for (prefix, outcome) in &agg.0 {
+        out.events += outcome.events;
+        out.converged &= outcome.converged;
+        for (ci, obs) in outcome.observations.iter().enumerate() {
+            if !obs.is_empty() {
+                out.observations
+                    .get_mut(&names[ci])
+                    .expect("collector registered")
+                    .extend(obs.iter().cloned());
+            }
+        }
+        if let Some(routes) = &outcome.final_routes {
+            out.final_routes.insert(*prefix, routes.clone());
+        }
+    }
+    for obs in out.observations.values_mut() {
+        obs.sort_by_key(|o| (o.time, o.peer, o.prefix));
+    }
+    out
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    // Full 256-case corpus by default (the shim's DEFAULT_CASES); set
+    // PROPTEST_CASES in the environment to dial a CI job down without
+    // touching this file.
+    #![proptest_config(ProptestConfig::default())]
 
     #[test]
     fn threads_never_change_results_on_random_worlds(raw in arb_world(), threads in 2usize..6) {
@@ -491,5 +548,87 @@ proptest! {
         let attack_2 = sim.run(&attacked);
         prop_assert_eq!(&base_1, &base_2, "baseline polluted by attack run");
         prop_assert_eq!(&attack_1, &attack_2, "attack run not reproducible");
+    }
+
+    /// Campaign differential: the chunked streaming fold over `N` worker
+    /// threads must equal the collect-then-fold single-threaded reference
+    /// (one chunk, one thread, then a plain sequential fold of the
+    /// collected outcomes) — and rebuilding a [`SimResult`] from the
+    /// streamed aggregate must be bit-identical to [`CompiledSim::run`].
+    /// Streaming, chunking, and sharding are memory/throughput levers,
+    /// never semantic ones.
+    #[test]
+    fn campaign_streaming_equals_collect_then_fold(
+        raw in arb_world(),
+        threads in 2usize..6,
+        chunk in 1usize..5,
+    ) {
+        let (topo, configs, collectors, originations) = build_world(&raw);
+        let mut sim = spec_for(&topo, configs, collectors).compile();
+
+        // Reference: collect every per-prefix outcome single-threaded,
+        // then fold the collection sequentially outside the driver. (On
+        // worlds this small the driver shrinks every schedule to
+        // per-prefix chunks regardless of the configured bound, so the two
+        // campaign runs differ in worker count, not chunk shape; the
+        // *independent* oracle is the `CompiledSim::run` cross-check at
+        // the end, whose merge logic lives in the engine, not the
+        // campaign driver.)
+        let collected = Campaign::new(&sim)
+            .chunk_size(usize::MAX)
+            .run(&originations, KeyedSink::default);
+        let mut reference = KeyedSink::default();
+        for (prefix, outcome) in collected.sink.0 {
+            reference.fold(prefix, outcome);
+        }
+
+        // Streamed: bounded chunks, parallel workers.
+        sim.set_threads(threads);
+        let streamed = Campaign::new(&sim)
+            .chunk_size(chunk)
+            .run(&originations, KeyedSink::default);
+        prop_assert_eq!(&streamed.sink, &reference, "streaming fold diverged");
+        prop_assert_eq!(streamed.events, collected.events);
+        prop_assert_eq!(streamed.converged, collected.converged);
+
+        // And the streamed aggregate carries everything `run` produces.
+        let direct = sim.run(&originations);
+        let rebuilt = rebuild_sim_result(&sim, &streamed.sink);
+        prop_assert_eq!(&rebuilt, &direct, "campaign lost or reordered data");
+    }
+
+    /// Checkpoint/resume: stopping a campaign after any number of chunks
+    /// and resuming it — even with a different worker count — must be
+    /// bit-identical to the uninterrupted run.
+    #[test]
+    fn campaign_checkpoint_resume_equals_uninterrupted(
+        raw in arb_world(),
+        threads in 2usize..6,
+        chunk in 1usize..4,
+        stop_after in 1usize..5,
+    ) {
+        let (topo, configs, collectors, originations) = build_world(&raw);
+        let mut sim = spec_for(&topo, configs, collectors).compile();
+        let full = Campaign::new(&sim)
+            .chunk_size(chunk)
+            .run(&originations, KeyedSink::default);
+
+        let campaign = Campaign::new(&sim).chunk_size(chunk);
+        let (cp, _finished) = campaign.run_chunks(
+            &originations,
+            campaign.begin(KeyedSink::default()),
+            KeyedSink::default,
+            stop_after,
+        );
+        // Resume under a different thread count: the checkpoint must not
+        // bake any scheduling state in.
+        sim.set_threads(threads);
+        let resumed = Campaign::new(&sim)
+            .chunk_size(chunk)
+            .resume(&originations, cp, KeyedSink::default);
+        prop_assert_eq!(&resumed.sink, &full.sink, "resume diverged");
+        prop_assert_eq!(resumed.events, full.events);
+        prop_assert_eq!(resumed.chunks, full.chunks);
+        prop_assert_eq!(resumed.converged, full.converged);
     }
 }

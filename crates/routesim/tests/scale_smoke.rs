@@ -1,0 +1,107 @@
+//! Scale smoke tests: compile and converge one episode at each headline
+//! topology scale. `#[ignore]`d because they take seconds to minutes in
+//! release; CI runs them in the `scale-smoke` matrix job (one case per
+//! scale, each under its own timeout), so neither big-topology path can
+//! silently rot. Filter by name to run one case locally, e.g.
+//! `cargo test --release --test scale_smoke -- --ignored internet`.
+//!
+//! Beyond "it finished", each case asserts a converged-route-count
+//! invariant: a stub's announcement is a customer route everywhere, so
+//! Gao–Rexford export must deliver it to (almost) every AS — a scheduler
+//! or budget bug that silently drops part of the table cannot pass.
+
+use bgpworms_routesim::{
+    Campaign, CampaignSink, Origination, PrefixOutcome, RetainRoutes, SimSpec,
+};
+use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, Topology, TopologyParams};
+use bgpworms_types::Prefix;
+
+/// Counts converged routes without retaining them — the smoke runs stream
+/// through the campaign fold precisely so the Internet-scale case holds
+/// O(1) state per prefix.
+#[derive(Debug, Default, PartialEq)]
+struct RouteCount(usize);
+
+impl CampaignSink for RouteCount {
+    fn fold(&mut self, _prefix: Prefix, outcome: PrefixOutcome) {
+        self.0 += outcome.final_routes.map(|r| r.len()).unwrap_or(0);
+    }
+    fn merge(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+}
+
+/// Compiles a session over `topo`, converges the first allocated prefix's
+/// announcement, and checks convergence + route coverage + replay
+/// determinism.
+fn smoke(topo: &Topology, min_route_fraction_pct: usize) {
+    let alloc = PrefixAllocation::assign(topo, AddressingParams::default());
+    let (origin, prefix) = alloc.iter().next().expect("allocation non-empty");
+
+    let sim = SimSpec::new(topo)
+        .retain(RetainRoutes::Prefixes([prefix].into_iter().collect()))
+        .compile();
+    let episodes = vec![Origination::announce(origin, prefix, vec![])];
+
+    let run = Campaign::new(&sim).run(&episodes, RouteCount::default);
+    assert!(run.converged, "run must converge within budget");
+    assert!(run.events > 0);
+    let floor = topo.len() * min_route_fraction_pct / 100;
+    assert!(
+        run.sink.0 >= floor,
+        "only {} of {} ASes converged a route (floor {floor})",
+        run.sink.0,
+        topo.len()
+    );
+
+    // The session replays: a second streamed run over the same schedule is
+    // bit-identical (the compile-once/run-many contract at scale).
+    let rerun = Campaign::new(&sim).run(&episodes, RouteCount::default);
+    assert_eq!(rerun.sink, run.sink);
+    assert_eq!(rerun.events, run.events);
+
+    // Cross-check against the session API: same events, same retained
+    // route count, origin keeps its own route, and a full-result replay is
+    // bit-identical — not just count-identical.
+    let direct = sim.run(&episodes);
+    assert!(direct.converged);
+    assert_eq!(direct.events, run.events, "campaign diverged from run");
+    assert_eq!(
+        direct
+            .final_routes
+            .get(&prefix)
+            .map(|m| m.len())
+            .unwrap_or(0),
+        run.sink.0,
+        "streamed route count diverged from retained routes"
+    );
+    assert!(
+        direct.route_at(origin, &prefix).is_some(),
+        "origin retains its own route"
+    );
+    assert_eq!(sim.run(&episodes), direct, "full-result replay diverged");
+}
+
+#[test]
+#[ignore = "multi-second large-topology run; exercised by the CI scale-smoke job"]
+fn large_scale_smoke() {
+    let topo = TopologyParams::large().seed(2018).build();
+    assert!(
+        topo.len() > 5_000,
+        "large() drifted below headline scale: {} nodes",
+        topo.len()
+    );
+    smoke(&topo, 95);
+}
+
+#[test]
+#[ignore = "Internet-scale (~62K-AS) run; exercised by the CI scale-smoke job"]
+fn internet_scale_smoke() {
+    let topo = TopologyParams::internet_cached();
+    assert!(
+        topo.len() >= 60_000,
+        "internet() drifted below the paper's April-2018 scale: {} nodes",
+        topo.len()
+    );
+    smoke(topo, 95);
+}

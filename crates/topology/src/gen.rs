@@ -12,6 +12,7 @@ use bgpworms_types::Asn;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
 
 /// Generator parameters. Construct via the presets and adjust with the
 /// builder methods; `build` is deterministic in all parameters.
@@ -38,8 +39,26 @@ pub struct TopologyParams {
     /// Fraction of stub ASes assigned 4-byte ASNs (> 65535). Their ASN does
     /// not fit the classic community's high half — the population the paper
     /// notes must either bundle with private ASNs (§4.3) or adopt RFC 8092
-    /// large communities (§2 footnote 1). Defaults to 0 in all presets.
+    /// large communities (§2 footnote 1). Defaults to 0 in all presets
+    /// except [`TopologyParams::internet`].
     pub four_byte_stub_fraction: f64,
+    /// Use the **frozen-weight, shard-parallel** stub-attachment phase.
+    ///
+    /// The classic path updates provider popularity after every stub
+    /// (dynamic preferential attachment), which serializes the whole phase
+    /// on one RNG stream. The frozen path snapshots the customer degrees
+    /// once — after the transit hierarchy is wired — and lets every stub
+    /// draw its providers from that fixed distribution with its own
+    /// index-derived RNG: stubs become independent, the phase shards across
+    /// threads, and the output is identical for any thread count. Degrees
+    /// stay heavy-tailed (the transit phase already concentrated them);
+    /// only the within-phase feedback is dropped. Off in the classic
+    /// presets so their seeded topologies stay byte-identical; on for
+    /// [`TopologyParams::internet`].
+    pub frozen_attachment: bool,
+    /// Worker threads for the frozen attachment phase; `0` = all available
+    /// cores. The generated topology does not depend on this value.
+    pub gen_threads: usize,
 }
 
 impl TopologyParams {
@@ -56,6 +75,8 @@ impl TopologyParams {
             ixp_member_fraction: 0.3,
             ixp_bilateral_prob: 0.1,
             four_byte_stub_fraction: 0.0,
+            frozen_attachment: false,
+            gen_threads: 0,
         }
     }
 
@@ -72,6 +93,8 @@ impl TopologyParams {
             ixp_member_fraction: 0.25,
             ixp_bilateral_prob: 0.08,
             four_byte_stub_fraction: 0.0,
+            frozen_attachment: false,
+            gen_threads: 0,
         }
     }
 
@@ -88,6 +111,8 @@ impl TopologyParams {
             ixp_member_fraction: 0.12,
             ixp_bilateral_prob: 0.03,
             four_byte_stub_fraction: 0.0,
+            frozen_attachment: false,
+            gen_threads: 0,
         }
     }
 
@@ -104,7 +129,50 @@ impl TopologyParams {
             ixp_member_fraction: 0.06,
             ixp_bilateral_prob: 0.02,
             four_byte_stub_fraction: 0.0,
+            frozen_attachment: false,
+            gen_threads: 0,
         }
+    }
+
+    /// April-2018 Internet scale (~62 K ASes) — the population the paper's
+    /// headline measurements run against (§2: ~62 K ASes visible in BGP,
+    /// with communities on ~75 % of announcements). ~20 transit-free
+    /// tier-1s, ~4 K transit providers with heavy-tailed customer degrees,
+    /// ~58 K stubs (12 % on 4-byte ASNs, the population that cannot use
+    /// classic communities), and 30 IXP route servers. Uses the
+    /// frozen-weight parallel attachment path; build once via
+    /// [`TopologyParams::internet_cached`] when several tests or benches
+    /// share the graph.
+    pub fn internet() -> Self {
+        TopologyParams {
+            seed: 2018,
+            n_tier1: 20,
+            n_transit: 4_000,
+            n_stub: 58_000,
+            n_ixp: 30,
+            transit_peer_prob: 0.001,
+            max_providers: 3,
+            ixp_member_fraction: 0.02,
+            ixp_bilateral_prob: 0.02,
+            four_byte_stub_fraction: 0.12,
+            frozen_attachment: true,
+            gen_threads: 0,
+        }
+    }
+
+    /// The memoized [`TopologyParams::internet`] topology: built once per
+    /// process (on first use, with all cores) and shared by reference, so a
+    /// test binary or benchmark suite touching the Internet-scale graph
+    /// several times pays generation exactly once.
+    pub fn internet_cached() -> &'static Topology {
+        static CACHE: OnceLock<Topology> = OnceLock::new();
+        CACHE.get_or_init(|| {
+            let topo = TopologyParams::internet().build();
+            // Force the CSR (and reverse slots) too: every consumer of the
+            // cached graph is about to compile a simulation over it.
+            topo.adjacency_len();
+            topo
+        })
     }
 
     /// Sets the seed.
@@ -134,6 +202,19 @@ impl TopologyParams {
     /// Sets the fraction of stubs given 4-byte ASNs.
     pub fn four_byte_stubs(mut self, fraction: f64) -> Self {
         self.four_byte_stub_fraction = fraction;
+        self
+    }
+
+    /// Selects the frozen-weight parallel stub-attachment path.
+    pub fn frozen_attachment(mut self, on: bool) -> Self {
+        self.frozen_attachment = on;
+        self
+    }
+
+    /// Sets the worker-thread count for the frozen attachment phase
+    /// (0 = all cores; the output never depends on it).
+    pub fn gen_threads(mut self, threads: usize) -> Self {
+        self.gen_threads = threads;
         self
     }
 
@@ -213,19 +294,23 @@ impl TopologyParams {
         // --- Lateral transit peering. ---
         for (i, &a) in transit_asns.iter().enumerate() {
             for &b in &transit_asns[i + 1..] {
-                if rng.gen_bool(self.transit_peer_prob) && topo.role_of(a, b).is_none() {
+                if rng.gen_bool(self.transit_peer_prob) && !topo.has_edge(a, b) {
                     topo.add_edge(a, b, EdgeKind::PeerToPeer);
                 }
             }
         }
 
         // --- Stubs: multihome to transit providers, preferential. ---
-        for &s in &stub_asns {
-            let n_prov = sample_provider_count(self.max_providers, &mut rng);
-            let chosen = preferential_sample(&transit_asns, &cust_degree, n_prov, &mut rng);
-            for p in chosen {
-                topo.add_edge(p, s, EdgeKind::ProviderToCustomer);
-                *cust_degree.entry(p).or_insert(0) += 1;
+        if self.frozen_attachment {
+            self.attach_stubs_frozen(&mut topo, &transit_asns, &stub_asns, &cust_degree);
+        } else {
+            for &s in &stub_asns {
+                let n_prov = sample_provider_count(self.max_providers, &mut rng);
+                let chosen = preferential_sample(&transit_asns, &cust_degree, n_prov, &mut rng);
+                for p in chosen {
+                    topo.add_edge(p, s, EdgeKind::ProviderToCustomer);
+                    *cust_degree.entry(p).or_insert(0) += 1;
+                }
             }
         }
 
@@ -258,7 +343,7 @@ impl TopologyParams {
             for i in 0..members.len() {
                 for j in i + 1..members.len() {
                     if rng.gen_bool(self.ixp_bilateral_prob)
-                        && topo.role_of(members[i], members[j]).is_none()
+                        && !topo.has_edge(members[i], members[j])
                     {
                         topo.add_edge(members[i], members[j], EdgeKind::PeerToPeer);
                     }
@@ -268,6 +353,97 @@ impl TopologyParams {
 
         topo
     }
+
+    /// The frozen-weight stub-attachment phase (see
+    /// [`TopologyParams::frozen_attachment`]): snapshot the transit
+    /// customer-degree weights once, then let every stub pick its providers
+    /// independently with an RNG derived from `(seed, stub index)` alone.
+    /// Sharding the stub range over threads changes nothing — each slot is
+    /// written by exactly one worker from per-stub state — so
+    /// `gen_threads = 1` and `gen_threads = N` build identical graphs.
+    fn attach_stubs_frozen(
+        &self,
+        topo: &mut Topology,
+        transit_asns: &[Asn],
+        stub_asns: &[Asn],
+        cust_degree: &std::collections::BTreeMap<Asn, usize>,
+    ) {
+        if transit_asns.is_empty() || stub_asns.is_empty() {
+            return;
+        }
+        // Cumulative frozen weights (1 + customer degree, as in the dynamic
+        // path), for O(log n) weighted draws by binary search.
+        let mut cumulative: Vec<u64> = Vec::with_capacity(transit_asns.len());
+        let mut total = 0u64;
+        for a in transit_asns {
+            total += 1 + cust_degree.get(a).copied().unwrap_or(0) as u64;
+            cumulative.push(total);
+        }
+
+        let threads = match self.gen_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+        .clamp(1, stub_asns.len());
+
+        // One provider-pick slot per stub; workers own disjoint chunks.
+        let mut picks: Vec<Vec<u32>> = vec![Vec::new(); stub_asns.len()];
+        let chunk = stub_asns.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (ci, slice) in picks.chunks_mut(chunk).enumerate() {
+                let cumulative = &cumulative;
+                scope.spawn(move || {
+                    for (j, out) in slice.iter_mut().enumerate() {
+                        let stub_ix = ci * chunk + j;
+                        let mut rng = StdRng::seed_from_u64(stream_seed(self.seed, stub_ix as u64));
+                        let n_prov = sample_provider_count(self.max_providers, &mut rng);
+                        *out = pick_distinct_weighted(cumulative, total, n_prov, &mut rng);
+                    }
+                });
+            }
+        });
+
+        for (stub_ix, pick) in picks.iter().enumerate() {
+            for &t in pick {
+                topo.add_edge(
+                    transit_asns[t as usize],
+                    stub_asns[stub_ix],
+                    EdgeKind::ProviderToCustomer,
+                );
+            }
+        }
+    }
+}
+
+/// Decorrelated per-element RNG seed: a SplitMix64 finalizer over the
+/// generator seed and the element index, so adjacent indices still start
+/// statistically independent streams.
+fn stream_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ 0xA5B3_5705_0420_1800u64 ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draws up to `n` distinct indices from the frozen cumulative-weight
+/// table (weighted by each entry's span). Mirrors `preferential_sample`'s
+/// bounded-retry shape; `total` is the last cumulative entry.
+fn pick_distinct_weighted(cumulative: &[u64], total: u64, n: usize, rng: &mut StdRng) -> Vec<u32> {
+    let mut chosen: Vec<u32> = Vec::with_capacity(n);
+    let mut guard = 0;
+    while chosen.len() < n && guard < 100 {
+        guard += 1;
+        let x = rng.gen_range(0..total);
+        let ix = cumulative.partition_point(|&c| c <= x) as u32;
+        if !chosen.contains(&ix) {
+            chosen.push(ix);
+        }
+    }
+    // For `n >= 1` the first draw always lands (nothing to collide with),
+    // so the result is non-empty whenever providers were asked for at all.
+    chosen
 }
 
 /// Number of providers for a multihomed stub: mostly 1–2, occasionally 3+.
@@ -453,6 +629,69 @@ mod tests {
             max >= median.max(1) * 4,
             "preferential attachment should concentrate customers (max {max}, median {median})"
         );
+    }
+
+    #[test]
+    fn internet_params_reach_headline_scale() {
+        let p = TopologyParams::internet();
+        assert!(
+            p.n_tier1 + p.n_transit + p.n_stub + p.n_ixp >= 60_000,
+            "internet() must cover the paper's ~62K-AS April-2018 population"
+        );
+        assert!(
+            p.frozen_attachment,
+            "internet scale needs the parallel path"
+        );
+        assert!(p.four_byte_stub_fraction > 0.0, "§2's 4-byte population");
+    }
+
+    #[test]
+    fn frozen_attachment_is_thread_count_invariant() {
+        // The frozen path must generate byte-identical graphs whatever the
+        // worker count — that is what makes internet() reproducible across
+        // machines. Checked at small scale so the suite stays fast.
+        let base = TopologyParams::small().seed(33).frozen_attachment(true);
+        let one = base.clone().gen_threads(1).build();
+        let four = base.clone().gen_threads(4).build();
+        let la = crate::relationship::to_caida(&one.to_caida_lines());
+        let lb = crate::relationship::to_caida(&four.to_caida_lines());
+        assert_eq!(la, lb, "gen_threads must never change the graph");
+    }
+
+    #[test]
+    fn frozen_attachment_keeps_structural_invariants() {
+        let t = TopologyParams::small()
+            .seed(9)
+            .frozen_attachment(true)
+            .build();
+        for n in t.ases() {
+            match n.tier {
+                Tier::Tier1 | Tier::RouteServer => {
+                    assert_eq!(t.providers_of(n.asn).count(), 0)
+                }
+                Tier::Transit => assert!(t.providers_of(n.asn).count() >= 1),
+                Tier::Stub => {
+                    assert!(t.providers_of(n.asn).count() >= 1, "{} unhomed", n.asn);
+                    assert_eq!(t.customers_of(n.asn).count(), 0);
+                }
+            }
+        }
+        // Still heavy-tailed: weights were frozen *after* the transit
+        // phase concentrated them. Checked at medium scale where the
+        // transit population is large enough for the tail to show.
+        let t = TopologyParams::medium()
+            .seed(11)
+            .frozen_attachment(true)
+            .build();
+        let mut degrees: Vec<usize> = t
+            .ases()
+            .filter(|n| n.tier == Tier::Transit)
+            .map(|n| t.customers_of(n.asn).count())
+            .collect();
+        degrees.sort_unstable();
+        let max = *degrees.last().unwrap();
+        let median = degrees[degrees.len() / 2];
+        assert!(max >= median.max(1) * 4, "max {max}, median {median}");
     }
 
     #[test]

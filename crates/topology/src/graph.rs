@@ -124,8 +124,23 @@ pub struct Topology {
     /// Building adjacency, indexed by [`NodeId::index`]; entries keep
     /// insertion order.
     adj: Vec<Vec<Neighbor>>,
+    /// Undirected edge membership, keyed by `(min id, max id)`. Keeps
+    /// [`Topology::add_edge`]'s duplicate check and [`Topology::has_edge`]
+    /// O(1), which is what makes building Internet-scale graphs (~60 K
+    /// nodes, high-degree transit hubs) linear in the edge count instead of
+    /// quadratic in hub degree.
+    edge_set: std::collections::HashSet<(NodeId, NodeId)>,
     /// Compiled CSR adjacency; reset by every mutation, rebuilt on demand.
     csr: OnceLock<Csr>,
+}
+
+/// The normalized [`Topology::edge_set`] key for an undirected pair.
+fn edge_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 impl Topology {
@@ -165,7 +180,7 @@ impl Topology {
         let ia = *self.ids.get(&a).unwrap_or_else(|| panic!("unknown AS {a}"));
         let ib = *self.ids.get(&b).unwrap_or_else(|| panic!("unknown AS {b}"));
         assert_ne!(a, b, "self-loops are not allowed");
-        if self.adj[ia.index()].iter().any(|n| n.asn == b) {
+        if !self.edge_set.insert(edge_key(ia, ib)) {
             return;
         }
         self.csr = OnceLock::new();
@@ -337,6 +352,16 @@ impl Topology {
         match self.node_id(asn) {
             Some(id) => &self.adj[id.index()],
             None => &[],
+        }
+    }
+
+    /// True if an edge (of any kind) connects `a` and `b`. O(1) — unlike
+    /// [`Topology::role_of`], which scans `a`'s adjacency — so generators
+    /// probing millions of candidate pairs use this for the existence test.
+    pub fn has_edge(&self, a: Asn, b: Asn) -> bool {
+        match (self.node_id(a), self.node_id(b)) {
+            (Some(ia), Some(ib)) => self.edge_set.contains(&edge_key(ia, ib)),
+            _ => false,
         }
     }
 

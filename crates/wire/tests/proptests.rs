@@ -52,7 +52,7 @@ fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_cases_capped(256))]
 
     #[test]
     fn update_roundtrips_modern(

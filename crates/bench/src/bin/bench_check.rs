@@ -17,10 +17,24 @@
 //! (historical context like `seed_baseline` lives outside that array and
 //! is never parsed), so a baseline entry with **no** fresh measurement is
 //! itself a failure — deleting or renaming a benchmark cannot silently
-//! remove its gate; the baseline must be updated in the same change. The
-//! JSON "parser" is deliberately minimal — the workspace builds
-//! hermetically without serde — and only extracts
-//! `"benchmark"`/`"median_ns"` pairs from the `"results"` array.
+//! remove its gate; the baseline must be updated in the same change (the
+//! whole comparison lives in [`gate`], whose missing/regression verdicts
+//! are unit-tested below so that guarantee cannot rot). The JSON "parser"
+//! is deliberately minimal — the workspace builds hermetically without
+//! serde — and only extracts `"benchmark"`/`"median_ns"` pairs from the
+//! `"results"` array.
+//!
+//! # Derived metrics
+//!
+//! Some costs worth gating are functions of several measurements. After
+//! parsing the fresh output, [`add_derived_metrics`] synthesizes:
+//!
+//! * `engine/per-prefix-marginal` — `(campaign-internet-16px −
+//!   run-internet-1px) / 15`: the steady marginal cost of one more prefix
+//!   in an internet-scale campaign, once the per-worker scratch exists.
+//!
+//! Derived entries are compared against same-named baseline entries like
+//! any directly measured benchmark.
 //!
 //! Medians are absolute wall times, so they only transfer between machines
 //! of similar speed: when the gate trips on hardware change rather than a
@@ -134,6 +148,80 @@ fn parse_bench_output(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Appends metrics computed from other fresh measurements (see the module
+/// docs). A missing input simply skips the derivation — the baseline entry
+/// for the derived name then reports "no fresh measurement", which is the
+/// failure we want when a source benchmark disappears.
+fn add_derived_metrics(fresh: &mut Vec<(String, f64)>) {
+    let median = |fresh: &[(String, f64)], name: &str| {
+        fresh.iter().find(|(n, _)| n == name).map(|&(_, m)| m)
+    };
+    if let (Some(c16), Some(r1)) = (
+        median(fresh, "engine/campaign-internet-16px/1"),
+        median(fresh, "engine/run-internet-1px/1"),
+    ) {
+        let marginal = (c16 - r1) / 15.0;
+        // A 16-prefix campaign measuring *faster* than one run means the
+        // measurement itself is broken; suppress the derived entry so the
+        // baseline reports "no fresh measurement" and the gate fails
+        // loudly instead of reading nonsense as an improvement.
+        if marginal >= 0.0 {
+            fresh.push(("engine/per-prefix-marginal".to_string(), marginal));
+        } else {
+            eprintln!(
+                "bench_check: refusing to derive engine/per-prefix-marginal from a negative delta \
+                 (campaign-internet-16px {c16:.0} ns < run-internet-1px {r1:.0} ns)"
+            );
+        }
+    }
+}
+
+/// One benchmark's comparison against its baseline median.
+struct Verdict {
+    name: String,
+    line: String,
+    outcome: Outcome,
+}
+
+#[derive(PartialEq)]
+enum Outcome {
+    Ok,
+    Missing,
+    Regressed(f64),
+}
+
+/// Compares every baseline benchmark against the fresh medians: a baseline
+/// entry with no fresh measurement is a failure (a dropped or renamed
+/// phase must update the baseline in the same change), as is any median
+/// more than `tolerance_pct` above its baseline.
+fn gate(baseline: &[(String, f64)], fresh: &[(String, f64)], tolerance_pct: f64) -> Vec<Verdict> {
+    baseline
+        .iter()
+        .map(|(name, base_median)| {
+            let Some((_, fresh_median)) = fresh.iter().find(|(n, _)| n == name) else {
+                return Verdict {
+                    name: name.clone(),
+                    line: format!("  FAIL  {name}: no fresh measurement (bench crashed or renamed?)"),
+                    outcome: Outcome::Missing,
+                };
+            };
+            let delta_pct = (fresh_median / base_median - 1.0) * 100.0;
+            let (verdict, outcome) = if delta_pct > tolerance_pct {
+                ("FAIL", Outcome::Regressed(delta_pct))
+            } else {
+                ("ok", Outcome::Ok)
+            };
+            Verdict {
+                name: name.clone(),
+                line: format!(
+                    "  {verdict:<5} {name}: baseline {base_median:.0} ns → fresh {fresh_median:.0} ns ({delta_pct:+.1}%)"
+                ),
+                outcome,
+            }
+        })
+        .collect()
+}
+
 fn run_engine_bench() -> Result<String, String> {
     eprintln!("bench_check: running `cargo bench -p bgpworms-bench --bench engine` …");
     let output = Command::new("cargo")
@@ -190,32 +278,27 @@ fn main() -> ExitCode {
             }
         },
     };
-    let fresh = parse_bench_output(&fresh_text);
+    let mut fresh = parse_bench_output(&fresh_text);
+    add_derived_metrics(&mut fresh);
 
-    let mut matched = 0usize;
-    let mut missing = Vec::new();
-    let mut regressions = Vec::new();
     println!(
         "bench_check: gate at +{:.0}% vs {}",
         args.tolerance_pct, args.baseline
     );
-    for (name, base_median) in &baseline {
-        let Some((_, fresh_median)) = fresh.iter().find(|(n, _)| n == name) else {
-            println!("  FAIL  {name}: no fresh measurement (bench crashed or renamed?)");
-            missing.push(name.clone());
-            continue;
-        };
-        matched += 1;
-        let delta_pct = (fresh_median / base_median - 1.0) * 100.0;
-        let verdict = if delta_pct > args.tolerance_pct {
-            regressions.push((name.clone(), delta_pct));
-            "FAIL"
-        } else {
-            "ok"
-        };
-        println!(
-            "  {verdict:<5} {name}: baseline {base_median:.0} ns → fresh {fresh_median:.0} ns ({delta_pct:+.1}%)"
-        );
+    let verdicts = gate(&baseline, &fresh, args.tolerance_pct);
+    let mut matched = 0usize;
+    let mut missing = Vec::new();
+    let mut regressions = Vec::new();
+    for v in verdicts {
+        println!("{}", v.line);
+        match v.outcome {
+            Outcome::Ok => matched += 1,
+            Outcome::Missing => missing.push(v.name),
+            Outcome::Regressed(delta) => {
+                matched += 1;
+                regressions.push((v.name, delta));
+            }
+        }
     }
 
     if matched == 0 {
@@ -282,6 +365,66 @@ mod tests {
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0], ("engine/run/1".to_string(), 1100.0));
         assert_eq!(parsed[1], ("engine/compile".to_string(), 49.0));
+    }
+
+    #[test]
+    fn gate_fails_when_a_baseline_benchmark_disappears() {
+        // A dropped or renamed phase must not silently lose its gate: the
+        // baseline entry with no fresh counterpart is a hard failure.
+        let baseline = vec![
+            ("engine/run/1".to_string(), 1000.0),
+            ("engine/gone".to_string(), 50.0),
+        ];
+        let fresh = vec![("engine/run/1".to_string(), 1001.0)];
+        let verdicts = gate(&baseline, &fresh, 15.0);
+        assert_eq!(verdicts.len(), 2);
+        assert!(matches!(verdicts[0].outcome, Outcome::Ok));
+        assert!(
+            matches!(verdicts[1].outcome, Outcome::Missing),
+            "missing fresh measurement must fail the gate"
+        );
+        assert!(verdicts[1].line.contains("no fresh measurement"));
+    }
+
+    #[test]
+    fn gate_flags_regressions_beyond_tolerance() {
+        let baseline = vec![("engine/run/1".to_string(), 1000.0)];
+        let ok = gate(&baseline, &[("engine/run/1".to_string(), 1140.0)], 15.0);
+        assert!(matches!(ok[0].outcome, Outcome::Ok), "+14% is within +15%");
+        let bad = gate(&baseline, &[("engine/run/1".to_string(), 1200.0)], 15.0);
+        match bad[0].outcome {
+            Outcome::Regressed(delta) => assert!((delta - 20.0).abs() < 1e-9),
+            _ => panic!("+20% must regress"),
+        }
+    }
+
+    #[test]
+    fn per_prefix_marginal_is_derived_from_internet_phases() {
+        let mut fresh = vec![
+            ("engine/run-internet-1px/1".to_string(), 50_000_000.0),
+            ("engine/campaign-internet-16px/1".to_string(), 800_000_000.0),
+        ];
+        add_derived_metrics(&mut fresh);
+        let derived = fresh
+            .iter()
+            .find(|(n, _)| n == "engine/per-prefix-marginal")
+            .expect("derived metric appended");
+        assert!((derived.1 - 50_000_000.0).abs() < 1e-6, "(800 − 50) / 15");
+
+        // Missing inputs skip the derivation instead of inventing numbers.
+        let mut partial = vec![("engine/run-internet-1px/1".to_string(), 50.0)];
+        add_derived_metrics(&mut partial);
+        assert_eq!(partial.len(), 1);
+
+        // A negative delta means the measurement is broken: the derived
+        // entry is suppressed (so its baseline fails as missing), never
+        // clamped into a fake improvement.
+        let mut broken = vec![
+            ("engine/run-internet-1px/1".to_string(), 50_000_000.0),
+            ("engine/campaign-internet-16px/1".to_string(), 40_000_000.0),
+        ];
+        add_derived_metrics(&mut broken);
+        assert_eq!(broken.len(), 2, "negative marginal must not be derived");
     }
 
     #[test]

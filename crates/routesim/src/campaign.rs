@@ -321,8 +321,18 @@ impl<'s, 't> Campaign<'s, 't> {
 
         let threads = self.sim.threads().min(todo.len()).max(1);
         if threads == 1 {
+            // One scratch for the whole advance: every prefix of every
+            // chunk recycles the same arrays.
+            let mut scratch = self.sim.new_scratch();
             for &ci in &todo {
-                let out = self.run_chunk(ci, chunk_size, &prefixes, &by_prefix, new_sink);
+                let out = self.run_chunk(
+                    &mut scratch,
+                    ci,
+                    chunk_size,
+                    &prefixes,
+                    &by_prefix,
+                    new_sink,
+                );
                 absorb(&mut cp, out);
             }
         } else {
@@ -341,23 +351,36 @@ impl<'s, 't> Campaign<'s, 't> {
                 for _ in 0..threads {
                     let (slots, next, abort, prefixes, by_prefix, todo) =
                         (&slots, &next, &abort, &prefixes, &by_prefix, &todo);
-                    scope.spawn(move || loop {
-                        if abort.load(Ordering::Relaxed) {
-                            break;
+                    scope.spawn(move || {
+                        // One scratch per worker, reused across every chunk
+                        // it claims (a panic aborts the campaign, so a
+                        // poisoned scratch never contributes observed work).
+                        let mut scratch = self.sim.new_scratch();
+                        loop {
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&ci) = todo.get(k) else { break };
+                            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                self.run_chunk(
+                                    &mut scratch,
+                                    ci,
+                                    chunk_size,
+                                    prefixes,
+                                    by_prefix,
+                                    new_sink,
+                                )
+                            }));
+                            if outcome.is_err() {
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                            let previous = slots[k]
+                                .lock()
+                                .expect("slot lock never poisoned")
+                                .replace(outcome.map_err(|payload| panic_message(&payload)));
+                            debug_assert!(previous.is_none(), "chunk slot {k} claimed twice");
                         }
-                        let k = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&ci) = todo.get(k) else { break };
-                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                            self.run_chunk(ci, chunk_size, prefixes, by_prefix, new_sink)
-                        }));
-                        if outcome.is_err() {
-                            abort.store(true, Ordering::Relaxed);
-                        }
-                        let previous = slots[k]
-                            .lock()
-                            .expect("slot lock never poisoned")
-                            .replace(outcome.map_err(|payload| panic_message(&payload)));
-                        debug_assert!(previous.is_none(), "chunk slot {k} claimed twice");
                     });
                 }
             });
@@ -377,11 +400,12 @@ impl<'s, 't> Campaign<'s, 't> {
         (cp, end >= n_chunks)
     }
 
-    /// Runs one chunk's prefixes (ascending order) into a fresh sink.
-    /// `chunk_size` is the effective size `advance` computed for this
-    /// schedule.
+    /// Runs one chunk's prefixes (ascending order) into a fresh sink, on
+    /// the calling worker's reusable `scratch`. `chunk_size` is the
+    /// effective size `advance` computed for this schedule.
     fn run_chunk<S, F>(
         &self,
+        scratch: &mut crate::scratch::SimScratch,
         ci: usize,
         chunk_size: usize,
         prefixes: &[Prefix],
@@ -400,7 +424,7 @@ impl<'s, 't> Campaign<'s, 't> {
             converged: true,
         };
         for &prefix in &prefixes[lo..hi] {
-            let outcome = self.sim.run_prefix(prefix, &by_prefix[&prefix]);
+            let outcome = self.sim.run_prefix(scratch, prefix, &by_prefix[&prefix]);
             out.events += outcome.events;
             out.converged &= outcome.converged;
             out.sink.fold(prefix, outcome);
@@ -605,6 +629,38 @@ mod tests {
         let _ = Campaign::new(&sim)
             .chunk_size(3)
             .resume(&eps, cp, Trace::default);
+    }
+
+    #[test]
+    fn campaign_allocates_scratch_once_per_worker() {
+        // The tentpole invariant: the second (and every later) prefix of a
+        // campaign performs zero RIB-array allocations — the worker's
+        // SimScratch is built exactly once and recycled. Counted by the
+        // scratch_builds alloc-counting double (the Route::clone-counter
+        // pattern); threads = 1, so all work happens on this thread.
+        let (topo, eps) = world();
+        let n_prefixes = eps
+            .iter()
+            .map(|o| o.prefix)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        assert!(n_prefixes >= 2, "needs a multi-prefix world");
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+
+        let before = crate::scratch_builds();
+        let run = Campaign::new(&sim).run(&eps, Trace::default);
+        assert!(run.converged);
+        assert_eq!(
+            crate::scratch_builds() - before,
+            1,
+            "a single-threaded campaign over {n_prefixes} prefixes must build exactly one scratch"
+        );
+
+        // A second campaign on the same session builds its own scratch —
+        // reuse is per campaign invocation, not a hidden global.
+        let run = Campaign::new(&sim).run(&eps, Trace::default);
+        assert!(run.converged);
+        assert_eq!(crate::scratch_builds() - before, 2);
     }
 
     #[test]

@@ -43,23 +43,44 @@
 //! semantically transparent — `tests/determinism.rs` pins the fixed point
 //! against a per-import re-export reference loop.
 //!
+//! # Per-worker scratch: marginal cost ∝ flood footprint
+//!
+//! All of that per-prefix state — the RIB/export slot arrays, the arena,
+//! the queue, the dirty set, the collector dedup state — lives in one
+//! reusable crate-internal `SimScratch` per worker, not in fresh
+//! allocations per prefix. The slot arrays are flat over the whole
+//! network's directed-edge slot space (`Topology::slot_offsets`, the CSR
+//! degree prefix-sum), and reset between prefixes is a **generation-stamp
+//! bump**: a node's state is live only while its stamp matches the current
+//! prefix's epoch, and the first touch per prefix clears just that node's
+//! slot range. A prefix therefore pays per-node setup only for the nodes
+//! its flood actually reaches, and the final-routes sweep iterates the
+//! touched list instead of every node. Within an export pass, the export
+//! value is additionally memoized per neighbor role for nodes whose egress
+//! policy is neighbor-independent (everything except route servers and the
+//! `ScopedToReceiver` defense), so a high-degree transit interns each
+//! changed export once per role instead of once per neighbor.
+//!
 //! # Parallelism & determinism
 //!
 //! Distinct prefixes never interact (no aggregation, no per-table limits),
 //! so the engine shards the prefix set across `std::thread::scope` workers.
-//! Workers claim prefixes dynamically from an atomic counter and publish
-//! into per-prefix `OnceLock` slots (disjoint writes, no locks, balanced
-//! load); results are merged in prefix order and observations are sorted by
+//! Workers claim prefixes dynamically from an atomic counter — each reusing
+//! its own scratch across every prefix it claims — and publish into
+//! per-prefix `OnceLock` slots (disjoint writes, no locks, balanced load);
+//! results are merged in prefix order and observations are sorted by
 //! `(time, peer, prefix)`, which makes `threads = 1` and `threads = N`
 //! produce identical [`SimResult`]s — and repeated [`CompiledSim::run`]
-//! calls bit-identical (`run` never mutates the session). A panic inside
-//! one worker is caught per prefix and re-raised with the failing prefix
-//! named.
+//! calls bit-identical (`run` never mutates the session). Scratch reuse is
+//! semantically invisible (`tests/determinism.rs` pins reuse ≡ fresh state
+//! per prefix). A panic inside one worker is caught per prefix and
+//! re-raised with the failing prefix named.
 
 use crate::collector::{CollectorObservation, CollectorSpec, FeedKind};
-use crate::policy::{IrrDatabase, RouterConfig};
+use crate::policy::{CommunityPropagationPolicy, IrrDatabase, RouterConfig};
 use crate::route::{Route, RouteArena, RouteId};
-use crate::router::{PrefixRouter, ValidationCtx};
+use crate::router::{self, NodeState, RibEntry, ValidationCtx};
+use crate::scratch::SimScratch;
 use bgpworms_topology::{NodeId, Role, Tier, Topology};
 use bgpworms_types::{AsPath, Asn, Community, Origin, Prefix};
 use std::borrow::Cow;
@@ -377,9 +398,10 @@ impl<'a> CompiledSim<'a> {
         let results: Vec<PrefixOutcome> = if self.threads > 1 && prefixes.len() > 1 {
             run_parallel(self, &by_prefix, &prefixes)
         } else {
+            let mut scratch = self.new_scratch();
             prefixes
                 .iter()
-                .map(|p| self.run_prefix(*p, &by_prefix[p]))
+                .map(|p| self.run_prefix(&mut scratch, *p, &by_prefix[p]))
                 .collect()
         };
 
@@ -418,60 +440,13 @@ impl<'a> CompiledSim<'a> {
 /// lookup. The route rides along as an id into the prefix-worker's
 /// [`RouteArena`]: enqueuing an update allocates nothing.
 #[derive(Debug, Clone, Copy)]
-struct Event {
+pub(crate) struct Event {
     from: NodeId,
     to: NodeId,
     /// Slot of `from` within `to`'s adjacency slice.
     to_slot: u32,
     sender_role: Role,
     route: Option<RouteId>,
-}
-
-/// The set of nodes whose Adj-RIB-In changed since their last export
-/// recompute, drained once per convergence round in ascending node order
-/// (the order is what keeps batched runs deterministic). Membership is a
-/// dense bitmap so inserts from repeated imports are O(1) and duplicate
-/// marks are free.
-#[derive(Debug)]
-struct DirtySet {
-    member: Vec<bool>,
-    nodes: Vec<u32>,
-}
-
-impl DirtySet {
-    fn new(n: usize) -> Self {
-        DirtySet {
-            member: vec![false; n],
-            nodes: Vec::new(),
-        }
-    }
-
-    fn insert(&mut self, index: usize) {
-        if !self.member[index] {
-            self.member[index] = true;
-            self.nodes.push(index as u32);
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
-    }
-
-    fn clear(&mut self) {
-        for &i in &self.nodes {
-            self.member[i as usize] = false;
-        }
-        self.nodes.clear();
-    }
-
-    /// Sorts the dirty list in place (ascending) and exposes it for the
-    /// export sweep; the caller [`DirtySet::clear`]s afterwards. In-place
-    /// so the list's capacity is reused round after round — the sweep loop
-    /// allocates nothing.
-    fn sorted(&mut self) -> &[u32] {
-        self.nodes.sort_unstable();
-        &self.nodes
-    }
 }
 
 /// The role `a` plays for `b`, given the role `b` plays for `a`. Edges are
@@ -489,8 +464,12 @@ fn inverse_role(role: Role) -> Role {
 /// prefix convergence cost varies wildly, so static chunking would let one
 /// unlucky worker run the whole wall-clock) and publish each outcome into
 /// that prefix's own [`OnceLock`] slot — per-slot disjoint writes, no
-/// locks. A panic while simulating one prefix is caught and re-raised
-/// naming the prefix.
+/// locks. Each worker allocates one [`SimScratch`] at spawn and recycles it
+/// across every prefix it claims. A panic while simulating one prefix is
+/// caught and re-raised naming the prefix (work a poisoned scratch might
+/// contribute afterwards is discarded: outcomes are merged in prefix order,
+/// claims are handed out in ascending order, and the merge re-raises at the
+/// failed prefix before reading anything the same worker produced later).
 fn run_parallel(
     sim: &CompiledSim<'_>,
     by_prefix: &BTreeMap<Prefix, Vec<&Origination>>,
@@ -504,16 +483,19 @@ fn run_parallel(
     std::thread::scope(|scope| {
         for _ in 0..sim.threads.min(n) {
             let (results, next) = (&results, &next);
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(prefix) = prefixes.get(i) else { break };
-                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    sim.run_prefix(*prefix, &by_prefix[prefix])
-                }));
-                let published = results[i]
-                    .set(outcome.map_err(|payload| panic_message(&payload)))
-                    .is_ok();
-                debug_assert!(published, "slot {i} claimed twice");
+            scope.spawn(move || {
+                let mut scratch = sim.new_scratch();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(prefix) = prefixes.get(i) else { break };
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        sim.run_prefix(&mut scratch, *prefix, &by_prefix[prefix])
+                    }));
+                    let published = results[i]
+                        .set(outcome.map_err(|payload| panic_message(&payload)))
+                        .is_ok();
+                    debug_assert!(published, "slot {i} claimed twice");
+                }
             });
         }
     });
@@ -560,8 +542,89 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// The scratch-backed router table of one prefix run: hands out
+/// [`NodeState`] views over the worker's flat slot arrays, lazily
+/// resetting a node's state the first time the current prefix touches it
+/// (generation stamp compare + one slot-range fill), so a prefix pays
+/// per-node setup only for the nodes its flood actually reaches.
+struct Routers<'s> {
+    /// The current prefix's generation stamp.
+    epoch: u32,
+    /// CSR degree prefix-sum: node `i`'s global slots are
+    /// `offsets[i]..offsets[i + 1]`.
+    offsets: &'s [u32],
+    asns: &'s [Asn],
+    is_rs: &'s [bool],
+    node_epoch: &'s mut [u32],
+    touched: &'s mut Vec<u32>,
+    rib_in: &'s mut [Option<RibEntry>],
+    exported: &'s mut [Option<RouteId>],
+    local: &'s mut [Option<RouteId>],
+    last_emit_best: &'s mut [Option<Option<RouteId>>],
+}
+
+impl Routers<'_> {
+    /// Stamps node `i` into the current prefix, clearing its slot range and
+    /// scalars if a previous prefix left state behind.
+    fn touch(&mut self, i: usize) {
+        if self.node_epoch[i] == self.epoch {
+            return;
+        }
+        self.node_epoch[i] = self.epoch;
+        self.touched.push(i as u32);
+        let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        self.rib_in[lo..hi].fill(None);
+        self.exported[lo..hi].fill(None);
+        self.local[i] = None;
+        self.last_emit_best[i] = None;
+    }
+
+    /// True when the current prefix has already touched node `i` — i.e.
+    /// the node holds live state this prefix. An unstamped node trivially
+    /// has no routes, letting read-only consumers (the collector sweep)
+    /// skip it without paying the touch's slot-range clear.
+    fn is_live(&self, i: usize) -> bool {
+        self.node_epoch[i] == self.epoch
+    }
+
+    /// The router view for node `i` (touching it first).
+    fn node(&mut self, i: usize) -> NodeState<'_> {
+        self.touch(i);
+        let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        NodeState::new(
+            self.asns[i],
+            self.is_rs[i],
+            &mut self.rib_in[lo..hi],
+            &mut self.local[i],
+            &mut self.exported[lo..hi],
+            &mut self.last_emit_best[i],
+        )
+    }
+}
+
+/// Maps a neighbor role to its index in the export sweep's per-role memo.
+fn role_ix(role: Role) -> usize {
+    match role {
+        Role::Customer => 0,
+        Role::Provider => 1,
+        Role::Peer => 2,
+    }
+}
+
 impl CompiledSim<'_> {
-    /// Runs the episodes of a single prefix to convergence.
+    /// Allocates per-worker scratch sized for this session. One scratch per
+    /// worker, reused across every prefix that worker runs — see
+    /// [`crate::scratch::SimScratch`].
+    pub(crate) fn new_scratch(&self) -> SimScratch {
+        SimScratch::new(
+            self.asns.len(),
+            self.topo.adjacency_len(),
+            self.collector_peers.len(),
+        )
+    }
+
+    /// Runs the episodes of a single prefix to convergence, on the calling
+    /// worker's reusable `scratch`.
     ///
     /// The convergence loop is **dirty-set batched**: importing an update
     /// only marks the receiving node dirty; once the in-flight queue is
@@ -570,33 +633,46 @@ impl CompiledSim<'_> {
     /// the cycle repeats until nothing is dirty. A node that absorbs many
     /// updates in one round therefore diffs its adjacency once instead of
     /// once per update, and a node whose best route did not change skips
-    /// the recompute entirely ([`PrefixRouter::begin_export_pass`]).
-    pub(crate) fn run_prefix(&self, prefix: Prefix, episodes: &[&Origination]) -> PrefixOutcome {
+    /// the recompute entirely (`NodeState::begin_export_pass`).
+    pub(crate) fn run_prefix(
+        &self,
+        scratch: &mut SimScratch,
+        prefix: Prefix,
+        episodes: &[&Origination],
+    ) -> PrefixOutcome {
         let vctx = ValidationCtx {
             irr: &self.irr,
             rpki: &self.rpki,
         };
-        let n = self.asns.len();
-        // Every route this prefix's propagation produces is hash-consed in
-        // here; RIBs, export caches, events, and the collector dedup state
-        // below all hold `RouteId`s into it. One arena per prefix-worker
-        // keeps the sharded path lock-free.
-        let mut arena = RouteArena::new();
-        let mut routers: Vec<PrefixRouter> = (0..n)
-            .map(|i| {
-                let id = NodeId::from_index(i);
-                PrefixRouter::new(
-                    self.asns[i],
-                    self.is_rs[i],
-                    self.topo.neighbors_ix(id).len(),
-                )
-            })
-            .collect();
-
-        // Per collector session: what the peer currently advertises to the
-        // monitor, so only changes produce observations. Indexed in step
-        // with `collector_peers`.
-        let mut monitor_state: Vec<Option<RouteId>> = vec![None; self.collector_peers.len()];
+        scratch.begin_prefix();
+        // Split-borrow the scratch: the router views own the four state
+        // arrays; the arena, queue, dirty set, and collector dedup state
+        // are borrowed independently alongside them.
+        let SimScratch {
+            epoch,
+            node_epoch,
+            touched,
+            rib_in,
+            exported,
+            local,
+            last_emit_best,
+            arena,
+            queue,
+            dirty,
+            monitor_state,
+        } = scratch;
+        let mut routers = Routers {
+            epoch: *epoch,
+            offsets: self.topo.slot_offsets(),
+            asns: &self.asns,
+            is_rs: &self.is_rs,
+            node_epoch,
+            touched,
+            rib_in,
+            exported,
+            local,
+            last_emit_best,
+        };
 
         let mut outcome = PrefixOutcome {
             observations: vec![Vec::new(); self.collector_names.len()],
@@ -605,27 +681,42 @@ impl CompiledSim<'_> {
             converged: true,
         };
 
-        let mut queue: VecDeque<Event> = VecDeque::new();
-        let mut dirty = DirtySet::new(n);
+        // Origination memo: schedules replay identical announcements
+        // (duplicate episodes, steady-state re-announcements), and the
+        // stable per-prefix episode sort keeps them adjacent — remember the
+        // last interned origination so a repeat costs an equality check on
+        // borrowed attributes instead of cloning both attribute vectors.
+        let mut last_origination: Option<(&Origination, RouteId)> = None;
 
         for ep in episodes {
             let Some(origin) = self.topo.node_id(ep.origin) else {
                 continue;
             };
             // Apply the origination at its router.
-            {
-                let router = &mut routers[origin.index()];
-                if ep.withdraw {
-                    router.withdraw_local();
-                } else {
-                    let mut route = Route::originate(prefix, ep.communities.clone())
-                        .with_large_communities(ep.large_communities.clone());
-                    if let Some(victim) = ep.forged_origin {
-                        route.path = AsPath::from_asns([victim]);
-                        route.origin = Origin::Igp;
+            if ep.withdraw {
+                routers.node(origin.index()).set_local(None);
+            } else {
+                let id = match last_origination {
+                    Some((prev, id))
+                        if prev.communities == ep.communities
+                            && prev.large_communities == ep.large_communities
+                            && prev.forged_origin == ep.forged_origin =>
+                    {
+                        id
                     }
-                    router.originate(route, &mut arena);
-                }
+                    _ => {
+                        let mut route = Route::originate(prefix, ep.communities.clone())
+                            .with_large_communities(ep.large_communities.clone());
+                        if let Some(victim) = ep.forged_origin {
+                            route.path = AsPath::from_asns([victim]);
+                            route.origin = Origin::Igp;
+                        }
+                        let id = arena.intern(route);
+                        last_origination = Some((ep, id));
+                        id
+                    }
+                };
+                routers.node(origin.index()).set_local(Some(id));
             }
             dirty.insert(origin.index());
 
@@ -641,14 +732,13 @@ impl CompiledSim<'_> {
                         break 'converge;
                     }
                     let cfg = &self.configs[ev.to.index()];
-                    let router = &mut routers[ev.to.index()];
-                    router.import(
+                    routers.node(ev.to.index()).import(
                         cfg,
                         self.asns[ev.from.index()],
                         ev.to_slot as usize,
                         ev.sender_role,
                         ev.route,
-                        &mut arena,
+                        arena,
                         vctx,
                     );
                     dirty.insert(ev.to.index());
@@ -657,23 +747,24 @@ impl CompiledSim<'_> {
                     break;
                 }
                 for &i in dirty.sorted() {
-                    self.emit_exports(
-                        NodeId::from_index(i as usize),
-                        &mut routers,
-                        &mut arena,
-                        &mut queue,
-                    );
+                    self.emit_exports(NodeId::from_index(i as usize), &mut routers, arena, queue);
                 }
                 dirty.clear();
             }
 
             // Record collector observations for this episode. Interning
             // makes the changed-predicate an id compare; the owned route is
-            // cloned out of the arena only for actual observations.
+            // cloned out of the arena only for actual observations. A peer
+            // the flood never reached holds no state and exports nothing —
+            // skipped by stamp check, so collector sessions at high-degree
+            // hubs don't charge narrow floods an O(degree) touch.
             for (si, &(ci, peer, feed)) in self.collector_peers.iter().enumerate() {
-                let router = &routers[peer.index()];
                 let cfg = &self.configs[peer.index()];
-                let new = collector_export(router, cfg, feed, &mut arena);
+                let new = if routers.is_live(peer.index()) {
+                    collector_export(&routers.node(peer.index()), cfg, feed, arena)
+                } else {
+                    None
+                };
                 if monitor_state[si] == new {
                     continue;
                 }
@@ -688,9 +779,13 @@ impl CompiledSim<'_> {
         }
 
         if self.should_retain(&prefix) {
+            // Only nodes the flood touched can hold a route, so the sweep
+            // iterates the touched list instead of all ~N nodes (the
+            // BTreeMap orders by ASN regardless of visit order).
             let mut finals: BTreeMap<Asn, Route> = BTreeMap::new();
-            for (i, router) in routers.iter().enumerate() {
-                if let Some(best) = router.best(&arena) {
+            for k in 0..routers.touched.len() {
+                let i = routers.touched[k] as usize;
+                if let Some(best) = routers.node(i).best(arena) {
                     finals.insert(self.asns[i], best.clone());
                 }
             }
@@ -715,22 +810,68 @@ impl CompiledSim<'_> {
     /// node's best route is unchanged since its last pass the whole sweep
     /// is skipped — exports are a pure function of the best route, so the
     /// steady-state cost is one best-scan and zero clones.
+    ///
+    /// Within a pass the best entry is scanned once, and for ordinary nodes
+    /// the export value is **memoized per neighbor role**: everything in
+    /// `router::export_from_best` depends on the neighbor only through its
+    /// role, except the never-send-back neighbor (checked here) and two
+    /// genuinely per-neighbor policies — route-server control communities
+    /// and the `ScopedToReceiver` defense filter — which fall back to the
+    /// per-neighbor computation. A high-degree transit therefore clones and
+    /// interns each changed export at most once per role, not once per
+    /// neighbor.
     fn emit_exports(
         &self,
         id: NodeId,
-        routers: &mut [PrefixRouter],
+        routers: &mut Routers<'_>,
         arena: &mut RouteArena,
         queue: &mut VecDeque<Event>,
     ) {
         let cfg = &self.configs[id.index()];
-        let router = &mut routers[id.index()];
-        if !router.begin_export_pass(arena) {
+        let mut node = routers.node(id.index());
+        let Some(best) = node.begin_export_pass_entry(arena) else {
             return;
-        }
-        for (slot, (nb, role, nb_is_rs), rev_slot) in self.topo.adjacency_with_reverse_ix(id) {
+        };
+        let learned_from = best.and_then(|(best_id, _)| arena.get(best_id).source.neighbor());
+        let per_role_uniform = !node.is_route_server
+            && !matches!(
+                cfg.propagation,
+                CommunityPropagationPolicy::ScopedToReceiver
+            );
+        let mut memo: [Option<Option<RouteId>>; 3] = [None; 3];
+        for (slot, (nb, role, _nb_is_rs), rev_slot) in self.topo.adjacency_with_reverse_ix(id) {
             let nb_asn = self.asns[nb.index()];
-            let new = router.export_for(cfg, nb_asn, role, nb_is_rs, arena);
-            if let Some(update) = router.diff_export(slot, new) {
+            let new = match best {
+                None => None,
+                Some(_) if per_role_uniform && learned_from == Some(nb_asn) => None,
+                Some((best_id, learned_role)) => {
+                    let compute = |arena: &mut RouteArena| {
+                        router::export_from_best(
+                            node.asn,
+                            node.is_route_server,
+                            best_id,
+                            learned_role,
+                            cfg,
+                            nb_asn,
+                            role,
+                            arena,
+                        )
+                    };
+                    if per_role_uniform {
+                        match memo[role_ix(role)] {
+                            Some(cached) => cached,
+                            None => {
+                                let value = compute(arena);
+                                memo[role_ix(role)] = Some(value);
+                                value
+                            }
+                        }
+                    } else {
+                        compute(arena)
+                    }
+                }
+            };
+            if let Some(update) = node.diff_export(slot, new) {
                 queue.push_back(Event {
                     from: id,
                     to: nb,
@@ -750,7 +891,7 @@ impl CompiledSim<'_> {
 /// local routes (monitor treated like a peer). The session still honours
 /// NO_EXPORT/NO_ADVERTISE and the peer's community-sending configuration.
 fn collector_export(
-    router: &PrefixRouter,
+    node: &NodeState<'_>,
     cfg: &RouterConfig,
     feed: FeedKind,
     arena: &mut RouteArena,
@@ -760,7 +901,7 @@ fn collector_export(
         FeedKind::CustomerRoutesOnly => Role::Peer,
     };
     // The collector's "ASN" never appears in paths (see [`crate::MONITOR_ASN`]).
-    router.export_for(cfg, crate::MONITOR_ASN, role_for_export, false, arena)
+    node.export_for(cfg, crate::MONITOR_ASN, role_for_export, arena)
 }
 
 /// Everything one prefix's episode schedule produced, before any merging.
@@ -1138,6 +1279,66 @@ mod tests {
             "steady-state episode must process zero events"
         );
         assert_eq!(once.final_routes, twice.final_routes);
+    }
+
+    #[test]
+    fn sequential_run_reuses_one_scratch_across_prefixes() {
+        // Multi-prefix `run` with one thread: every prefix recycles the
+        // same worker scratch (one build), and the result still matches
+        // per-prefix fresh runs (locked more broadly in determinism.rs).
+        let topo = line_topo();
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+        let eps = vec![
+            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![]),
+            Origination::announce(Asn::new(1), p("20.0.0.0/16"), vec![]),
+            Origination::announce(Asn::new(3), p("30.0.0.0/16"), vec![]),
+        ];
+        let before = crate::scratch_builds();
+        let res = sim.run(&eps);
+        assert_eq!(crate::scratch_builds() - before, 1);
+        assert!(res.converged);
+        assert_eq!(res.final_routes.len(), 3);
+    }
+
+    #[test]
+    fn changing_reannouncements_are_not_memo_collapsed() {
+        // The origination memo only short-circuits *identical* repeats: a
+        // re-announcement with different attributes must re-originate, and
+        // a later return to the first attributes must win again.
+        let topo = line_topo();
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+        let t1 = Community::new(4, 100);
+        let t2 = Community::new(4, 200);
+        let res = sim.run(&[
+            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![t1]),
+            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![t2]).at(100),
+            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![t1]).at(200),
+        ]);
+        assert!(res.converged);
+        let r1 = res.route_at(Asn::new(1), &p("10.0.0.0/16")).unwrap();
+        assert!(
+            r1.has_community(t1),
+            "final attributes are the episode-3 set"
+        );
+        assert!(!r1.has_community(t2), "episode-2 attributes were replaced");
+    }
+
+    #[test]
+    fn memoized_reannouncement_survives_a_withdrawal() {
+        // announce → withdraw → identical announce: the memo may reuse the
+        // first episode's interned route (the arena lives for the whole
+        // prefix), and the route must come back everywhere.
+        let topo = line_topo();
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+        let tag = Community::new(4, 77);
+        let res = sim.run(&[
+            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![tag]),
+            Origination::withdrawal(Asn::new(4), p("10.0.0.0/16"), 100),
+            Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![tag]).at(200),
+        ]);
+        assert!(res.converged);
+        let r1 = res.route_at(Asn::new(1), &p("10.0.0.0/16")).unwrap();
+        assert!(r1.has_community(tag));
     }
 
     #[test]

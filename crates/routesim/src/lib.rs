@@ -110,15 +110,34 @@
 //! the neighbor's position in the node's CSR slice, and events carry the
 //! receiver-side slot (precompiled reverse-slot array).
 //!
-//! ## The hot path: RouteId arena + dirty-set convergence
+//! ## The hot path: per-worker scratch + RouteId arena + dirty-set convergence
+//!
+//! Every worker owns one reusable **`SimScratch`** holding all mutable
+//! per-prefix state: the Adj-RIB-In and last-exported caches as two flat
+//! arrays over the whole network's directed-edge slots (addressed through
+//! the topology's CSR degree prefix-sum, `Topology::slot_offsets`), the
+//! per-node scalars, the route arena, the event queue, the dirty set, and
+//! the collector-session dedup state. Nothing per-prefix is allocated in
+//! the loop: between prefixes the scratch is reset by a **generation-stamp
+//! bump** — a node's state is live only while its stamp equals the current
+//! prefix's epoch, and the first touch per prefix clears just that node's
+//! slot range — so reset is O(1) and a prefix that floods only part of the
+//! graph pays only for the nodes it reaches (the final-routes sweep also
+//! iterates only touched nodes). Reuse is pinned semantically equal to
+//! fresh-per-prefix state by the determinism suite, and an alloc-counting
+//! double ([`scratch_builds`]) locks in that a campaign's second prefix
+//! allocates no RIB arrays.
 //!
 //! Every route a prefix run produces is **hash-consed** into that
-//! prefix-worker's [`RouteArena`]: RIB slots, last-exported caches, and
-//! in-flight events all carry dense [`RouteId`]s (u32) instead of owned
-//! `Route`s. Route equality — the export-diffing predicate — is a u32
-//! compare, enqueuing an update allocates nothing, and an identical route
-//! is stored once per prefix no matter how many RIBs hold it. One arena
-//! per prefix-worker keeps the sharded path lock-free.
+//! worker-scratch's [`RouteArena`] (emptied, capacity kept, per prefix):
+//! RIB slots, last-exported caches, and in-flight events all carry dense
+//! [`RouteId`]s (u32) instead of owned `Route`s. Route equality — the
+//! export-diffing predicate — is a u32 compare, enqueuing an update
+//! allocates nothing, and an identical route is stored once per prefix no
+//! matter how many RIBs hold it. One arena per worker keeps the sharded
+//! path lock-free. Originations are interned once per episode (an
+//! identical re-announcement reuses the previous episode's id without
+//! cloning its attribute vectors).
 //!
 //! Convergence is **dirty-set batched**: importing an update only marks
 //! the receiving node dirty; when the in-flight queue drains, each dirty
@@ -128,14 +147,18 @@
 //! once per update — and because exports are a pure function of the best
 //! route, a dirty node whose best id is unchanged skips the sweep
 //! entirely, making the steady state *zero-clone* (asserted by
-//! clone-counting tests against [`route_clones`]). A PR 2-shaped
+//! clone-counting tests against [`route_clones`]). Within a pass, exports
+//! are memoized per neighbor role whenever the node's egress policy is
+//! neighbor-independent, so a changed export is cloned and interned at
+//! most once per role rather than once per neighbor. A PR 2-shaped
 //! per-import re-export reference loop in `tests/determinism.rs` locks in
 //! that batching never changes the converged routes.
 //!
 //! Distinct prefixes are independent, which the engine exploits for
 //! parallelism: prefixes are claimed dynamically from an atomic counter by
-//! scoped worker threads, each publishing into that prefix's own
-//! `OnceLock` result slot (disjoint writes, no locks, balanced load).
+//! scoped worker threads — each recycling its own scratch across every
+//! prefix it claims — publishing into that prefix's own `OnceLock` result
+//! slot (disjoint writes, no locks, balanced load).
 //! Results are merged in prefix order and observations sorted by
 //! `(time, peer, prefix)`, so `threads = 1` and `threads = N` produce
 //! identical results, and repeated `run` calls on one session are
@@ -159,6 +182,7 @@ pub mod engine;
 pub mod policy;
 pub mod route;
 pub mod router;
+mod scratch;
 pub mod workload;
 
 pub use campaign::{Campaign, CampaignCheckpoint, CampaignRun, CampaignSink};
@@ -169,4 +193,5 @@ pub use policy::{
     OriginValidation, RouteServerConfig, RouterConfig, RsEvalOrder, TaggingConfig, Vendor,
 };
 pub use route::{route_clones, Route, RouteArena, RouteId, RouteSource};
+pub use scratch::scratch_builds;
 pub use workload::{PolicyMix, Workload, WorkloadParams};

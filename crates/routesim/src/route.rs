@@ -198,11 +198,23 @@ impl RouteId {
 /// runs stay lock-free and id assignment is a pure function of the prefix's
 /// event sequence. Collision handling is an explicit bucket list — the map
 /// stores `hash → candidate ids` and full [`Route`] equality resolves the
-/// bucket, so the route bytes are never stored twice.
+/// bucket, so the route bytes are never stored twice. The first id of a
+/// bucket is stored inline: the overflow `Vec` only materializes on an
+/// actual 64-bit-hash collision, so the index performs no per-bucket heap
+/// allocation on the ordinary intern path (and [`RouteArena::reset`] has
+/// essentially nothing to free besides the routes themselves).
 #[derive(Debug, Default)]
 pub struct RouteArena {
     routes: Vec<Route>,
-    index: HashMap<u64, Vec<RouteId>>,
+    index: HashMap<u64, Bucket>,
+}
+
+/// One hash bucket: the first interned id inline, plus (rarely) overflow
+/// ids whose routes share the same 64-bit hash without being equal.
+#[derive(Debug)]
+struct Bucket {
+    first: RouteId,
+    overflow: Vec<RouteId>,
 }
 
 impl RouteArena {
@@ -228,22 +240,53 @@ impl RouteArena {
         &self.routes[id.index()]
     }
 
+    /// Empties the arena for reuse by the next prefix run, keeping the
+    /// route vector's capacity and the hash index's bucket table. Bucket
+    /// ids live inline (overflow `Vec`s exist only for genuine hash
+    /// collisions), so after the first prefix a worker interning a similar
+    /// route volume stops growing either allocation. Ids minted after a
+    /// reset restart from zero, exactly as on a fresh arena — reuse is
+    /// invisible to id-assignment determinism.
+    pub fn reset(&mut self) {
+        self.routes.clear();
+        self.index.clear();
+    }
+
     /// Interns `route`, returning the id of the already-stored identical
     /// route when one exists (dropping `route` without copying it anywhere)
     /// and storing `route` under a fresh id otherwise.
     pub fn intern(&mut self, route: Route) -> RouteId {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         route.hash(&mut hasher);
-        let bucket = self.index.entry(hasher.finish()).or_default();
-        for &id in bucket.iter() {
-            if self.routes[id.index()] == route {
-                return id;
+        let mint = |routes: &mut Vec<Route>, route: Route| {
+            let id = RouteId(u32::try_from(routes.len()).expect("more than u32::MAX routes"));
+            routes.push(route);
+            id
+        };
+        match self.index.entry(hasher.finish()) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let id = mint(&mut self.routes, route);
+                slot.insert(Bucket {
+                    first: id,
+                    overflow: Vec::new(),
+                });
+                id
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                let bucket = slot.get_mut();
+                if self.routes[bucket.first.index()] == route {
+                    return bucket.first;
+                }
+                for &id in &bucket.overflow {
+                    if self.routes[id.index()] == route {
+                        return id;
+                    }
+                }
+                let id = mint(&mut self.routes, route);
+                bucket.overflow.push(id);
+                id
             }
         }
-        let id = RouteId(u32::try_from(self.routes.len()).expect("more than u32::MAX routes"));
-        self.routes.push(route);
-        bucket.push(id);
-        id
     }
 }
 

@@ -37,7 +37,7 @@ pub enum ImportVerdict {
 /// One accepted Adj-RIB-In candidate: the interned route plus the business
 /// role the sending neighbor plays for this AS.
 #[derive(Debug, Clone, Copy)]
-struct RibEntry {
+pub(crate) struct RibEntry {
     route: RouteId,
     role: Role,
 }
@@ -51,6 +51,12 @@ struct RibEntry {
 /// [`RouteArena`] rather than owned routes, so the per-event import/export
 /// path is pure `Vec` indexing plus u32 compares — no `BTreeMap<Asn, …>`,
 /// no owned `Route` storage, and export diffing never clones.
+///
+/// This owned form backs stand-alone use (unit tests, reference engines).
+/// The engine's hot path does not allocate one of these per node: it runs
+/// the same policy code through crate-internal `NodeState` views over a
+/// per-worker `SimScratch`'s flat slot arrays, so the per-prefix state
+/// costs no allocation at all.
 #[derive(Debug, Clone)]
 pub struct PrefixRouter {
     /// This router's AS.
@@ -87,43 +93,27 @@ impl PrefixRouter {
         }
     }
 
+    /// The mutable [`NodeState`] view over this router's own storage — the
+    /// single implementation every mutating method below delegates to.
+    fn state(&mut self) -> NodeState<'_> {
+        NodeState {
+            asn: self.asn,
+            is_route_server: self.is_route_server,
+            rib_in: &mut self.rib_in,
+            local: &mut self.local,
+            exported: &mut self.exported,
+            last_emit_best: &mut self.last_emit_best,
+        }
+    }
+
     /// Originates (or re-originates) a local route.
     pub fn originate(&mut self, route: Route, arena: &mut RouteArena) {
-        debug_assert_eq!(route.source, RouteSource::Local);
-        self.local = Some(arena.intern(route));
+        self.state().originate(route, arena);
     }
 
     /// Withdraws the local origination.
     pub fn withdraw_local(&mut self) {
         self.local = None;
-    }
-
-    /// Best candidate plus the role it was learned under (None for local).
-    /// Every comparison in [`Route::prefer`] bottoms out in a strict
-    /// tie-break, so the winner is independent of iteration order.
-    fn best_entry(&self, arena: &RouteArena) -> Option<(RouteId, Option<Role>)> {
-        let mut best: Option<(RouteId, Option<Role>)> = None;
-        for entry in self.rib_in.iter().flatten() {
-            best = match best {
-                None => Some((entry.route, Some(entry.role))),
-                Some((b, _))
-                    if arena.get(entry.route).prefer(arena.get(b)) == Ordering::Greater =>
-                {
-                    Some((entry.route, Some(entry.role)))
-                }
-                keep => keep,
-            };
-        }
-        if let Some(local) = self.local {
-            best = match best {
-                None => Some((local, None)),
-                Some((b, _)) if arena.get(local).prefer(arena.get(b)) == Ordering::Greater => {
-                    Some((local, None))
-                }
-                keep => keep,
-            };
-        }
-        best
     }
 
     /// The current best route.
@@ -133,13 +123,13 @@ impl PrefixRouter {
 
     /// The current best route's arena id.
     pub fn best_id(&self, arena: &RouteArena) -> Option<RouteId> {
-        self.best_entry(arena).map(|(id, _)| id)
+        best_entry(&self.rib_in, self.local, arena).map(|(id, _)| id)
     }
 
     /// Role of the neighbor the current best was learned from (None for
     /// local routes).
     pub fn best_learned_role(&self, arena: &RouteArena) -> Option<Role> {
-        self.best_entry(arena).and_then(|(_, role)| role)
+        best_entry(&self.rib_in, self.local, arena).and_then(|(_, role)| role)
     }
 
     /// Reports whether an export pass is needed — i.e. whether the best
@@ -150,12 +140,7 @@ impl PrefixRouter {
     /// would produce no updates, letting the engine skip it entirely: the
     /// steady-state path performs one best-route scan and zero clones.
     pub fn begin_export_pass(&mut self, arena: &RouteArena) -> bool {
-        let best = self.best_id(arena);
-        if self.last_emit_best == Some(best) {
-            return false;
-        }
-        self.last_emit_best = Some(best);
-        true
+        self.state().begin_export_pass(arena)
     }
 
     /// Processes an incoming update (Some = announce, None = withdraw) from
@@ -168,6 +153,145 @@ impl PrefixRouter {
     /// import policy, and the result is re-interned for the RIB slot.
     #[allow(clippy::too_many_arguments)] // hot path: flat args, no wrapper struct
     pub fn import(
+        &mut self,
+        cfg: &RouterConfig,
+        sender: Asn,
+        sender_slot: usize,
+        sender_role: Role,
+        route: Option<RouteId>,
+        arena: &mut RouteArena,
+        ctx: ValidationCtx<'_>,
+    ) -> ImportVerdict {
+        self.state()
+            .import(cfg, sender, sender_slot, sender_role, route, arena, ctx)
+    }
+
+    /// Computes the advertisement this router should currently send to
+    /// `neighbor` (playing `neighbor_role` for us), interned into `arena`,
+    /// or `None` when nothing may be exported.
+    pub fn export_for(
+        &self,
+        cfg: &RouterConfig,
+        neighbor: Asn,
+        neighbor_role: Role,
+        neighbor_is_route_server: bool,
+        arena: &mut RouteArena,
+    ) -> Option<RouteId> {
+        let _ = neighbor_is_route_server; // same egress processing either way
+        let (best_id, learned_role) = best_entry(&self.rib_in, self.local, arena)?;
+        export_from_best(
+            self.asn,
+            self.is_route_server,
+            best_id,
+            learned_role,
+            cfg,
+            neighbor,
+            neighbor_role,
+            arena,
+        )
+    }
+
+    /// Records what was last advertised to the neighbor at `slot` and
+    /// reports whether a new message is needed. Returns `Some(update)` when
+    /// the advertisement changed (including transitions to/from
+    /// withdrawal).
+    ///
+    /// Routes are interned, so the change predicate is a u32 compare and
+    /// updating the last-exported cache is a u32 store — the double clone
+    /// of the owned-`Route` era (once into the cache, once into the event)
+    /// is gone entirely.
+    pub fn diff_export(&mut self, slot: usize, new: Option<RouteId>) -> Option<Option<RouteId>> {
+        self.state().diff_export(slot, new)
+    }
+}
+
+/// One node's per-prefix router state as mutable views over externally
+/// owned storage — the policy implementation shared by the owned
+/// [`PrefixRouter`] and the engine's per-worker scratch arrays (where a
+/// node's `rib_in`/`exported` slices are sub-ranges of two flat arrays over
+/// the whole network's directed-edge slots).
+#[derive(Debug)]
+pub(crate) struct NodeState<'s> {
+    /// This router's AS.
+    pub(crate) asn: Asn,
+    /// True when the node is an IXP route server.
+    pub(crate) is_route_server: bool,
+    rib_in: &'s mut [Option<RibEntry>],
+    local: &'s mut Option<RouteId>,
+    exported: &'s mut [Option<RouteId>],
+    last_emit_best: &'s mut Option<Option<RouteId>>,
+}
+
+impl<'s> NodeState<'s> {
+    /// Assembles a view from its parts. The two slices must both span
+    /// exactly the node's adjacency degree.
+    pub(crate) fn new(
+        asn: Asn,
+        is_route_server: bool,
+        rib_in: &'s mut [Option<RibEntry>],
+        local: &'s mut Option<RouteId>,
+        exported: &'s mut [Option<RouteId>],
+        last_emit_best: &'s mut Option<Option<RouteId>>,
+    ) -> Self {
+        debug_assert_eq!(rib_in.len(), exported.len());
+        NodeState {
+            asn,
+            is_route_server,
+            rib_in,
+            local,
+            exported,
+            last_emit_best,
+        }
+    }
+
+    /// Originates (or re-originates) a local route.
+    pub(crate) fn originate(&mut self, route: Route, arena: &mut RouteArena) {
+        debug_assert_eq!(route.source, RouteSource::Local);
+        *self.local = Some(arena.intern(route));
+    }
+
+    /// Sets the local origination directly to an already-interned id
+    /// (`None` withdraws) — the engine's episode-memo path, which skips
+    /// rebuilding an identical origination route.
+    pub(crate) fn set_local(&mut self, id: Option<RouteId>) {
+        *self.local = id;
+    }
+
+    /// Best candidate plus the role it was learned under (None for local).
+    pub(crate) fn best_entry(&self, arena: &RouteArena) -> Option<(RouteId, Option<Role>)> {
+        best_entry(self.rib_in, *self.local, arena)
+    }
+
+    /// The current best route.
+    pub(crate) fn best<'a>(&self, arena: &'a RouteArena) -> Option<&'a Route> {
+        self.best_entry(arena).map(|(id, _)| arena.get(id))
+    }
+
+    /// See [`PrefixRouter::begin_export_pass`] — but instead of a bool this
+    /// returns the best entry it had to scan anyway: `None` when the pass
+    /// can be skipped, `Some(best_entry)` when it must run, so the engine's
+    /// export sweep pays exactly one O(degree) best scan per pass.
+    pub(crate) fn begin_export_pass_entry(
+        &mut self,
+        arena: &RouteArena,
+    ) -> Option<Option<(RouteId, Option<Role>)>> {
+        let entry = self.best_entry(arena);
+        let best = entry.map(|(id, _)| id);
+        if *self.last_emit_best == Some(best) {
+            return None;
+        }
+        *self.last_emit_best = Some(best);
+        Some(entry)
+    }
+
+    /// See [`PrefixRouter::begin_export_pass`].
+    pub(crate) fn begin_export_pass(&mut self, arena: &RouteArena) -> bool {
+        self.begin_export_pass_entry(arena).is_some()
+    }
+
+    /// See [`PrefixRouter::import`].
+    #[allow(clippy::too_many_arguments)] // hot path: flat args, no wrapper struct
+    pub(crate) fn import(
         &mut self,
         cfg: &RouterConfig,
         sender: Asn,
@@ -322,221 +446,278 @@ impl PrefixRouter {
         ImportVerdict::Accepted
     }
 
-    /// Computes the advertisement this router should currently send to
-    /// `neighbor` (playing `neighbor_role` for us), interned into `arena`,
-    /// or `None` when nothing may be exported.
-    pub fn export_for(
+    /// Computes the advertisement this node should currently send to
+    /// `neighbor`. Scans for the best entry first; the engine's export
+    /// sweep calls [`export_from_best`] directly so one scan serves the
+    /// whole adjacency.
+    pub(crate) fn export_for(
         &self,
         cfg: &RouterConfig,
         neighbor: Asn,
         neighbor_role: Role,
-        neighbor_is_route_server: bool,
         arena: &mut RouteArena,
     ) -> Option<RouteId> {
         let (best_id, learned_role) = self.best_entry(arena)?;
-        let best = arena.get(best_id);
-
-        // Never send a route back to the neighbor we learned it from.
-        if best.source.neighbor() == Some(neighbor) {
-            return None;
-        }
-
-        if self.is_route_server {
-            return self.route_server_export(cfg, best_id, neighbor, arena);
-        }
-
-        // Well-known scope-limiting communities.
-        if best.has_community(Community::NO_ADVERTISE) {
-            return None;
-        }
-        if best.has_community(Community::NO_EXPORT)
-            || best.has_community(Community::NO_EXPORT_SUBCONFED)
-        {
-            return None;
-        }
-        // NOPEER: not via bilateral peering (route servers count as peers).
-        if best.has_community(Community::NO_PEER) && neighbor_role == Role::Peer {
-            return None;
-        }
-
-        // Gao–Rexford: routes from peers/providers go only to customers.
-        let exportable = match best.source {
-            RouteSource::Local => true,
-            _ => learned_role == Some(Role::Customer) || neighbor_role == Role::Customer,
-        };
-        if !exportable {
-            return None;
-        }
-
-        let mut out = best.clone();
-        // Prepend self (once, plus any community-requested extra).
-        let prepends = 1 + usize::from(best.pending_prepend);
-        out.path.prepend(self.asn, prepends);
-        out.pending_prepend = 0;
-        out.blackholed = false;
-        out.local_pref = 0;
-        out.med = 0;
-        out.source = RouteSource::Ebgp(self.asn);
-
-        // Community propagation policy applies to *received* communities;
-        // own ingress tags and origination tags ride along unconditionally
-        // (they are this AS's own signal).
-        let forward_received = match &cfg.propagation {
-            CommunityPropagationPolicy::ForwardAll => ForwardSet::All,
-            CommunityPropagationPolicy::StripAll => ForwardSet::None,
-            CommunityPropagationPolicy::StripOwn => ForwardSet::Foreign,
-            CommunityPropagationPolicy::StripUnknown => ForwardSet::OwnAndWellKnown,
-            CommunityPropagationPolicy::ScopedToReceiver => {
-                if neighbor == crate::MONITOR_ASN {
-                    // The paper's carve-out: do not filter toward route
-                    // collectors.
-                    ForwardSet::All
-                } else {
-                    ForwardSet::ScopedToReceiver
-                }
-            }
-            CommunityPropagationPolicy::Selective {
-                to_customers,
-                to_peers,
-                to_providers,
-            } => {
-                let allowed = match neighbor_role {
-                    Role::Customer => *to_customers,
-                    Role::Peer => *to_peers,
-                    Role::Provider => *to_providers,
-                };
-                if allowed {
-                    ForwardSet::All
-                } else {
-                    ForwardSet::None
-                }
-            }
-        };
-        let own_hi = self.asn.as_u16();
-        let neighbor16 = neighbor.as_u16();
-        out.communities.retain(|c| match forward_received {
-            ForwardSet::All => true,
-            ForwardSet::None => false,
-            ForwardSet::Foreign => Some(c.asn_part()) != own_hi,
-            ForwardSet::OwnAndWellKnown => Some(c.asn_part()) == own_hi || c.well_known().is_some(),
-            ForwardSet::ScopedToReceiver => Some(c.asn_part()) == neighbor16,
-        });
-        // Large communities follow the same egress policy; their Global
-        // Administrator carries a full 32-bit ASN and no well-known large
-        // communities are registered.
-        let own32 = self.asn.get();
-        out.large_communities.retain(|c| match forward_received {
-            ForwardSet::All => true,
-            ForwardSet::None => false,
-            ForwardSet::Foreign => c.global != own32,
-            ForwardSet::OwnAndWellKnown => c.global == own32,
-            ForwardSet::ScopedToReceiver => c.global == neighbor.get(),
-        });
-        // Attach own ingress tags plus static egress tags, respecting the
-        // vendor's added-community cap (§6.1: Cisco permits adding 32).
-        let mut added: Vec<Community> = std::mem::take(&mut out.own_tags);
-        added.extend(cfg.tagging.egress_tags.iter().copied());
-        added.extend(
-            cfg.tagging
-                .targeted_egress
-                .iter()
-                .filter(|(p, _)| *p == out.prefix)
-                .map(|(_, c)| *c),
-        );
-        if let Some(limit) = cfg.vendor.added_community_limit() {
-            added.truncate(limit);
-        }
-        out.communities.extend(added);
-
-        if !cfg.sends_communities() {
-            out.communities.clear();
-            out.large_communities.clear();
-        }
-        community::normalize(&mut out.communities);
-        out.large_communities.sort_unstable();
-        out.large_communities.dedup();
-
-        let _ = neighbor_is_route_server; // same egress processing either way
-        Some(arena.intern(out))
+        export_from_best(
+            self.asn,
+            self.is_route_server,
+            best_id,
+            learned_role,
+            cfg,
+            neighbor,
+            neighbor_role,
+            arena,
+        )
     }
 
-    /// Route-server redistribution: transparent path, control communities,
-    /// configurable evaluation order.
-    fn route_server_export(
-        &self,
-        cfg: &RouterConfig,
-        best_id: RouteId,
-        member: Asn,
-        arena: &mut RouteArena,
-    ) -> Option<RouteId> {
-        let best = arena.get(best_id);
-        if best.has_community(Community::NO_ADVERTISE) || best.has_community(Community::NO_EXPORT) {
-            return None;
-        }
-        let rs16 = self.asn.as_u16()?;
-        let member16 = member.as_u16()?;
-
-        let suppress_member = best.has_community(Community::new(0, member16));
-        let announce_member = best.has_community(Community::new(rs16, member16));
-        let block_all = best.has_community(Community::new(0, rs16));
-
-        let announce = match cfg.route_server.eval_order {
-            RsEvalOrder::SuppressFirst => {
-                if suppress_member {
-                    false
-                } else if block_all {
-                    announce_member
-                } else {
-                    true
-                }
-            }
-            RsEvalOrder::AnnounceFirst => {
-                if announce_member {
-                    true
-                } else {
-                    !(suppress_member || block_all)
-                }
-            }
-        };
-        if !announce {
-            return None;
-        }
-
-        let mut out = best.clone();
-        // Transparent: the RS does not prepend its ASN.
-        out.local_pref = 0;
-        out.med = 0;
-        out.blackholed = false;
-        out.pending_prepend = 0;
-        out.source = RouteSource::RouteServer(self.asn);
-        if cfg.route_server.strip_control_communities {
-            out.communities.retain(|c| {
-                let hi = c.asn_part();
-                !(hi == 0 || (hi == rs16 && is_member_value(c.value_part())))
-            });
-        }
-        let own_tags = std::mem::take(&mut out.own_tags);
-        out.communities.extend(own_tags);
-        community::normalize(&mut out.communities);
-        Some(arena.intern(out))
-    }
-
-    /// Records what was last advertised to the neighbor at `slot` and
-    /// reports whether a new message is needed. Returns `Some(update)` when
-    /// the advertisement changed (including transitions to/from
-    /// withdrawal).
-    ///
-    /// Routes are interned, so the change predicate is a u32 compare and
-    /// updating the last-exported cache is a u32 store — the double clone
-    /// of the owned-`Route` era (once into the cache, once into the event)
-    /// is gone entirely.
-    pub fn diff_export(&mut self, slot: usize, new: Option<RouteId>) -> Option<Option<RouteId>> {
+    /// See [`PrefixRouter::diff_export`].
+    pub(crate) fn diff_export(
+        &mut self,
+        slot: usize,
+        new: Option<RouteId>,
+    ) -> Option<Option<RouteId>> {
         if self.exported[slot] == new {
             return None;
         }
         self.exported[slot] = new;
         Some(new)
     }
+}
+
+/// Best candidate of a RIB slice plus the role it was learned under (None
+/// for local routes). Every comparison in [`Route::prefer`] bottoms out in
+/// a strict tie-break, so the winner is independent of iteration order.
+fn best_entry(
+    rib_in: &[Option<RibEntry>],
+    local: Option<RouteId>,
+    arena: &RouteArena,
+) -> Option<(RouteId, Option<Role>)> {
+    let mut best: Option<(RouteId, Option<Role>)> = None;
+    for entry in rib_in.iter().flatten() {
+        best = match best {
+            None => Some((entry.route, Some(entry.role))),
+            Some((b, _)) if arena.get(entry.route).prefer(arena.get(b)) == Ordering::Greater => {
+                Some((entry.route, Some(entry.role)))
+            }
+            keep => keep,
+        };
+    }
+    if let Some(local) = local {
+        best = match best {
+            None => Some((local, None)),
+            Some((b, _)) if arena.get(local).prefer(arena.get(b)) == Ordering::Greater => {
+                Some((local, None))
+            }
+            keep => keep,
+        };
+    }
+    best
+}
+
+/// Computes the advertisement a node whose best route is `best_id` (learned
+/// under `learned_role`) should send to `neighbor`, interned into `arena`,
+/// or `None` when nothing may be exported.
+///
+/// Everything here depends on the neighbor only through its ASN (the
+/// never-send-back check, route-server control communities, the
+/// `ScopedToReceiver` defense filter) and its role — which is what lets the
+/// engine's export sweep memoize the result per role for ordinary nodes and
+/// re-intern once instead of once per neighbor.
+#[allow(clippy::too_many_arguments)] // hot path: flat args, no wrapper struct
+pub(crate) fn export_from_best(
+    asn: Asn,
+    is_route_server: bool,
+    best_id: RouteId,
+    learned_role: Option<Role>,
+    cfg: &RouterConfig,
+    neighbor: Asn,
+    neighbor_role: Role,
+    arena: &mut RouteArena,
+) -> Option<RouteId> {
+    let best = arena.get(best_id);
+
+    // Never send a route back to the neighbor we learned it from.
+    if best.source.neighbor() == Some(neighbor) {
+        return None;
+    }
+
+    if is_route_server {
+        return route_server_export(asn, cfg, best_id, neighbor, arena);
+    }
+
+    // Well-known scope-limiting communities.
+    if best.has_community(Community::NO_ADVERTISE) {
+        return None;
+    }
+    if best.has_community(Community::NO_EXPORT)
+        || best.has_community(Community::NO_EXPORT_SUBCONFED)
+    {
+        return None;
+    }
+    // NOPEER: not via bilateral peering (route servers count as peers).
+    if best.has_community(Community::NO_PEER) && neighbor_role == Role::Peer {
+        return None;
+    }
+
+    // Gao–Rexford: routes from peers/providers go only to customers.
+    let exportable = match best.source {
+        RouteSource::Local => true,
+        _ => learned_role == Some(Role::Customer) || neighbor_role == Role::Customer,
+    };
+    if !exportable {
+        return None;
+    }
+
+    let mut out = best.clone();
+    // Prepend self (once, plus any community-requested extra).
+    let prepends = 1 + usize::from(best.pending_prepend);
+    out.path.prepend(asn, prepends);
+    out.pending_prepend = 0;
+    out.blackholed = false;
+    out.local_pref = 0;
+    out.med = 0;
+    out.source = RouteSource::Ebgp(asn);
+
+    // Community propagation policy applies to *received* communities;
+    // own ingress tags and origination tags ride along unconditionally
+    // (they are this AS's own signal).
+    let forward_received = match &cfg.propagation {
+        CommunityPropagationPolicy::ForwardAll => ForwardSet::All,
+        CommunityPropagationPolicy::StripAll => ForwardSet::None,
+        CommunityPropagationPolicy::StripOwn => ForwardSet::Foreign,
+        CommunityPropagationPolicy::StripUnknown => ForwardSet::OwnAndWellKnown,
+        CommunityPropagationPolicy::ScopedToReceiver => {
+            if neighbor == crate::MONITOR_ASN {
+                // The paper's carve-out: do not filter toward route
+                // collectors.
+                ForwardSet::All
+            } else {
+                ForwardSet::ScopedToReceiver
+            }
+        }
+        CommunityPropagationPolicy::Selective {
+            to_customers,
+            to_peers,
+            to_providers,
+        } => {
+            let allowed = match neighbor_role {
+                Role::Customer => *to_customers,
+                Role::Peer => *to_peers,
+                Role::Provider => *to_providers,
+            };
+            if allowed {
+                ForwardSet::All
+            } else {
+                ForwardSet::None
+            }
+        }
+    };
+    let own_hi = asn.as_u16();
+    let neighbor16 = neighbor.as_u16();
+    out.communities.retain(|c| match forward_received {
+        ForwardSet::All => true,
+        ForwardSet::None => false,
+        ForwardSet::Foreign => Some(c.asn_part()) != own_hi,
+        ForwardSet::OwnAndWellKnown => Some(c.asn_part()) == own_hi || c.well_known().is_some(),
+        ForwardSet::ScopedToReceiver => Some(c.asn_part()) == neighbor16,
+    });
+    // Large communities follow the same egress policy; their Global
+    // Administrator carries a full 32-bit ASN and no well-known large
+    // communities are registered.
+    let own32 = asn.get();
+    out.large_communities.retain(|c| match forward_received {
+        ForwardSet::All => true,
+        ForwardSet::None => false,
+        ForwardSet::Foreign => c.global != own32,
+        ForwardSet::OwnAndWellKnown => c.global == own32,
+        ForwardSet::ScopedToReceiver => c.global == neighbor.get(),
+    });
+    // Attach own ingress tags plus static egress tags, respecting the
+    // vendor's added-community cap (§6.1: Cisco permits adding 32).
+    let mut added: Vec<Community> = std::mem::take(&mut out.own_tags);
+    added.extend(cfg.tagging.egress_tags.iter().copied());
+    added.extend(
+        cfg.tagging
+            .targeted_egress
+            .iter()
+            .filter(|(p, _)| *p == out.prefix)
+            .map(|(_, c)| *c),
+    );
+    if let Some(limit) = cfg.vendor.added_community_limit() {
+        added.truncate(limit);
+    }
+    out.communities.extend(added);
+
+    if !cfg.sends_communities() {
+        out.communities.clear();
+        out.large_communities.clear();
+    }
+    community::normalize(&mut out.communities);
+    out.large_communities.sort_unstable();
+    out.large_communities.dedup();
+
+    Some(arena.intern(out))
+}
+
+/// Route-server redistribution: transparent path, control communities,
+/// configurable evaluation order.
+fn route_server_export(
+    rs_asn: Asn,
+    cfg: &RouterConfig,
+    best_id: RouteId,
+    member: Asn,
+    arena: &mut RouteArena,
+) -> Option<RouteId> {
+    let best = arena.get(best_id);
+    if best.has_community(Community::NO_ADVERTISE) || best.has_community(Community::NO_EXPORT) {
+        return None;
+    }
+    let rs16 = rs_asn.as_u16()?;
+    let member16 = member.as_u16()?;
+
+    let suppress_member = best.has_community(Community::new(0, member16));
+    let announce_member = best.has_community(Community::new(rs16, member16));
+    let block_all = best.has_community(Community::new(0, rs16));
+
+    let announce = match cfg.route_server.eval_order {
+        RsEvalOrder::SuppressFirst => {
+            if suppress_member {
+                false
+            } else if block_all {
+                announce_member
+            } else {
+                true
+            }
+        }
+        RsEvalOrder::AnnounceFirst => {
+            if announce_member {
+                true
+            } else {
+                !(suppress_member || block_all)
+            }
+        }
+    };
+    if !announce {
+        return None;
+    }
+
+    let mut out = best.clone();
+    // Transparent: the RS does not prepend its ASN.
+    out.local_pref = 0;
+    out.med = 0;
+    out.blackholed = false;
+    out.pending_prepend = 0;
+    out.source = RouteSource::RouteServer(rs_asn);
+    if cfg.route_server.strip_control_communities {
+        out.communities.retain(|c| {
+            let hi = c.asn_part();
+            !(hi == 0 || (hi == rs16 && is_member_value(c.value_part())))
+        });
+    }
+    let own_tags = std::mem::take(&mut out.own_tags);
+    out.communities.extend(own_tags);
+    community::normalize(&mut out.communities);
+    Some(arena.intern(out))
 }
 
 /// Heuristic: control-community low values that address members. Our

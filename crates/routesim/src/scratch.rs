@@ -1,0 +1,257 @@
+//! Per-worker reusable simulation scratch: the mutable state of a prefix
+//! run, allocated once per campaign/run worker and recycled across every
+//! prefix that worker claims.
+//!
+//! Before this module existed, [`crate::engine::CompiledSim`]'s per-prefix
+//! loop rebuilt `O(ASes + edges)` state from scratch for every prefix — at
+//! the ~62 K-AS April-2018 scale that meant ~124 K small `Vec` allocations
+//! (two per router) plus a dirty bitmap, an arena, and an event queue per
+//! prefix, dominating a route-table-sized campaign's marginal cost. A
+//! [`SimScratch`] instead owns:
+//!
+//! * **two flat arrays over the whole network's directed-edge slots**
+//!   (Adj-RIB-In entries and the last-exported cache), addressed through
+//!   the topology's CSR degree prefix-sum
+//!   (`Topology::slot_offsets`): node `i`'s per-neighbor state is the
+//!   sub-slice at `offsets[i]..offsets[i + 1]`, so "allocate a RIB per
+//!   router" becomes two offset reads;
+//! * per-node scalars (local origination, last-emitted best) in dense
+//!   `NodeId`-indexed arrays;
+//! * the [`RouteArena`], event queue, dirty set, and collector-session
+//!   dedup state, all cleared and reused with their capacity intact.
+//!
+//! # Generation-stamped reset
+//!
+//! Between prefixes nothing is zeroed eagerly. Each prefix bumps a `u32`
+//! **epoch**, and a node's state is live only while its stamp in
+//! `node_epoch` equals the current epoch: the first time a prefix touches a
+//! node, the engine stamps it and clears just that node's slot range and
+//! scalars. Reset is therefore O(1), and a prefix that floods only part of
+//! the graph — a stub origination scoped down by `NO_EXPORT`, say — pays
+//! only for the nodes it actually reaches, never for the other ~62 K. The
+//! stamp granularity is per node (not per slot): one compare guards a whole
+//! slot range, keeping the per-event hot path free of stamp checks.
+//!
+//! Reuse is semantically invisible: `tests/determinism.rs` pins
+//! scratch-reuse ≡ fresh-state-per-prefix on random worlds, and
+//! [`scratch_builds`] is the alloc-counting double (in the style of
+//! [`crate::route_clones`]) that locks in "the second prefix of a campaign
+//! allocates no RIB arrays".
+
+use crate::engine::Event;
+use crate::route::{RouteArena, RouteId};
+use crate::router::RibEntry;
+use std::cell::Cell;
+use std::collections::VecDeque;
+
+thread_local! {
+    /// Alloc-counting test double: every full [`SimScratch`] array
+    /// allocation on this thread bumps the counter. The whole point of the
+    /// scratch is that this happens once per worker, not once per prefix.
+    static SCRATCH_BUILDS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total scratch-state allocations (one per `SimScratch` built) performed
+/// on the current thread so far.
+///
+/// Tests snapshot this around a multi-prefix campaign to assert that every
+/// prefix after the first reuses the worker's arrays instead of
+/// re-allocating them; deltas are meaningful, absolute values are not.
+pub fn scratch_builds() -> u64 {
+    SCRATCH_BUILDS.with(|c| c.get())
+}
+
+/// The set of nodes whose Adj-RIB-In changed since their last export
+/// recompute, drained once per convergence round in ascending node order
+/// (the order is what keeps batched runs deterministic). Membership is a
+/// dense bitmap so inserts from repeated imports are O(1) and duplicate
+/// marks are free; clearing resets only the marked bits, so the structure
+/// recycles across prefixes at zero cost.
+#[derive(Debug)]
+pub(crate) struct DirtySet {
+    member: Vec<bool>,
+    nodes: Vec<u32>,
+}
+
+impl DirtySet {
+    pub(crate) fn new(n: usize) -> Self {
+        DirtySet {
+            member: vec![false; n],
+            nodes: Vec::new(),
+        }
+    }
+
+    pub(crate) fn insert(&mut self, index: usize) {
+        if !self.member[index] {
+            self.member[index] = true;
+            self.nodes.push(index as u32);
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for &i in &self.nodes {
+            self.member[i as usize] = false;
+        }
+        self.nodes.clear();
+    }
+
+    /// Sorts the dirty list in place (ascending) and exposes it for the
+    /// export sweep; the caller [`DirtySet::clear`]s afterwards. In-place
+    /// so the list's capacity is reused round after round — the sweep loop
+    /// allocates nothing.
+    pub(crate) fn sorted(&mut self) -> &[u32] {
+        self.nodes.sort_unstable();
+        &self.nodes
+    }
+}
+
+/// One worker's reusable per-prefix state. Built by
+/// `CompiledSim::new_scratch` (sized to the session's topology and
+/// collector set) and threaded through every `run_prefix` call that worker
+/// makes; `begin_prefix` recycles it between prefixes.
+///
+/// Fields are crate-visible so the engine can split-borrow them — the
+/// router views need the four state arrays while the arena, queue, and
+/// dirty set are borrowed independently.
+#[derive(Debug)]
+pub(crate) struct SimScratch {
+    /// The current prefix's generation stamp; `node_epoch[i] == epoch`
+    /// means node `i`'s state below is live for this prefix.
+    pub(crate) epoch: u32,
+    /// Per-node generation stamp.
+    pub(crate) node_epoch: Vec<u32>,
+    /// Nodes stamped by the current prefix, in first-touch order — the
+    /// engine's final-routes sweep iterates these instead of all nodes.
+    pub(crate) touched: Vec<u32>,
+    /// Adj-RIB-In entries over the global directed-edge slot space.
+    pub(crate) rib_in: Vec<Option<RibEntry>>,
+    /// Last-exported cache over the global directed-edge slot space.
+    pub(crate) exported: Vec<Option<RouteId>>,
+    /// Per-node local origination.
+    pub(crate) local: Vec<Option<RouteId>>,
+    /// Per-node best id at the end of the last export pass.
+    pub(crate) last_emit_best: Vec<Option<Option<RouteId>>>,
+    /// The prefix-run route arena; reset (capacity kept) per prefix.
+    pub(crate) arena: RouteArena,
+    /// In-flight update events.
+    pub(crate) queue: VecDeque<Event>,
+    /// Nodes awaiting an export recompute.
+    pub(crate) dirty: DirtySet,
+    /// Per collector session: what the peer currently advertises to the
+    /// monitor, so only changes produce observations. Indexed in step with
+    /// the session's `collector_peers`.
+    pub(crate) monitor_state: Vec<Option<RouteId>>,
+}
+
+impl SimScratch {
+    /// Allocates scratch for a network of `n_nodes` nodes, `n_slots` total
+    /// directed-edge slots, and `n_monitor_sessions` collector sessions.
+    pub(crate) fn new(n_nodes: usize, n_slots: usize, n_monitor_sessions: usize) -> Self {
+        SCRATCH_BUILDS.with(|c| c.set(c.get() + 1));
+        SimScratch {
+            epoch: 0,
+            node_epoch: vec![0; n_nodes],
+            touched: Vec::new(),
+            rib_in: vec![None; n_slots],
+            exported: vec![None; n_slots],
+            local: vec![None; n_nodes],
+            last_emit_best: vec![None; n_nodes],
+            arena: RouteArena::new(),
+            queue: VecDeque::new(),
+            dirty: DirtySet::new(n_nodes),
+            monitor_state: vec![None; n_monitor_sessions],
+        }
+    }
+
+    /// Recycles the scratch for the next prefix: bumps the generation
+    /// stamp (invalidating every node's state in O(1)) and clears the
+    /// reusable containers without releasing their capacity. Also restores
+    /// a consistent baseline after a caught panic — any queue or dirty
+    /// residue from an aborted prefix is dropped here (such a scratch is
+    /// only ever reused for work that is discarded once the panic is
+    /// re-raised, but the invariant is kept regardless).
+    pub(crate) fn begin_prefix(&mut self) {
+        if self.epoch == u32::MAX {
+            // Stamp wrap: declare every node stale the slow way once per
+            // 2³² prefixes.
+            self.node_epoch.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.touched.clear();
+        self.arena.reset();
+        self.queue.clear();
+        self.dirty.clear();
+        self.monitor_state.fill(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_set_inserts_dedup_and_clear() {
+        let mut d = DirtySet::new(5);
+        assert!(d.is_empty());
+        d.insert(3);
+        d.insert(1);
+        d.insert(3);
+        assert_eq!(d.sorted(), &[1, 3]);
+        d.clear();
+        assert!(d.is_empty());
+        d.insert(3);
+        assert_eq!(d.sorted(), &[3], "clear resets membership bits");
+    }
+
+    #[test]
+    fn begin_prefix_bumps_epoch_and_clears_containers() {
+        let mut s = SimScratch::new(4, 10, 2);
+        s.begin_prefix();
+        assert_eq!(s.epoch, 1);
+        s.node_epoch[2] = s.epoch;
+        s.touched.push(2);
+        let stale = s.arena.intern(crate::route::Route::originate(
+            "10.0.0.0/16".parse().expect("valid prefix"),
+            vec![],
+        ));
+        s.monitor_state[1] = Some(stale);
+        s.dirty.insert(2);
+        s.begin_prefix();
+        assert_eq!(s.epoch, 2);
+        assert!(s.touched.is_empty());
+        assert!(s.dirty.is_empty());
+        assert!(s.arena.is_empty(), "arena reset for the next prefix");
+        assert_eq!(
+            s.monitor_state,
+            [None, None],
+            "stale collector dedup ids from the previous prefix's arena must not survive"
+        );
+        assert_ne!(s.node_epoch[2], s.epoch, "old stamps are stale");
+    }
+
+    #[test]
+    fn epoch_wrap_restamps_every_node() {
+        let mut s = SimScratch::new(3, 4, 0);
+        s.epoch = u32::MAX;
+        s.node_epoch.fill(u32::MAX);
+        s.begin_prefix();
+        assert_eq!(s.epoch, 1);
+        assert!(
+            s.node_epoch.iter().all(|&e| e == 0),
+            "wrap must not leave any node accidentally live"
+        );
+    }
+
+    #[test]
+    fn builds_are_counted() {
+        let before = scratch_builds();
+        let _a = SimScratch::new(2, 2, 0);
+        let _b = SimScratch::new(2, 2, 0);
+        assert_eq!(scratch_builds() - before, 2);
+    }
+}

@@ -17,6 +17,14 @@
 //!   best-id skip) built from the same `PrefixRouter` policy code must
 //!   reach the **same fixed point** on arbitrary worlds. Batching and
 //!   interning are throughput levers, never semantic ones.
+//! * **Scratch-reuse transparency** — a multi-prefix schedule runs every
+//!   prefix on a worker's recycled `SimScratch` (generation-stamped flat
+//!   RIB arrays, reset arena/queue/dirty set), while a schedule of one
+//!   prefix per `run` call gives each prefix a factory-fresh scratch. The
+//!   combined run must equal the union of the single-prefix runs — on
+//!   arbitrary worlds and on schedules engineered to interleave wide and
+//!   narrow flood footprints, so stale stamped state from a big flood can
+//!   never leak into a later prefix.
 
 use bgpworms_routesim::route::RouteArena;
 use bgpworms_routesim::router::{PrefixRouter, ValidationCtx};
@@ -340,6 +348,46 @@ fn reference_final_routes(
     Some(out)
 }
 
+/// The scratch-reuse oracle: runs every prefix of `originations` in its own
+/// [`CompiledSim::run`] call — each call builds a factory-fresh per-worker
+/// scratch, so no prefix can see another's state — and merges the
+/// single-prefix results into the [`SimResult`] the combined run should
+/// produce (same merge rules as the engine: summed events, ANDed
+/// convergence, per-prefix route maps keyed by prefix, observations sorted
+/// by `(time, peer, prefix)`).
+fn fresh_state_reference(sim: &CompiledSim<'_>, originations: &[Origination]) -> SimResult {
+    let mut by_prefix: BTreeMap<Prefix, Vec<Origination>> = BTreeMap::new();
+    for o in originations {
+        by_prefix.entry(o.prefix).or_default().push(o.clone());
+    }
+    let mut out = SimResult {
+        converged: true,
+        ..SimResult::default()
+    };
+    for name in sim.collector_names() {
+        out.observations.entry(name.clone()).or_default();
+    }
+    for single in by_prefix.into_values() {
+        let res = sim.run(&single);
+        out.events += res.events;
+        out.converged &= res.converged;
+        for (name, mut obs) in res.observations {
+            out.observations
+                .get_mut(&name)
+                .expect("collector registered")
+                .append(&mut obs);
+        }
+        for (prefix, routes) in res.final_routes {
+            let previous = out.final_routes.insert(prefix, routes);
+            assert!(previous.is_none(), "one run per prefix");
+        }
+    }
+    for obs in out.observations.values_mut() {
+        obs.sort_by_key(|o| (o.time, o.peer, o.prefix));
+    }
+    out
+}
+
 /// Keyed streaming aggregate for the campaign properties: retains every
 /// [`PrefixOutcome`] under its prefix, so equality between two campaign
 /// runs is full structural equality of everything the engine produced.
@@ -595,6 +643,80 @@ proptest! {
         let direct = sim.run(&originations);
         let rebuilt = rebuild_sim_result(&sim, &streamed.sink);
         prop_assert_eq!(&rebuilt, &direct, "campaign lost or reordered data");
+    }
+
+    /// Scratch reuse ≡ fresh state per prefix: a combined multi-prefix run
+    /// (threads = 1 ⇒ every prefix recycles one worker scratch, in prefix
+    /// order) must equal the merge of one single-prefix `run` call per
+    /// prefix (each on a factory-fresh scratch) — and the same through the
+    /// sharded path and the streaming campaign driver, whose workers each
+    /// recycle their own scratch across claimed chunks.
+    #[test]
+    fn scratch_reuse_equals_fresh_state_per_prefix(raw in arb_world(), threads in 2usize..6) {
+        let (topo, configs, collectors, originations) = build_world(&raw);
+        let mut sim = spec_for(&topo, configs, collectors).compile();
+
+        let reference = fresh_state_reference(&sim, &originations);
+        let combined = sim.run(&originations);
+        prop_assert_eq!(&combined, &reference, "sequential scratch reuse leaked state");
+
+        sim.set_threads(threads);
+        prop_assert_eq!(&sim.run(&originations), &reference, "sharded scratch reuse leaked state");
+
+        let streamed = Campaign::new(&sim)
+            .chunk_size(2)
+            .run(&originations, KeyedSink::default);
+        prop_assert_eq!(
+            &rebuild_sim_result(&sim, &streamed.sink),
+            &reference,
+            "campaign scratch reuse leaked state"
+        );
+    }
+
+    /// Interleaved flood footprints: a schedule alternating wide floods
+    /// (plain announcements that reach the whole graph) with narrow ones
+    /// (`NO_ADVERTISE` pins the route to its origin, so the prefix touches
+    /// one node) must not let a big flood's generation-stamped leftovers
+    /// surface in a later prefix — in either interleaving order, with a
+    /// withdrawal churning one wide prefix in between.
+    #[test]
+    fn interleaved_flood_footprints_do_not_leak(seed in 0u64..32, narrow_first in any::<bool>()) {
+        let topo = TopologyParams::tiny().seed(seed).build();
+        let alloc = bgpworms_topology::PrefixAllocation::assign(
+            &topo,
+            bgpworms_topology::addressing::AddressingParams::default(),
+        );
+        let origins: Vec<Asn> = alloc.iter().map(|(asn, _)| asn).collect();
+        prop_assert!(origins.len() >= 2, "tiny() always allocates prefixes");
+
+        // Prefixes are processed in ascending prefix order, so the
+        // third-octet index pins the big/tiny/big interleaving exactly.
+        let mut originations = Vec::new();
+        let mut churned = false;
+        for k in 0..6u8 {
+            let prefix: Prefix = format!("10.{k}.0.0/16").parse().expect("valid prefix");
+            let origin = origins[k as usize % origins.len()];
+            let narrow = (k % 2 == 0) == narrow_first;
+            let communities = if narrow {
+                vec![Community::NO_ADVERTISE]
+            } else {
+                vec![Community::new(7, 70 + u16::from(k))]
+            };
+            originations.push(Origination::announce(origin, prefix, communities));
+            if !churned && !narrow {
+                // Churn the first wide prefix (whichever position the
+                // interleaving order puts it at): announce then withdraw,
+                // leaving stamped-but-routeless state behind for later
+                // prefixes in both orders.
+                originations.push(Origination::withdrawal(origin, prefix, 500));
+                churned = true;
+            }
+        }
+
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+        let reference = fresh_state_reference(&sim, &originations);
+        let combined = sim.run(&originations);
+        prop_assert_eq!(&combined, &reference, "footprint interleaving leaked state");
     }
 
     /// Checkpoint/resume: stopping a campaign after any number of chunks

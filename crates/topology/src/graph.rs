@@ -272,6 +272,30 @@ impl Topology {
         self.csr().edges.len()
     }
 
+    /// The CSR degree prefix-sum: `slot_offsets()[i]..slot_offsets()[i + 1]`
+    /// delimits node `i`'s directed-edge slots within one contiguous
+    /// `0..adjacency_len()` slot space (the last entry is the total).
+    ///
+    /// Per-neighbor engine state that would otherwise live in one small
+    /// array per node (an Adj-RIB-In slot per adjacency entry, say) can
+    /// instead be a single worker-owned array over this slot space, with a
+    /// node's slice recovered by two offset reads — no per-node allocation.
+    /// Local adjacency slots (as produced by [`Topology::neighbors_ix`] /
+    /// [`Topology::reverse_slots_ix`]) translate to global slots by adding
+    /// the node's offset.
+    #[inline]
+    pub fn slot_offsets(&self) -> &[u32] {
+        &self.csr().offsets
+    }
+
+    /// Node `i`'s directed-edge slots as a range into the global
+    /// `0..adjacency_len()` slot space (see [`Topology::slot_offsets`]).
+    #[inline]
+    pub fn slot_range(&self, id: NodeId) -> std::ops::Range<usize> {
+        let offsets = &self.csr().offsets;
+        offsets[id.index()] as usize..offsets[id.index() + 1] as usize
+    }
+
     fn csr(&self) -> &Csr {
         self.csr.get_or_init(|| {
             let mut offsets = Vec::with_capacity(self.nodes.len() + 1);
@@ -651,6 +675,28 @@ mod tests {
                 assert_eq!(back, rev[slot]);
             }
         }
+    }
+
+    #[test]
+    fn slot_offsets_are_the_degree_prefix_sum() {
+        let mut t = triangle();
+        t.add_simple(asn(50), Tier::RouteServer);
+        t.add_edge(asn(3), asn(50), EdgeKind::PeerToPeer);
+        let offsets = t.slot_offsets().to_vec();
+        assert_eq!(offsets.len(), t.len() + 1);
+        assert_eq!(offsets[0], 0);
+        assert_eq!(*offsets.last().unwrap() as usize, t.adjacency_len());
+        for id in t.node_ids() {
+            let range = t.slot_range(id);
+            assert_eq!(range.start, offsets[id.index()] as usize);
+            assert_eq!(
+                range.len(),
+                t.neighbors_ix(id).len(),
+                "slot range must span exactly the node's degree"
+            );
+        }
+        // Ranges tile the slot space in id order, without gaps or overlap.
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! hijack, mirroring §7.1).
 
 pub mod extended_survey;
+pub mod full_table;
 pub mod propagation_check;
 pub mod routeserver_experiment;
 pub mod rtbh_experiment;

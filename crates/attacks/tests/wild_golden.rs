@@ -13,11 +13,13 @@
 //! semantics-preserving.
 
 use bgpworms_attacks::wild::{
-    extended_survey, propagation_check, routeserver_experiment, rtbh_experiment,
+    extended_survey, full_table, propagation_check, routeserver_experiment, rtbh_experiment,
     steering_experiment, survey,
 };
-use bgpworms_routesim::WorkloadParams;
-use bgpworms_topology::TopologyParams;
+use bgpworms_routesim::{Workload, WorkloadParams};
+use bgpworms_topology::{
+    addressing::AddressingParams, FullTableParams, PrefixAllocation, TopologyParams,
+};
 use bgpworms_types::Asn;
 
 /// The §7.6 survey fixture parameters (small world, capped corpus).
@@ -224,3 +226,30 @@ fn golden_steering_experiment() {
 
 const GOLDEN_STEERING: (Asn, Asn, usize, usize, u32, u32) =
     (Asn::new(2), Asn::new(6), 15, 29, 120, 70);
+
+#[test]
+fn golden_full_table_sampled() {
+    // A sampled full-table campaign over the deaggregated small() world:
+    // pins the schedule size, the flood-equivalence class structure, and
+    // the table-scale propagation/stripping counts — so both the
+    // deaggregation generator and the memoized campaign path are locked.
+    let topo = TopologyParams::small().seed(2018).build();
+    let alloc = PrefixAllocation::assign(&topo, AddressingParams::default())
+        .deaggregate(&topo, FullTableParams::default());
+    let workload = Workload::generate(&topo, &alloc, &WorkloadParams::default());
+    let report = full_table::run_full_table(&workload, &topo, &alloc, Some(alloc.len() / 2), 1);
+    let summary = (
+        report.prefixes,
+        report.classes,
+        report.class_sims,
+        report.class_hits,
+        report.converged,
+        report.tags.observations,
+        report.tags.tagged_observations,
+    );
+    println!("GOLDEN full-table: {summary:?}");
+    assert_eq!(summary, GOLDEN_FULL_TABLE, "full-table fixture drifted");
+}
+
+const GOLDEN_FULL_TABLE: (usize, usize, u64, u64, bool, usize, usize) =
+    (187, 67, 67, 120, true, 5461, 4012);

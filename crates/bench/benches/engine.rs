@@ -34,16 +34,31 @@
 //!   [`Campaign`]s over the same session, so the per-prefix hot path, the
 //!   streaming-sink driver, and the *marginal* cost of an additional
 //!   prefix on a reused per-worker scratch are all gated at the paper's
-//!   measurement scale. `bench_check` derives
-//!   `engine/per-prefix-marginal` — `(campaign-internet-16px −
-//!   run-internet-1px) / 15` — from these medians and gates it like any
-//!   other benchmark.
+//!   measurement scale. These campaigns run with flood memoization
+//!   **off** (`.memoize(false)`): they exist to measure the cost of real
+//!   floods, and the allocation's leading prefixes can share an origin —
+//!   letting the memo fold them would silently change what the phase
+//!   measures. `bench_check` derives `engine/per-prefix-marginal` —
+//!   `(campaign-internet-16px − run-internet-1px) / 15` — from these
+//!   medians and gates it like any other benchmark;
+//! * `campaign-internet-fulltable-sample/1` — the memoized counterpart: a
+//!   512-prefix full-table sample (two origins × 256 deaggregated /24s)
+//!   whose floods collapse to ~one equivalence class per origin, driven
+//!   through the default (memoizing) `Campaign`. `bench_check` divides
+//!   its median by 512 into `engine/fulltable-amortized-per-prefix` — the
+//!   realized cost of a mostly-duplicate-class prefix, which must sit
+//!   ~100× below `per-prefix-marginal` for memoization to pay. The phase
+//!   also prints the realized class-hit rate (basis points) as a
+//!   `bench: engine/class-hit-rate …` line in the harness's own output
+//!   format; its baseline entry is direction-reversed
+//!   (`higher_is_better`), so a classifier change that starts splitting
+//!   classes it used to share fails the perf gate like a regression.
 
 use bgpworms_routesim::{
     Campaign, CampaignSink, Origination, PrefixOutcome, SimSpec, Workload, WorkloadParams,
 };
 use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, TopologyParams};
-use bgpworms_types::{Community, Prefix};
+use bgpworms_types::{Asn, Community, Ipv4Prefix, Prefix};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_engine(c: &mut Criterion) {
@@ -216,7 +231,10 @@ fn bench_engine(c: &mut Criterion) {
             &1usize,
             |b, _| {
                 b.iter(|| {
+                    // Memoization off: this phase measures real floods (the
+                    // per-prefix-marginal input), not the replay path.
                     let run = Campaign::new(&internet_sim)
+                        .memoize(false)
                         .chunk_size(1)
                         .run(schedule, || EventCount(0));
                     assert!(run.converged);
@@ -225,6 +243,70 @@ fn bench_engine(c: &mut Criterion) {
             },
         );
     }
+
+    // The full-table sample: two origins × 256 deaggregated /24 subnets of
+    // their own /16 blocks — 512 prefixes that collapse to ~one flood class
+    // per origin — through the default (memoizing) Campaign. bench_check
+    // divides this median by 512 into fulltable-amortized-per-prefix.
+    let fulltable_eps: Vec<Origination> = {
+        let mut bases: Vec<(Asn, Ipv4Prefix)> = Vec::new();
+        for (asn, prefix) in internet_alloc.iter() {
+            if bases.last().is_some_and(|&(a, _)| a == asn) {
+                continue;
+            }
+            if let Prefix::V4(p) = prefix {
+                if p.len() == 16 {
+                    bases.push((asn, p));
+                }
+            }
+            if bases.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(bases.len(), 2, "no two origins with /16 blocks");
+        bases
+            .iter()
+            .flat_map(|&(asn, base)| {
+                (0..256u32).map(move |i| {
+                    let sub = Ipv4Prefix::new(base.network() + (i << 8), 24).expect("len <= 32");
+                    Origination::announce(asn, Prefix::V4(sub), vec![])
+                })
+            })
+            .collect()
+    };
+    assert_eq!(fulltable_eps.len(), 512);
+    let fulltable_campaign = Campaign::new(&internet_sim);
+    let stats = fulltable_campaign.class_stats(&fulltable_eps);
+    assert!(
+        stats.classes <= 8,
+        "same-origin /24s must share flood classes: {} classes / {} prefixes",
+        stats.classes,
+        stats.prefixes
+    );
+    group.bench_with_input(
+        BenchmarkId::new("campaign-internet-fulltable-sample", 1),
+        &1usize,
+        |b, _| {
+            b.iter(|| {
+                let run = fulltable_campaign.run(&fulltable_eps, || EventCount(0));
+                assert!(run.converged);
+                run.sink.0
+            })
+        },
+    );
+
+    // The realized class-hit rate of that sample, in basis points (9960 =
+    // 99.60% of prefixes replayed from a class representative), emitted in
+    // the harness's own `bench:` line format so bench_check parses it like
+    // any measurement. Its baseline entry is marked higher_is_better, so
+    // the gate fails when the classifier starts splitting classes it used
+    // to share — the memoization win silently evaporating.
+    let run = fulltable_campaign.run(&fulltable_eps, || EventCount(0));
+    assert!(run.converged);
+    let hit_bp = run.class_hits * 10_000 / (run.class_sims + run.class_hits);
+    println!(
+        "bench: engine/class-hit-rate median_ns={hit_bp} min_ns={hit_bp} max_ns={hit_bp} iters=1"
+    );
 
     group.finish();
 }

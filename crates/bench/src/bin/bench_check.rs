@@ -27,18 +27,35 @@
 //! # Derived metrics
 //!
 //! Some costs worth gating are functions of several measurements. After
-//! parsing the fresh output, [`add_derived_metrics`] synthesizes:
+//! parsing the fresh output, [`add_derived_metrics`] synthesizes one
+//! entry per [`DERIVED_METRICS`] row — each is
+//! `(minuend − subtrahend) / divisor` over named fresh medians:
 //!
 //! * `engine/per-prefix-marginal` — `(campaign-internet-16px −
-//!   run-internet-1px) / 15`: the steady marginal cost of one more prefix
-//!   in an internet-scale campaign, once the per-worker scratch exists.
+//!   run-internet-1px) / 15`: the steady marginal cost of one more
+//!   *simulated* prefix in an internet-scale campaign, once the
+//!   per-worker scratch exists;
+//! * `engine/fulltable-amortized-per-prefix` —
+//!   `campaign-internet-fulltable-sample / 512`: the realized cost of a
+//!   mostly-duplicate-class prefix under flood memoization, which must
+//!   sit far below the marginal for the full-table path to pay.
 //!
 //! Derived entries are compared against same-named baseline entries like
 //! any directly measured benchmark.
 //!
+//! # Direction
+//!
+//! A baseline entry may carry `"direction": "higher_is_better"` — used
+//! for rate-style pseudo-measurements such as `engine/class-hit-rate`
+//! (the full-table phase's replay rate in basis points, printed by the
+//! bench harness in the standard `bench:` line format). Such an entry
+//! regresses when its fresh value drops more than the tolerance *below*
+//! the baseline, instead of rising above it.
+//!
 //! Medians are absolute wall times, so they only transfer between machines
 //! of similar speed: when the gate trips on hardware change rather than a
 //! code change, re-measure and re-commit the baseline alongside it.
+//! (Direction-reversed rate entries are machine-independent.)
 
 use std::process::{Command, ExitCode};
 
@@ -71,10 +88,20 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Extracts `(benchmark name, median_ns)` pairs from the baseline JSON's
-/// `"results"` array. Entries are flat objects, so the array spans from the
-/// `[` after the `"results"` key to the next `]`.
-fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+/// One baseline benchmark: its committed median and gate direction.
+#[derive(Debug, PartialEq)]
+struct BaselineEntry {
+    name: String,
+    median_ns: f64,
+    /// `"direction": "higher_is_better"` in the JSON — rate-style entries
+    /// regress *downward* instead of upward.
+    higher_is_better: bool,
+}
+
+/// Extracts [`BaselineEntry`]s from the baseline JSON's `"results"` array.
+/// Entries are flat objects, so the array spans from the `[` after the
+/// `"results"` key to the next `]`.
+fn parse_baseline(json: &str) -> Vec<BaselineEntry> {
     let Some(results_key) = json.find("\"results\"") else {
         return Vec::new();
     };
@@ -94,11 +121,19 @@ fn parse_baseline(json: &str) -> Vec<(String, f64)> {
         let Some(name) = quoted_value(rest) else {
             break;
         };
-        // The median must belong to this entry: stop at the next
+        // Per-entry fields must belong to this entry: stop at the next
         // "benchmark" key if one appears first.
-        let entry_end = rest.find("\"benchmark\"").unwrap_or(rest.len());
-        if let Some(median) = numeric_field(&rest[..entry_end], "\"median_ns\"") {
-            out.push((name, median));
+        let entry = &rest[..rest.find("\"benchmark\"").unwrap_or(rest.len())];
+        if let Some(median_ns) = numeric_field(entry, "\"median_ns\"") {
+            let higher_is_better = entry
+                .find("\"direction\"")
+                .and_then(|p| quoted_value(&entry[p + "\"direction\"".len()..]))
+                .is_some_and(|d| d == "higher_is_better");
+            out.push(BaselineEntry {
+                name,
+                median_ns,
+                higher_is_better,
+            });
         }
     }
     out
@@ -148,29 +183,67 @@ fn parse_bench_output(text: &str) -> Vec<(String, f64)> {
     out
 }
 
-/// Appends metrics computed from other fresh measurements (see the module
-/// docs). A missing input simply skips the derivation — the baseline entry
-/// for the derived name then reports "no fresh measurement", which is the
-/// failure we want when a source benchmark disappears.
+/// One derived metric: `(minuend − subtrahend) / divisor` over fresh
+/// medians, appended under its own benchmark name.
+struct DerivedMetric {
+    name: &'static str,
+    minuend: &'static str,
+    /// `None` means the metric is a plain quotient of one measurement.
+    subtrahend: Option<&'static str>,
+    divisor: f64,
+}
+
+/// Every metric [`add_derived_metrics`] synthesizes (see the module docs).
+const DERIVED_METRICS: &[DerivedMetric] = &[
+    DerivedMetric {
+        name: "engine/per-prefix-marginal",
+        minuend: "engine/campaign-internet-16px/1",
+        subtrahend: Some("engine/run-internet-1px/1"),
+        divisor: 15.0,
+    },
+    DerivedMetric {
+        name: "engine/fulltable-amortized-per-prefix",
+        minuend: "engine/campaign-internet-fulltable-sample/1",
+        subtrahend: None,
+        divisor: 512.0,
+    },
+];
+
+fn median_of(fresh: &[(String, f64)], name: &str) -> Option<f64> {
+    fresh.iter().find(|(n, _)| n == name).map(|&(_, m)| m)
+}
+
+/// Appends every [`DERIVED_METRICS`] entry whose inputs are present (see
+/// the module docs). A missing input simply skips the derivation — the
+/// baseline entry for the derived name then reports "no fresh
+/// measurement", which is the failure we want when a source benchmark
+/// disappears.
 fn add_derived_metrics(fresh: &mut Vec<(String, f64)>) {
-    let median = |fresh: &[(String, f64)], name: &str| {
-        fresh.iter().find(|(n, _)| n == name).map(|&(_, m)| m)
-    };
-    if let (Some(c16), Some(r1)) = (
-        median(fresh, "engine/campaign-internet-16px/1"),
-        median(fresh, "engine/run-internet-1px/1"),
-    ) {
-        let marginal = (c16 - r1) / 15.0;
-        // A 16-prefix campaign measuring *faster* than one run means the
-        // measurement itself is broken; suppress the derived entry so the
-        // baseline reports "no fresh measurement" and the gate fails
-        // loudly instead of reading nonsense as an improvement.
-        if marginal >= 0.0 {
-            fresh.push(("engine/per-prefix-marginal".to_string(), marginal));
+    for d in DERIVED_METRICS {
+        let Some(minuend) = median_of(fresh, d.minuend) else {
+            continue;
+        };
+        let subtrahend = match d.subtrahend {
+            Some(name) => match median_of(fresh, name) {
+                Some(v) => v,
+                None => continue,
+            },
+            None => 0.0,
+        };
+        let value = (minuend - subtrahend) / d.divisor;
+        // A minuend measuring *below* its subtrahend means the measurement
+        // itself is broken; suppress the derived entry so the baseline
+        // reports "no fresh measurement" and the gate fails loudly instead
+        // of reading nonsense as an improvement.
+        if value >= 0.0 {
+            fresh.push((d.name.to_string(), value));
         } else {
             eprintln!(
-                "bench_check: refusing to derive engine/per-prefix-marginal from a negative delta \
-                 (campaign-internet-16px {c16:.0} ns < run-internet-1px {r1:.0} ns)"
+                "bench_check: refusing to derive {} from a negative delta \
+                 ({} {minuend:.0} ns < {} {subtrahend:.0} ns)",
+                d.name,
+                d.minuend,
+                d.subtrahend.unwrap_or("0"),
             );
         }
     }
@@ -193,11 +266,14 @@ enum Outcome {
 /// Compares every baseline benchmark against the fresh medians: a baseline
 /// entry with no fresh measurement is a failure (a dropped or renamed
 /// phase must update the baseline in the same change), as is any median
-/// more than `tolerance_pct` above its baseline.
-fn gate(baseline: &[(String, f64)], fresh: &[(String, f64)], tolerance_pct: f64) -> Vec<Verdict> {
+/// more than `tolerance_pct` above its baseline — or, for
+/// `higher_is_better` entries, more than `tolerance_pct` *below* it.
+fn gate(baseline: &[BaselineEntry], fresh: &[(String, f64)], tolerance_pct: f64) -> Vec<Verdict> {
     baseline
         .iter()
-        .map(|(name, base_median)| {
+        .map(|entry| {
+            let name = &entry.name;
+            let base_median = entry.median_ns;
             let Some((_, fresh_median)) = fresh.iter().find(|(n, _)| n == name) else {
                 return Verdict {
                     name: name.clone(),
@@ -206,7 +282,12 @@ fn gate(baseline: &[(String, f64)], fresh: &[(String, f64)], tolerance_pct: f64)
                 };
             };
             let delta_pct = (fresh_median / base_median - 1.0) * 100.0;
-            let (verdict, outcome) = if delta_pct > tolerance_pct {
+            let regressed = if entry.higher_is_better {
+                delta_pct < -tolerance_pct
+            } else {
+                delta_pct > tolerance_pct
+            };
+            let (verdict, outcome) = if regressed {
                 ("FAIL", Outcome::Regressed(delta_pct))
             } else {
                 ("ok", Outcome::Ok)
@@ -339,10 +420,19 @@ mod tests {
       "benchmark": "engine (phases)",
       "results": [
         { "benchmark": "engine/run/1", "median_ns": 1000, "min_ns": 900, "max_ns": 1200, "iters": 10 },
-        { "benchmark": "engine/compile", "median_ns": 50, "min_ns": 45, "max_ns": 60, "iters": 100 }
+        { "benchmark": "engine/compile", "median_ns": 50, "min_ns": 45, "max_ns": 60, "iters": 100 },
+        { "benchmark": "engine/hit-rate", "direction": "higher_is_better", "median_ns": 9900 }
       ],
       "seed_baseline": { "benchmark": "old (PR 1)", "median_ns": 2000 }
     }"#;
+
+    fn entry(name: &str, median_ns: f64) -> BaselineEntry {
+        BaselineEntry {
+            name: name.to_string(),
+            median_ns,
+            higher_is_better: false,
+        }
+    }
 
     #[test]
     fn baseline_parsing_extracts_results_only() {
@@ -350,10 +440,15 @@ mod tests {
         assert_eq!(
             parsed,
             vec![
-                ("engine/run/1".to_string(), 1000.0),
-                ("engine/compile".to_string(), 50.0)
+                entry("engine/run/1", 1000.0),
+                entry("engine/compile", 50.0),
+                BaselineEntry {
+                    name: "engine/hit-rate".to_string(),
+                    median_ns: 9900.0,
+                    higher_is_better: true,
+                },
             ],
-            "top-level and seed_baseline entries must not leak in"
+            "top-level and seed_baseline entries must not leak in; direction must be per-entry"
         );
     }
 
@@ -371,10 +466,7 @@ mod tests {
     fn gate_fails_when_a_baseline_benchmark_disappears() {
         // A dropped or renamed phase must not silently lose its gate: the
         // baseline entry with no fresh counterpart is a hard failure.
-        let baseline = vec![
-            ("engine/run/1".to_string(), 1000.0),
-            ("engine/gone".to_string(), 50.0),
-        ];
+        let baseline = vec![entry("engine/run/1", 1000.0), entry("engine/gone", 50.0)];
         let fresh = vec![("engine/run/1".to_string(), 1001.0)];
         let verdicts = gate(&baseline, &fresh, 15.0);
         assert_eq!(verdicts.len(), 2);
@@ -388,13 +480,37 @@ mod tests {
 
     #[test]
     fn gate_flags_regressions_beyond_tolerance() {
-        let baseline = vec![("engine/run/1".to_string(), 1000.0)];
+        let baseline = vec![entry("engine/run/1", 1000.0)];
         let ok = gate(&baseline, &[("engine/run/1".to_string(), 1140.0)], 15.0);
         assert!(matches!(ok[0].outcome, Outcome::Ok), "+14% is within +15%");
         let bad = gate(&baseline, &[("engine/run/1".to_string(), 1200.0)], 15.0);
         match bad[0].outcome {
             Outcome::Regressed(delta) => assert!((delta - 20.0).abs() < 1e-9),
             _ => panic!("+20% must regress"),
+        }
+    }
+
+    #[test]
+    fn gate_reverses_for_higher_is_better_entries() {
+        let baseline = vec![BaselineEntry {
+            name: "engine/hit-rate".to_string(),
+            median_ns: 10_000.0,
+            higher_is_better: true,
+        }];
+        // Rising is never a regression, nor is a small dip …
+        let up = gate(
+            &baseline,
+            &[("engine/hit-rate".to_string(), 12_000.0)],
+            15.0,
+        );
+        assert!(matches!(up[0].outcome, Outcome::Ok), "higher must pass");
+        let dip = gate(&baseline, &[("engine/hit-rate".to_string(), 8_600.0)], 15.0);
+        assert!(matches!(dip[0].outcome, Outcome::Ok), "-14% is within -15%");
+        // … but a drop past the tolerance fails the gate.
+        let bad = gate(&baseline, &[("engine/hit-rate".to_string(), 8_000.0)], 15.0);
+        match bad[0].outcome {
+            Outcome::Regressed(delta) => assert!((delta + 20.0).abs() < 1e-9),
+            _ => panic!("-20% must regress a higher_is_better entry"),
         }
     }
 
@@ -425,6 +541,22 @@ mod tests {
         ];
         add_derived_metrics(&mut broken);
         assert_eq!(broken.len(), 2, "negative marginal must not be derived");
+    }
+
+    #[test]
+    fn fulltable_amortized_is_a_plain_quotient() {
+        // A subtrahend-free table row divides one measurement straight
+        // down: 512 prefixes' campaign median → per-prefix cost.
+        let mut fresh = vec![(
+            "engine/campaign-internet-fulltable-sample/1".to_string(),
+            512_000_000.0,
+        )];
+        add_derived_metrics(&mut fresh);
+        let derived = fresh
+            .iter()
+            .find(|(n, _)| n == "engine/fulltable-amortized-per-prefix")
+            .expect("derived metric appended");
+        assert!((derived.1 - 1_000_000.0).abs() < 1e-6, "512 ms / 512");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro <artefact> [--scale tiny|small|medium|large|internet] [--seed N] [--out DIR]
+//!       [--full-table] [--sample N]
 //!
 //! artefacts:
 //!   table1   dataset overview                    (paper Table 1)
@@ -33,7 +34,10 @@
 //!   ablation-forward-prob     headline stats vs the forwarding policy mix
 //!   ablation-vendor-mix       community visibility vs the Cisco fraction
 //!   defense-adoption          the §8 scoped-propagation defense, evaluated
-//!   all      everything above
+//!   full-table         flood-memoized full-table campaign (honours --scale
+//!                      internet; --sample N keeps ~N prefixes, whole
+//!                      origins at a time; also runs via --full-table)
+//!   all      everything above except full-table
 //! ```
 
 use bgpworms_attacks::wild;
@@ -53,25 +57,31 @@ struct Options {
     scale: Scale,
     seed: u64,
     out: PathBuf,
+    full_table: bool,
+    sample: Option<usize>,
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(artefact) = args.next() else {
-        eprintln!("usage: repro <artefact> [--scale S] [--seed N] [--out DIR]");
+        eprintln!(
+            "usage: repro <artefact> [--scale S] [--seed N] [--out DIR] [--full-table] [--sample N]"
+        );
         eprintln!("artefacts: table1 table2 fig3 fig4a fig4b fig5a fig5b fig5c fig6");
         eprintln!("           transit lab table3 wild-propagation wild-rtbh");
         eprintln!("           wild-steering wild-routeserver blackhole-survey");
         eprintln!("           infer hygiene large-communities filter-relationships");
         eprintln!("           survey-likely survey-steering survey-location");
         eprintln!("           ablation-rtbh-preference ablation-forward-prob");
-        eprintln!("           ablation-vendor-mix defense-adoption all");
+        eprintln!("           ablation-vendor-mix defense-adoption full-table all");
         std::process::exit(2);
     };
     let mut opts = Options {
         scale: Scale::Medium,
         seed: 2018,
         out: PathBuf::from("results"),
+        full_table: false,
+        sample: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -89,6 +99,17 @@ fn main() {
             "--out" => {
                 opts.out = PathBuf::from(args.next().expect("--out needs a value"));
             }
+            "--full-table" => {
+                opts.full_table = true;
+            }
+            "--sample" => {
+                opts.sample = Some(
+                    args.next()
+                        .expect("--sample needs a value")
+                        .parse()
+                        .expect("sample must be a number"),
+                );
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -100,7 +121,7 @@ fn main() {
     // Lazily built snapshot shared by the passive-measurement artefacts.
     let mut snapshot: Option<Snapshot> = None;
 
-    let artefacts: Vec<&str> = if artefact == "all" {
+    let mut artefacts: Vec<&str> = if artefact == "all" {
         vec![
             "table1",
             "table2",
@@ -134,6 +155,9 @@ fn main() {
     } else {
         vec![artefact.as_str()]
     };
+    if opts.full_table && !artefacts.contains(&"full-table") {
+        artefacts.push("full-table");
+    }
 
     for name in artefacts {
         let text = match name {
@@ -165,6 +189,7 @@ fn main() {
             "ablation-forward-prob" => ablation_forward_prob(&opts),
             "ablation-vendor-mix" => ablation_vendor_mix(&opts),
             "defense-adoption" => defense_adoption(&opts),
+            "full-table" => full_table_campaign(&opts),
             other => {
                 eprintln!("unknown artefact {other}");
                 std::process::exit(2);
@@ -969,6 +994,95 @@ fn ablation_vendor_mix(opts: &Options) -> String {
         out,
         "\n(more silent-by-default Cisco sessions ⇒ fewer communities observable — \
          §6.1's default-behaviour finding at measurement scale)"
+    );
+    out
+}
+
+/// The flood-memoized full-table campaign: every allocated prefix of the
+/// scale's Internet (deaggregated to table-realistic size), one streamed
+/// run. Unlike the passive-snapshot artefacts this honours
+/// `--scale internet` un-capped — flood memoization is what makes that
+/// tractable — and `--sample N` keeps ~N prefixes (whole origins at a
+/// time) for a quick look.
+fn full_table_campaign(opts: &Options) -> String {
+    use bgpworms_core::table::{pct, ratio, thousands};
+    use bgpworms_topology::{addressing::AddressingParams, FullTableParams, PrefixAllocation};
+
+    let built;
+    let topo = if matches!(opts.scale, Scale::Internet) {
+        TopologyParams::internet_cached()
+    } else {
+        built = opts.scale.topology().seed(opts.seed).build();
+        &built
+    };
+    eprintln!(
+        "[repro] full-table campaign over {} ASes (scale {:?}) …",
+        topo.len(),
+        opts.scale
+    );
+    let alloc = PrefixAllocation::assign(
+        topo,
+        AddressingParams {
+            seed: opts.seed,
+            ..AddressingParams::default()
+        },
+    )
+    .deaggregate(
+        topo,
+        FullTableParams {
+            seed: opts.seed,
+            ..FullTableParams::default()
+        },
+    );
+    let workload = bgpworms_routesim::Workload::generate(
+        topo,
+        &alloc,
+        &WorkloadParams {
+            seed: opts.seed,
+            ..WorkloadParams::default()
+        },
+    );
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let report = wild::full_table::run_full_table(&workload, topo, &alloc, opts.sample, threads);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "table: {} prefixes over {} ASes{}",
+        thousands(report.prefixes as u64),
+        thousands(topo.len() as u64),
+        match opts.sample {
+            Some(n) => format!(" (origin-preserving sample, target {n})"),
+            None => String::new(),
+        }
+    );
+    let _ = writeln!(
+        out,
+        "flood classes: {} — {} floods simulated, {} replayed",
+        thousands(report.classes as u64),
+        thousands(report.class_sims),
+        thousands(report.class_hits),
+    );
+    let _ = writeln!(
+        out,
+        "class-hit rate: {}  fold amplification: {} (prefixes folded per flood)",
+        pct(report.hit_rate()),
+        ratio(report.prefixes as f64, report.classes as f64),
+    );
+    let _ = writeln!(
+        out,
+        "engine events: {}  converged: {}",
+        thousands(report.events),
+        report.converged
+    );
+    let _ = writeln!(
+        out,
+        "collector observations: {} ({} still tagged, {})",
+        thousands(report.tags.observations as u64),
+        thousands(report.tags.tagged_observations as u64),
+        pct(report.tags.tagged_observations as f64 / report.tags.observations.max(1) as f64),
     );
     out
 }

@@ -48,6 +48,15 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Formats a speedup-style ratio (`numerator / denominator`) as `N.Nx`;
+/// degenerate denominators render as `-` rather than inf/NaN.
+pub fn ratio(numerator: f64, denominator: f64) -> String {
+    if denominator <= 0.0 || !denominator.is_finite() || !numerator.is_finite() {
+        return "-".into();
+    }
+    format!("{:.1}x", numerator / denominator)
+}
+
 /// Formats a count with thousands separators.
 pub fn thousands(n: u64) -> String {
     let s = n.to_string();
@@ -96,5 +105,8 @@ mod tests {
         assert_eq!(thousands(999), "999");
         assert_eq!(thousands(1000), "1,000");
         assert_eq!(thousands(1234567), "1,234,567");
+        assert_eq!(ratio(10.0, 4.0), "2.5x");
+        assert_eq!(ratio(1.0, 0.0), "-");
+        assert_eq!(ratio(f64::NAN, 2.0), "-");
     }
 }

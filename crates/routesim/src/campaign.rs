@@ -23,6 +23,39 @@
 //! `fold`/`merge` implementation yields thread-count-independent results;
 //! no commutativity is required of the sink.
 //!
+//! # Flood memoization: class-count cost for full tables
+//!
+//! A full routing table is mostly *duplicate floods*: two prefixes
+//! originated by the same AS, with the same origination attributes and no
+//! prefix-sensitive policy in their way, propagate identically up to the
+//! prefix label — and one full-Internet flood costs ~42 ms of pure
+//! propagation work. The driver therefore keys every prefix of the
+//! schedule by its **equivalence class** (`classify`): the
+//! episode shapes (origin, time, attributes, withdraw/forge flags), a
+//! compiled prefix-length bucket, per-episode IRR/RPKI registration bits,
+//! the retention bit, and a singleton escape for prefixes named by
+//! exact-match policy. The first member of a class to reach a worker is
+//! **simulated**; every other member **replays** the stored
+//! [`PrefixOutcome`] with its labels rewritten
+//! ([`PrefixOutcome::relabeled`]) — microseconds instead of a flood, so a
+//! full table costs its class count (collapsing toward the number of
+//! distinct origins), not its prefix count.
+//!
+//! Memoization changes nothing observable. The fold/merge sequence is
+//! untouched; classifier soundness (any member's simulated outcome,
+//! relabeled, equals any other's) makes the folded values independent of
+//! which member a worker happens to simulate first, so
+//! `sink(threads = 1) ≡ sink(threads = N)` still holds — and
+//! `memoized ≡ unmemoized` is itself property-locked bit-for-bit in
+//! `tests/determinism.rs`, including worlds whose per-prefix policies
+//! force singleton classes. [`Campaign::memoize`] turns it off (every
+//! prefix simulated individually), [`Campaign::class_stats`] classifies a
+//! schedule without running it, and every run/checkpoint reports
+//! `class_sims`/`class_hits` counters: *schedule statistics*, counted
+//! identically with memoization on or off, where the first member of each
+//! class (in ascending prefix order) counts as the simulation and the
+//! rest as hits.
+//!
 //! # Checkpointing
 //!
 //! A campaign can stop after any number of chunks and hand back a
@@ -64,9 +97,10 @@
 //! assert_eq!(run.sink.0.len(), 1);
 //! ```
 
+use crate::classify::ClassKey;
 use crate::engine::{group_by_prefix, panic_message, CompiledSim, Origination, PrefixOutcome};
 use bgpworms_types::Prefix;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -97,6 +131,7 @@ pub trait CampaignSink: Sized {
 pub struct Campaign<'s, 't> {
     sim: &'s CompiledSim<'t>,
     chunk_size: usize,
+    memoize: bool,
 }
 
 /// Default prefixes per work chunk: small enough that a checkpoint is never
@@ -127,6 +162,8 @@ pub struct CampaignCheckpoint<S> {
     schedule_digest: Option<u64>,
     events: u64,
     converged: bool,
+    class_sims: u64,
+    class_hits: u64,
 }
 
 impl<S> CampaignCheckpoint<S> {
@@ -149,6 +186,21 @@ impl<S> CampaignCheckpoint<S> {
     pub fn converged(&self) -> bool {
         self.converged
     }
+
+    /// Completed prefixes that were the first member of their equivalence
+    /// class — the floods a memoized campaign actually simulates. A
+    /// schedule statistic (see the module docs): identical with
+    /// memoization off, and a resumed campaign reports the same totals as
+    /// an uninterrupted one.
+    pub fn class_sims(&self) -> u64 {
+        self.class_sims
+    }
+
+    /// Completed prefixes folded as later members of an already-counted
+    /// class — served by outcome replay when memoization is on.
+    pub fn class_hits(&self) -> u64 {
+        self.class_hits
+    }
 }
 
 /// A finished campaign.
@@ -162,6 +214,38 @@ pub struct CampaignRun<S> {
     pub converged: bool,
     /// Work chunks processed (including any from a resumed checkpoint).
     pub chunks: usize,
+    /// Prefixes simulated as the first member of their equivalence class
+    /// (a schedule statistic — identical with memoization on or off).
+    pub class_sims: u64,
+    /// Prefixes folded as later members of an already-counted class.
+    pub class_hits: u64,
+}
+
+/// The classification summary of one schedule under one session — what
+/// [`Campaign::class_stats`] computes without simulating anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Distinct prefixes in the schedule.
+    pub prefixes: usize,
+    /// Equivalence classes they collapse into — the floods a memoized
+    /// campaign simulates.
+    pub classes: usize,
+}
+
+impl ClassStats {
+    /// Prefixes served by replaying an already-simulated class member.
+    pub fn hits(&self) -> usize {
+        self.prefixes - self.classes
+    }
+
+    /// Fraction of prefixes served by replay (0.0 for an empty schedule).
+    pub fn hit_rate(&self) -> f64 {
+        if self.prefixes == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.prefixes as f64
+        }
+    }
 }
 
 /// One chunk's worth of aggregation, produced by a worker.
@@ -169,6 +253,85 @@ struct ChunkOutcome<S> {
     sink: S,
     events: u64,
     converged: bool,
+    class_sims: u64,
+    class_hits: u64,
+}
+
+/// The schedule's class structure: each prefix's class id, with classes
+/// numbered in order of first appearance over the ascending prefix list —
+/// so a class's first member (its representative in the counters) is its
+/// lowest prefix, independent of chunking and thread count.
+struct ClassTable {
+    class_of: Vec<u32>,
+    is_first: Vec<bool>,
+    n_classes: usize,
+}
+
+impl ClassTable {
+    fn build(
+        sim: &CompiledSim<'_>,
+        prefixes: &[Prefix],
+        by_prefix: &BTreeMap<Prefix, Vec<&Origination>>,
+    ) -> ClassTable {
+        let mut ids: HashMap<ClassKey<'_>, u32> = HashMap::with_capacity(prefixes.len());
+        let mut class_of = Vec::with_capacity(prefixes.len());
+        let mut is_first = Vec::with_capacity(prefixes.len());
+        for prefix in prefixes {
+            let key = sim.class_key(*prefix, &by_prefix[prefix]);
+            let next = ids.len() as u32;
+            let id = *ids.entry(key).or_insert(next);
+            class_of.push(id);
+            is_first.push(id == next);
+        }
+        ClassTable {
+            class_of,
+            is_first,
+            n_classes: ids.len(),
+        }
+    }
+}
+
+/// One class's memoization slot: the stored outcome (filled by whichever
+/// member a worker simulates first) and how many members of this advance's
+/// prefix range still have to fold it — the last one moves the outcome out
+/// instead of cloning.
+struct ClassSlot {
+    outcome: Option<PrefixOutcome>,
+    remaining: usize,
+}
+
+/// Per-advance outcome memo, one slot per class. Workers lock a slot only
+/// for their own class's fill-or-replay, so distinct classes never contend;
+/// simulation happens *under* the slot lock, which is exactly what makes a
+/// second member arriving mid-simulation wait for the outcome instead of
+/// redundantly re-flooding.
+struct ClassMemo {
+    slots: Vec<Mutex<ClassSlot>>,
+}
+
+impl ClassMemo {
+    /// A memo for the prefix-index range `lo..hi` this advance executes.
+    /// A resumed campaign rebuilds the memo for its remaining range, so a
+    /// class whose representative folded before the checkpoint is simply
+    /// re-simulated once on demand — correctness never depends on memo
+    /// state surviving a checkpoint.
+    fn for_range(table: &ClassTable, lo: usize, hi: usize) -> ClassMemo {
+        let mut remaining = vec![0usize; table.n_classes];
+        for &c in &table.class_of[lo..hi] {
+            remaining[c as usize] += 1;
+        }
+        ClassMemo {
+            slots: remaining
+                .into_iter()
+                .map(|remaining| {
+                    Mutex::new(ClassSlot {
+                        outcome: None,
+                        remaining,
+                    })
+                })
+                .collect(),
+        }
+    }
 }
 
 /// A parallel worker's publication slot: written once by the claiming
@@ -176,11 +339,36 @@ struct ChunkOutcome<S> {
 type ChunkSlot<S> = Mutex<Option<Result<ChunkOutcome<S>, String>>>;
 
 impl<'s, 't> Campaign<'s, 't> {
-    /// A campaign over `sim` with the [`DEFAULT_CHUNK_SIZE`].
+    /// A campaign over `sim` with the [`DEFAULT_CHUNK_SIZE`] and flood
+    /// memoization enabled.
     pub fn new(sim: &'s CompiledSim<'t>) -> Self {
         Campaign {
             sim,
             chunk_size: DEFAULT_CHUNK_SIZE,
+            memoize: true,
+        }
+    }
+
+    /// Enables or disables flood memoization (default: on). Off, every
+    /// prefix is simulated individually — bit-identical results (the
+    /// determinism suite pins the two modes against each other), just
+    /// class-hit-count times more flood work on duplicate-heavy schedules.
+    pub fn memoize(mut self, on: bool) -> Self {
+        self.memoize = on;
+        self
+    }
+
+    /// Classifies a schedule without simulating anything: how many
+    /// distinct prefixes it announces and how many equivalence classes
+    /// they collapse into under this session — the flood count a memoized
+    /// run will actually pay.
+    pub fn class_stats(&self, originations: &[Origination]) -> ClassStats {
+        let by_prefix = group_by_prefix(originations);
+        let prefixes: Vec<Prefix> = by_prefix.keys().copied().collect();
+        let table = ClassTable::build(self.sim, &prefixes, &by_prefix);
+        ClassStats {
+            prefixes: prefixes.len(),
+            classes: table.n_classes,
         }
     }
 
@@ -220,6 +408,8 @@ impl<'s, 't> Campaign<'s, 't> {
             schedule_digest: None,
             events: 0,
             converged: true,
+            class_sims: 0,
+            class_hits: 0,
         }
     }
 
@@ -319,6 +509,19 @@ impl<'s, 't> Campaign<'s, 't> {
         }
         let todo: Vec<usize> = (cp.chunks_done..end).collect();
 
+        // The schedule's class structure — cheap (no simulation), computed
+        // on both paths so the class-hit counters are schedule statistics:
+        // a memoized and an unmemoized run report identical totals.
+        let classes = ClassTable::build(self.sim, &prefixes, &by_prefix);
+        let memo = self.memoize.then(|| {
+            ClassMemo::for_range(
+                &classes,
+                cp.chunks_done * chunk_size,
+                (end * chunk_size).min(prefixes.len()),
+            )
+        });
+        let memo = memo.as_ref();
+
         let threads = self.sim.threads().min(todo.len()).max(1);
         if threads == 1 {
             // One scratch for the whole advance: every prefix of every
@@ -331,6 +534,8 @@ impl<'s, 't> Campaign<'s, 't> {
                     chunk_size,
                     &prefixes,
                     &by_prefix,
+                    &classes,
+                    memo,
                     new_sink,
                 );
                 absorb(&mut cp, out);
@@ -349,8 +554,9 @@ impl<'s, 't> Campaign<'s, 't> {
             let abort = std::sync::atomic::AtomicBool::new(false);
             std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    let (slots, next, abort, prefixes, by_prefix, todo) =
-                        (&slots, &next, &abort, &prefixes, &by_prefix, &todo);
+                    let (slots, next, abort, prefixes, by_prefix, todo, classes) = (
+                        &slots, &next, &abort, &prefixes, &by_prefix, &todo, &classes,
+                    );
                     scope.spawn(move || {
                         // One scratch per worker, reused across every chunk
                         // it claims (a panic aborts the campaign, so a
@@ -369,6 +575,8 @@ impl<'s, 't> Campaign<'s, 't> {
                                     chunk_size,
                                     prefixes,
                                     by_prefix,
+                                    classes,
+                                    memo,
                                     new_sink,
                                 )
                             }));
@@ -403,6 +611,14 @@ impl<'s, 't> Campaign<'s, 't> {
     /// Runs one chunk's prefixes (ascending order) into a fresh sink, on
     /// the calling worker's reusable `scratch`. `chunk_size` is the
     /// effective size `advance` computed for this schedule.
+    ///
+    /// With `memo` present, each prefix consults its class slot: the first
+    /// member to take the slot lock simulates and fills it, later members
+    /// clone (or, when they are the slot's last member in this advance,
+    /// move) the stored outcome and relabel it. The fold itself still
+    /// happens here, in ascending prefix order, so the sink cannot tell a
+    /// replayed outcome from a simulated one.
+    #[allow(clippy::too_many_arguments)]
     fn run_chunk<S, F>(
         &self,
         scratch: &mut crate::scratch::SimScratch,
@@ -410,6 +626,8 @@ impl<'s, 't> Campaign<'s, 't> {
         chunk_size: usize,
         prefixes: &[Prefix],
         by_prefix: &BTreeMap<Prefix, Vec<&Origination>>,
+        classes: &ClassTable,
+        memo: Option<&ClassMemo>,
         new_sink: &F,
     ) -> ChunkOutcome<S>
     where
@@ -422,9 +640,39 @@ impl<'s, 't> Campaign<'s, 't> {
             sink: new_sink(),
             events: 0,
             converged: true,
+            class_sims: 0,
+            class_hits: 0,
         };
-        for &prefix in &prefixes[lo..hi] {
-            let outcome = self.sim.run_prefix(scratch, prefix, &by_prefix[&prefix]);
+        for (i, &prefix) in prefixes[lo..hi].iter().enumerate() {
+            let gi = lo + i;
+            if classes.is_first[gi] {
+                out.class_sims += 1;
+            } else {
+                out.class_hits += 1;
+            }
+            let outcome = match memo {
+                None => self.sim.run_prefix(scratch, prefix, &by_prefix[&prefix]),
+                Some(memo) => {
+                    // A poisoned slot is still consistent: a panicking
+                    // simulation never half-fills `outcome`, so we can
+                    // keep going with whatever state the lock guards.
+                    let mut slot = memo.slots[classes.class_of[gi] as usize]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if slot.outcome.is_none() {
+                        slot.outcome =
+                            Some(self.sim.run_prefix(scratch, prefix, &by_prefix[&prefix]));
+                    }
+                    slot.remaining -= 1;
+                    let stored = if slot.remaining == 0 {
+                        slot.outcome.take().expect("slot filled above")
+                    } else {
+                        slot.outcome.as_ref().expect("slot filled above").clone()
+                    };
+                    drop(slot);
+                    stored.relabeled(prefix)
+                }
+            };
             out.events += outcome.events;
             out.converged &= outcome.converged;
             out.sink.fold(prefix, outcome);
@@ -447,6 +695,8 @@ fn absorb<S: CampaignSink>(cp: &mut CampaignCheckpoint<S>, out: ChunkOutcome<S>)
     cp.sink.merge(out.sink);
     cp.events += out.events;
     cp.converged &= out.converged;
+    cp.class_sims += out.class_sims;
+    cp.class_hits += out.class_hits;
     cp.chunks_done += 1;
 }
 
@@ -456,6 +706,8 @@ fn finish<S>(cp: CampaignCheckpoint<S>) -> CampaignRun<S> {
         events: cp.events,
         converged: cp.converged,
         chunks: cp.chunks_done,
+        class_sims: cp.class_sims,
+        class_hits: cp.class_hits,
     }
 }
 
@@ -588,6 +840,11 @@ mod tests {
         assert_eq!(resumed.sink, full.sink);
         assert_eq!(resumed.events, full.events);
         assert_eq!(resumed.chunks, full.chunks);
+        assert_eq!(
+            (resumed.class_sims, resumed.class_hits),
+            (full.class_sims, full.class_hits),
+            "a resumed campaign must report the same class statistics"
+        );
     }
 
     #[test]
@@ -715,6 +972,90 @@ mod tests {
                 .map(|m| m.len())
                 .unwrap_or(0)
         );
+    }
+
+    #[test]
+    fn memoized_run_matches_unmemoized() {
+        // The tentpole soundness check at unit granularity: replaying a
+        // class representative's outcome must be indistinguishable from
+        // simulating every member, for the exact same fold/merge sequence.
+        let (topo, eps) = world();
+        let mut sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+        for threads in [1, 4] {
+            sim.set_threads(threads);
+            let campaign = Campaign::new(&sim).chunk_size(3);
+            let memoized = campaign.run(&eps, Trace::default);
+            let reference = campaign.memoize(false).run(&eps, Trace::default);
+            assert_eq!(memoized.sink, reference.sink, "threads = {threads}");
+            assert_eq!(memoized.events, reference.events);
+            assert_eq!(memoized.converged, reference.converged);
+        }
+    }
+
+    #[test]
+    fn class_counters_are_schedule_statistics() {
+        // sims + hits always partitions the prefix set; sims equals the
+        // class count; and the counters are identical with memoization on
+        // or off (they describe the schedule, not the execution strategy).
+        let (topo, eps) = world();
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+        let campaign = Campaign::new(&sim).chunk_size(3);
+        let stats = campaign.class_stats(&eps);
+        let n_prefixes = eps
+            .iter()
+            .map(|o| o.prefix)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        assert_eq!(stats.prefixes, n_prefixes);
+        assert!(stats.classes >= 1 && stats.classes <= stats.prefixes);
+
+        let memoized = campaign.run(&eps, Trace::default);
+        let plain = campaign.memoize(false).run(&eps, Trace::default);
+        assert_eq!(memoized.class_sims, stats.classes as u64);
+        assert_eq!(memoized.class_sims + memoized.class_hits, n_prefixes as u64);
+        assert_eq!(memoized.class_sims, plain.class_sims);
+        assert_eq!(memoized.class_hits, plain.class_hits);
+    }
+
+    #[test]
+    fn replayed_outcomes_are_relabeled() {
+        // Two prefixes from the same origin with identical attributes share
+        // a class; the replayed member's outcome must carry *its* prefix in
+        // every route and observation the sink sees.
+        use bgpworms_topology::{EdgeKind, Tier, Topology};
+        let mut topo = Topology::new();
+        topo.add_simple(Asn::new(1), Tier::Tier1);
+        topo.add_simple(Asn::new(2), Tier::Stub);
+        topo.add_edge(Asn::new(1), Asn::new(2), EdgeKind::ProviderToCustomer);
+        let eps = vec![
+            Origination::announce(Asn::new(2), "10.0.0.0/24".parse().unwrap(), vec![]),
+            Origination::announce(Asn::new(2), "10.0.1.0/24".parse().unwrap(), vec![]),
+        ];
+        let sim = SimSpec::new(&topo).retain(RetainRoutes::All).compile();
+        let campaign = Campaign::new(&sim);
+        assert_eq!(campaign.class_stats(&eps).classes, 1, "must share a class");
+
+        #[derive(Debug, Default)]
+        struct LabelCheck {
+            folded: usize,
+        }
+        impl CampaignSink for LabelCheck {
+            fn fold(&mut self, prefix: Prefix, outcome: PrefixOutcome) {
+                for route in outcome.final_routes.iter().flat_map(|m| m.values()) {
+                    assert_eq!(route.prefix, prefix, "replayed route kept the donor label");
+                }
+                for obs in outcome.observations.iter().flatten() {
+                    assert_eq!(obs.prefix, prefix);
+                }
+                self.folded += 1;
+            }
+            fn merge(&mut self, other: Self) {
+                self.folded += other.folded;
+            }
+        }
+        let run = campaign.run(&eps, LabelCheck::default);
+        assert_eq!(run.sink.folded, 2);
+        assert_eq!(run.class_hits, 1, "second prefix must be a replay");
     }
 
     #[test]

@@ -76,6 +76,7 @@
 //! per prefix). A panic inside one worker is caught per prefix and
 //! re-raised with the failing prefix named.
 
+use crate::classify::{ClassKey, PrefixClassifier};
 use crate::collector::{CollectorObservation, CollectorSpec, FeedKind};
 use crate::policy::{CommunityPropagationPolicy, IrrDatabase, RouterConfig};
 use crate::route::{Route, RouteArena, RouteId};
@@ -320,6 +321,10 @@ impl<'a> SimSpec<'a> {
             }
         }
         let collector_names = self.collectors.iter().map(|s| s.name.clone()).collect();
+        // The prefix-sensitivity summary the campaign's flood memoization
+        // keys classes by — compiled from the *resolved* configs, so
+        // defaulted ASes contribute their thresholds too.
+        let classifier = PrefixClassifier::from_configs(configs.iter());
         CompiledSim {
             topo: self.topo,
             configs,
@@ -332,6 +337,7 @@ impl<'a> SimSpec<'a> {
             retain: self.retain,
             threads: self.threads,
             event_budget: (adjacency_entries * 64).max(10_000),
+            classifier,
         }
     }
 }
@@ -365,6 +371,9 @@ pub struct CompiledSim<'a> {
     /// Event budget per prefix (hoisted out of the prefix loop: the edge
     /// sum is one CSR length read).
     event_budget: u64,
+    /// Compiled prefix-sensitivity summary for flood memoization — see
+    /// `classify`.
+    classifier: PrefixClassifier,
 }
 
 impl<'a> CompiledSim<'a> {
@@ -803,6 +812,25 @@ impl CompiledSim<'_> {
         }
     }
 
+    /// The equivalence-class key of `prefix` under its (time-sorted)
+    /// episodes: prefixes with equal keys flood identically up to the
+    /// prefix label, which is what licenses the campaign driver to
+    /// simulate one representative per class and replay its outcome. See
+    /// `classify` for the soundness argument.
+    pub(crate) fn class_key<'o>(
+        &self,
+        prefix: Prefix,
+        episodes: &[&'o Origination],
+    ) -> ClassKey<'o> {
+        self.classifier.key_for(
+            prefix,
+            episodes,
+            self.should_retain(&prefix),
+            &self.irr,
+            &self.rpki,
+        )
+    }
+
     /// Recomputes `id`'s exports to every neighbor and enqueues the ones
     /// that changed. Adjacency comes straight off the CSR slice; the
     /// receiver-side slot comes off the precompiled reverse-slot array; the
@@ -921,6 +949,32 @@ pub struct PrefixOutcome {
     pub events: u64,
     /// True if the prefix converged within the event budget.
     pub converged: bool,
+}
+
+impl PrefixOutcome {
+    /// Rewrites every prefix label in the outcome to `prefix`: collector
+    /// observations (and the routes they carry) plus retained final
+    /// routes. `events` and `converged` are label-free and kept as-is.
+    ///
+    /// This is the replay half of flood memoization: for two prefixes in
+    /// the same equivalence class (see `classify`), the engine's
+    /// outcome differs *only* in this label, so one simulated
+    /// representative relabeled per member reproduces the unmemoized
+    /// campaign bit-for-bit.
+    pub fn relabeled(mut self, prefix: Prefix) -> Self {
+        for obs in self.observations.iter_mut().flatten() {
+            obs.prefix = prefix;
+            if let Some(route) = obs.route.as_mut() {
+                route.prefix = prefix;
+            }
+        }
+        if let Some(finals) = self.final_routes.as_mut() {
+            for route in finals.values_mut() {
+                route.prefix = prefix;
+            }
+        }
+        self
+    }
 }
 
 #[cfg(test)]

@@ -177,6 +177,7 @@
 pub const MONITOR_ASN: bgpworms_types::Asn = bgpworms_types::Asn::new(4_000_000_000);
 
 pub mod campaign;
+mod classify;
 pub mod collector;
 pub mod engine;
 pub mod policy;
@@ -185,7 +186,7 @@ pub mod router;
 mod scratch;
 pub mod workload;
 
-pub use campaign::{Campaign, CampaignCheckpoint, CampaignRun, CampaignSink};
+pub use campaign::{Campaign, CampaignCheckpoint, CampaignRun, CampaignSink, ClassStats};
 pub use collector::{archive_all, CollectorArchive, CollectorObservation, CollectorSpec, FeedKind};
 pub use engine::{CompiledSim, Origination, PrefixOutcome, RetainRoutes, SimResult, SimSpec};
 pub use policy::{

@@ -1,7 +1,7 @@
 //! Per-AS router configuration: community handling, services, vendor
 //! behaviour, origin validation, and route-server semantics.
 
-use bgpworms_types::{Asn, Community, LargeCommunity, Prefix};
+use bgpworms_types::{Asn, Community, Ipv4Prefix, Ipv6Prefix, LargeCommunity, Prefix};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Router vendor, with the default behaviours measured in the paper's lab
@@ -201,10 +201,30 @@ impl IrrDatabase {
 
     /// True if `asn` has a route object covering `prefix` (exact or
     /// less-specific covering object).
+    ///
+    /// Every covering object of `prefix` is `prefix` truncated to some
+    /// shorter (or equal) length, so this probes one exact lookup per
+    /// candidate length — `O(len · log objects)` — instead of scanning the
+    /// whole database. `Ipv4Prefix::new`/`Ipv6Prefix::new` mask the address
+    /// down to the length, so the truncations are already in the canonical
+    /// form the object map is keyed by. Validating transits call this per
+    /// import against ~100 K-object registries at Internet scale; the
+    /// full-table classifier calls it per (prefix, origin) pair.
     pub fn is_registered(&self, prefix: &Prefix, asn: Asn) -> bool {
-        self.objects
-            .iter()
-            .any(|(p, asns)| p.covers(prefix) && asns.contains(&asn))
+        match prefix {
+            Prefix::V4(p) => (0..=p.len()).rev().any(|l| {
+                let covering = Ipv4Prefix::new(p.network(), l).expect("len below source len");
+                self.objects
+                    .get(&Prefix::V4(covering))
+                    .is_some_and(|asns| asns.contains(&asn))
+            }),
+            Prefix::V6(p) => (0..=p.len()).rev().any(|l| {
+                let covering = Ipv6Prefix::new(p.network(), l).expect("len below source len");
+                self.objects
+                    .get(&Prefix::V6(covering))
+                    .is_some_and(|asns| asns.contains(&asn))
+            }),
+        }
     }
 }
 

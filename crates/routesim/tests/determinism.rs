@@ -29,8 +29,9 @@
 use bgpworms_routesim::route::RouteArena;
 use bgpworms_routesim::router::{PrefixRouter, ValidationCtx};
 use bgpworms_routesim::{
-    Campaign, CampaignSink, CollectorSpec, CommunityPropagationPolicy, CompiledSim, FeedKind,
-    IrrDatabase, Origination, PrefixOutcome, RetainRoutes, Route, RouterConfig, SimResult, SimSpec,
+    BlackholeService, Campaign, CampaignSink, CollectorSpec, CommunityPropagationPolicy,
+    CompiledSim, FeedKind, IrrDatabase, OriginValidation, Origination, PrefixOutcome, RetainRoutes,
+    Route, RouterConfig, SimResult, SimSpec,
 };
 use bgpworms_topology::{EdgeKind, NodeId, Role, Tier, Topology, TopologyParams};
 use bgpworms_types::{Asn, Community, Prefix};
@@ -752,5 +753,98 @@ proptest! {
         prop_assert_eq!(resumed.events, full.events);
         prop_assert_eq!(resumed.chunks, full.chunks);
         prop_assert_eq!(resumed.converged, full.converged);
+        prop_assert_eq!(
+            (resumed.class_sims, resumed.class_hits),
+            (full.class_sims, full.class_hits),
+            "resumed class statistics diverged from uninterrupted run"
+        );
+    }
+
+    /// Flood memoization: replaying one class representative's outcome for
+    /// every class member must be bit-identical to simulating each member
+    /// individually — on arbitrary worlds, across `threads = 1/N` and chunk
+    /// shapes, with identical class-hit counters on both paths.
+    #[test]
+    fn memoization_never_changes_campaign_output(
+        raw in arb_world(),
+        threads in 2usize..6,
+        chunk in 1usize..5,
+    ) {
+        let (topo, configs, collectors, originations) = build_world(&raw);
+        let mut sim = spec_for(&topo, configs, collectors).compile();
+        for t in [1, threads] {
+            sim.set_threads(t);
+            let campaign = Campaign::new(&sim).chunk_size(chunk);
+            let memoized = campaign.run(&originations, KeyedSink::default);
+            let plain = campaign.memoize(false).run(&originations, KeyedSink::default);
+            prop_assert_eq!(&memoized.sink, &plain.sink, "memoized fold diverged, threads = {}", t);
+            prop_assert_eq!(memoized.events, plain.events);
+            prop_assert_eq!(memoized.converged, plain.converged);
+            prop_assert_eq!(
+                (memoized.class_sims, memoized.class_hits),
+                (plain.class_sims, plain.class_hits),
+                "class counters depend on the execution strategy"
+            );
+            prop_assert_eq!(
+                memoized.class_sims + memoized.class_hits,
+                memoized.sink.0.len() as u64,
+                "counters must partition the prefix set"
+            );
+        }
+    }
+
+    /// Memoization under prefix-sensitive policy: worlds seasoned with
+    /// origin validation (against *partially* registered IRR/RPKI, so the
+    /// registration bits genuinely split classes), blackhole length floors,
+    /// tight `max_prefix_len_v4`, and exact-prefix targeted-egress tagging
+    /// (which forces singleton classes). The classifier must split — never
+    /// merge — across every one of these features, keeping
+    /// memoized ≡ unmemoized bit-for-bit.
+    #[test]
+    fn memoization_survives_prefix_sensitive_policies(
+        raw in arb_world(),
+        threads in 2usize..6,
+        picks in proptest::collection::vec((0usize..16, 0u8..4), 1..6),
+    ) {
+        let (topo, mut configs, collectors, originations) = build_world(&raw);
+        let n = raw.n_nodes;
+        for (i, &(idx, kind)) in picks.iter().enumerate() {
+            let asn = Asn::new((idx % n) as u32 + 1);
+            let mut cfg = RouterConfig::defaults(asn);
+            match kind {
+                0 => cfg.validation = OriginValidation::Irr { validate_after_blackhole: false },
+                1 => cfg.validation = OriginValidation::Strict,
+                2 => {
+                    cfg.services.blackhole = Some(BlackholeService::default());
+                    cfg.max_prefix_len_v4 = 14; // the /16 schedule is "too specific"
+                }
+                _ => {
+                    let target = originations[i % originations.len()].prefix;
+                    cfg.tagging.targeted_egress = vec![(target, Community::new(64_511, 1))];
+                }
+            }
+            configs.push(cfg);
+        }
+        let mut spec = spec_for(&topo, configs, collectors);
+        // Partial registration: every other episode's (prefix, origin) pair
+        // goes into the registries, so validation outcomes differ between
+        // same-origin prefixes.
+        for (i, o) in originations.iter().enumerate() {
+            if i % 2 == 0 {
+                spec = spec.register_irr(o.prefix, o.origin).register_rpki(o.prefix, o.origin);
+            }
+        }
+        let mut sim = spec.compile();
+        for t in [1, threads] {
+            sim.set_threads(t);
+            let campaign = Campaign::new(&sim).chunk_size(2);
+            let memoized = campaign.run(&originations, KeyedSink::default);
+            let plain = campaign.memoize(false).run(&originations, KeyedSink::default);
+            prop_assert_eq!(
+                &memoized.sink, &plain.sink,
+                "memoization corrupted a prefix-sensitive world, threads = {}", t
+            );
+            prop_assert_eq!(memoized.events, plain.events);
+        }
     }
 }

@@ -13,7 +13,9 @@
 use bgpworms_routesim::{
     Campaign, CampaignSink, Origination, PrefixOutcome, RetainRoutes, SimSpec,
 };
-use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, Topology, TopologyParams};
+use bgpworms_topology::{
+    addressing::AddressingParams, FullTableParams, PrefixAllocation, Topology, TopologyParams,
+};
 use bgpworms_types::Prefix;
 
 /// Counts converged routes without retaining them — the smoke runs stream
@@ -104,4 +106,62 @@ fn internet_scale_smoke() {
         topo.len()
     );
     smoke(topo, 95);
+}
+
+#[test]
+#[ignore = "Internet-scale full-table sample; exercised by the CI scale-smoke job"]
+fn full_table_smoke() {
+    // A sampled full-table campaign on the full ~62K-AS Internet: a few
+    // origins' entire (deaggregated) announcement sets, flood-memoized.
+    // Locks in that the class structure survives at headline scale —
+    // same-origin duplicates must actually fold — and that the memoized
+    // fold agrees with the unmemoized one on real Internet floods.
+    let topo = TopologyParams::internet_cached();
+    let alloc = PrefixAllocation::assign(topo, AddressingParams::default())
+        .deaggregate(topo, FullTableParams::default());
+
+    // Origin-preserving sample: the first few origins with a multi-prefix
+    // (deaggregated) allocation, whole allocation each, ~hundreds of
+    // prefixes total.
+    let mut episodes: Vec<Origination> = Vec::new();
+    let mut origins = 0;
+    for (origin, prefix) in alloc.iter() {
+        if episodes.last().is_none_or(|last| last.origin != origin) {
+            if origins >= 8 {
+                break;
+            }
+            origins += 1;
+        }
+        episodes.push(Origination::announce(origin, prefix, vec![]));
+    }
+    assert!(
+        episodes.len() > origins,
+        "sample must contain duplicate-class prefixes"
+    );
+
+    let sim = SimSpec::new(topo).compile();
+    let campaign = Campaign::new(&sim);
+    let stats = campaign.class_stats(&episodes);
+    assert!(
+        stats.classes < stats.prefixes,
+        "deaggregated same-origin prefixes must share classes: {} classes / {} prefixes",
+        stats.classes,
+        stats.prefixes
+    );
+
+    let memoized = campaign.run(&episodes, RouteCount::default);
+    assert!(memoized.converged, "full-table sample must converge");
+    assert_eq!(memoized.class_sims, stats.classes as u64);
+    assert_eq!(
+        memoized.class_sims + memoized.class_hits,
+        stats.prefixes as u64
+    );
+
+    // Spot-check soundness at scale: the unmemoized fold agrees.
+    let plain = campaign.memoize(false).run(&episodes, RouteCount::default);
+    assert_eq!(
+        memoized.sink, plain.sink,
+        "memoized fold diverged at Internet scale"
+    );
+    assert_eq!(memoized.events, plain.events);
 }

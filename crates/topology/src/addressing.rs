@@ -29,6 +29,27 @@ impl Default for AddressingParams {
     }
 }
 
+/// Parameters for [`PrefixAllocation::deaggregate`]: turning a base
+/// allocation into a full-table-shaped one by announcing more-specific
+/// subnets of each AS's own blocks.
+#[derive(Debug, Clone, Copy)]
+pub struct FullTableParams {
+    /// RNG seed (independent of the base allocation's seed).
+    pub seed: u64,
+    /// Length of the deaggregated more-specifics (a routing table's modal
+    /// length, /24, by default).
+    pub target_len: u8,
+}
+
+impl Default for FullTableParams {
+    fn default() -> Self {
+        FullTableParams {
+            seed: 1,
+            target_len: 24,
+        }
+    }
+}
+
 /// The ground-truth mapping between ASes and the prefixes they originate.
 #[derive(Debug, Clone, Default)]
 pub struct PrefixAllocation {
@@ -91,6 +112,69 @@ impl PrefixAllocation {
                 alloc.origin_of.insert(*p, node.asn);
             }
             alloc.by_as.insert(node.asn, prefixes);
+        }
+        alloc
+    }
+
+    /// Widens this allocation into a full-table-shaped one: on top of each
+    /// AS's base allocations, the origin also announces a tier-dependent
+    /// number of **more-specific** `/target_len` subnets carved
+    /// sequentially out of its own IPv4 blocks — the deaggregated
+    /// more-specifics that dominate a real routing table. Every extra
+    /// prefix shares its origin's covering block, so registries built over
+    /// the base allocation still validate it, and extras from different
+    /// ASes can never collide.
+    ///
+    /// Tier-1s (the table's heavy hitters) contribute tens of extras,
+    /// transits a handful, and stubs usually none — so total table size
+    /// scales with the topology while the *origin* count stays the AS
+    /// count, the workload shape flood memoization collapses.
+    pub fn deaggregate(&self, topo: &Topology, params: FullTableParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0xF011_7AB1_E000_0000);
+        let mut alloc = self.clone();
+        let target = params.target_len.min(32);
+        for node in topo.ases() {
+            let bases: Vec<Ipv4Prefix> = self
+                .prefixes_of(node.asn)
+                .iter()
+                .filter_map(|p| p.as_v4())
+                .filter(|p| p.len() < target)
+                .collect();
+            let extras: usize = match node.tier {
+                Tier::Tier1 => rng.gen_range(16..=48),
+                Tier::Transit => rng.gen_range(2..=8),
+                Tier::Stub => {
+                    if rng.gen_bool(0.3) {
+                        rng.gen_range(1..=3)
+                    } else {
+                        0
+                    }
+                }
+                Tier::RouteServer => 0,
+            };
+            if bases.is_empty() {
+                continue;
+            }
+            // Sequential subnet cursor per base block, so extras never
+            // repeat within a block no matter how bases interleave.
+            let mut next_subnet: BTreeMap<Ipv4Prefix, u32> = BTreeMap::new();
+            let step = 1u32 << (32 - target);
+            for k in 0..extras {
+                let base = bases[k % bases.len()];
+                let ix = next_subnet.entry(base).or_insert(0);
+                if u64::from(*ix) >= 1u64 << (target - base.len()) {
+                    continue; // block exhausted; skip rather than overlap
+                }
+                let sub = Ipv4Prefix::new(base.network().wrapping_add(*ix * step), target)
+                    .expect("target <= 32");
+                *ix += 1;
+                alloc.origin_of.insert(Prefix::V4(sub), node.asn);
+                alloc
+                    .by_as
+                    .entry(node.asn)
+                    .or_default()
+                    .push(Prefix::V4(sub));
+            }
         }
         alloc
     }
@@ -203,6 +287,60 @@ mod tests {
         let a = PrefixAllocation::assign(&topo, AddressingParams::default());
         let b = PrefixAllocation::assign(&topo, AddressingParams::default());
         assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deaggregate_extras_stay_inside_their_origins_blocks() {
+        let (topo, alloc) = sample();
+        let full = alloc.deaggregate(&topo, FullTableParams::default());
+        assert!(full.len() > alloc.len(), "deaggregation must add prefixes");
+        for (asn, prefix) in full.iter() {
+            if alloc.origin_of(&prefix).is_some() {
+                assert_eq!(alloc.origin_of(&prefix), Some(asn));
+                continue; // base prefix, untouched
+            }
+            let p = prefix.as_v4().expect("extras are IPv4");
+            assert_eq!(p.len(), 24);
+            let covered_by_own_base = alloc
+                .prefixes_of(asn)
+                .iter()
+                .filter_map(|b| b.as_v4())
+                .any(|b| b.covers(p));
+            assert!(covered_by_own_base, "{p} escapes {asn}'s blocks");
+        }
+    }
+
+    #[test]
+    fn deaggregate_is_deterministic_and_origin_consistent() {
+        let (topo, alloc) = sample();
+        let a = alloc.deaggregate(&topo, FullTableParams::default());
+        let b = alloc.deaggregate(&topo, FullTableParams::default());
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+        for (asn, prefix) in a.iter() {
+            assert_eq!(a.origin_of(&prefix), Some(asn));
+        }
+        let other = alloc.deaggregate(
+            &topo,
+            FullTableParams {
+                seed: 7,
+                target_len: 24,
+            },
+        );
+        assert_ne!(
+            a.iter().collect::<Vec<_>>(),
+            other.iter().collect::<Vec<_>>(),
+            "seed must matter"
+        );
+    }
+
+    #[test]
+    fn deaggregate_extras_never_collide() {
+        let (topo, alloc) = sample();
+        let full = alloc.deaggregate(&topo, FullTableParams::default());
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, prefix) in full.iter() {
+            assert!(seen.insert(prefix), "{prefix} allocated twice");
+        }
     }
 
     #[test]

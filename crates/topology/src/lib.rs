@@ -39,7 +39,7 @@ pub mod graph;
 pub mod paths;
 pub mod relationship;
 
-pub use addressing::PrefixAllocation;
+pub use addressing::{FullTableParams, PrefixAllocation};
 pub use gen::TopologyParams;
 pub use graph::{AsNode, CsrEdge, Neighbor, NodeId, Tier, Topology, TopologyStats};
 pub use paths::{check_valley_free, PathValidity};

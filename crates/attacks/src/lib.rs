@@ -25,6 +25,7 @@
 //!   §6.3 validation order, the §8 scoped-propagation defense) are
 //!   load-bearing.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;

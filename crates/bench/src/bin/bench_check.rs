@@ -57,6 +57,8 @@
 //! code change, re-measure and re-commit the baseline alongside it.
 //! (Direction-reversed rate entries are machine-independent.)
 
+#![forbid(unsafe_code)]
+
 use std::process::{Command, ExitCode};
 
 struct Args {

@@ -40,6 +40,8 @@
 //!   all      everything above except full-table
 //! ```
 
+#![forbid(unsafe_code)]
+
 use bgpworms_attacks::wild;
 use bgpworms_attacks::{feasibility, lab};
 use bgpworms_bench::{Scale, Snapshot};

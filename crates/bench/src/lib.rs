@@ -2,6 +2,7 @@
 //! "April 2018"-like snapshots (topology → workload → propagation →
 //! MRT archives → parsed observation set) at several scales.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use bgpworms_core::{ArchiveInput, BlackholeDetector, ObservationSet};

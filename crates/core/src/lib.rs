@@ -24,6 +24,7 @@
 //! Shared statistical utilities (ECDFs, histograms, text tables) live in
 //! [`stats`] and [`table`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dataset;

@@ -17,6 +17,7 @@
 //!   from a RouteViews table;
 //! * [`LookingGlass`] — formatted per-AS RIB queries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atlas;

@@ -1,0 +1,314 @@
+//! A minimal, string/raw-string/comment-aware Rust lexer.
+//!
+//! `detlint`'s rules are token-pattern checks, so the lexer does not build
+//! a token tree; it splits every source line into its **code text** (with
+//! string/char-literal contents blanked, so `"Instant::now"` inside a
+//! string can never trigger a rule) and its **comment text** (where the
+//! allow-markers live). The tricky Rust surface it must get right:
+//!
+//! * raw strings `r"…"` / `r#"…"#` with any number of hashes (and the
+//!   byte variants `b"…"`, `br#"…"#`) — a `//` or `*/` inside one is data,
+//!   not a comment;
+//! * **nested** block comments (`/* /* */ */` is one comment in Rust);
+//! * char literals vs lifetimes: `'a'` is a literal, `'a` in `Foo<'a>` is
+//!   a lifetime, `b'\''` is a byte literal;
+//! * multi-line strings and block comments (state carries across lines).
+//!
+//! Everything else — identifiers, punctuation, numbers — passes through to
+//! the code text verbatim, which is all the rule engine needs.
+
+/// One physical source line, split into lexical halves.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Line {
+    /// Code text: comments removed, string/char contents blanked (the
+    /// delimiting quotes are kept so tokens never fuse across a literal).
+    pub code: String,
+    /// Comment text, including the `//`/`/*` introducers. Block comments
+    /// spanning lines contribute to every line they cover.
+    pub comment: String,
+}
+
+/// Lexer state that survives a newline.
+enum State {
+    Code,
+    /// Inside a block comment, at the given nesting depth.
+    Block(u32),
+    /// Inside an ordinary (escaping) string literal.
+    Str,
+    /// Inside a raw string closed by `"` followed by this many `#`s.
+    RawStr(u32),
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Splits `src` into per-line code/comment halves. Never fails: on
+/// malformed input (e.g. an unterminated literal) it degrades to treating
+/// the remainder as that literal, which only makes the lint *miss* text —
+/// the compiler rejects such a file anyway.
+pub fn lex(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                let prev_ident = cur.code.chars().last().is_some_and(is_ident);
+                if c == '/' && next == Some('/') {
+                    // Line comment (also `///` and `//!`): the rest of the
+                    // physical line is comment text.
+                    while i < chars.len() && chars[i] != '\n' {
+                        cur.comment.push(chars[i]);
+                        i += 1;
+                    }
+                } else if c == '/' && next == Some('*') {
+                    cur.comment.push_str("/*");
+                    state = State::Block(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_ident {
+                    // Possible raw/byte literal prefix: r" r#" b" br" br#" b'
+                    let mut j = i;
+                    if chars[j] == 'b' {
+                        j += 1;
+                    }
+                    let raw = chars.get(j) == Some(&'r');
+                    if raw {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while raw && chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if raw && chars.get(j) == Some(&'"') {
+                        cur.code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else if c == 'b' && next == Some('"') {
+                        cur.code.push('"');
+                        state = State::Str;
+                        i += 2;
+                    } else if c == 'b' && next == Some('\'') {
+                        // Byte char literal: b'x' / b'\''.
+                        cur.code.push(' ');
+                        i = skip_char_literal(&chars, i + 1);
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Lifetime or char literal. A lifetime is `'` + ident
+                    // NOT closed by another `'` right after the first
+                    // ident char ('a' is a literal, 'a> is a lifetime).
+                    match next {
+                        Some(n) if n != '\\' && is_ident(n) && chars.get(i + 2) != Some(&'\'') => {
+                            cur.code.push('\'');
+                            i += 1; // ident chars flow through as code
+                        }
+                        _ => {
+                            cur.code.push(' ');
+                            i = skip_char_literal(&chars, i);
+                        }
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::Block(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    cur.comment.push_str("/*");
+                    state = State::Block(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    cur.comment.push_str("*/");
+                    state = if depth > 1 {
+                        State::Block(depth - 1)
+                    } else {
+                        State::Code
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // escaped char (possibly an escaped quote)
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1; // blanked
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let closed = (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'));
+                    if closed {
+                        cur.code.push('"');
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                i += 1; // blanked
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// Skips a char literal starting at the opening `'` (index `open`),
+/// returning the index just past the closing quote. Handles `'\''`,
+/// `'\\'`, `'\u{1F980}'` and plain `'x'`.
+fn skip_char_literal(chars: &[char], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            '\n' => return i, // malformed; let the line end
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    fn comments(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.comment).collect()
+    }
+
+    #[test]
+    fn line_comments_split_off() {
+        let lines = lex("let x = 1; // trailing note\n// full line\nlet y = 2;");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert_eq!(lines[0].comment, "// trailing note");
+        assert_eq!(lines[1].code, "");
+        assert_eq!(lines[1].comment, "// full line");
+        assert_eq!(lines[2].code, "let y = 2;");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let c = code("call(\"HashMap::new() // not a comment\");");
+        assert_eq!(c[0], "call(\"\");");
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let c = code(r#"let s = "a\"b // still string"; f();"#);
+        assert_eq!(c[0], "let s = \"\"; f();");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let c = code(r###"let s = r#"unwrap() "quoted" /* not a comment */"#; g();"###);
+        assert_eq!(c[0], "let s = \"\"; g();");
+    }
+
+    #[test]
+    fn raw_string_hash_count_must_match() {
+        // `"#` inside an `r##"…"##` string does not close it.
+        let src = "let s = r##\"has \"# inside\"##; done();";
+        let c = code(src);
+        assert_eq!(c[0], "let s = \"\"; done();");
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings() {
+        let c = code(r##"let a = b"SystemTime"; let b = br#"Instant::now"#;"##);
+        assert_eq!(c[0], "let a = \"\"; let b = \"\";");
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        let c = code("let var\" = x;"); // `var` then a plain string start
+        assert!(c[0].starts_with("let var\""));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a(); /* outer /* inner */ still comment */ b();";
+        let lines = lex(src);
+        assert_eq!(lines[0].code, "a();  b();");
+        assert!(lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn multiline_block_comment_carries_state() {
+        let src = "a(); /* start\nmiddle HashMap<u32>\nend */ b();";
+        let lines = lex(src);
+        assert_eq!(lines[0].code, "a(); ");
+        assert_eq!(lines[1].code, "");
+        assert!(lines[1].comment.contains("HashMap"));
+        assert_eq!(lines[2].code, " b();");
+    }
+
+    #[test]
+    fn char_literals_are_blanked_but_lifetimes_survive() {
+        let c = code("fn f<'a>(s: &'a str) { if c == 'q' || c == '\\'' { } }");
+        assert!(c[0].contains("<'a>"), "lifetime kept: {}", c[0]);
+        assert!(c[0].contains("&'a str"));
+        assert!(!c[0].contains('q'), "char literal blanked: {}", c[0]);
+    }
+
+    #[test]
+    fn static_lifetime_and_label() {
+        let c = code("let s: &'static str = \"\"; 'outer: loop { break 'outer; }");
+        assert!(c[0].contains("&'static str"));
+        assert!(c[0].contains("'outer: loop"));
+    }
+
+    #[test]
+    fn byte_char_literal_with_escaped_quote() {
+        let c = code("let q = b'\\''; next();");
+        assert!(c[0].ends_with("next();"), "got: {}", c[0]);
+        assert!(!c[0].contains('\\'));
+    }
+
+    #[test]
+    fn multiline_string_blanks_every_line() {
+        let src = "let s = \"first\nunwrap() second\nthird\"; f();";
+        let c = code(src);
+        assert_eq!(c[1], "", "middle of a string is not code");
+        assert_eq!(c[2], "\"; f();");
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let cm = comments("/// outer doc HashMap\n//! inner doc\nfn f() {}");
+        assert!(cm[0].contains("HashMap"));
+        assert!(cm[1].contains("inner doc"));
+        assert_eq!(lex("/// d\nfn f() {}")[0].code, "");
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: atomic orderings without `// ordering:` justifications.
+// Expected: two atomic-ordering-justification findings (the cmp::Ordering
+// match arm must NOT fire).
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn claim(next: &AtomicUsize) -> usize {
+    next.fetch_add(1, Ordering::Relaxed) // line 9: finding
+}
+
+pub fn publish(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, Ordering::SeqCst); // line 13: finding
+}
+
+pub fn compare(a: u32, b: u32) -> bool {
+    matches!(a.cmp(&b), std::cmp::Ordering::Greater) // not atomic: no finding
+}

@@ -1,0 +1,15 @@
+// Fixture: every atomic ordering carries a justification (same line or
+// on the comment line above). Expected: zero findings.
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub fn claim(next: &AtomicUsize) -> usize {
+    // ordering: pure claim ticket; only RMW atomicity matters, results are
+    // published through the join, not through this counter
+    next.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release); // ordering: pairs with Acquire load in wait()
+}

@@ -1,0 +1,34 @@
+// Fixture: lexer robustness. Every forbidden token below sits inside a
+// string, raw string, char sequence, or comment — a naive grep would
+// drown in findings; detlint must report zero. Linted as a crate root
+// under the strictest policy (result-affecting + hot-path).
+#![forbid(unsafe_code)]
+
+/// Doc comments are comments: HashMap, Instant::now, unsafe, unwrap().
+pub fn strings() -> &'static str {
+    let a = "HashMap::new() and x.unwrap() and Ordering::Relaxed";
+    let b = r#"std::env::var("HOME") // and SystemTime inside a raw string"#;
+    let c = r##"nested "#" hashes with Instant::now and unsafe blocks"##;
+    let d = b"thread::current bytes";
+    let e = br#"HashSet::with_capacity"#;
+    let _ = (a, b, c, d, e);
+    "ok"
+}
+
+pub fn chars_and_lifetimes<'a>(s: &'a str) -> (char, &'a str) {
+    let quote = '\'';
+    let escaped = '\\';
+    let byte = b'"';
+    let _ = byte;
+    /* block comment: SystemTime::now().unwrap()
+       /* nested: std::env::args() */
+       still one comment: HashSet<u32> */
+    (if s.is_empty() { quote } else { escaped }, s)
+}
+
+pub fn multiline() -> String {
+    let s = "line one
+        unsafe { HashMap } Instant::now() on a continuation line
+        line three";
+    s.to_string()
+}

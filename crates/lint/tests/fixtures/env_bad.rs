@@ -1,0 +1,12 @@
+// Fixture: environment/thread-identity reads in result-affecting code.
+// Expected: two no-env-dependence findings.
+#![forbid(unsafe_code)]
+
+pub fn workers() -> usize {
+    std::env::var("WORKERS").map_or(1, |v| v.parse().unwrap_or(1)) // line 6: finding
+}
+
+pub fn shard() -> u64 {
+    let id = std::thread::current().id(); // line 10: finding
+    format!("{id:?}").len() as u64
+}

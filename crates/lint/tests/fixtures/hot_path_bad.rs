@@ -1,0 +1,26 @@
+// Fixture: panicky calls on a hot-path file with no infallibility
+// markers. Expected: two hot-path-panic findings; `unwrap_or_else` /
+// `unwrap_or` and the `#[cfg(test)]` module must NOT fire.
+#![forbid(unsafe_code)]
+
+pub fn lookup(slots: &[Option<u32>], k: usize) -> u32 {
+    slots[k].unwrap() // line 7: finding
+}
+
+pub fn chained(m: &std::collections::BTreeMap<u32, u32>) -> u32 {
+    *m.get(&0)
+        .expect("seeded at construction") // line 12: finding
+}
+
+pub fn guarded(x: Option<u32>) -> u32 {
+    x.unwrap_or_else(|| 7).max(x.unwrap_or(3)) // adapters: no finding
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3); // test code: no finding
+    }
+}

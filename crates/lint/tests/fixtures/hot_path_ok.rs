@@ -1,0 +1,14 @@
+// Fixture: hot-path panics with infallibility arguments, including one
+// marker above a multi-line method chain. Expected: zero findings.
+#![forbid(unsafe_code)]
+
+pub fn lookup(slots: &[Option<u32>], k: usize) -> u32 {
+    // lint: infallible every slot is written before lookup runs
+    slots[k].unwrap()
+}
+
+pub fn chained(m: &std::collections::BTreeMap<u32, u32>) -> u32 {
+    // lint: infallible key 0 is seeded at construction and never removed
+    *m.get(&0)
+        .expect("seeded at construction")
+}

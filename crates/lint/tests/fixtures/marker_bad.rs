@@ -1,0 +1,21 @@
+// Fixture: allow-markers present but content-free. Expected: three
+// marker-justification findings, and the markers still suppress their
+// base rules (one finding per problem, not two).
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct T {
+    // lint: order-independent
+    m: HashMap<u32, u32>, // suppressed, but the bare marker above is a finding
+}
+
+pub fn claim(next: &AtomicUsize) -> usize {
+    next.fetch_add(1, Ordering::Relaxed) // ordering:
+}
+
+pub fn force(x: Option<u32>) -> u32 {
+    // lint: infallible
+    x.unwrap()
+}

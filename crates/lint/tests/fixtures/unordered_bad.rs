@@ -1,0 +1,16 @@
+// Fixture: HashMap/HashSet in a result-affecting crate with no
+// order-independence marker. Expected: three no-unordered-iteration
+// findings (the bare import-list mentions on line 6 must NOT fire).
+#![forbid(unsafe_code)]
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Table {
+    by_asn: HashMap<u32, u64>, // line 9: finding
+}
+
+pub fn build() -> Table {
+    let mut seen = HashSet::new(); // line 13: finding
+    seen.insert(1u32);
+    Table { by_asn: HashMap::with_capacity(0) } // line 15: finding
+}

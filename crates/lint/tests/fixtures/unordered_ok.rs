@@ -1,0 +1,20 @@
+// Fixture: same shapes as unordered_bad.rs, every site annotated.
+// Expected: zero findings.
+#![forbid(unsafe_code)]
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Table {
+    // lint: order-independent probed by key only, never iterated
+    by_asn: HashMap<u32, u64>,
+}
+
+pub fn build() -> Table {
+    // lint: order-independent membership test only; contents never enumerated
+    let mut seen = HashSet::new();
+    seen.insert(1u32);
+    Table {
+        // lint: order-independent constructed empty, filled via keyed inserts
+        by_asn: HashMap::with_capacity(0),
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: an `unsafe` block in a crate root that is also missing the
+// `#![forbid(unsafe_code)]` header. Expected: two unsafe-free findings
+// (one at the `unsafe` keyword, one at line 1 for the missing header).
+
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p } // line 6: finding
+}

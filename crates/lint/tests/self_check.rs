@@ -1,0 +1,22 @@
+//! The workspace self-check: detlint over this repository's real sources
+//! must report zero findings. This is the same gate CI runs via
+//! `cargo run -p bgpworms-lint --release`, embedded in `cargo test` so a
+//! determinism-lint violation fails the ordinary test suite too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = bgpworms_lint::lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "detlint found {} violation(s) in the workspace:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -37,6 +37,7 @@
 //! attacks) and scores every stage with precision / recall — the
 //! evaluation the paper's future-work section asks for.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod detectors;

@@ -273,6 +273,9 @@ impl ClassTable {
         prefixes: &[Prefix],
         by_prefix: &BTreeMap<Prefix, Vec<&Origination>>,
     ) -> ClassTable {
+        // lint: order-independent probed by key while walking `prefixes`
+        // in schedule order; the map itself is never iterated, so class
+        // ids are assigned in first-appearance order regardless of hasher
         let mut ids: HashMap<ClassKey<'_>, u32> = HashMap::with_capacity(prefixes.len());
         let mut class_of = Vec::with_capacity(prefixes.len());
         let mut is_first = Vec::with_capacity(prefixes.len());
@@ -563,9 +566,16 @@ impl<'s, 't> Campaign<'s, 't> {
                         // poisoned scratch never contributes observed work).
                         let mut scratch = self.sim.new_scratch();
                         loop {
+                            // ordering: advisory one-way latch — a stale
+                            // read only costs one extra chunk of work; the
+                            // merge loop below never reads it
                             if abort.load(Ordering::Relaxed) {
                                 break;
                             }
+                            // ordering: pure claim ticket — only the RMW
+                            // atomicity matters (each chunk is claimed
+                            // once); results are published via the slot
+                            // Mutexes and the scope join, not this counter
                             let k = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&ci) = todo.get(k) else { break };
                             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -581,8 +591,15 @@ impl<'s, 't> Campaign<'s, 't> {
                                 )
                             }));
                             if outcome.is_err() {
+                                // ordering: idempotent true-only store; any
+                                // visibility delay just lets peers claim a
+                                // few more chunks before stopping
                                 abort.store(true, Ordering::Relaxed);
                             }
+                            // lint: infallible the lock is taken outside
+                            // the catch_unwind above — no panic can poison
+                            // it (the one long-held lock in run_chunk uses
+                            // PoisonError::into_inner instead)
                             let previous = slots[k]
                                 .lock()
                                 .expect("slot lock never poisoned")
@@ -598,6 +615,8 @@ impl<'s, 't> Campaign<'s, 't> {
             // slots form a prefix of `todo`; a panicked (Err) slot is
             // always reached before any unclaimed (None) one.
             for (slot, &ci) in slots.into_iter().zip(&todo) {
+                // lint: infallible slot locks are only held outside
+                // catch_unwind, so no worker panic can poison them
                 match slot.into_inner().expect("slot lock never poisoned") {
                     Some(Ok(out)) => absorb(&mut cp, out),
                     Some(Err(msg)) => panic!("campaign worker panicked in chunk {ci}: {msg}"),
@@ -665,8 +684,11 @@ impl<'s, 't> Campaign<'s, 't> {
                     }
                     slot.remaining -= 1;
                     let stored = if slot.remaining == 0 {
+                        // lint: infallible filled under this same lock
+                        // guard by the is_none branch above
                         slot.outcome.take().expect("slot filled above")
                     } else {
+                        // lint: infallible same guard, same fill
                         slot.outcome.as_ref().expect("slot filled above").clone()
                     };
                     drop(slot);

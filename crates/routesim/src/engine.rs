@@ -426,6 +426,8 @@ impl<'a> CompiledSim<'a> {
             out.converged &= outcome.converged;
             for (ci, mut obs) in outcome.observations.into_iter().enumerate() {
                 if !obs.is_empty() {
+                    // lint: infallible the observations map is pre-seeded
+                    // with every collector name before any worker runs
                     out.observations
                         .get_mut(&self.collector_names[ci])
                         .expect("collector registered")
@@ -495,6 +497,10 @@ fn run_parallel(
             scope.spawn(move || {
                 let mut scratch = sim.new_scratch();
                 loop {
+                    // ordering: pure claim ticket — only the RMW atomicity
+                    // matters (each index is handed out exactly once);
+                    // results are published via the slot Mutexes and the
+                    // scope join, not through this counter
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(prefix) = prefixes.get(i) else { break };
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -513,6 +519,8 @@ fn run_parallel(
         .into_iter()
         .zip(prefixes)
         .map(|(slot, prefix)| {
+            // lint: infallible the lock is only taken inside the worker
+            // loop, outside the catch_unwind — no panic can poison it
             match slot
                 .into_inner()
                 .expect("every prefix slot is written by exactly one worker")

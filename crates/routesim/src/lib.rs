@@ -168,7 +168,40 @@
 //!
 //! Route collectors observe sessions exactly like RIS/RouteViews peers and
 //! emit RFC 6396 MRT archives via `bgpworms-mrt`.
+//!
+//! # Determinism invariants & lint markers
+//!
+//! The guarantees above are enforced statically by `detlint`
+//! (`cargo run -p bgpworms-lint --release`, also a CI job and a
+//! `cargo test` self-check), not just by the property suite. The
+//! invariants, as the lint states them:
+//!
+//! * **No unordered iteration.** `HashMap`/`HashSet` may appear in
+//!   result-affecting crates only where iteration order cannot reach
+//!   results — keyed probes, membership tests, write-then-probe scratch.
+//!   Each such site carries `// lint: order-independent <why>`; anything
+//!   whose order matters uses `BTreeMap`/`Vec`/dense indices instead.
+//! * **Justified atomics.** Every atomic `Ordering::*` choice carries an
+//!   adjacent `// ordering: <why>` comment. The two patterns in this
+//!   crate: *claim tickets* (`fetch_add(1, Relaxed)` — only RMW
+//!   atomicity matters because results are published through per-slot
+//!   locks/`OnceLock`s and the `thread::scope` join) and the *advisory
+//!   abort latch* (an idempotent true-only flag where staleness only
+//!   costs wasted work, never wrong results).
+//! * **No wall clocks, no environment.** `Instant::now`/`SystemTime`
+//!   live only in the bench harness; `std::env`/`thread::current` never
+//!   feed results — a run is a pure function of (topology, configs,
+//!   schedule).
+//! * **Panic-audited hot path.** On the per-event/per-prefix files, each
+//!   `unwrap()`/`expect(` carries `// lint: infallible <why>` naming the
+//!   invariant that makes it unreachable.
+//! * **`unsafe`-free.** Every non-compat crate declares
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! A marker covers its own line or the statement directly below it, and
+//! must include the justification text — `detlint` rejects bare markers.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// The reserved ASN route-collector sessions use as their local AS. It

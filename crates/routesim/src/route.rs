@@ -206,6 +206,8 @@ impl RouteId {
 #[derive(Debug, Default)]
 pub struct RouteArena {
     routes: Vec<Route>,
+    // lint: order-independent probed per intern by 64-bit route hash,
+    // never iterated — ids come from arrival order in `routes`
     index: HashMap<u64, Bucket>,
 }
 
@@ -259,6 +261,8 @@ impl RouteArena {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         route.hash(&mut hasher);
         let mint = |routes: &mut Vec<Route>, route: Route| {
+            // lint: infallible distinct routes are bounded by the event
+            // budget, orders of magnitude below u32::MAX
             let id = RouteId(u32::try_from(routes.len()).expect("more than u32::MAX routes"));
             routes.push(route);
             id

@@ -129,6 +129,8 @@ pub struct Topology {
     /// O(1), which is what makes building Internet-scale graphs (~60 K
     /// nodes, high-degree transit hubs) linear in the edge count instead of
     /// quadratic in hub degree.
+    // lint: order-independent membership probes only (insert/contains);
+    // never iterated — edge order comes from the `adj` insertion lists
     edge_set: std::collections::HashSet<(NodeId, NodeId)>,
     /// Compiled CSR adjacency; reset by every mutation, rebuilt on demand.
     csr: OnceLock<Csr>,
@@ -312,6 +314,9 @@ impl Topology {
             }
             // Reverse slots: one map over all directed entries, then one
             // lookup per entry — O(E) total, built once per compilation.
+            // lint: order-independent write-then-probe scratch keyed by
+            // directed edge; filled and looked up in `adj` order, never
+            // iterated, dropped before the CSR escapes
             let mut slot_by_edge: std::collections::HashMap<(u32, u32), u32> =
                 std::collections::HashMap::with_capacity(edges.len());
             for (owner, nbrs) in self.adj.iter().enumerate() {

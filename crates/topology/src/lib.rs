@@ -31,6 +31,7 @@
 //! assert!(stats.p2p_edges > 0 && stats.p2c_edges > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addressing;

@@ -32,6 +32,7 @@
 //! assert_eq!(path.hop_count(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asn;

@@ -52,6 +52,7 @@
 //! assert!(at_top.has_community(Community::new(1, 100)));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use bgpworms_attacks as attacks;

@@ -1,6 +1,9 @@
 //! Attack scenarios, lab feasibility, in-the-wild experiments, and the
 //! Table 3 difficulty assessment — §§3, 5, 6, 7 of the paper.
 //!
+//! (`ARCHITECTURE.md` at the repository root shows how these experiments
+//! consume the engine's session, campaign, and snapshot/delta layers.)
+//!
 //! Everything here runs on the `bgpworms-routesim` substrate:
 //!
 //! * [`scenarios`] — the paper's canonical attack topologies, each built,

@@ -12,8 +12,7 @@
 use crate::wild::InjectionPlatform;
 use bgpworms_dataplane::{AtlasPlatform, Fib};
 use bgpworms_routesim::{
-    Campaign, CampaignSink, Origination, PrefixOutcome, RetainRoutes, Route, RouterConfig,
-    Workload, WorkloadParams,
+    Campaign, CampaignSink, Origination, RetainRoutes, RouterConfig, Workload, WorkloadParams,
 };
 use bgpworms_topology::{
     addressing::AddressingParams, EdgeKind, PrefixAllocation, Tier, Topology, TopologyParams,
@@ -69,50 +68,6 @@ fn forwards_foreign_upward(workload: &Workload, asn: Asn) -> bool {
                 }
         })
         .unwrap_or(false)
-}
-
-/// Streaming aggregate for one run: the forwarding tables feeding the
-/// Atlas campaign, plus the looking-glass view at the community target for
-/// the blackholed prefix — everything the validation needs, folded per
-/// prefix so the run retains no per-prefix route collections. `target` and
-/// `bh_prefix` are fold-time context, seeded by the factory closure.
-#[derive(Debug)]
-struct RtbhSink {
-    target: Asn,
-    bh_prefix: Prefix,
-    fib: Fib,
-    target_route: Option<Route>,
-}
-
-impl RtbhSink {
-    fn factory(target: Asn, bh_prefix: Prefix) -> impl Fn() -> RtbhSink {
-        move || RtbhSink {
-            target,
-            bh_prefix,
-            fib: Fib::default(),
-            target_route: None,
-        }
-    }
-}
-
-impl CampaignSink for RtbhSink {
-    fn fold(&mut self, prefix: Prefix, outcome: PrefixOutcome) {
-        if prefix == self.bh_prefix {
-            self.target_route = outcome
-                .final_routes
-                .as_ref()
-                .and_then(|finals| finals.get(&self.target))
-                .cloned();
-        }
-        self.fib.fold(prefix, outcome);
-    }
-
-    fn merge(&mut self, other: Self) {
-        CampaignSink::merge(&mut self.fib, other.fib);
-        // The blackholed prefix lives in exactly one chunk, so at most one
-        // side holds the snapshot.
-        self.target_route = self.target_route.take().or(other.target_route);
-    }
 }
 
 /// Candidate targets: RTBH-offering providers of the (community-
@@ -225,27 +180,36 @@ pub fn run(
         .retain(RetainRoutes::Prefixes(retained))
         .compile();
 
-    // Baseline: plain announcement, streamed straight into forwarding
-    // actions (no per-prefix route tables survive the fold).
-    let mut base_eps = episodes.clone();
-    base_eps.push(Origination::announce(injector.asn, p, vec![]));
-    let base_fib = Campaign::new(&sim).run(&base_eps, Fib::default).sink;
+    // Baseline: the vantage points' own prefixes stream straight into
+    // forwarding actions, while the plain announcement of the blackholed
+    // /24 converges once and is captured as a snapshot — every candidate
+    // target below replays against it as a delta re-convergence.
+    let vp_fib = Campaign::new(&sim).run(&episodes, Fib::default).sink;
+    let (_, baseline) = sim.run_snapshot(&[Origination::announce(injector.asn, p, vec![])], p);
+    let mut base_fib = vp_fib.clone();
+    base_fib.fold(p, baseline.baseline_outcome().clone());
     let before = atlas.ping_campaign(&base_fib, target_addr);
 
     // Try each candidate target until the effect is demonstrable (the
     // paper likewise *selected* a provider where validation was possible).
+    // Each candidate is one delta replay on the shared baseline snapshot —
+    // it costs the community's blast radius, not a fresh Internet.
     let mut last: Option<RtbhWildReport> = None;
     for (target, target_distance) in candidate_targets(&topo, &workload, upstream) {
         let target_bh = Community::new(target.as_u16().expect("small"), 666);
-        let mut attack_eps = episodes.clone();
-        attack_eps.push(Origination::announce(injector.asn, p, vec![]));
-        attack_eps.push(Origination::announce(injector.asn, p, vec![target_bh]).at(600));
-        let attacked = Campaign::new(&sim)
-            .run(&attack_eps, RtbhSink::factory(target, p))
-            .sink;
-        let after = atlas.ping_campaign(&attacked.fib, target_addr);
-
-        let target_blackholed = attacked.target_route.map(|r| r.blackholed).unwrap_or(false);
+        let outcome = sim.run_delta_prefix(
+            &baseline,
+            &[Origination::announce(injector.asn, p, vec![target_bh]).at(600)],
+        );
+        let target_blackholed = outcome
+            .final_routes
+            .as_ref()
+            .and_then(|finals| finals.get(&target))
+            .map(|route| route.blackholed)
+            .unwrap_or(false);
+        let mut attacked_fib = vp_fib.clone();
+        attacked_fib.fold(p, outcome);
+        let after = atlas.ping_campaign(&attacked_fib, target_addr);
 
         let report = RtbhWildReport {
             injector,

@@ -133,13 +133,20 @@ pub fn run(
             }
         }
 
-        // --- Local-pref experiment (baseline, then tagged). ---
-        let base = sim.run(&[Origination::announce(injector.asn, p, vec![])]);
+        // --- Local-pref experiment (baseline, then tagged). The baseline
+        // run captures a converged snapshot, so the tagged announcement is
+        // a delta re-convergence instead of a second full run — the A/B
+        // pair costs roughly one convergence plus the community's blast
+        // radius. ---
+        let (base, snap) = sim.run_snapshot(&[Origination::announce(injector.asn, p, vec![])], p);
         let lp_before = LookingGlass::new(&base)
             .route(target, &p)
             .map(|r| r.local_pref)
             .unwrap_or(0);
-        let tagged = sim.run(&[Origination::announce(injector.asn, p, vec![fallback])]);
+        let tagged = sim.run_delta(
+            &snap,
+            &[Origination::announce(injector.asn, p, vec![fallback]).at(600)],
+        );
         let lp_after = LookingGlass::new(&tagged)
             .route(target, &p)
             .map(|r| r.local_pref)

@@ -7,7 +7,8 @@
 use crate::wild::{attach_peering_platform, InjectionPlatform};
 use bgpworms_dataplane::{trace, AtlasPlatform, Fib};
 use bgpworms_routesim::{
-    Campaign, CompiledSim, Origination, RetainRoutes, Workload, WorkloadParams,
+    Campaign, CampaignSink, CompiledSim, Origination, RetainRoutes, SimSnapshot, Workload,
+    WorkloadParams,
 };
 use bgpworms_topology::{addressing::AddressingParams, PrefixAllocation, TopologyParams};
 use bgpworms_types::{Asn, Community, Prefix};
@@ -97,6 +98,18 @@ fn corpus(workload: &Workload, cap: usize) -> Vec<Community> {
     }
     out.truncate(cap);
     out
+}
+
+/// A compiled candidate-sweep session: the [`CompiledSim`] plus the
+/// converged plain-announce baseline captured as a [`SimSnapshot`]. Every
+/// candidate community replays as a *delta* against the baseline
+/// ([`CompiledSim::run_delta_prefix`]), so a candidate costs its blast
+/// radius, not a full Internet re-convergence.
+pub struct SurveySession<'s> {
+    /// The compiled session (retains only the experiment prefix).
+    sim: CompiledSim<'s>,
+    /// Converged state of the plain (untagged) announcement.
+    baseline: SimSnapshot,
 }
 
 /// Reusable survey apparatus: a generated Internet plus an attached
@@ -192,39 +205,46 @@ impl SurveyContext {
     }
 
     /// Compiles the campaign session: a [`CompiledSim`] retaining only the
-    /// experiment prefix, borrowing this context's workload. Compile it
-    /// **once** per campaign and replay one episode schedule per candidate
-    /// community — the compile cost (config resolution, CSR, collector
-    /// interning) is paid once, not per candidate.
-    pub fn session(&self) -> CompiledSim<'_> {
+    /// experiment prefix, plus a [`SimSnapshot`] of the converged plain
+    /// (untagged) announcement. Compile it **once** per campaign — the
+    /// compile cost (config resolution, CSR, collector interning) *and*
+    /// the baseline convergence are paid once; every candidate community
+    /// then replays as a delta on the shared snapshot.
+    pub fn session(&self) -> SurveySession<'_> {
         let p = Prefix::V4(self.injector.prefix);
-        self.workload
+        let sim = self
+            .workload
             .simulation(&self.topo)
             .retain(RetainRoutes::Prefixes([p].into_iter().collect()))
-            .compile()
+            .compile();
+        let (_, baseline) =
+            sim.run_snapshot(&[Origination::announce(self.injector.asn, p, vec![])], p);
+        SurveySession { sim, baseline }
     }
 
     /// The FIB when the experiment prefix is announced with `communities`
     /// (plain announce, then tagged re-announce — exactly the paper's
-    /// step-1/step-3 sequence), replayed on the shared `session` and
-    /// streamed straight into forwarding actions.
-    pub fn fib_with(&self, session: &CompiledSim<'_>, communities: &[Community]) -> Fib {
+    /// step-1/step-3 sequence). The plain half is the session's converged
+    /// baseline snapshot; only the tagged re-announce replays, as a delta
+    /// re-convergence, and the perturbed outcome streams straight into
+    /// forwarding actions.
+    pub fn fib_with(&self, session: &SurveySession<'_>, communities: &[Community]) -> Fib {
         let p = Prefix::V4(self.injector.prefix);
-        let run = Campaign::new(session).run(
-            &[
-                Origination::announce(self.injector.asn, p, vec![]),
-                Origination::announce(self.injector.asn, p, communities.to_vec()).at(300),
-            ],
-            Fib::default,
+        let outcome = session.sim.run_delta_prefix(
+            &session.baseline,
+            &[Origination::announce(self.injector.asn, p, communities.to_vec()).at(300)],
         );
+        let mut tagged = Fib::default();
+        tagged.fold(p, outcome);
         let mut fib = self.vp_fib.clone();
-        fib.merge(&run.sink);
+        fib.merge(&tagged);
         fib
     }
 
     /// One campaign round: per candidate community, the set of vantage
     /// points that were responsive at baseline but lost reachability. The
-    /// session compiles once; every candidate is one more `run`.
+    /// session compiles (and its baseline converges) once; every candidate
+    /// is one more delta replay.
     pub fn blackhole_round(&self, candidates: &[Community]) -> BTreeMap<Community, Vec<Asn>> {
         let session = self.session();
         let mut out = BTreeMap::new();
@@ -248,7 +268,7 @@ impl SurveyContext {
     /// reachability loss.
     pub fn trace_paths(
         &self,
-        session: &CompiledSim<'_>,
+        session: &SurveySession<'_>,
         communities: &[Community],
     ) -> BTreeMap<Asn, Vec<Asn>> {
         let fib = if communities.is_empty() {

@@ -25,6 +25,15 @@
 //!   measurement can even push the two phases into different batch sizes.
 //!   Fixed by running one unmeasured warm-up pair inside each phase before
 //!   `Bencher::iter`, plus doubled samples to tighten the medians.);
+//! * `ab-pair-delta` — the same A/B pair through the snapshot/delta layer:
+//!   the baseline run captures a converged [`SimSnapshot`] of the attacked
+//!   prefix, and the attack replays as a delta re-convergence
+//!   (`run_delta_on`) instead of a second full run. `bench_check` derives
+//!   `engine/delta-speedup` — `ab-pair/compile-once ÷ ab-pair-delta` in
+//!   basis points (10 000 = parity), direction-reversed
+//!   (`higher_is_better`) — so the delta path losing its advantage fails
+//!   the perf gate like a regression. The acceptance shape is the pair
+//!   costing ≤ ~1.3× a single run, down from 2×;
 //! * `run-large-1px/1` — one announcement episode propagated across the
 //!   headline ~8.6 K-AS topology, so the big-topology hot path has a
 //!   guarded number too;
@@ -165,6 +174,25 @@ fn bench_engine(c: &mut Criterion) {
                 .threads(1)
                 .compile()
                 .run(&attacked);
+            assert!(base.converged && attack.converged);
+            base.events + attack.events
+        })
+    });
+    // … and through the snapshot/delta layer: the baseline run captures a
+    // converged snapshot of the attacked prefix, the attack replays as a
+    // delta re-convergence patched onto the baseline result. Semantically
+    // the same A/B pair (property-locked in routesim's determinism suite);
+    // the cost target is ≤ ~1.3× a single run instead of 2×.
+    group.bench_function("ab-pair-delta", |b| {
+        let sim = workload.simulation(&topo).threads(1).compile();
+        let extra = attacked.last().expect("attack schedule non-empty").clone();
+        // Same unmeasured warm-up pair as the other ab-pair phases.
+        let (warm_base, warm_snap) = sim.run_snapshot(&originations, first.prefix);
+        let warm_attack = sim.run_delta_on(&warm_base, &warm_snap, std::slice::from_ref(&extra));
+        assert!(warm_base.converged && warm_attack.converged);
+        b.iter(|| {
+            let (base, snap) = sim.run_snapshot(&originations, first.prefix);
+            let attack = sim.run_delta_on(&base, &snap, std::slice::from_ref(&extra));
             assert!(base.converged && attack.converged);
             base.events + attack.events
         })

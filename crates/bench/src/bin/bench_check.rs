@@ -28,8 +28,11 @@
 //!
 //! Some costs worth gating are functions of several measurements. After
 //! parsing the fresh output, [`add_derived_metrics`] synthesizes one
-//! entry per [`DERIVED_METRICS`] row — each is
-//! `(minuend − subtrahend) / divisor` over named fresh medians:
+//! entry per [`DERIVED_METRICS`] row over named fresh medians. A row is
+//! either a **difference quotient** `(minuend − subtrahend) / divisor`
+//! (a per-unit cost in nanoseconds) or a **scaled ratio**
+//! `minuend / subtrahend × divisor` (dimensionless; divisor 10 000 reads
+//! as basis points):
 //!
 //! * `engine/per-prefix-marginal` — `(campaign-internet-16px −
 //!   run-internet-1px) / 15`: the steady marginal cost of one more
@@ -38,7 +41,13 @@
 //! * `engine/fulltable-amortized-per-prefix` —
 //!   `campaign-internet-fulltable-sample / 512`: the realized cost of a
 //!   mostly-duplicate-class prefix under flood memoization, which must
-//!   sit far below the marginal for the full-table path to pay.
+//!   sit far below the marginal for the full-table path to pay;
+//! * `engine/delta-speedup` — `ab-pair/compile-once ÷ ab-pair-delta` in
+//!   basis points (10 000 = parity): how much cheaper the A/B pair gets
+//!   when the attack replays as a delta re-convergence on the baseline's
+//!   snapshot instead of a second full run. Its baseline entry is marked
+//!   `higher_is_better`, so the delta path losing its advantage fails
+//!   the gate like a time regression.
 //!
 //! Derived entries are compared against same-named baseline entries like
 //! any directly measured benchmark.
@@ -185,14 +194,26 @@ fn parse_bench_output(text: &str) -> Vec<(String, f64)> {
     out
 }
 
-/// One derived metric: `(minuend − subtrahend) / divisor` over fresh
-/// medians, appended under its own benchmark name.
+/// How a [`DerivedMetric`] combines its input medians.
+enum DerivedOp {
+    /// `(minuend − subtrahend) / divisor` — a per-unit cost in ns.
+    DiffQuotient,
+    /// `minuend / subtrahend × divisor` — a dimensionless ratio scaled to
+    /// integer units (divisor 10 000 reads as basis points). Requires a
+    /// subtrahend; a non-positive denominator suppresses the entry.
+    RatioScaled,
+}
+
+/// One derived metric over fresh medians (see [`DerivedOp`] for the
+/// formula), appended under its own benchmark name.
 struct DerivedMetric {
     name: &'static str,
     minuend: &'static str,
-    /// `None` means the metric is a plain quotient of one measurement.
+    /// `None` means a plain quotient of one measurement (`DiffQuotient`
+    /// with a zero subtrahend).
     subtrahend: Option<&'static str>,
     divisor: f64,
+    op: DerivedOp,
 }
 
 /// Every metric [`add_derived_metrics`] synthesizes (see the module docs).
@@ -202,12 +223,21 @@ const DERIVED_METRICS: &[DerivedMetric] = &[
         minuend: "engine/campaign-internet-16px/1",
         subtrahend: Some("engine/run-internet-1px/1"),
         divisor: 15.0,
+        op: DerivedOp::DiffQuotient,
     },
     DerivedMetric {
         name: "engine/fulltable-amortized-per-prefix",
         minuend: "engine/campaign-internet-fulltable-sample/1",
         subtrahend: None,
         divisor: 512.0,
+        op: DerivedOp::DiffQuotient,
+    },
+    DerivedMetric {
+        name: "engine/delta-speedup",
+        minuend: "engine/ab-pair/compile-once",
+        subtrahend: Some("engine/ab-pair-delta"),
+        divisor: 10_000.0,
+        op: DerivedOp::RatioScaled,
     },
 ];
 
@@ -232,11 +262,26 @@ fn add_derived_metrics(fresh: &mut Vec<(String, f64)>) {
             },
             None => 0.0,
         };
-        let value = (minuend - subtrahend) / d.divisor;
+        let value = match d.op {
+            DerivedOp::DiffQuotient => (minuend - subtrahend) / d.divisor,
+            DerivedOp::RatioScaled => {
+                if subtrahend <= 0.0 {
+                    eprintln!(
+                        "bench_check: refusing to derive {} from a non-positive \
+                         denominator ({} {subtrahend:.0} ns)",
+                        d.name,
+                        d.subtrahend.unwrap_or("0"),
+                    );
+                    continue;
+                }
+                minuend / subtrahend * d.divisor
+            }
+        };
         // A minuend measuring *below* its subtrahend means the measurement
         // itself is broken; suppress the derived entry so the baseline
         // reports "no fresh measurement" and the gate fails loudly instead
-        // of reading nonsense as an improvement.
+        // of reading nonsense as an improvement. (A RatioScaled value is
+        // non-negative whenever its inputs are.)
         if value >= 0.0 {
             fresh.push((d.name.to_string(), value));
         } else {
@@ -559,6 +604,33 @@ mod tests {
             .find(|(n, _)| n == "engine/fulltable-amortized-per-prefix")
             .expect("derived metric appended");
         assert!((derived.1 - 1_000_000.0).abs() < 1e-6, "512 ms / 512");
+    }
+
+    #[test]
+    fn delta_speedup_is_a_scaled_ratio() {
+        // 150 ms full pair vs 100 ms delta pair → 1.5× → 15 000 bp.
+        let mut fresh = vec![
+            ("engine/ab-pair/compile-once".to_string(), 150_000_000.0),
+            ("engine/ab-pair-delta".to_string(), 100_000_000.0),
+        ];
+        add_derived_metrics(&mut fresh);
+        let derived = fresh
+            .iter()
+            .find(|(n, _)| n == "engine/delta-speedup")
+            .expect("derived metric appended");
+        assert!((derived.1 - 15_000.0).abs() < 1e-6);
+
+        // A zero denominator suppresses the entry (baseline then fails as
+        // missing) rather than deriving infinity.
+        let mut broken = vec![
+            ("engine/ab-pair/compile-once".to_string(), 150_000_000.0),
+            ("engine/ab-pair-delta".to_string(), 0.0),
+        ];
+        add_derived_metrics(&mut broken);
+        assert!(
+            !broken.iter().any(|(n, _)| n == "engine/delta-speedup"),
+            "non-positive denominator must not derive"
+        );
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! The paper's primary contribution: the BGP community measurement
 //! pipeline of §4.
 //!
+//! (`ARCHITECTURE.md` at the repository root shows where this analysis
+//! layer sits in the workspace.)
+//!
 //! Input is MRT — the same bytes RIPE RIS / RouteViews / Isolario / PCH
 //! publish and that `bgpworms-routesim` collectors emit. The pipeline never
 //! sees simulator internals; it parses archives into

@@ -2,6 +2,9 @@
 //! ping/traceroute, an Atlas-like probing platform, looking glasses, and
 //! naïve IP-to-AS mapping.
 //!
+//! (`ARCHITECTURE.md` at the repository root shows where the data plane
+//! sits in the workspace's layer stack.)
+//!
 //! The paper validates every attack on the data plane: RIPE Atlas probes
 //! confirm RTBH drops (§7.3, §7.6), traceroutes bound how far blackhole
 //! communities travelled, and looking glasses confirm steering. This crate

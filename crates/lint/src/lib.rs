@@ -1,5 +1,8 @@
 //! `detlint` — the in-repo determinism & concurrency static-analysis pass.
 //!
+//! (`ARCHITECTURE.md` at the repository root lists the determinism
+//! contracts this pass backs up, layer by layer.)
+//!
 //! This workspace's headline property is **bit-for-bit determinism**: a
 //! campaign's results are a pure function of (topology, configs,
 //! schedule), independent of thread count, hash seeds, environment, and

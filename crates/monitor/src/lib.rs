@@ -1,6 +1,9 @@
 //! Passive inference of BGP-community-based attacks and community-use
 //! hygiene monitoring.
 //!
+//! (`ARCHITECTURE.md` at the repository root shows where the monitoring
+//! layer sits in the workspace.)
+//!
 //! The paper closes with two proposals this crate implements:
 //!
 //! * **§8 "Monitoring the hygiene of BGP communities use"** — watch the

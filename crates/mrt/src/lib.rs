@@ -1,6 +1,9 @@
 //! RFC 6396 MRT (Multi-Threaded Routing Toolkit) routing-archive reader and
 //! writer.
 //!
+//! (`ARCHITECTURE.md` at the repository root shows where this interchange
+//! boundary sits in the workspace.)
+//!
 //! This is the interchange boundary of the workspace: the simulated route
 //! collectors in `bgpworms-routesim` *write* MRT, and the measurement
 //! pipeline in `bgpworms-core` *reads* MRT — exactly the formats the paper

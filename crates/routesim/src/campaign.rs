@@ -56,6 +56,20 @@
 //! class (in ascending prefix order) counts as the simulation and the
 //! rest as hits.
 //!
+//! # Campaigns vs. delta re-convergence
+//!
+//! The other O(aggregate) tool is the snapshot/delta layer
+//! ([`CompiledSim::run_snapshot`] / [`CompiledSim::run_delta_prefix`]):
+//! converge a baseline once, then replay perturbations of **one prefix**
+//! at the cost of their blast radius. The two compose — wild-experiment
+//! sweeps run one campaign for the background prefixes, snapshot the
+//! experiment prefix's plain announcement, and delta-replay each candidate
+//! community — but they deliberately do not nest: a campaign never
+//! captures snapshots internally, because a memoized class *hit* replays a
+//! stored outcome without ever building the scratch state a snapshot
+//! would need. Snapshot capture is therefore a single-run
+//! ([`CompiledSim::run_snapshot`]) API, not a campaign option.
+//!
 //! # Checkpointing
 //!
 //! A campaign can stop after any number of chunks and hand back a

@@ -81,7 +81,7 @@ use crate::collector::{CollectorObservation, CollectorSpec, FeedKind};
 use crate::policy::{CommunityPropagationPolicy, IrrDatabase, RouterConfig};
 use crate::route::{Route, RouteArena, RouteId};
 use crate::router::{self, NodeState, RibEntry, ValidationCtx};
-use crate::scratch::SimScratch;
+use crate::scratch::{SimScratch, SimSnapshot};
 use bgpworms_topology::{NodeId, Role, Tier, Topology};
 use bgpworms_types::{AsPath, Asn, Community, Origin, Prefix};
 use std::borrow::Cow;
@@ -403,17 +403,171 @@ impl<'a> CompiledSim<'a> {
     /// Callable any number of times; the session is never mutated.
     pub fn run(&self, originations: &[Origination]) -> SimResult {
         let by_prefix = group_by_prefix(originations);
+        self.run_grouped(&by_prefix, None).0
+    }
+
+    /// Like [`CompiledSim::run`], additionally capturing `prefix`'s
+    /// converged state as a [`SimSnapshot`] — in-flight, on the worker that
+    /// simulated it, with no second convergence pass. The snapshot is the
+    /// baseline input of [`CompiledSim::run_delta`] /
+    /// [`CompiledSim::run_delta_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `prefix` has no episode in `originations` (there would
+    /// be no converged state to capture).
+    pub fn run_snapshot(
+        &self,
+        originations: &[Origination],
+        prefix: Prefix,
+    ) -> (SimResult, SimSnapshot) {
+        let by_prefix = group_by_prefix(originations);
+        assert!(
+            by_prefix.contains_key(&prefix),
+            "snapshot prefix {prefix} does not appear in the schedule"
+        );
+        let (result, snap) = self.run_grouped(&by_prefix, Some(prefix));
+        // lint: infallible the assert above pins the prefix into the
+        // schedule, so exactly one worker simulated and captured it (a
+        // worker panic was already re-raised during the merge)
+        (result, snap.expect("snapshot prefix simulated"))
+    }
+
+    /// Incrementally re-converges `snapshot`'s prefix after appending the
+    /// `delta` episodes, returning the **full-schedule** [`PrefixOutcome`]
+    /// — bit-identical to rerunning baseline + delta from scratch, at
+    /// O(blast radius) cost: the restored RIBs already hold the converged
+    /// baseline, so the delta origination's export diff seeds the queue
+    /// with only the updates that actually change anything, and the
+    /// dirty-set machinery propagates exactly that frontier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a `delta` episode targets a different prefix, or is
+    /// scheduled before the baseline's last episode (those times are
+    /// already folded into the snapshot's RIBs and cannot be replayed
+    /// incrementally).
+    pub fn run_delta_prefix(&self, snapshot: &SimSnapshot, delta: &[Origination]) -> PrefixOutcome {
+        for ep in delta {
+            assert_eq!(
+                ep.prefix,
+                snapshot.prefix(),
+                "delta episode prefix differs from the snapshot's"
+            );
+            assert!(
+                ep.time >= snapshot.last_time,
+                "delta episode at t={} predates the snapshot baseline (t={})",
+                ep.time,
+                snapshot.last_time
+            );
+        }
+        // Same stable time sort as `group_by_prefix` applies per prefix.
+        let mut episodes: Vec<&Origination> = delta.iter().collect();
+        episodes.sort_by_key(|o| o.time);
+        let mut scratch = self.new_scratch();
+        scratch.restore(self.topo.slot_offsets(), snapshot);
+        let mut outcome = snapshot.baseline_outcome().clone();
+        self.continue_prefix(&mut scratch, snapshot.prefix(), &episodes, &mut outcome);
+        outcome
+    }
+
+    /// Runs `delta` against a converged baseline snapshot and folds the
+    /// outcome into a [`SimResult`] — bit-identical to
+    /// `run(baseline ++ delta)` when the baseline schedule contained only
+    /// the snapshot's prefix (the equivalence `tests/determinism.rs`
+    /// property-locks). For a snapshot taken inside a multi-prefix
+    /// baseline, use [`CompiledSim::run_delta_on`] to patch the full
+    /// baseline result instead.
+    pub fn run_delta(&self, snapshot: &SimSnapshot, delta: &[Origination]) -> SimResult {
+        let outcome = self.run_delta_prefix(snapshot, delta);
+        self.collect(vec![snapshot.prefix()], vec![outcome])
+    }
+
+    /// Patches a multi-prefix `baseline` result with a delta re-convergence
+    /// of `snapshot`'s prefix: every other prefix's contribution is kept
+    /// verbatim; the snapshot prefix's events, convergence flag, and
+    /// retained routes are replaced by the full-schedule delta outcome; and
+    /// the delta's *new* observations are appended and re-sorted.
+    /// Observation keys `(time, peer, prefix)` are unique, so append +
+    /// re-sort reproduces the fresh merge byte for byte — the whole call is
+    /// bit-identical to rerunning the entire baseline schedule plus
+    /// `delta`, at the cost of one prefix's blast radius.
+    ///
+    /// `baseline` must be the [`SimResult`] of the run that captured
+    /// `snapshot` (see [`CompiledSim::run_snapshot`]); the patch arithmetic
+    /// is meaningless against any other result.
+    pub fn run_delta_on(
+        &self,
+        baseline: &SimResult,
+        snapshot: &SimSnapshot,
+        delta: &[Origination],
+    ) -> SimResult {
+        let outcome = self.run_delta_prefix(snapshot, delta);
+        let base = snapshot.baseline_outcome();
+        let mut out = baseline.clone();
+        // Swap the prefix's baseline event count for its full-schedule one.
+        out.events = out.events - base.events + outcome.events;
+        // `outcome.converged` starts from the baseline flag and can only
+        // drop, so ANDing recovers exactly the fresh run's AND-over-prefixes.
+        out.converged = baseline.converged && outcome.converged;
+        for (ci, name) in self.collector_names.iter().enumerate() {
+            let fresh = &outcome.observations[ci][base.observations[ci].len()..];
+            if fresh.is_empty() {
+                continue;
+            }
+            let obs = out.observations.entry(name.clone()).or_default();
+            obs.extend(fresh.iter().cloned());
+            obs.sort_by_key(|o| (o.time, o.peer, o.prefix));
+        }
+        match outcome.final_routes {
+            Some(routes) => {
+                out.final_routes.insert(snapshot.prefix(), routes);
+            }
+            None => {
+                out.final_routes.remove(&snapshot.prefix());
+            }
+        }
+        out
+    }
+
+    /// Shared execution path of `run`/`run_snapshot`: simulates every
+    /// prefix (serially or sharded), capturing `snap_prefix`'s converged
+    /// worker scratch when requested, then folds the per-prefix outcomes.
+    fn run_grouped(
+        &self,
+        by_prefix: &BTreeMap<Prefix, Vec<&Origination>>,
+        snap_prefix: Option<Prefix>,
+    ) -> (SimResult, Option<SimSnapshot>) {
         let prefixes: Vec<Prefix> = by_prefix.keys().copied().collect();
+        let snap_slot: OnceLock<SimSnapshot> = OnceLock::new();
         let results: Vec<PrefixOutcome> = if self.threads > 1 && prefixes.len() > 1 {
-            run_parallel(self, &by_prefix, &prefixes)
+            run_parallel(self, by_prefix, &prefixes, snap_prefix, &snap_slot)
         } else {
             let mut scratch = self.new_scratch();
             prefixes
                 .iter()
-                .map(|p| self.run_prefix(&mut scratch, *p, &by_prefix[p]))
+                .map(|p| {
+                    let outcome = self.run_prefix(&mut scratch, *p, &by_prefix[p]);
+                    maybe_capture(
+                        self,
+                        &scratch,
+                        snap_prefix,
+                        *p,
+                        &by_prefix[p],
+                        &outcome,
+                        &snap_slot,
+                    );
+                    outcome
+                })
                 .collect()
         };
+        (self.collect(prefixes, results), snap_slot.into_inner())
+    }
 
+    /// Folds per-prefix outcomes (in prefix order) into a [`SimResult`]:
+    /// summed events, ANDed convergence, per-prefix retained route maps,
+    /// and collector observations sorted by `(time, peer, prefix)`.
+    fn collect(&self, prefixes: Vec<Prefix>, results: Vec<PrefixOutcome>) -> SimResult {
         let mut out = SimResult {
             converged: true,
             ..SimResult::default()
@@ -485,6 +639,8 @@ fn run_parallel(
     sim: &CompiledSim<'_>,
     by_prefix: &BTreeMap<Prefix, Vec<&Origination>>,
     prefixes: &[Prefix],
+    snap_prefix: Option<Prefix>,
+    snap_slot: &OnceLock<SimSnapshot>,
 ) -> Vec<PrefixOutcome> {
     let n = prefixes.len();
     let results: Vec<OnceLock<Result<PrefixOutcome, String>>> =
@@ -506,6 +662,19 @@ fn run_parallel(
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         sim.run_prefix(&mut scratch, *prefix, &by_prefix[prefix])
                     }));
+                    if let Ok(outcome) = &outcome {
+                        // Capture before the scratch is recycled for the
+                        // worker's next claim.
+                        maybe_capture(
+                            sim,
+                            &scratch,
+                            snap_prefix,
+                            *prefix,
+                            &by_prefix[prefix],
+                            outcome,
+                            snap_slot,
+                        );
+                    }
                     let published = results[i]
                         .set(outcome.map_err(|payload| panic_message(&payload)))
                         .is_ok();
@@ -530,6 +699,27 @@ fn run_parallel(
             }
         })
         .collect()
+}
+
+/// Publishes `prefix`'s converged scratch into `slot` when it is the
+/// requested snapshot prefix. Runs on the worker that just converged the
+/// prefix — the capture is in-flight; no second convergence pass exists.
+fn maybe_capture(
+    sim: &CompiledSim<'_>,
+    scratch: &SimScratch,
+    snap_prefix: Option<Prefix>,
+    prefix: Prefix,
+    episodes: &[&Origination],
+    outcome: &PrefixOutcome,
+    slot: &OnceLock<SimSnapshot>,
+) {
+    if snap_prefix != Some(prefix) {
+        return;
+    }
+    let published = slot
+        .set(sim.snapshot(scratch, prefix, episodes, outcome.clone()))
+        .is_ok();
+    debug_assert!(published, "snapshot prefix simulated twice");
 }
 
 /// Groups episodes by prefix, preserving time order within each prefix
@@ -641,7 +831,49 @@ impl CompiledSim<'_> {
     }
 
     /// Runs the episodes of a single prefix to convergence, on the calling
-    /// worker's reusable `scratch`.
+    /// worker's reusable `scratch` (recycled via `begin_prefix`).
+    pub(crate) fn run_prefix(
+        &self,
+        scratch: &mut SimScratch,
+        prefix: Prefix,
+        episodes: &[&Origination],
+    ) -> PrefixOutcome {
+        scratch.begin_prefix();
+        let mut outcome = PrefixOutcome {
+            observations: vec![Vec::new(); self.collector_names.len()],
+            final_routes: None,
+            events: 0,
+            converged: true,
+        };
+        self.continue_prefix(scratch, prefix, episodes, &mut outcome);
+        outcome
+    }
+
+    /// Captures a worker scratch that just converged `prefix` (together
+    /// with the run's per-prefix `outcome`) into a standalone
+    /// [`SimSnapshot`] — the flat slot arrays, per-node scalars, touched
+    /// list, arena, and collector dedup state, restricted to the flood's
+    /// footprint. See `SimScratch::capture`.
+    pub(crate) fn snapshot(
+        &self,
+        scratch: &SimScratch,
+        prefix: Prefix,
+        episodes: &[&Origination],
+        outcome: PrefixOutcome,
+    ) -> SimSnapshot {
+        // Episodes arrive time-sorted (`group_by_prefix`), so the last one
+        // carries the baseline's latest timestamp.
+        let last_time = episodes.last().map_or(0, |ep| ep.time);
+        scratch.capture(self.topo.slot_offsets(), prefix, last_time, outcome)
+    }
+
+    /// Converges `episodes` of `prefix` on top of whatever state `scratch`
+    /// already holds, extending `outcome` in place. Callers hand it either
+    /// a freshly recycled scratch with a blank outcome
+    /// ([`CompiledSim::run_prefix`]) or a restored snapshot with the
+    /// baseline's outcome ([`CompiledSim::run_delta_prefix`]) — the loop
+    /// itself is identical, which is what makes delta re-convergence
+    /// bit-identical to an uninterrupted run.
     ///
     /// The convergence loop is **dirty-set batched**: importing an update
     /// only marks the receiving node dirty; once the in-flight queue is
@@ -651,17 +883,17 @@ impl CompiledSim<'_> {
     /// updates in one round therefore diffs its adjacency once instead of
     /// once per update, and a node whose best route did not change skips
     /// the recompute entirely (`NodeState::begin_export_pass`).
-    pub(crate) fn run_prefix(
+    fn continue_prefix(
         &self,
         scratch: &mut SimScratch,
         prefix: Prefix,
         episodes: &[&Origination],
-    ) -> PrefixOutcome {
+        outcome: &mut PrefixOutcome,
+    ) {
         let vctx = ValidationCtx {
             irr: &self.irr,
             rpki: &self.rpki,
         };
-        scratch.begin_prefix();
         // Split-borrow the scratch: the router views own the four state
         // arrays; the arena, queue, dirty set, and collector dedup state
         // are borrowed independently alongside them.
@@ -689,13 +921,6 @@ impl CompiledSim<'_> {
             exported,
             local,
             last_emit_best,
-        };
-
-        let mut outcome = PrefixOutcome {
-            observations: vec![Vec::new(); self.collector_names.len()],
-            final_routes: None,
-            events: 0,
-            converged: true,
         };
 
         // Origination memo: schedules replay identical announcements
@@ -808,8 +1033,6 @@ impl CompiledSim<'_> {
             }
             outcome.final_routes = Some(finals);
         }
-
-        outcome
     }
 
     fn should_retain(&self, prefix: &Prefix) -> bool {
@@ -1412,5 +1635,136 @@ mod tests {
             res.route_at(Asn::new(3), &p("10.0.0.0/28")).is_none(),
             "default max accepted length is /24"
         );
+    }
+
+    /// A session with a collector and full retention, so snapshots carry
+    /// observations, monitor dedup state, and final routes.
+    fn observed_sim(topo: &Topology) -> CompiledSim<'_> {
+        SimSpec::new(topo)
+            .retain(RetainRoutes::All)
+            .collector(CollectorSpec {
+                name: "rrc00".into(),
+                platform: "RIS".into(),
+                collector_id: 1,
+                peers: vec![(Asn::new(1), FeedKind::Full)],
+            })
+            .compile()
+    }
+
+    #[test]
+    fn snapshot_restore_capture_roundtrip_is_bit_identical() {
+        let topo = line_topo();
+        let sim = observed_sim(&topo);
+        let baseline = vec![Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![]).at(100)];
+        let (_, snap) = sim.run_snapshot(&baseline, p("10.0.0.0/16"));
+        assert!(snap.touched_nodes() > 0, "the flood touched the chain");
+
+        let mut scratch = sim.new_scratch();
+        scratch.restore(topo.slot_offsets(), &snap);
+        let roundtrip = scratch.capture(
+            topo.slot_offsets(),
+            snap.prefix(),
+            100,
+            snap.baseline_outcome().clone(),
+        );
+        assert_eq!(roundtrip, snap, "snapshot → restore → snapshot drifted");
+    }
+
+    #[test]
+    fn restore_into_dirtier_scratch_is_clean() {
+        // Snapshot a narrow flood (NO_ADVERTISE pins it to the origin),
+        // then restore it into a scratch a full-chain flood just dirtied:
+        // the restored capture must still be bit-identical, and a delta on
+        // either scratch must agree.
+        let topo = line_topo();
+        let sim = observed_sim(&topo);
+        let narrow = vec![Origination::announce(
+            Asn::new(4),
+            p("10.0.0.0/16"),
+            vec![Community::NO_ADVERTISE],
+        )];
+        let (_, snap) = sim.run_snapshot(&narrow, p("10.0.0.0/16"));
+
+        let mut dirty = sim.new_scratch();
+        let wide = Origination::announce(Asn::new(4), p("20.0.0.0/16"), vec![]);
+        sim.run_prefix(&mut dirty, p("20.0.0.0/16"), &[&wide]);
+        dirty.restore(topo.slot_offsets(), &snap);
+        let recaptured = dirty.capture(
+            topo.slot_offsets(),
+            snap.prefix(),
+            0,
+            snap.baseline_outcome().clone(),
+        );
+        assert_eq!(
+            recaptured, snap,
+            "a previous wide flood leaked into the restored state"
+        );
+    }
+
+    #[test]
+    fn delta_reconvergence_matches_fresh_combined_run() {
+        let topo = line_topo();
+        let sim = observed_sim(&topo);
+        let prefix = p("10.0.0.0/16");
+        let baseline = vec![Origination::announce(Asn::new(4), prefix, vec![])];
+        let (base, snap) = sim.run_snapshot(&baseline, prefix);
+        assert_eq!(base, sim.run(&baseline), "run_snapshot changed the run");
+
+        // Community-changing perturbation.
+        let attack =
+            Origination::announce(Asn::new(4), prefix, vec![Community::new(3, 666)]).at(600);
+        let combined = vec![baseline[0].clone(), attack.clone()];
+        assert_eq!(sim.run_delta(&snap, &[attack]), sim.run(&combined));
+
+        // Withdrawal perturbation (on the same snapshot: baselines are
+        // immutable, every candidate reuses one capture).
+        let wd = Origination::withdrawal(Asn::new(4), prefix, 700);
+        let combined = vec![baseline[0].clone(), wd.clone()];
+        assert_eq!(sim.run_delta(&snap, &[wd]), sim.run(&combined));
+
+        // The empty delta reproduces the baseline result exactly.
+        assert_eq!(sim.run_delta(&snap, &[]), base);
+    }
+
+    #[test]
+    fn delta_patch_updates_a_multi_prefix_baseline() {
+        let topo = line_topo();
+        let sim = observed_sim(&topo);
+        let attacked_prefix = p("10.0.0.0/16");
+        let baseline = vec![
+            Origination::announce(Asn::new(4), attacked_prefix, vec![]),
+            Origination::announce(Asn::new(1), p("20.0.0.0/16"), vec![]),
+        ];
+        let (base, snap) = sim.run_snapshot(&baseline, attacked_prefix);
+        let attack =
+            Origination::announce(Asn::new(4), attacked_prefix, vec![Community::new(3, 666)])
+                .at(500);
+        let mut combined = baseline.clone();
+        combined.push(attack.clone());
+        assert_eq!(
+            sim.run_delta_on(&base, &snap, &[attack]),
+            sim.run(&combined),
+            "patched baseline diverged from the fresh combined run"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "predates the snapshot baseline")]
+    fn delta_rejects_episodes_before_the_baseline() {
+        let topo = line_topo();
+        let sim = SimSpec::new(&topo).compile();
+        let prefix = p("10.0.0.0/16");
+        let baseline = vec![Origination::announce(Asn::new(4), prefix, vec![]).at(300)];
+        let (_, snap) = sim.run_snapshot(&baseline, prefix);
+        sim.run_delta(&snap, &[Origination::withdrawal(Asn::new(4), prefix, 100)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not appear in the schedule")]
+    fn run_snapshot_requires_the_prefix_in_the_schedule() {
+        let topo = line_topo();
+        let sim = SimSpec::new(&topo).compile();
+        let baseline = vec![Origination::announce(Asn::new(4), p("10.0.0.0/16"), vec![])];
+        sim.run_snapshot(&baseline, p("99.0.0.0/16"));
     }
 }

@@ -76,6 +76,76 @@
 //! the sink directly (routes fold straight into forwarding actions), and
 //! the §7 wild-experiment harness aggregates through it end to end.
 //!
+//! ## Delta re-convergence: snapshot a baseline, replay perturbations
+//!
+//! The paper's §7 experiments are A/B perturbation studies: announce with
+//! and without a community, compare who hears what. Re-flooding the whole
+//! Internet for the attacked half is wasteful when the attack perturbs one
+//! origination — real BGP converges incrementally from a standing RIB. The
+//! session API exposes exactly that: [`CompiledSim::run_snapshot`] runs a
+//! schedule and captures one prefix's converged worker state as a
+//! [`SimSnapshot`] (flat slot arrays, per-node scalars, touched list, and
+//! [`RouteArena`] — memcpy-class, restricted to the flood's footprint),
+//! and [`CompiledSim::run_delta`] restores it into a fresh scratch and
+//! converges only the appended episodes: the perturbed origination's
+//! export diff seeds the event queue, and the ordinary dirty-set machinery
+//! propagates the frontier. An attack episode costs O(blast radius), not
+//! O(Internet) — and the result is **bit-identical** to re-running the
+//! combined schedule from scratch (property-locked in
+//! `tests/determinism.rs` across threads, withdrawals, and
+//! community-changing perturbations).
+//!
+//! A worked A/B pair — converge a plain baseline, then replay a
+//! blackhole-community perturbation against the snapshot:
+//!
+//! ```
+//! use bgpworms_routesim::{Origination, RetainRoutes, RouterConfig, SimSpec};
+//! use bgpworms_routesim::BlackholeService;
+//! use bgpworms_topology::{EdgeKind, Tier, Topology};
+//! use bgpworms_types::{Asn, Community, Prefix};
+//!
+//! // A provider chain 1 ← 2 ← 3; AS2 runs an RFC 7999-style blackhole
+//! // service triggered by its `2:666` community.
+//! let mut topo = Topology::new();
+//! topo.add_simple(Asn::new(1), Tier::Tier1);
+//! topo.add_simple(Asn::new(2), Tier::Transit);
+//! topo.add_simple(Asn::new(3), Tier::Stub);
+//! topo.add_edge(Asn::new(1), Asn::new(2), EdgeKind::ProviderToCustomer);
+//! topo.add_edge(Asn::new(2), Asn::new(3), EdgeKind::ProviderToCustomer);
+//! let mut cfg2 = RouterConfig::defaults(Asn::new(2));
+//! cfg2.services.blackhole = Some(BlackholeService::default());
+//! let sim = SimSpec::new(&topo)
+//!     .retain(RetainRoutes::All)
+//!     .configure(cfg2)
+//!     .compile();
+//!
+//! // Converge the plain announcement once, capturing the snapshot.
+//! let victim: Prefix = "10.0.0.0/24".parse().unwrap();
+//! let baseline = vec![Origination::announce(Asn::new(3), victim, vec![])];
+//! let (base, snapshot) = sim.run_snapshot(&baseline, victim);
+//! assert!(!base.route_at(Asn::new(2), &victim).unwrap().blackholed);
+//!
+//! // The attacked half re-announces with the blackhole community — only
+//! // the delta is converged, against the restored baseline RIBs.
+//! let attack =
+//!     Origination::announce(Asn::new(3), victim, vec![Community::new(2, 666)]).at(600);
+//! let attacked = sim.run_delta(&snapshot, std::slice::from_ref(&attack));
+//! assert!(attacked.route_at(Asn::new(2), &victim).unwrap().blackholed);
+//!
+//! // Diffing the outcomes is the A/B comparison — and the delta result is
+//! // bit-identical to re-running the combined schedule from scratch.
+//! let combined: Vec<Origination> = baseline.iter().cloned().chain([attack]).collect();
+//! assert_eq!(attacked, sim.run(&combined));
+//! ```
+//!
+//! For a snapshot captured inside a *multi-prefix* run (a full-table
+//! baseline, say), [`CompiledSim::run_delta_on`] patches the baseline
+//! [`SimResult`] with the delta outcome — every untouched prefix's
+//! contribution is kept verbatim. The per-prefix building block,
+//! [`CompiledSim::run_delta_prefix`], returns the raw [`PrefixOutcome`]
+//! for streaming consumers (e.g. folding into a `CampaignSink` such as the
+//! dataplane's `Fib`).
+//!
 //! ## Migrating from the old mutable-field `Simulation`
 //!
 //! The pre-session API (`Simulation` with public mutable fields, one
@@ -200,6 +270,11 @@
 //!
 //! A marker covers its own line or the statement directly below it, and
 //! must include the justification text — `detlint` rejects bare markers.
+//!
+//! For the whole-workspace picture — how this crate's NodeId/CSR substrate,
+//! session API, scratch, memoization, and snapshot/delta layers stack up
+//! and which crates sit on top — see `ARCHITECTURE.md` at the repository
+//! root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -227,5 +302,5 @@ pub use policy::{
     OriginValidation, RouteServerConfig, RouterConfig, RsEvalOrder, TaggingConfig, Vendor,
 };
 pub use route::{route_clones, Route, RouteArena, RouteId, RouteSource};
-pub use scratch::scratch_builds;
+pub use scratch::{scratch_builds, SimSnapshot};
 pub use workload::{PolicyMix, Workload, WorkloadParams};

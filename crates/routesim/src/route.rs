@@ -203,7 +203,17 @@ impl RouteId {
 /// actual 64-bit-hash collision, so the index performs no per-bucket heap
 /// allocation on the ordinary intern path (and [`RouteArena::reset`] has
 /// essentially nothing to free besides the routes themselves).
-#[derive(Debug, Default)]
+///
+/// `Clone` copies the route vector and the hash index verbatim, so a clone
+/// resolves every existing [`RouteId`] to the same route *and* keeps
+/// interning deterministic: ids minted after the copy continue from the
+/// same arrival order on both sides. That is what makes a converged
+/// snapshot (`SimSnapshot`) restorable — a delta run on the restored arena
+/// interns exactly the ids the uninterrupted run would have. (Cloning
+/// counts one [`route_clones`] tick per stored route; snapshots are taken
+/// per baseline, not per event, so the steady-state zero-clone invariant is
+/// untouched.)
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct RouteArena {
     routes: Vec<Route>,
     // lint: order-independent probed per intern by 64-bit route hash,
@@ -213,7 +223,7 @@ pub struct RouteArena {
 
 /// One hash bucket: the first interned id inline, plus (rarely) overflow
 /// ids whose routes share the same 64-bit hash without being equal.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 struct Bucket {
     first: RouteId,
     overflow: Vec<RouteId>,

@@ -36,7 +36,7 @@ pub enum ImportVerdict {
 
 /// One accepted Adj-RIB-In candidate: the interned route plus the business
 /// role the sending neighbor plays for this AS.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct RibEntry {
     route: RouteId,
     role: Role,

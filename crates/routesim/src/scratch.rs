@@ -38,9 +38,10 @@
 //! [`crate::route_clones`]) that locks in "the second prefix of a campaign
 //! allocates no RIB arrays".
 
-use crate::engine::Event;
+use crate::engine::{Event, PrefixOutcome};
 use crate::route::{RouteArena, RouteId};
 use crate::router::RibEntry;
+use bgpworms_types::Prefix;
 use std::cell::Cell;
 use std::collections::VecDeque;
 
@@ -187,6 +188,154 @@ impl SimScratch {
         self.queue.clear();
         self.dirty.clear();
         self.monitor_state.fill(None);
+    }
+}
+
+/// A converged single-prefix baseline, captured from a worker's scratch by
+/// `CompiledSim::run_snapshot` and re-animated by `CompiledSim::run_delta`.
+///
+/// The snapshot is memcpy-class thanks to the flat scratch layout: the
+/// touched nodes' Adj-RIB-In and last-exported slot ranges are concatenated
+/// `Copy` slices, the per-node scalars are two small parallel vectors, and
+/// the [`RouteArena`] clone preserves both route storage and the hash index
+/// — so a restored arena interns future routes under exactly the ids the
+/// uninterrupted run would have minted. Untouched nodes are not stored at
+/// all: a baseline that floods part of the graph snapshots only its
+/// footprint.
+///
+/// A snapshot is tied to the `CompiledSim` session that produced it (same
+/// topology slot space, same collector sessions). Restoring it elsewhere is
+/// a logic error and panics on the dimension checks in `restore`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot {
+    /// The prefix this baseline converged.
+    pub(crate) prefix: Prefix,
+    /// The latest episode time in the baseline schedule; delta episodes
+    /// must not be scheduled before it (the baseline already folded
+    /// everything up to this point into the RIBs).
+    pub(crate) last_time: u32,
+    /// Nodes the baseline touched, in first-touch order (the engine's
+    /// final-sweep iteration order, preserved so a delta run's sweep is
+    /// bit-identical to the uninterrupted run's).
+    pub(crate) touched: Vec<u32>,
+    /// Concatenated Adj-RIB-In slot ranges of the touched nodes, in
+    /// `touched` order.
+    pub(crate) rib_in: Vec<Option<RibEntry>>,
+    /// Concatenated last-exported slot ranges, aligned with `rib_in`.
+    pub(crate) exported: Vec<Option<RouteId>>,
+    /// Per touched node: local origination, aligned with `touched`.
+    pub(crate) local: Vec<Option<RouteId>>,
+    /// Per touched node: last-emitted best, aligned with `touched`.
+    pub(crate) last_emit_best: Vec<Option<Option<RouteId>>>,
+    /// The baseline's route arena (ids in the slot arrays above point into
+    /// this).
+    pub(crate) arena: RouteArena,
+    /// Per collector session: what each monitored peer advertised at
+    /// convergence (observation dedup state).
+    pub(crate) monitor_state: Vec<Option<RouteId>>,
+    /// Everything the baseline run produced for this prefix: observations,
+    /// event count, convergence flag, retained routes. A delta run starts
+    /// from a clone of this and appends.
+    pub(crate) outcome: PrefixOutcome,
+}
+
+impl SimSnapshot {
+    /// The prefix this snapshot converged.
+    pub fn prefix(&self) -> Prefix {
+        self.prefix
+    }
+
+    /// The baseline run's full per-prefix outcome (observations, events,
+    /// convergence, retained routes) — what `CompiledSim::run` folded into
+    /// its [`crate::SimResult`] for this prefix.
+    pub fn baseline_outcome(&self) -> &PrefixOutcome {
+        &self.outcome
+    }
+
+    /// Number of nodes the baseline flood touched — the snapshot's
+    /// footprint (and an upper bound on a delta run's restore cost).
+    pub fn touched_nodes(&self) -> usize {
+        self.touched.len()
+    }
+}
+
+impl SimScratch {
+    /// Captures the current prefix's converged state into a standalone
+    /// [`SimSnapshot`]. `offsets` is the session topology's CSR slot
+    /// prefix-sum; the queue and dirty set are empty at convergence, so
+    /// they are not captured.
+    pub(crate) fn capture(
+        &self,
+        offsets: &[u32],
+        prefix: Prefix,
+        last_time: u32,
+        outcome: PrefixOutcome,
+    ) -> SimSnapshot {
+        let slots: usize = self
+            .touched
+            .iter()
+            .map(|&i| (offsets[i as usize + 1] - offsets[i as usize]) as usize)
+            .sum();
+        let mut rib_in = Vec::with_capacity(slots);
+        let mut exported = Vec::with_capacity(slots);
+        let mut local = Vec::with_capacity(self.touched.len());
+        let mut last_emit_best = Vec::with_capacity(self.touched.len());
+        for &i in &self.touched {
+            let i = i as usize;
+            let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+            rib_in.extend_from_slice(&self.rib_in[lo..hi]);
+            exported.extend_from_slice(&self.exported[lo..hi]);
+            local.push(self.local[i]);
+            last_emit_best.push(self.last_emit_best[i]);
+        }
+        SimSnapshot {
+            prefix,
+            last_time,
+            touched: self.touched.clone(),
+            rib_in,
+            exported,
+            local,
+            last_emit_best,
+            arena: self.arena.clone(),
+            monitor_state: self.monitor_state.clone(),
+            outcome,
+        }
+    }
+
+    /// Restores `snap` into this scratch, leaving it exactly as if the
+    /// worker had just converged the snapshot's baseline: touched nodes
+    /// stamped live in first-touch order with their slot ranges and scalars
+    /// copied back, arena and collector dedup state cloned, queue and dirty
+    /// set empty. Starts with a [`SimScratch::begin_prefix`], so any state
+    /// a previous (possibly larger) flood left behind is invalidated first
+    /// — restoring into a dirtier scratch is clean by construction.
+    pub(crate) fn restore(&mut self, offsets: &[u32], snap: &SimSnapshot) {
+        assert_eq!(
+            self.local.len(),
+            offsets.len() - 1,
+            "snapshot restored under a different session's topology"
+        );
+        assert_eq!(
+            self.monitor_state.len(),
+            snap.monitor_state.len(),
+            "snapshot restored under a different session's collector set"
+        );
+        self.begin_prefix();
+        self.arena.clone_from(&snap.arena);
+        self.monitor_state.copy_from_slice(&snap.monitor_state);
+        let mut pos = 0;
+        for (k, &i) in snap.touched.iter().enumerate() {
+            let i = i as usize;
+            self.node_epoch[i] = self.epoch;
+            self.touched.push(i as u32);
+            let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+            let w = hi - lo;
+            self.rib_in[lo..hi].copy_from_slice(&snap.rib_in[pos..pos + w]);
+            self.exported[lo..hi].copy_from_slice(&snap.exported[pos..pos + w]);
+            self.local[i] = snap.local[k];
+            self.last_emit_best[i] = snap.last_emit_best[k];
+            pos += w;
+        }
     }
 }
 

@@ -7,6 +7,12 @@
 //! more than four hops, blackhole communities travel less far …) must
 //! *emerge* from propagation mechanics under this mix — nothing here writes
 //! those numbers down.
+//!
+//! A generated [`Workload`] is the input to a compiled session
+//! ([`Workload::simulation`] → [`crate::SimSpec::compile`]); the session
+//! then serves plain runs, [`crate::Campaign`]s, and snapshot/delta
+//! replays ([`crate::CompiledSim::run_snapshot`]) without re-generating or
+//! re-compiling anything.
 
 use crate::collector::{CollectorSpec, FeedKind};
 use crate::engine::{Origination, SimSpec};

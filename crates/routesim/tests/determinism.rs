@@ -25,6 +25,13 @@
 //!   arbitrary worlds and on schedules engineered to interleave wide and
 //!   narrow flood footprints, so stale stamped state from a big flood can
 //!   never leak into a later prefix.
+//! * **Delta-re-convergence transparency** — restoring a converged
+//!   [`bgpworms_routesim::SimSnapshot`] and converging only appended
+//!   perturbation episodes (`run_delta` / `run_delta_on`) must be
+//!   bit-identical to rerunning the combined schedule from scratch, on
+//!   arbitrary worlds, across `threads = 1/N` on both the capturing and
+//!   the fresh side, for withdrawals and community-changing perturbations
+//!   alike. Snapshots are a replay shortcut, never a semantic one.
 
 use bgpworms_routesim::route::RouteArena;
 use bgpworms_routesim::router::{PrefixRouter, ValidationCtx};
@@ -791,6 +798,89 @@ proptest! {
                 "counters must partition the prefix set"
             );
         }
+    }
+
+    /// Delta re-convergence ≡ fresh run: snapshot one prefix's converged
+    /// baseline on an arbitrary world, append arbitrary perturbations
+    /// (community-changing announcements and withdrawals), and the
+    /// delta-patched result must be bit-identical to rerunning the combined
+    /// schedule from scratch — for the single-prefix `run_delta` fold, the
+    /// multi-prefix `run_delta_on` patch, and across `threads = 1/N` on
+    /// the capturing side (parallel and sequential captures must also be
+    /// identical snapshots).
+    #[test]
+    fn delta_reconvergence_equals_fresh_run(
+        raw in arb_world(),
+        threads in 2usize..6,
+        perturbations in proptest::collection::vec(
+            (0usize..16, 0u16..1000, any::<bool>()),
+            1..4,
+        ),
+    ) {
+        let (topo, configs, collectors, originations) = build_world(&raw);
+        let mut sim = spec_for(&topo, configs, collectors).compile();
+
+        // Perturb the first episode's prefix, strictly after its baseline.
+        let target = originations[0].prefix;
+        let last_time = originations
+            .iter()
+            .filter(|o| o.prefix == target)
+            .map(|o| o.time)
+            .max()
+            .expect("the target prefix has at least one episode");
+        let delta: Vec<Origination> = perturbations
+            .iter()
+            .enumerate()
+            .map(|(k, &(origin, community, withdraw))| {
+                let origin = Asn::new((origin % raw.n_nodes) as u32 + 1);
+                let time = last_time + 100 * (k as u32 + 1);
+                if withdraw {
+                    Origination::withdrawal(origin, target, time)
+                } else {
+                    Origination::announce(
+                        origin,
+                        target,
+                        vec![Community::new(community % 16, community)],
+                    )
+                    .at(time)
+                }
+            })
+            .collect();
+        let mut combined = originations.clone();
+        combined.extend(delta.iter().cloned());
+
+        // Multi-prefix: capture inside the full run, patch the result.
+        let (base, snap) = sim.run_snapshot(&originations, target);
+        prop_assert_eq!(&base, &sim.run(&originations), "run_snapshot changed the run");
+        let fresh = sim.run(&combined);
+        prop_assert_eq!(
+            &sim.run_delta_on(&base, &snap, &delta),
+            &fresh,
+            "delta patch diverged from the fresh combined run"
+        );
+
+        // Single-prefix: run_delta folds the outcome itself.
+        let target_eps: Vec<Origination> = originations
+            .iter()
+            .filter(|o| o.prefix == target)
+            .cloned()
+            .collect();
+        let (_, solo_snap) = sim.run_snapshot(&target_eps, target);
+        let mut solo_combined = target_eps.clone();
+        solo_combined.extend(delta.iter().cloned());
+        prop_assert_eq!(
+            &sim.run_delta(&solo_snap, &delta),
+            &sim.run(&solo_combined),
+            "single-prefix run_delta diverged"
+        );
+
+        // Sharded capture: the parallel snapshot is the sequential one,
+        // and the patched result still matches.
+        sim.set_threads(threads);
+        let (par_base, par_snap) = sim.run_snapshot(&originations, target);
+        prop_assert_eq!(&par_base, &base, "sharded baseline diverged");
+        prop_assert_eq!(&par_snap, &snap, "sharded capture diverged");
+        prop_assert_eq!(&sim.run_delta_on(&par_base, &par_snap, &delta), &fresh);
     }
 
     /// Memoization under prefix-sensitive policy: worlds seasoned with

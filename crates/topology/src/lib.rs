@@ -1,5 +1,10 @@
 //! AS-level Internet topology model and generator.
 //!
+//! This crate is the workspace's **layer 0**: the dense `NodeId` arena,
+//! CSR adjacency, and edge slot space that every hot path above is
+//! indexed by — see `ARCHITECTURE.md` at the repository root for the
+//! whole layer stack.
+//!
 //! The paper's measurements run over the real April-2018 Internet
 //! (~62 K ASes). This crate builds the closed-world stand-in: a hierarchical
 //! AS graph with Gao–Rexford business relationships (customer/provider and

@@ -1,5 +1,8 @@
 //! Core BGP data types shared by every crate in the `bgpworms` workspace.
 //!
+//! (`ARCHITECTURE.md` at the repository root maps where this vocabulary
+//! sits under the workspace's layer stack.)
+//!
 //! This crate is dependency-free (std only) and holds the *logical* model of
 //! the routing system: AS numbers, IPv4/IPv6 prefixes, RFC 1997 communities
 //! (plus RFC 8092 large and RFC 4360 extended communities), AS paths, and the

@@ -1,5 +1,8 @@
 //! RFC 4271 BGP message wire codec.
 //!
+//! (`ARCHITECTURE.md` at the repository root shows where the wire layer
+//! sits in the workspace.)
+//!
 //! Encodes and decodes the four BGP message types (OPEN, UPDATE,
 //! NOTIFICATION, KEEPALIVE) to and from their on-the-wire representation,
 //! including:

@@ -10,7 +10,8 @@
 //!
 //! This crate is the façade: it re-exports every subsystem under one
 //! namespace and hosts the runnable examples and cross-crate integration
-//! tests.
+//! tests. (`ARCHITECTURE.md` at the repository root walks these layers
+//! with one diagram each; `README.md` has the quickstart and CI gates.)
 //!
 //! ## Layer map
 //!

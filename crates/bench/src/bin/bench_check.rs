@@ -47,7 +47,13 @@
 //!   when the attack replays as a delta re-convergence on the baseline's
 //!   snapshot instead of a second full run. Its baseline entry is marked
 //!   `higher_is_better`, so the delta path losing its advantage fails
-//!   the gate like a time regression.
+//!   the gate like a time regression;
+//! * `engine/intra-flood-speedup` — `run-internet-1px ÷
+//!   run-internet-1px-mt` in basis points (10 000 = parity): how much a
+//!   *single* internet-scale flood gains from intra-flood sweep sharding
+//!   at `threads = 4`. Also `higher_is_better`; its committed value is
+//!   hardware-dependent (a single-vCPU container records ~parity — see
+//!   the baseline's hardware note).
 //!
 //! Derived entries are compared against same-named baseline entries like
 //! any directly measured benchmark.
@@ -239,6 +245,13 @@ const DERIVED_METRICS: &[DerivedMetric] = &[
         divisor: 10_000.0,
         op: DerivedOp::RatioScaled,
     },
+    DerivedMetric {
+        name: "engine/intra-flood-speedup",
+        minuend: "engine/run-internet-1px/1",
+        subtrahend: Some("engine/run-internet-1px-mt/4"),
+        divisor: 10_000.0,
+        op: DerivedOp::RatioScaled,
+    },
 ];
 
 fn median_of(fresh: &[(String, f64)], name: &str) -> Option<f64> {
@@ -262,6 +275,22 @@ fn add_derived_metrics(fresh: &mut Vec<(String, f64)>) {
             },
             None => 0.0,
         };
+        // Guard both ops against degenerate inputs the same way
+        // `core::table::ratio` guards its denominator: a non-finite input
+        // (or a non-positive RatioScaled denominator) must suppress the
+        // derivation — the baseline entry then hard-fails as "no fresh
+        // measurement" instead of an inf/NaN value slipping through the
+        // gate's comparisons.
+        if !minuend.is_finite() || !subtrahend.is_finite() {
+            eprintln!(
+                "bench_check: refusing to derive {} from non-finite inputs \
+                 ({} {minuend} ns, {} {subtrahend} ns)",
+                d.name,
+                d.minuend,
+                d.subtrahend.unwrap_or("0"),
+            );
+            continue;
+        }
         let value = match d.op {
             DerivedOp::DiffQuotient => (minuend - subtrahend) / d.divisor,
             DerivedOp::RatioScaled => {
@@ -307,6 +336,12 @@ struct Verdict {
 enum Outcome {
     Ok,
     Missing,
+    /// The comparison itself is meaningless: a zero / negative /
+    /// non-finite baseline median, or a non-finite fresh one. Before this
+    /// variant existed, `fresh / 0.0` produced an inf/NaN `delta_pct`
+    /// whose comparisons were both false — a silently *passing* verdict
+    /// for a broken baseline. Named hard-fail instead.
+    Malformed,
     Regressed(f64),
 }
 
@@ -314,7 +349,10 @@ enum Outcome {
 /// entry with no fresh measurement is a failure (a dropped or renamed
 /// phase must update the baseline in the same change), as is any median
 /// more than `tolerance_pct` above its baseline — or, for
-/// `higher_is_better` entries, more than `tolerance_pct` *below* it.
+/// `higher_is_better` entries, more than `tolerance_pct` *below* it. A
+/// comparison whose inputs cannot support a verdict (zero or non-finite
+/// baseline, non-finite fresh median) is a [`Outcome::Malformed`]
+/// hard-fail, guarded like `core::table::ratio` guards its denominator.
 fn gate(baseline: &[BaselineEntry], fresh: &[(String, f64)], tolerance_pct: f64) -> Vec<Verdict> {
     baseline
         .iter()
@@ -328,6 +366,16 @@ fn gate(baseline: &[BaselineEntry], fresh: &[(String, f64)], tolerance_pct: f64)
                     outcome: Outcome::Missing,
                 };
             };
+            if base_median <= 0.0 || !base_median.is_finite() || !fresh_median.is_finite() {
+                return Verdict {
+                    name: name.clone(),
+                    line: format!(
+                        "  FAIL  {name}: malformed comparison (baseline {base_median} ns, \
+                         fresh {fresh_median} ns) — fix the baseline entry or the harness"
+                    ),
+                    outcome: Outcome::Malformed,
+                };
+            }
             let delta_pct = (fresh_median / base_median - 1.0) * 100.0;
             let regressed = if entry.higher_is_better {
                 delta_pct < -tolerance_pct
@@ -416,12 +464,17 @@ fn main() -> ExitCode {
     let verdicts = gate(&baseline, &fresh, args.tolerance_pct);
     let mut matched = 0usize;
     let mut missing = Vec::new();
+    let mut malformed = Vec::new();
     let mut regressions = Vec::new();
     for v in verdicts {
         println!("{}", v.line);
         match v.outcome {
             Outcome::Ok => matched += 1,
             Outcome::Missing => missing.push(v.name),
+            Outcome::Malformed => {
+                matched += 1;
+                malformed.push(v.name);
+            }
             Outcome::Regressed(delta) => {
                 matched += 1;
                 regressions.push((v.name, delta));
@@ -431,6 +484,15 @@ fn main() -> ExitCode {
 
     if matched == 0 {
         eprintln!("bench_check: no benchmark matched the baseline — rename drift?");
+        return ExitCode::FAILURE;
+    }
+    if !malformed.is_empty() {
+        eprintln!(
+            "bench_check: {} baseline benchmark(s) cannot be compared (zero or \
+             non-finite median): {}",
+            malformed.len(),
+            malformed.join(", ")
+        );
         return ExitCode::FAILURE;
     }
     if !missing.is_empty() {
@@ -631,6 +693,84 @@ mod tests {
             !broken.iter().any(|(n, _)| n == "engine/delta-speedup"),
             "non-positive denominator must not derive"
         );
+    }
+
+    #[test]
+    fn intra_flood_speedup_is_a_scaled_ratio() {
+        // 80 ms single-thread vs 40 ms sharded → 2.0× → 20 000 bp.
+        let mut fresh = vec![
+            ("engine/run-internet-1px/1".to_string(), 80_000_000.0),
+            ("engine/run-internet-1px-mt/4".to_string(), 40_000_000.0),
+        ];
+        add_derived_metrics(&mut fresh);
+        let derived = fresh
+            .iter()
+            .find(|(n, _)| n == "engine/intra-flood-speedup")
+            .expect("derived metric appended");
+        assert!((derived.1 - 20_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn derived_metrics_refuse_non_finite_inputs() {
+        // RatioScaled with a NaN denominator must be suppressed, not
+        // derived into NaN (which every gate comparison silently passes).
+        let mut broken = vec![
+            ("engine/ab-pair/compile-once".to_string(), 150_000_000.0),
+            ("engine/ab-pair-delta".to_string(), f64::NAN),
+        ];
+        add_derived_metrics(&mut broken);
+        assert!(
+            !broken.iter().any(|(n, _)| n == "engine/delta-speedup"),
+            "NaN denominator must not derive"
+        );
+
+        // … and an infinite numerator likewise (inf/x = inf, inf ≥ 0.0, so
+        // without the guard it would be appended).
+        let mut inf = vec![
+            ("engine/ab-pair/compile-once".to_string(), f64::INFINITY),
+            ("engine/ab-pair-delta".to_string(), 100_000_000.0),
+        ];
+        add_derived_metrics(&mut inf);
+        assert!(!inf.iter().any(|(n, _)| n == "engine/delta-speedup"));
+
+        // DiffQuotient is guarded the same way: inf − x = inf passes the
+        // `value >= 0.0` suppression, so the input guard must catch it.
+        let mut diff = vec![
+            ("engine/run-internet-1px/1".to_string(), 50_000_000.0),
+            ("engine/campaign-internet-16px/1".to_string(), f64::INFINITY),
+        ];
+        add_derived_metrics(&mut diff);
+        assert!(!diff.iter().any(|(n, _)| n == "engine/per-prefix-marginal"));
+    }
+
+    #[test]
+    fn gate_hard_fails_malformed_comparisons() {
+        // A zero baseline median used to yield delta_pct = inf/NaN, whose
+        // comparisons were both false — a silent pass. It must be a named
+        // hard failure instead.
+        let baseline = vec![entry("engine/run/1", 0.0)];
+        let v = gate(&baseline, &[("engine/run/1".to_string(), 1000.0)], 15.0);
+        assert!(
+            matches!(v[0].outcome, Outcome::Malformed),
+            "zero baseline must be malformed, not ok"
+        );
+        assert!(v[0].line.contains("malformed comparison"));
+
+        // Non-finite fresh medians are equally unjudgeable.
+        let baseline = vec![entry("engine/run/1", 1000.0)];
+        let v = gate(&baseline, &[("engine/run/1".to_string(), f64::NAN)], 15.0);
+        assert!(matches!(v[0].outcome, Outcome::Malformed));
+
+        // A negative baseline is malformed too (the old code read a huge
+        // negative delta as a pass for lower-is-better entries).
+        let baseline = vec![entry("engine/run/1", -5.0)];
+        let v = gate(&baseline, &[("engine/run/1".to_string(), 1000.0)], 15.0);
+        assert!(matches!(v[0].outcome, Outcome::Malformed));
+
+        // Boundary: a tiny-but-positive finite baseline still compares.
+        let baseline = vec![entry("engine/run/1", 1e-9)];
+        let v = gate(&baseline, &[("engine/run/1".to_string(), 1e-9)], 15.0);
+        assert!(matches!(v[0].outcome, Outcome::Ok));
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub const POLICIES: &[CratePolicy] = &[
         hot_path: &[
             "engine.rs",
             "scratch.rs",
+            "sweep.rs",
             "campaign.rs",
             "classify.rs",
             "route.rs",

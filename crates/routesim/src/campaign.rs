@@ -56,6 +56,24 @@
 //! class (in ascending prefix order) counts as the simulation and the
 //! rest as hits.
 //!
+//! # Nested-parallelism policy
+//!
+//! Two layers can spend the session's worker budget: the campaign's
+//! prefix-level chunk sharding (this module) and the engine's intra-flood
+//! export-sweep sharding (`sweep`, via the `intra` argument threaded into
+//! `CompiledSim::run_prefix`). They never nest — nesting would
+//! oversubscribe the pool with `threads²` runnable workers for zero extra
+//! coverage. `advance` places the budget once per call: a schedule wide
+//! enough to occupy every worker with whole chunks keeps prefix-level
+//! sharding and runs each flood serially (`intra = 1`); when the chunk
+//! list collapses to a single lane (one chunk in the advance, so only one
+//! prefix-level worker could ever run), the whole budget moves *inside*
+//! each flood instead. Results are identical either way
+//! (the determinism suite pins `threads = 1 ≡ threads = N` for both
+//! layers), so the placement is purely a wall-clock choice and can differ
+//! between resumed advances of the same campaign without affecting the
+//! checkpoint stream.
+//!
 //! # Campaigns vs. delta re-convergence
 //!
 //! The other O(aggregate) tool is the snapshot/delta layer
@@ -494,7 +512,10 @@ impl<'s, 't> Campaign<'s, 't> {
     {
         assert_eq!(
             cp.chunk_size, self.chunk_size,
-            "checkpoint was taken with a different chunk size"
+            "checkpoint was taken with chunk_size {} but the campaign resuming it uses \
+             chunk_size {} — chunk boundaries would not line up, silently skipping or \
+             re-folding prefixes; resume with the checkpoint's chunk size",
+            cp.chunk_size, self.chunk_size
         );
         // Same grouping as `CompiledSim::run` — shared helper, so the two
         // paths cannot drift apart.
@@ -540,6 +561,14 @@ impl<'s, 't> Campaign<'s, 't> {
         let memo = memo.as_ref();
 
         let threads = self.sim.threads().min(todo.len()).max(1);
+        // Nested-parallelism policy: when the chunk list is wide enough to
+        // occupy every worker with whole chunks, floods run serially inside
+        // each worker (intra = 1); when it collapses to a single lane —
+        // few chunks, or threads == 1 with a multi-threaded session — the
+        // worker budget moves *inside* each flood instead. Either way the
+        // results are identical (determinism suite), so this is purely a
+        // wall-clock placement choice.
+        let intra = if threads == 1 { self.sim.threads() } else { 1 };
         if threads == 1 {
             // One scratch for the whole advance: every prefix of every
             // chunk recycles the same arrays.
@@ -554,6 +583,7 @@ impl<'s, 't> Campaign<'s, 't> {
                     &classes,
                     memo,
                     new_sink,
+                    intra,
                 );
                 absorb(&mut cp, out);
             }
@@ -602,6 +632,7 @@ impl<'s, 't> Campaign<'s, 't> {
                                     classes,
                                     memo,
                                     new_sink,
+                                    intra,
                                 )
                             }));
                             if outcome.is_err() {
@@ -662,6 +693,7 @@ impl<'s, 't> Campaign<'s, 't> {
         classes: &ClassTable,
         memo: Option<&ClassMemo>,
         new_sink: &F,
+        intra: usize,
     ) -> ChunkOutcome<S>
     where
         S: CampaignSink,
@@ -684,7 +716,9 @@ impl<'s, 't> Campaign<'s, 't> {
                 out.class_hits += 1;
             }
             let outcome = match memo {
-                None => self.sim.run_prefix(scratch, prefix, &by_prefix[&prefix]),
+                None => self
+                    .sim
+                    .run_prefix(scratch, prefix, &by_prefix[&prefix], intra),
                 Some(memo) => {
                     // A poisoned slot is still consistent: a panicking
                     // simulation never half-fills `outcome`, so we can
@@ -694,7 +728,10 @@ impl<'s, 't> Campaign<'s, 't> {
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                     if slot.outcome.is_none() {
                         slot.outcome =
-                            Some(self.sim.run_prefix(scratch, prefix, &by_prefix[&prefix]));
+                            Some(
+                                self.sim
+                                    .run_prefix(scratch, prefix, &by_prefix[&prefix], intra),
+                            );
                     }
                     slot.remaining -= 1;
                     let stored = if slot.remaining == 0 {
@@ -914,14 +951,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different chunk size")]
-    fn checkpoint_rejects_mismatched_chunking() {
+    fn checkpoint_rejects_mismatched_chunking_naming_both_sizes() {
+        // Chunk boundaries derive from the chunk size, so a checkpoint
+        // resumed under a different size would silently skip or re-fold
+        // prefixes. The guard must reject — and its message must name
+        // *both* sizes, so the operator of a multi-hour campaign knows
+        // which knob to fix without digging through two configs.
         let (topo, eps) = world();
         let sim = SimSpec::new(&topo).compile();
         let cp = Campaign::new(&sim).chunk_size(2).begin(Trace::default());
-        let _ = Campaign::new(&sim)
-            .chunk_size(3)
-            .resume(&eps, cp, Trace::default);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Campaign::new(&sim)
+                .chunk_size(3)
+                .resume(&eps, cp, Trace::default)
+        }))
+        .expect_err("mismatched chunk size must be rejected");
+        let msg = panic_message(&*err);
+        assert!(
+            msg.contains("chunk_size 2") && msg.contains("chunk_size 3"),
+            "message must name the checkpoint's size and the campaign's size, got: {msg}"
+        );
+
+        // A partially-run checkpoint (digest already bound) is rejected the
+        // same way — the chunk-size guard fires before the digest check.
+        let campaign = Campaign::new(&sim).chunk_size(2);
+        let (cp, _) =
+            campaign.run_chunks(&eps, campaign.begin(Trace::default()), Trace::default, 1);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Campaign::new(&sim)
+                .chunk_size(5)
+                .resume(&eps, cp, Trace::default)
+        }))
+        .expect_err("mismatched chunk size must be rejected after partial progress");
+        let msg = panic_message(&*err);
+        assert!(
+            msg.contains("chunk_size 2") && msg.contains("chunk_size 5"),
+            "got: {msg}"
+        );
     }
 
     #[test]

@@ -292,6 +292,7 @@ pub mod policy;
 pub mod route;
 pub mod router;
 mod scratch;
+mod sweep;
 pub mod workload;
 
 pub use campaign::{Campaign, CampaignCheckpoint, CampaignRun, CampaignSink, ClassStats};

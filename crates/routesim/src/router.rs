@@ -289,7 +289,9 @@ impl<'s> NodeState<'s> {
         self.begin_export_pass_entry(arena).is_some()
     }
 
-    /// See [`PrefixRouter::import`].
+    /// See [`PrefixRouter::import`]. Composes [`admit_route`] (the pure
+    /// policy decision, memoizable per (receiver, sender role, route id))
+    /// with [`NodeState::finalize_import`] (the RIB write).
     #[allow(clippy::too_many_arguments)] // hot path: flat args, no wrapper struct
     pub(crate) fn import(
         &mut self,
@@ -305,106 +307,56 @@ impl<'s> NodeState<'s> {
             self.rib_in[sender_slot] = None;
             return ImportVerdict::Withdrawn;
         };
-        let incoming = arena.get(incoming_id);
-
-        // Loop protection. Route servers are transparent and never appear
-        // in the path, so only regular routers check.
-        if !self.is_route_server && incoming.path.contains(self.asn) {
-            self.rib_in[sender_slot] = None;
-            return ImportVerdict::LoopRejected;
-        }
-
-        // --- RTBH applicability (checked before everything else because
-        //     the misconfigured validation order depends on it). ---
-        let rtbh = cfg.services.blackhole.as_ref().and_then(|bh| {
-            let own = self.asn.as_u16().map(|hi| Community::new(hi, bh.value));
-            let triggered = incoming.has_community(Community::BLACKHOLE)
-                || own.is_some_and(|c| incoming.has_community(c));
-            let scope_ok = match bh.scope {
-                ActScope::Any => true,
-                ActScope::CustomersOnly => sender_role == Role::Customer,
-            };
-            let len_ok = match incoming.prefix {
-                Prefix::V4(p) => p.len() >= bh.min_prefix_len,
-                Prefix::V6(p) => p.len() >= 96,
-            };
-            (triggered && scope_ok && len_ok).then_some(bh)
-        });
-
-        // --- Origin validation. ---
-        let skip_validation = matches!(
-            cfg.validation,
-            OriginValidation::Irr {
-                validate_after_blackhole: true
-            }
-        ) && rtbh.is_some();
-        if !skip_validation {
-            let valid = match cfg.validation {
-                OriginValidation::None => true,
-                OriginValidation::Irr { .. } => match incoming.path.origin() {
-                    Some(origin) => ctx.irr.is_registered(&incoming.prefix, origin),
-                    None => false,
-                },
-                OriginValidation::Strict => match incoming.path.origin() {
-                    Some(origin) => ctx.rpki.is_registered(&incoming.prefix, origin),
-                    None => false,
-                },
-            };
-            if !valid {
+        match admit_route(
+            self.asn,
+            self.is_route_server,
+            cfg,
+            sender_role,
+            arena.get(incoming_id),
+            ctx,
+        ) {
+            Admission::Reject(verdict) => {
                 self.rib_in[sender_slot] = None;
-                return ImportVerdict::ValidationRejected;
+                verdict
+            }
+            Admission::Accept(effects) => {
+                self.finalize_import(
+                    cfg,
+                    sender,
+                    sender_slot,
+                    sender_role,
+                    incoming_id,
+                    effects,
+                    arena,
+                );
+                ImportVerdict::Accepted
             }
         }
+    }
 
-        // --- Prefix-length policy: small prefixes only enter as blackholes.
-        if rtbh.is_none() {
-            let too_long = match incoming.prefix {
-                Prefix::V4(p) => p.len() > cfg.max_prefix_len_v4,
-                Prefix::V6(p) => p.len() > 48,
-            };
-            if too_long {
-                self.rib_in[sender_slot] = None;
-                return ImportVerdict::TooSpecific;
-            }
-        }
+    /// Applies an accepted admission: clones the incoming route out of the
+    /// arena (the import path's single clone), applies the memoized scalar
+    /// [`AdmitEffects`], performs the sender-dependent ingress tagging that
+    /// cannot be memoized per route id alone, and installs the re-interned
+    /// result in the sender's Adj-RIB-In slot.
+    #[allow(clippy::too_many_arguments)] // hot path: flat args, no wrapper struct
+    pub(crate) fn finalize_import(
+        &mut self,
+        cfg: &RouterConfig,
+        sender: Asn,
+        sender_slot: usize,
+        sender_role: Role,
+        incoming_id: RouteId,
+        effects: AdmitEffects,
+        arena: &mut RouteArena,
+    ) {
+        let mut route = arena.get(incoming_id).clone();
 
-        // Accepted: clone once out of the arena to apply import policy.
-        let mut route = incoming.clone();
-
-        // --- Base import local-pref by business relationship. ---
-        route.local_pref = match sender_role {
-            Role::Customer => cfg.local_pref.customer,
-            Role::Peer => cfg.local_pref.peer,
-            Role::Provider => cfg.local_pref.provider,
-        };
-
-        // --- Community-triggered services at this target. ---
-        route.blackholed = false;
-        route.pending_prepend = 0;
-        if let Some(bh) = rtbh {
-            route.local_pref = bh.local_pref;
-            route.blackholed = true;
-            if bh.set_no_export && !route.has_community(Community::NO_EXPORT) {
-                route.communities.push(Community::NO_EXPORT);
-            }
-        }
-        if let Some(hi) = self.asn.as_u16() {
-            let steering_ok = match cfg.services.steering_scope {
-                ActScope::Any => true,
-                ActScope::CustomersOnly => sender_role == Role::Customer,
-            };
-            if steering_ok {
-                for (&value, &lp) in &cfg.services.local_pref {
-                    if route.has_community(Community::new(hi, value)) {
-                        route.local_pref = lp;
-                    }
-                }
-                for (&value, &n) in &cfg.services.prepend {
-                    if route.has_community(Community::new(hi, value)) {
-                        route.pending_prepend = route.pending_prepend.max(n);
-                    }
-                }
-            }
+        route.local_pref = effects.local_pref;
+        route.blackholed = effects.blackholed;
+        route.pending_prepend = effects.pending_prepend;
+        if effects.add_no_export {
+            route.communities.push(Community::NO_EXPORT);
         }
 
         // --- Ingress informational tagging (recorded separately so the
@@ -443,7 +395,6 @@ impl<'s> NodeState<'s> {
             route: arena.intern(route),
             role: sender_role,
         });
-        ImportVerdict::Accepted
     }
 
     /// Computes the advertisement this node should currently send to
@@ -470,6 +421,13 @@ impl<'s> NodeState<'s> {
         )
     }
 
+    /// Clears the Adj-RIB-In slot at `sender_slot` — the withdrawal /
+    /// rejection path, exposed so the engine can apply an
+    /// [`Admission::Reject`] without going through the full import.
+    pub(crate) fn clear_rib_in(&mut self, sender_slot: usize) {
+        self.rib_in[sender_slot] = None;
+    }
+
     /// See [`PrefixRouter::diff_export`].
     pub(crate) fn diff_export(
         &mut self,
@@ -484,10 +442,161 @@ impl<'s> NodeState<'s> {
     }
 }
 
+/// The outcome of the pure half of import: either a rejection verdict or
+/// the scalar effects to apply on acceptance. `Copy`, so the engine can
+/// memoize it per (receiver, sender role, incoming route id) — interned
+/// route content pins the sender, so that key determines the whole
+/// decision — without cloning anything on a memo hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// Rejected; the RIB slot must be cleared.
+    Reject(ImportVerdict),
+    /// Accepted; apply these effects via [`NodeState::finalize_import`].
+    Accept(AdmitEffects),
+}
+
+/// The scalar residue of import policy on an accepted route: everything
+/// admission decides that is not derivable from the incoming route content
+/// alone. Tagging is *not* here — it depends on the sender ASN directly
+/// (ingress buckets), so it stays in the finalize step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct AdmitEffects {
+    /// Import local-pref after role base, RTBH override, and steering.
+    pub(crate) local_pref: u32,
+    /// True when the RTBH service accepted this as a blackhole route.
+    pub(crate) blackholed: bool,
+    /// Prepend count requested by steering communities.
+    pub(crate) pending_prepend: u8,
+    /// True when RTBH policy adds NO_EXPORT (already checked absent).
+    pub(crate) add_no_export: bool,
+}
+
+/// The pure policy half of import: decides admission and computes the
+/// [`AdmitEffects`] without touching any RIB state or cloning the route.
+/// A pure function of (receiver identity, config, sender role, route
+/// content, validation registries) — the engine can evaluate it before
+/// borrowing any RIB state for the apply step. (A memo over that key was
+/// measured a net loss — see the engine's drain loop — but the purity
+/// boundary stands on its own.)
+pub(crate) fn admit_route(
+    asn: Asn,
+    is_route_server: bool,
+    cfg: &RouterConfig,
+    sender_role: Role,
+    incoming: &Route,
+    ctx: ValidationCtx<'_>,
+) -> Admission {
+    // Loop protection. Route servers are transparent and never appear
+    // in the path, so only regular routers check.
+    if !is_route_server && incoming.path.contains(asn) {
+        return Admission::Reject(ImportVerdict::LoopRejected);
+    }
+
+    // --- RTBH applicability (checked before everything else because
+    //     the misconfigured validation order depends on it). ---
+    let rtbh = cfg.services.blackhole.as_ref().and_then(|bh| {
+        let own = asn.as_u16().map(|hi| Community::new(hi, bh.value));
+        let triggered = incoming.has_community(Community::BLACKHOLE)
+            || own.is_some_and(|c| incoming.has_community(c));
+        let scope_ok = match bh.scope {
+            ActScope::Any => true,
+            ActScope::CustomersOnly => sender_role == Role::Customer,
+        };
+        let len_ok = match incoming.prefix {
+            Prefix::V4(p) => p.len() >= bh.min_prefix_len,
+            Prefix::V6(p) => p.len() >= 96,
+        };
+        (triggered && scope_ok && len_ok).then_some(bh)
+    });
+
+    // --- Origin validation. ---
+    let skip_validation = matches!(
+        cfg.validation,
+        OriginValidation::Irr {
+            validate_after_blackhole: true
+        }
+    ) && rtbh.is_some();
+    if !skip_validation {
+        let valid = match cfg.validation {
+            OriginValidation::None => true,
+            OriginValidation::Irr { .. } => match incoming.path.origin() {
+                Some(origin) => ctx.irr.is_registered(&incoming.prefix, origin),
+                None => false,
+            },
+            OriginValidation::Strict => match incoming.path.origin() {
+                Some(origin) => ctx.rpki.is_registered(&incoming.prefix, origin),
+                None => false,
+            },
+        };
+        if !valid {
+            return Admission::Reject(ImportVerdict::ValidationRejected);
+        }
+    }
+
+    // --- Prefix-length policy: small prefixes only enter as blackholes.
+    if rtbh.is_none() {
+        let too_long = match incoming.prefix {
+            Prefix::V4(p) => p.len() > cfg.max_prefix_len_v4,
+            Prefix::V6(p) => p.len() > 48,
+        };
+        if too_long {
+            return Admission::Reject(ImportVerdict::TooSpecific);
+        }
+    }
+
+    // --- Base import local-pref by business relationship. ---
+    let mut local_pref = match sender_role {
+        Role::Customer => cfg.local_pref.customer,
+        Role::Peer => cfg.local_pref.peer,
+        Role::Provider => cfg.local_pref.provider,
+    };
+
+    // --- Community-triggered services at this target. ---
+    let mut blackholed = false;
+    let mut pending_prepend: u8 = 0;
+    let mut add_no_export = false;
+    if let Some(bh) = rtbh {
+        local_pref = bh.local_pref;
+        blackholed = true;
+        add_no_export = bh.set_no_export && !incoming.has_community(Community::NO_EXPORT);
+    }
+    // Steering checks run after the NO_EXPORT push in the historical
+    // order, so they must see the (possibly) augmented community set.
+    let has =
+        |c: Community| incoming.has_community(c) || (add_no_export && c == Community::NO_EXPORT);
+    if let Some(hi) = asn.as_u16() {
+        let steering_ok = match cfg.services.steering_scope {
+            ActScope::Any => true,
+            ActScope::CustomersOnly => sender_role == Role::Customer,
+        };
+        if steering_ok {
+            for (&value, &lp) in &cfg.services.local_pref {
+                if has(Community::new(hi, value)) {
+                    local_pref = lp;
+                }
+            }
+            for (&value, &n) in &cfg.services.prepend {
+                if has(Community::new(hi, value)) {
+                    pending_prepend = pending_prepend.max(n);
+                }
+            }
+        }
+    }
+
+    Admission::Accept(AdmitEffects {
+        local_pref,
+        blackholed,
+        pending_prepend,
+        add_no_export,
+    })
+}
+
 /// Best candidate of a RIB slice plus the role it was learned under (None
 /// for local routes). Every comparison in [`Route::prefer`] bottoms out in
 /// a strict tie-break, so the winner is independent of iteration order.
-fn best_entry(
+/// Crate-visible so the engine's sharded export sweep can scan a node's
+/// RIB slice without materializing a [`NodeState`] view.
+pub(crate) fn best_entry(
     rib_in: &[Option<RibEntry>],
     local: Option<RouteId>,
     arena: &RouteArena,
@@ -534,6 +643,35 @@ pub(crate) fn export_from_best(
     neighbor_role: Role,
     arena: &mut RouteArena,
 ) -> Option<RouteId> {
+    let out = export_route_from_best(
+        asn,
+        is_route_server,
+        best_id,
+        learned_role,
+        cfg,
+        neighbor,
+        neighbor_role,
+        arena,
+    )?;
+    Some(arena.intern(out))
+}
+
+/// The compute half of [`export_from_best`]: produces the owned outgoing
+/// route **without interning it**, over a shared `&RouteArena`. This is
+/// what lets the sharded export sweep run the expensive policy work on
+/// worker threads against an immutable arena, deferring the (id-minting,
+/// order-sensitive) intern to the serial merge.
+#[allow(clippy::too_many_arguments)] // hot path: flat args, no wrapper struct
+pub(crate) fn export_route_from_best(
+    asn: Asn,
+    is_route_server: bool,
+    best_id: RouteId,
+    learned_role: Option<Role>,
+    cfg: &RouterConfig,
+    neighbor: Asn,
+    neighbor_role: Role,
+    arena: &RouteArena,
+) -> Option<Route> {
     let best = arena.get(best_id);
 
     // Never send a route back to the neighbor we learned it from.
@@ -542,7 +680,7 @@ pub(crate) fn export_from_best(
     }
 
     if is_route_server {
-        return route_server_export(asn, cfg, best_id, neighbor, arena);
+        return route_server_export_route(asn, cfg, best_id, neighbor, arena);
     }
 
     // Well-known scope-limiting communities.
@@ -656,18 +794,19 @@ pub(crate) fn export_from_best(
     out.large_communities.sort_unstable();
     out.large_communities.dedup();
 
-    Some(arena.intern(out))
+    Some(out)
 }
 
 /// Route-server redistribution: transparent path, control communities,
-/// configurable evaluation order.
-fn route_server_export(
+/// configurable evaluation order. Compute-only — see
+/// [`export_route_from_best`] for why interning is the caller's job.
+fn route_server_export_route(
     rs_asn: Asn,
     cfg: &RouterConfig,
     best_id: RouteId,
     member: Asn,
-    arena: &mut RouteArena,
-) -> Option<RouteId> {
+    arena: &RouteArena,
+) -> Option<Route> {
     let best = arena.get(best_id);
     if best.has_community(Community::NO_ADVERTISE) || best.has_community(Community::NO_EXPORT) {
         return None;
@@ -717,7 +856,7 @@ fn route_server_export(
     let own_tags = std::mem::take(&mut out.own_tags);
     out.communities.extend(own_tags);
     community::normalize(&mut out.communities);
-    Some(arena.intern(out))
+    Some(out)
 }
 
 /// Heuristic: control-community low values that address members. Our

@@ -41,9 +41,9 @@
 use crate::engine::{Event, PrefixOutcome};
 use crate::route::{RouteArena, RouteId};
 use crate::router::RibEntry;
+use bgpworms_topology::{NodeId, Role};
 use bgpworms_types::Prefix;
 use std::cell::Cell;
-use std::collections::VecDeque;
 
 thread_local! {
     /// Alloc-counting test double: every full [`SimScratch`] array
@@ -60,6 +60,67 @@ thread_local! {
 /// re-allocating them; deltas are meaningful, absolute values are not.
 pub fn scratch_builds() -> u64 {
     SCRATCH_BUILDS.with(|c| c.get())
+}
+
+/// The in-flight update events of one convergence round, stored
+/// structure-of-arrays: the drain loop walks five dense parallel vectors
+/// instead of an array of structs, so the branchy early fields (receiver,
+/// slot, role) stream through cache without dragging each event's
+/// `Option<RouteId>` payload into the same lines.
+///
+/// The convergence loop is strictly **write-then-read**: export sweeps push
+/// while the queue is quiescent, then the drain loop pops until empty — the
+/// two phases never interleave — so no ring buffer is needed. A cursor
+/// walks the vectors front to back and [`EventQueue::pop_front`] resets the
+/// storage (capacity kept) the moment the cursor catches up.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    /// Read cursor into the parallel vectors below.
+    head: usize,
+    from: Vec<NodeId>,
+    to: Vec<NodeId>,
+    to_slot: Vec<u32>,
+    sender_role: Vec<Role>,
+    route: Vec<Option<RouteId>>,
+}
+
+impl EventQueue {
+    pub(crate) fn push_back(&mut self, ev: Event) {
+        self.from.push(ev.from);
+        self.to.push(ev.to);
+        self.to_slot.push(ev.to_slot);
+        self.sender_role.push(ev.sender_role);
+        self.route.push(ev.route);
+    }
+
+    /// Pops the next event in FIFO order; on exhaustion resets the storage
+    /// for the next round's pushes and returns `None`.
+    pub(crate) fn pop_front(&mut self) -> Option<Event> {
+        if self.head == self.from.len() {
+            self.clear();
+            return None;
+        }
+        let k = self.head;
+        self.head += 1;
+        Some(Event {
+            from: self.from[k],
+            to: self.to[k],
+            to_slot: self.to_slot[k],
+            sender_role: self.sender_role[k],
+            route: self.route[k],
+        })
+    }
+
+    /// Drops all queued events (capacity kept) — the budget-cutoff path and
+    /// the per-prefix recycle.
+    pub(crate) fn clear(&mut self) {
+        self.head = 0;
+        self.from.clear();
+        self.to.clear();
+        self.to_slot.clear();
+        self.sender_role.clear();
+        self.route.clear();
+    }
 }
 
 /// The set of nodes whose Adj-RIB-In changed since their last export
@@ -139,7 +200,7 @@ pub(crate) struct SimScratch {
     /// The prefix-run route arena; reset (capacity kept) per prefix.
     pub(crate) arena: RouteArena,
     /// In-flight update events.
-    pub(crate) queue: VecDeque<Event>,
+    pub(crate) queue: EventQueue,
     /// Nodes awaiting an export recompute.
     pub(crate) dirty: DirtySet,
     /// Per collector session: what the peer currently advertises to the
@@ -162,7 +223,7 @@ impl SimScratch {
             local: vec![None; n_nodes],
             last_emit_best: vec![None; n_nodes],
             arena: RouteArena::new(),
-            queue: VecDeque::new(),
+            queue: EventQueue::default(),
             dirty: DirtySet::new(n_nodes),
             monitor_state: vec![None; n_monitor_sessions],
         }

@@ -1,0 +1,260 @@
+//! Intra-flood sharded export sweep: the compute phase of one dirty
+//! round, fanned out across scoped worker threads.
+//!
+//! The engine's convergence loop is round-batched — imports only mark
+//! receivers dirty, then every dirty node recomputes its exports once per
+//! round. Rounds are therefore natural barriers, and the per-node export
+//! recomputation is embarrassingly parallel *except* for two serialized
+//! resources: the route arena (interning mints ids in discovery order,
+//! which downstream state is sensitive to) and the event queue (drain
+//! order is the determinism contract). This module keeps both serial and
+//! parallelizes everything else:
+//!
+//! 1. [`compute_plans_sharded`] partitions the round's (ascending) dirty
+//!    nodes into contiguous ranges, degree-weighted so each worker gets a
+//!    comparable share of adjacency slots.
+//! 2. Each worker runs the full per-node policy pipeline — best-route
+//!    scan, skip check, per-role or per-neighbor export computation
+//!    ([`router::export_route_from_best`]) — **read-only against the
+//!    pre-round arena**, recording owned [`Route`] values in a
+//!    [`NodePlan`]. The only state a worker writes is its own range's
+//!    lane of the `last_emit_best` skip cache, split off by disjoint
+//!    `split_at_mut` slices.
+//! 3. The engine's serial merge (`CompiledSim::sharded_round`) walks the
+//!    concatenated plans in ascending node order, interning each computed
+//!    route at its first use and diffing/enqueuing per CSR slot — exactly
+//!    the order the serial sweep would have interned and enqueued in, so
+//!    the arena, the `exported` cache, and the event sequence are
+//!    bit-identical to a `threads = 1` run (property-locked by
+//!    `tests/determinism.rs`).
+//!
+//! Soundness of the read-only compute phase: a round's sweep never
+//! mutates `rib_in`/`local` (only imports do, and the queue is fully
+//! drained before the round starts), and interning only appends to the
+//! arena — so every route a worker reads is identical to what the serial
+//! sweep would have read mid-round, and workers racing on reads observe
+//! no writes at all.
+
+use crate::engine::role_ix;
+use crate::policy::{CommunityPropagationPolicy, RouterConfig};
+use crate::route::{Route, RouteArena, RouteId};
+use crate::router::{self, RibEntry};
+use bgpworms_topology::{NodeId, Topology};
+use bgpworms_types::Asn;
+
+/// The shared, read-only world state a sweep worker needs: the compiled
+/// session's per-node tables plus the flat per-slot state arrays of the
+/// running prefix's scratch. All references — workers never write through
+/// this view.
+pub(crate) struct SweepWorld<'w> {
+    pub(crate) topo: &'w Topology,
+    pub(crate) configs: &'w [RouterConfig],
+    pub(crate) asns: &'w [Asn],
+    pub(crate) is_rs: &'w [bool],
+    /// CSR degree prefix-sum: node `i`'s global slots are
+    /// `offsets[i]..offsets[i + 1]`.
+    pub(crate) offsets: &'w [u32],
+    pub(crate) rib_in: &'w [Option<RibEntry>],
+    pub(crate) local: &'w [Option<RouteId>],
+}
+
+/// One dirty node's computed exports, ready for the serial merge. Owned
+/// `Route` values (not ids): the compute phase cannot intern — id minting
+/// is what the merge serializes.
+pub(crate) struct NodePlan {
+    /// The node, as a dense index.
+    pub(crate) node: u32,
+    /// False when the node has no best route: every export is a withdraw
+    /// diff and no values were computed.
+    pub(crate) has_best: bool,
+    /// True when exports depend on the neighbor only through its role
+    /// (ordinary node, propagation not `ScopedToReceiver`) — the merge
+    /// then reads `role_values`, else `per_neighbor`.
+    pub(crate) uniform: bool,
+    /// ASN the best route was learned from (uniform nodes never send a
+    /// route back to it; the merge re-applies the same skip).
+    pub(crate) learned_from: Option<Asn>,
+    /// Per-role export value for uniform nodes. Outer `None` = no
+    /// non-learned-from neighbor of that role needed it; inner `Option`
+    /// is the export itself (`None` = policy exports nothing).
+    pub(crate) role_values: [Option<Option<Route>>; 3],
+    /// Per-adjacency-slot export values for non-uniform nodes (route
+    /// servers, `ScopedToReceiver`); empty for uniform nodes.
+    pub(crate) per_neighbor: Vec<Option<Route>>,
+}
+
+/// Runs the compute phase of one round over `order` (the round's dirty
+/// nodes, ascending) on `workers` scoped threads, returning the surviving
+/// plans in ascending node order. `last_emit_best` is the whole network's
+/// skip cache; each worker receives only its range's lane.
+pub(crate) fn compute_plans_sharded(
+    world: &SweepWorld<'_>,
+    order: &[u32],
+    workers: usize,
+    last_emit_best: &mut [Option<Option<RouteId>>],
+    arena: &RouteArena,
+) -> Vec<NodePlan> {
+    let bounds = partition(world.offsets, order, workers.min(order.len()).max(1));
+
+    // Carve `last_emit_best` into per-part lanes. Parts cover disjoint,
+    // ascending node-id ranges (order is sorted and parts are contiguous
+    // runs of it), so repeated `split_at_mut` hands each worker a
+    // mutable window no other worker can reach.
+    type Part<'p> = (usize, &'p [u32], &'p mut [Option<Option<RouteId>>]);
+    let mut parts: Vec<Part<'_>> = Vec::new();
+    let mut rest = last_emit_best;
+    let mut consumed = 0usize;
+    for w in 0..bounds.len() - 1 {
+        let (s, e) = (bounds[w], bounds[w + 1]);
+        if s == e {
+            continue;
+        }
+        let part = &order[s..e];
+        let lo = part[0] as usize;
+        let hi = part[part.len() - 1] as usize + 1;
+        let tail = std::mem::take(&mut rest);
+        let (_, from_lo) = tail.split_at_mut(lo - consumed);
+        let (lane, after) = from_lo.split_at_mut(hi - lo);
+        rest = after;
+        consumed = hi;
+        parts.push((lo, part, lane));
+    }
+
+    let mut results: Vec<Vec<NodePlan>> = Vec::with_capacity(parts.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|(base, part, lane)| {
+                scope.spawn(move || compute_plans(world, part, base, lane, arena))
+            })
+            .collect();
+        for handle in handles {
+            // A worker panic (policy bug) must not be swallowed into a
+            // missing range of plans — re-raise it on the engine thread.
+            results.push(
+                handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+            );
+        }
+    });
+    // Handles were collected in part order and parts cover ascending
+    // ranges, so flattening preserves ascending node order.
+    results.into_iter().flatten().collect()
+}
+
+/// Partitions `order` into `parts` contiguous runs, weighted by adjacency
+/// degree (+1 for the node's own best scan) so a few high-degree hubs
+/// don't land on one worker. Returns `parts + 1` monotone boundaries into
+/// `order`; runs may be empty when the round is narrower than the worker
+/// count. The cut points affect wall-clock only, never results.
+fn partition(offsets: &[u32], order: &[u32], parts: usize) -> Vec<usize> {
+    let weight = |n: u32| {
+        let i = n as usize;
+        (offsets[i + 1] - offsets[i]) as u64 + 1
+    };
+    let total: u64 = order.iter().map(|&n| weight(n)).sum();
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0);
+    let mut acc = 0u64;
+    let mut p = 1;
+    for (k, &n) in order.iter().enumerate() {
+        acc += weight(n);
+        while p < parts && acc * (parts as u64) >= total * (p as u64) {
+            bounds.push(k + 1);
+            p += 1;
+        }
+    }
+    while bounds.len() < parts + 1 {
+        bounds.push(order.len());
+    }
+    bounds
+}
+
+/// One worker's compute phase: the serial sweep's per-node pipeline over
+/// `part`, writing only `lane` (the worker's `last_emit_best` window,
+/// starting at node id `base`). Mirrors `CompiledSim::emit_exports`
+/// decision-for-decision — the skip check, the per-role memo condition,
+/// the learned-from skip — so the merge can replay its plans without
+/// re-deciding anything.
+fn compute_plans(
+    world: &SweepWorld<'_>,
+    part: &[u32],
+    base: usize,
+    lane: &mut [Option<Option<RouteId>>],
+    arena: &RouteArena,
+) -> Vec<NodePlan> {
+    let mut plans = Vec::with_capacity(part.len());
+    for &n in part {
+        let i = n as usize;
+        let (lo, hi) = (world.offsets[i] as usize, world.offsets[i + 1] as usize);
+        let entry = router::best_entry(&world.rib_in[lo..hi], world.local[i], arena);
+        let best = entry.map(|(id, _)| id);
+        // The skip check of `NodeState::begin_export_pass_entry`, against
+        // this worker's own lane: best unchanged since the node's last
+        // pass proves the sweep would emit nothing.
+        let slot = &mut lane[i - base];
+        if *slot == Some(best) {
+            continue;
+        }
+        *slot = Some(best);
+
+        let cfg = &world.configs[i];
+        let uniform = !world.is_rs[i]
+            && !matches!(
+                cfg.propagation,
+                CommunityPropagationPolicy::ScopedToReceiver
+            );
+        let mut plan = NodePlan {
+            node: n,
+            has_best: entry.is_some(),
+            uniform,
+            learned_from: None,
+            role_values: Default::default(),
+            per_neighbor: Vec::new(),
+        };
+        if let Some((best_id, learned_role)) = entry {
+            plan.learned_from = arena.get(best_id).source.neighbor();
+            let id = NodeId::from_index(i);
+            let asn = world.asns[i];
+            if uniform {
+                for (_slot, (nb, role, _nb_is_rs), _rev) in world.topo.adjacency_with_reverse_ix(id)
+                {
+                    let nb_asn = world.asns[nb.index()];
+                    if plan.learned_from == Some(nb_asn) {
+                        continue;
+                    }
+                    let r = role_ix(role);
+                    if plan.role_values[r].is_none() {
+                        plan.role_values[r] = Some(router::export_route_from_best(
+                            asn,
+                            world.is_rs[i],
+                            best_id,
+                            learned_role,
+                            cfg,
+                            nb_asn,
+                            role,
+                            arena,
+                        ));
+                    }
+                }
+            } else {
+                for (_slot, (nb, role, _nb_is_rs), _rev) in world.topo.adjacency_with_reverse_ix(id)
+                {
+                    plan.per_neighbor.push(router::export_route_from_best(
+                        asn,
+                        world.is_rs[i],
+                        best_id,
+                        learned_role,
+                        cfg,
+                        world.asns[nb.index()],
+                        role,
+                        arena,
+                    ));
+                }
+            }
+        }
+        plans.push(plan);
+    }
+    plans
+}

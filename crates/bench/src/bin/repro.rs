@@ -123,6 +123,11 @@ fn main() {
     // Lazily built snapshot shared by the passive-measurement artefacts.
     let mut snapshot: Option<Snapshot> = None;
 
+    // Set when any artefact reports graceful degradation (diverged or
+    // quarantined prefixes): the run still completes and writes every
+    // artefact, but exits non-zero so automation notices.
+    let mut degraded = false;
+
     let mut artefacts: Vec<&str> = if artefact == "all" {
         vec![
             "table1",
@@ -191,7 +196,7 @@ fn main() {
             "ablation-forward-prob" => ablation_forward_prob(&opts),
             "ablation-vendor-mix" => ablation_vendor_mix(&opts),
             "defense-adoption" => defense_adoption(&opts),
-            "full-table" => full_table_campaign(&opts),
+            "full-table" => full_table_campaign(&opts, &mut degraded),
             other => {
                 eprintln!("unknown artefact {other}");
                 std::process::exit(2);
@@ -199,6 +204,11 @@ fn main() {
         };
         println!("=== {name} ===\n{text}");
         write_out(&opts.out, name, &text);
+    }
+
+    if degraded {
+        eprintln!("[repro] one or more artefacts were degraded (see DEGRADED lines above)");
+        std::process::exit(1);
     }
 }
 
@@ -1006,7 +1016,7 @@ fn ablation_vendor_mix(opts: &Options) -> String {
 /// `--scale internet` un-capped — flood memoization is what makes that
 /// tractable — and `--sample N` keeps ~N prefixes (whole origins at a
 /// time) for a quick look.
-fn full_table_campaign(opts: &Options) -> String {
+fn full_table_campaign(opts: &Options, degraded: &mut bool) -> String {
     use bgpworms_core::table::{pct, ratio, thousands};
     use bgpworms_topology::{addressing::AddressingParams, FullTableParams, PrefixAllocation};
 
@@ -1086,6 +1096,16 @@ fn full_table_campaign(opts: &Options) -> String {
         thousands(report.tags.tagged_observations as u64),
         pct(report.tags.tagged_observations as f64 / report.tags.observations.max(1) as f64),
     );
+    if report.degraded() {
+        *degraded = true;
+        let _ = writeln!(
+            out,
+            "DEGRADED: {} prefix(es) diverged, {} quarantined",
+            report.diverged.len(),
+            report.failures.len()
+        );
+        out.push_str(&report.failure_summary());
+    }
     out
 }
 

@@ -66,12 +66,24 @@ pub const POLICIES: &[CratePolicy] = &[
         hot_path: &[],
     },
     CratePolicy {
+        // The fault-injection registry: its firing decisions feed directly
+        // into campaign results, so it gets the full determinism rules.
+        name: "bgpworms-failpoint",
+        src: "crates/failpoint/src",
+        result_affecting: true,
+        allow_wall_clock: false,
+        hot_path: &["lib.rs"],
+    },
+    CratePolicy {
         name: "bgpworms-routesim",
         src: "crates/routesim/src",
         result_affecting: true,
         allow_wall_clock: false,
         // The per-event/per-prefix path: a panic here kills a whole
         // campaign worker, so every unwrap must argue its infallibility.
+        // `fault.rs` and `durable.rs` ride along — fault-key hashing and
+        // checkpoint parsing both run under campaign supervision, where an
+        // unjustified panic is indistinguishable from an injected one.
         hot_path: &[
             "engine.rs",
             "scratch.rs",
@@ -80,6 +92,8 @@ pub const POLICIES: &[CratePolicy] = &[
             "classify.rs",
             "route.rs",
             "router.rs",
+            "fault.rs",
+            "durable.rs",
         ],
     },
     CratePolicy {

@@ -34,6 +34,62 @@ pub enum MrtError {
     FieldTooLong(&'static str),
 }
 
+/// Coarse classification of an [`MrtError`] — one variant per error kind,
+/// without the payload. This is the key of the lossy reader's per-kind
+/// skip tally ([`crate::SkipTally`]): `Ord` so tallies iterate (and
+/// render) in a stable order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MrtErrorKind {
+    /// Underlying I/O failure.
+    Io,
+    /// A record or field ended before it could be read.
+    Truncated,
+    /// An implausible record body length.
+    BadRecordLength,
+    /// An MRT (type, subtype) combination we cannot interpret.
+    UnsupportedSubtype,
+    /// An embedded BGP message failed to decode.
+    Bgp,
+    /// An address family that is neither IPv4 nor IPv6.
+    BadAddressFamily,
+    /// A RIB entry referencing a peer index missing from the index table.
+    UnknownPeerIndex,
+    /// A variable-length field exceeding its bound.
+    FieldTooLong,
+}
+
+impl fmt::Display for MrtErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MrtErrorKind::Io => "i/o",
+            MrtErrorKind::Truncated => "truncated",
+            MrtErrorKind::BadRecordLength => "bad-record-length",
+            MrtErrorKind::UnsupportedSubtype => "unsupported-subtype",
+            MrtErrorKind::Bgp => "bad-bgp-message",
+            MrtErrorKind::BadAddressFamily => "bad-address-family",
+            MrtErrorKind::UnknownPeerIndex => "unknown-peer-index",
+            MrtErrorKind::FieldTooLong => "field-too-long",
+        })
+    }
+}
+
+impl MrtError {
+    /// This error's [`MrtErrorKind`] — the classification the lossy
+    /// reader tallies skipped records under.
+    pub fn kind(&self) -> MrtErrorKind {
+        match self {
+            MrtError::Io(_) => MrtErrorKind::Io,
+            MrtError::Truncated { .. } => MrtErrorKind::Truncated,
+            MrtError::BadRecordLength(_) => MrtErrorKind::BadRecordLength,
+            MrtError::UnsupportedSubtype { .. } => MrtErrorKind::UnsupportedSubtype,
+            MrtError::Bgp(_) => MrtErrorKind::Bgp,
+            MrtError::BadAddressFamily(_) => MrtErrorKind::BadAddressFamily,
+            MrtError::UnknownPeerIndex(_) => MrtErrorKind::UnknownPeerIndex,
+            MrtError::FieldTooLong(_) => MrtErrorKind::FieldTooLong,
+        }
+    }
+}
+
 impl fmt::Display for MrtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -91,6 +147,24 @@ mod tests {
         assert!(std::error::Error::source(&io_err).is_some());
         let wire = MrtError::Bgp(WireError::BadMarker);
         assert!(wire.to_string().contains("marker"));
+    }
+
+    #[test]
+    fn kinds_classify_and_order_stably() {
+        assert_eq!(
+            MrtError::Bgp(WireError::BadMarker).kind(),
+            MrtErrorKind::Bgp
+        );
+        assert_eq!(
+            MrtError::Truncated { what: "x" }.kind(),
+            MrtErrorKind::Truncated
+        );
+        assert_eq!(
+            MrtError::BadRecordLength(9).kind().to_string(),
+            "bad-record-length"
+        );
+        // Ord is part of the tally-rendering contract.
+        assert!(MrtErrorKind::Io < MrtErrorKind::FieldTooLong);
     }
 
     #[test]

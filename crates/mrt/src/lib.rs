@@ -48,8 +48,8 @@ pub mod read;
 pub mod record;
 pub mod write;
 
-pub use error::MrtError;
-pub use read::{MrtReader, UpdateStream};
+pub use error::{MrtError, MrtErrorKind};
+pub use read::{LossyMrtReader, MrtReader, SkipTally, UpdateStream};
 pub use record::{
     Bgp4mpMessage, MrtHeader, MrtRecord, PeerEntry, PeerIndexTable, RibEntry, RibSnapshot,
     StateChange, BGP4MP, BGP4MP_ET, TABLE_DUMP_V2,

@@ -1,6 +1,20 @@
 //! Streaming MRT reader: wraps any [`Read`] and yields records one at a time.
+//!
+//! Two reading modes share one parser:
+//!
+//! * [`MrtReader`] is **strict**: the first malformed record stops the
+//!   stream with an error — right for archives this workspace wrote
+//!   itself, where any damage is a bug.
+//! * [`LossyMrtReader`] is for archives from the wild (RIS / RouteViews
+//!   collectors occasionally emit records this decoder cannot interpret):
+//!   a record whose *body was fully read* but failed to parse is skipped
+//!   and tallied per [`MrtErrorKind`] in a [`SkipTally`], and reading
+//!   continues at the next record. Errors that damage the *stream
+//!   framing* itself — truncated header or body, implausible declared
+//!   length, I/O failure — still stop it: past those there is no reliable
+//!   next record boundary to continue from.
 
-use crate::error::MrtError;
+use crate::error::{MrtError, MrtErrorKind};
 use crate::record::{
     bgp4mp_subtype, tdv2_subtype, Bgp4mpMessage, MrtHeader, MrtRecord, PeerEntry, PeerIndexTable,
     RibEntry, RibSnapshot, StateChange, BGP4MP, BGP4MP_ET, TABLE_DUMP_V2,
@@ -33,6 +47,20 @@ impl<R: Read> MrtReader<R> {
 
     /// Reads the next record; `Ok(None)` at clean end-of-archive.
     pub fn next_record(&mut self) -> Result<Option<MrtRecord>, MrtError> {
+        match self.next_raw()? {
+            None => Ok(None),
+            Some(raw) => parse_record(raw).map(Some),
+        }
+    }
+
+    /// Reads the next record's common header and full body without
+    /// parsing; `Ok(None)` at clean end-of-archive. Errors here are
+    /// *structural*: the stream framing is damaged (truncated header or
+    /// body, implausible declared length, I/O failure) and there is no
+    /// reliable next-record boundary to continue from — which is exactly
+    /// what separates them from the per-record parse errors
+    /// [`LossyMrtReader`] skips.
+    fn next_raw(&mut self) -> Result<Option<RawRecord>, MrtError> {
         let mut header_buf = [0u8; 12];
         match read_exact_or_eof(&mut self.inner, &mut header_buf)? {
             ReadOutcome::Eof => return Ok(None),
@@ -64,35 +92,156 @@ impl<R: Read> MrtReader<R> {
 
         self.records_read += 1;
 
-        let mut header = MrtHeader {
+        Ok(Some(RawRecord {
             timestamp,
-            microseconds: None,
             mrt_type,
             subtype,
-        };
+            body,
+        }))
+    }
+}
 
-        // The *_ET types carry a microsecond field at the head of the body.
-        let body_slice: &[u8] = if mrt_type == BGP4MP_ET {
-            if body.len() < 4 {
-                return Err(MrtError::Truncated {
-                    what: "extended timestamp",
-                });
+/// A fully-read but not yet parsed record: common-header fields plus the
+/// complete body. Once one of these exists, the stream is positioned at
+/// the next record boundary — any parse failure below is confined to this
+/// record, which is what makes lossy skipping sound.
+struct RawRecord {
+    timestamp: u32,
+    mrt_type: u16,
+    subtype: u16,
+    body: Vec<u8>,
+}
+
+/// Parses one fully-read record. Errors here never damage the stream
+/// position; strict readers surface them, lossy readers tally and skip.
+fn parse_record(raw: RawRecord) -> Result<MrtRecord, MrtError> {
+    let mut header = MrtHeader {
+        timestamp: raw.timestamp,
+        microseconds: None,
+        mrt_type: raw.mrt_type,
+        subtype: raw.subtype,
+    };
+
+    // The *_ET types carry a microsecond field at the head of the body.
+    let body_slice: &[u8] = if raw.mrt_type == BGP4MP_ET {
+        if raw.body.len() < 4 {
+            return Err(MrtError::Truncated {
+                what: "extended timestamp",
+            });
+        }
+        header.microseconds = Some(u32::from_be_bytes([
+            raw.body[0],
+            raw.body[1],
+            raw.body[2],
+            raw.body[3],
+        ]));
+        &raw.body[4..]
+    } else {
+        &raw.body
+    };
+
+    match raw.mrt_type {
+        BGP4MP | BGP4MP_ET => parse_bgp4mp(header, body_slice),
+        TABLE_DUMP_V2 => parse_table_dump_v2(header, body_slice),
+        _ => Ok(MrtRecord::Unknown {
+            header,
+            body: body_slice.to_vec(),
+        }),
+    }
+}
+
+/// Per-[`MrtErrorKind`] tally of records a [`LossyMrtReader`] skipped.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SkipTally {
+    counts: std::collections::BTreeMap<MrtErrorKind, u64>,
+}
+
+impl SkipTally {
+    /// Total records skipped, across all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Records skipped for errors of `kind`.
+    pub fn count(&self, kind: MrtErrorKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Non-zero (kind, count) pairs in ascending kind order.
+    pub fn iter(&self) -> impl Iterator<Item = (MrtErrorKind, u64)> + '_ {
+        self.counts.iter().map(|(&k, &n)| (k, n))
+    }
+
+    fn record(&mut self, kind: MrtErrorKind) {
+        *self.counts.entry(kind).or_insert(0) += 1;
+    }
+}
+
+impl std::fmt::Display for SkipTally {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.counts.is_empty() {
+            return f.write_str("none");
+        }
+        for (i, (kind, n)) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
             }
-            header.microseconds = Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
-            &body[4..]
-        } else {
-            &body
-        };
+            write!(f, "{kind}: {n}")?;
+        }
+        Ok(())
+    }
+}
 
-        let record = match mrt_type {
-            BGP4MP | BGP4MP_ET => parse_bgp4mp(header, body_slice)?,
-            TABLE_DUMP_V2 => parse_table_dump_v2(header, body_slice)?,
-            _ => MrtRecord::Unknown {
-                header,
-                body: body_slice.to_vec(),
-            },
-        };
-        Ok(Some(record))
+/// A lossy streaming reader for archives from the wild: undecodable
+/// records whose bodies were fully read are skipped and tallied per error
+/// kind; structural stream damage (truncated framing, implausible length,
+/// I/O failure) still stops the stream. See the module docs for the
+/// strict/lossy split.
+pub struct LossyMrtReader<R: Read> {
+    reader: MrtReader<R>,
+    skipped: SkipTally,
+}
+
+impl<R: Read> LossyMrtReader<R> {
+    /// Wraps a byte source.
+    pub fn new(inner: R) -> Self {
+        LossyMrtReader {
+            reader: MrtReader::new(inner),
+            skipped: SkipTally::default(),
+        }
+    }
+
+    /// Reads the next *decodable* record, skipping (and tallying)
+    /// undecodable ones; `Ok(None)` at clean end-of-archive; `Err` only
+    /// for structural stream damage.
+    pub fn next_record(&mut self) -> Result<Option<MrtRecord>, MrtError> {
+        loop {
+            match self.reader.next_raw()? {
+                None => return Ok(None),
+                Some(raw) => match parse_record(raw) {
+                    Ok(record) => return Ok(Some(record)),
+                    Err(e) => self.skipped.record(e.kind()),
+                },
+            }
+        }
+    }
+
+    /// Records read so far, including skipped ones.
+    pub fn records_read(&self) -> u64 {
+        self.reader.records_read
+    }
+
+    /// What was skipped so far, tallied per error kind.
+    pub fn skipped(&self) -> &SkipTally {
+        &self.skipped
+    }
+}
+
+impl<R: Read> Iterator for LossyMrtReader<R> {
+    type Item = Result<MrtRecord, MrtError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
     }
 }
 
@@ -341,6 +490,118 @@ mod tests {
             other => panic!("expected unknown, got {other:?}"),
         }
         assert!(r.next_record().unwrap().is_none());
+    }
+
+    fn good_update_record() -> Vec<u8> {
+        use bgpworms_types::{AsPath, PathAttributes, RouteUpdate};
+        let attrs = PathAttributes {
+            as_path: AsPath::from_asns([Asn::new(2), Asn::new(1)]),
+            next_hop: Some("10.0.0.1".parse().unwrap()),
+            ..PathAttributes::default()
+        };
+        let update = RouteUpdate::announce("192.0.2.0/24".parse().unwrap(), attrs);
+        let mut buf = Vec::new();
+        crate::write::write_update(
+            &mut buf,
+            0,
+            Asn::new(2),
+            Asn::new(64_500),
+            "10.0.0.2".parse().unwrap(),
+            &update,
+        )
+        .unwrap();
+        buf
+    }
+
+    /// A BGP4MP record whose body is fully present but carries a subtype
+    /// this decoder cannot interpret — the canonical *skippable* error.
+    fn unsupported_subtype_record() -> Vec<u8> {
+        let mut rec = Vec::new();
+        rec.extend_from_slice(&0u32.to_be_bytes());
+        rec.extend_from_slice(&BGP4MP.to_be_bytes());
+        rec.extend_from_slice(&99u16.to_be_bytes());
+        // peer AS + local AS + ifindex + AFI(=1) + two IPv4 addresses.
+        let body = {
+            let mut b = vec![0u8; 6];
+            b.extend_from_slice(&1u16.to_be_bytes());
+            b.extend_from_slice(&[0u8; 8]);
+            b
+        };
+        rec.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        rec.extend_from_slice(&body);
+        rec
+    }
+
+    /// A BGP4MP MESSAGE record whose (fully read) body ends mid-field —
+    /// a *parse* truncation, not a stream truncation, so it is skippable.
+    fn short_body_record() -> Vec<u8> {
+        let mut rec = Vec::new();
+        rec.extend_from_slice(&0u32.to_be_bytes());
+        rec.extend_from_slice(&BGP4MP.to_be_bytes());
+        rec.extend_from_slice(&crate::record::bgp4mp_subtype::MESSAGE.to_be_bytes());
+        rec.extend_from_slice(&3u32.to_be_bytes());
+        rec.extend_from_slice(&[0u8; 3]);
+        rec
+    }
+
+    #[test]
+    fn lossy_reader_skips_undecodable_records_and_tallies_by_kind() {
+        use crate::error::MrtErrorKind;
+        let good = good_update_record();
+        let mut archive = Vec::new();
+        archive.extend_from_slice(&good);
+        archive.extend_from_slice(&unsupported_subtype_record());
+        archive.extend_from_slice(&good);
+        archive.extend_from_slice(&short_body_record());
+        archive.extend_from_slice(&good);
+
+        // Strict reading stops at the first bad record...
+        let mut strict = MrtReader::new(archive.as_slice());
+        assert!(strict.next_record().unwrap().is_some());
+        assert!(strict.next_record().is_err());
+
+        // ...lossy reading yields every good record and tallies the rest.
+        let mut lossy = LossyMrtReader::new(archive.as_slice());
+        let mut updates = 0;
+        while let Some(record) = lossy.next_record().unwrap() {
+            assert!(matches!(record, MrtRecord::Bgp4mp(_)));
+            updates += 1;
+        }
+        assert_eq!(updates, 3);
+        assert_eq!(
+            lossy.records_read(),
+            5,
+            "skipped records still count as read"
+        );
+        assert_eq!(lossy.skipped().total(), 2);
+        assert_eq!(lossy.skipped().count(MrtErrorKind::UnsupportedSubtype), 1);
+        assert_eq!(lossy.skipped().count(MrtErrorKind::Truncated), 1);
+        assert_eq!(lossy.skipped().count(MrtErrorKind::Bgp), 0);
+        assert_eq!(
+            lossy.skipped().to_string(),
+            "truncated: 1, unsupported-subtype: 1"
+        );
+    }
+
+    #[test]
+    fn lossy_reader_still_stops_on_structural_damage() {
+        // A record that *promises* more body than the stream holds: there
+        // is no next-record boundary to skip to, so even the lossy reader
+        // must report the stream as damaged.
+        let mut rec = vec![0u8; 12];
+        rec[8..12].copy_from_slice(&10u32.to_be_bytes());
+        rec.extend_from_slice(&[1, 2, 3]);
+        let mut lossy = LossyMrtReader::new(rec.as_slice());
+        assert!(matches!(
+            lossy.next_record(),
+            Err(MrtError::Truncated {
+                what: "MRT record body"
+            })
+        ));
+
+        let mut clean = LossyMrtReader::new(&[][..]);
+        assert!(clean.next_record().unwrap().is_none());
+        assert_eq!(clean.skipped().to_string(), "none");
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property tests: MRT archives round-trip arbitrary update batches, and the
 //! reader survives arbitrary byte soup without panicking.
 
-use bgpworms_mrt::{write_update_into, MrtReader, MrtRecord, MrtWriter, UpdateStream};
+use bgpworms_mrt::{
+    write_update_into, LossyMrtReader, MrtReader, MrtRecord, MrtWriter, UpdateStream,
+};
 use bgpworms_types::{AsPath, Asn, Community, Ipv4Prefix, PathAttributes, Prefix, RouteUpdate};
 use proptest::prelude::*;
 
@@ -82,6 +84,61 @@ proptest! {
         rec.extend_from_slice(&body);
         let mut r = MrtReader::new(rec.as_slice());
         let _ = r.next_record();
+    }
+
+    #[test]
+    fn lossy_reading_of_a_clean_archive_skips_nothing(
+        updates in proptest::collection::vec(arb_update(), 1..10),
+    ) {
+        let mut w = MrtWriter::new(Vec::new());
+        for u in &updates {
+            write_update_into(&mut w, 0, Asn::new(2), Asn::new(1),
+                "10.0.0.2".parse().unwrap(), u).unwrap();
+        }
+        let buf = w.into_inner();
+        let strict: Vec<MrtRecord> =
+            MrtReader::new(buf.as_slice()).map(|r| r.unwrap()).collect();
+        let mut lossy = LossyMrtReader::new(buf.as_slice());
+        let relaxed: Vec<MrtRecord> = lossy.by_ref().map(|r| r.unwrap()).collect();
+        prop_assert_eq!(relaxed, strict);
+        prop_assert_eq!(lossy.skipped().total(), 0);
+    }
+
+    #[test]
+    fn lossy_reader_survives_truncation_and_bit_flips(
+        updates in proptest::collection::vec(arb_update(), 1..6),
+        frac in 0.0f64..=1.0,
+        flips in proptest::collection::vec((any::<usize>(), 0u8..8), 0..8),
+    ) {
+        let mut w = MrtWriter::new(Vec::new());
+        for u in &updates {
+            write_update_into(&mut w, 0, Asn::new(2), Asn::new(1),
+                "10.0.0.2".parse().unwrap(), u).unwrap();
+        }
+        let mut buf = w.into_inner();
+        // Random truncation...
+        let cut = ((buf.len() as f64) * frac) as usize;
+        buf.truncate(cut.min(buf.len()));
+        // ...and random bit flips anywhere in what remains.
+        for (pos, bit) in flips {
+            if !buf.is_empty() {
+                let i = pos % buf.len();
+                buf[i] ^= 1 << bit;
+            }
+        }
+        // Drain the lossy reader: any mix of yielded records, skips, and
+        // a final structural error is acceptable — panicking is not, and
+        // the skip tally must agree with the record count.
+        let mut r = LossyMrtReader::new(buf.as_slice());
+        let mut yielded = 0u64;
+        loop {
+            match r.next_record() {
+                Ok(Some(_)) => yielded += 1,
+                Ok(None) => break,
+                Err(_) => break, // structural damage is a graceful stop
+            }
+        }
+        prop_assert_eq!(yielded + r.skipped().total(), r.records_read());
     }
 
     #[test]

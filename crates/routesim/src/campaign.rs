@@ -96,7 +96,34 @@
 //! and produces a result bit-identical to an uninterrupted run (same
 //! fold/merge sequence, just spread over several calls). That is the
 //! full-table safety net: a multi-hour campaign interrupted at chunk `k`
-//! re-runs only chunks `k..`, not the table.
+//! re-runs only chunks `k..`, not the table. Checkpoints whose sink
+//! implements [`crate::DurableSink`] also serialize to (and restore from)
+//! a hand-rolled JSON text ([`CampaignCheckpoint::to_json`] /
+//! [`CampaignCheckpoint::from_json`]), so the safety net survives process
+//! death, not just an in-process pause — the crash-resume property suite
+//! (`tests/faults.rs`) injects a simulated crash at every registered fault
+//! site and proves restore-from-text reproduces the uninterrupted run.
+//!
+//! # Supervision: fault policies, quarantine, graceful degradation
+//!
+//! By default a panic anywhere in a chunk aborts the campaign
+//! ([`FaultPolicy::Abort`] — zero supervision overhead, the historical
+//! behavior). A campaign over wild data can instead supervise each prefix:
+//! [`FaultPolicy::Retry`] re-runs a panicking prefix on its worker's
+//! recycled `SimScratch` (`begin_prefix` restores consistency after a
+//! caught panic) up to N attempts before aborting, and
+//! [`FaultPolicy::Quarantine`] retries the same way but, when a prefix
+//! *keeps* failing, records a structured [`PrefixFailure`] (prefix,
+//! attempts, panic text) and lets the rest of the campaign complete. The
+//! fold/merge sequence of the surviving prefixes is unchanged, quarantine
+//! reports flow through checkpoints (resumed ≡ uninterrupted holds with
+//! faults in play), and injected *crash* faults are deliberately never
+//! retried — a simulated crash models process death, survivable only via
+//! a durably persisted checkpoint. Separately, a prefix that exhausts its
+//! event budget is no longer just a global `converged = false` bit: every
+//! such prefix is tallied in [`CampaignRun::diverged`] (and its checkpoint
+//! accessor), so degraded completions are inspectable — see
+//! [`CampaignRun::degraded`] and [`CampaignRun::failure_summary`].
 //!
 //! ```
 //! use bgpworms_routesim::{Campaign, CampaignSink, Origination, PrefixOutcome, SimSpec};
@@ -131,6 +158,8 @@
 
 use crate::classify::ClassKey;
 use crate::engine::{group_by_prefix, panic_message, CompiledSim, Origination, PrefixOutcome};
+use crate::fault::{fault_site, fnv1a_extend, prefix_fault_key};
+use bgpworms_failpoint::FaultPlan;
 use bgpworms_types::Prefix;
 use std::collections::{BTreeMap, HashMap};
 use std::panic::AssertUnwindSafe;
@@ -164,6 +193,44 @@ pub struct Campaign<'s, 't> {
     sim: &'s CompiledSim<'t>,
     chunk_size: usize,
     memoize: bool,
+    policy: FaultPolicy,
+    faults: Option<&'t FaultPlan>,
+}
+
+/// What the campaign does when simulating (or folding) one prefix panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Abort the whole campaign on the first panic (the default, and the
+    /// zero-overhead path: no per-prefix `catch_unwind` frame exists).
+    #[default]
+    Abort,
+    /// Re-run a panicking prefix on the worker's recycled scratch, up to
+    /// `attempts` total tries (minimum 1); a prefix still failing after
+    /// that aborts the campaign, naming the prefix and attempt count.
+    Retry {
+        /// Total tries per prefix, including the first.
+        attempts: u32,
+    },
+    /// Like [`FaultPolicy::Retry`], but a prefix still failing after
+    /// `attempts` tries is *quarantined*: recorded as a structured
+    /// [`PrefixFailure`] (no fold for that prefix) while the rest of the
+    /// campaign completes.
+    Quarantine {
+        /// Total tries per prefix before quarantining, including the first.
+        attempts: u32,
+    },
+}
+
+/// One quarantined prefix: the structured failure report carried by
+/// [`CampaignRun::failures`] (and through checkpoints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixFailure {
+    /// The prefix that kept failing.
+    pub prefix: Prefix,
+    /// How many times it was tried before quarantining.
+    pub attempts: u32,
+    /// The panic text of the last attempt.
+    pub message: String,
 }
 
 /// Default prefixes per work chunk: small enough that a checkpoint is never
@@ -183,19 +250,27 @@ pub const MIN_SCHEDULABLE_CHUNKS: usize = 64;
 /// the chunk sequence, plus how many chunks it covers.
 #[derive(Debug, Clone)]
 pub struct CampaignCheckpoint<S> {
-    sink: S,
-    chunks_done: usize,
-    chunk_size: usize,
+    pub(crate) sink: S,
+    pub(crate) chunks_done: usize,
+    pub(crate) chunk_size: usize,
     /// Digest of the prefix list this checkpoint was taken against
     /// (`None` until the first [`Campaign::run_chunks`] call touches a
     /// schedule); chunk boundaries derive from the prefix set, so resuming
     /// against a drifted schedule — changed count *or* changed membership —
-    /// is rejected instead of silently mis-chunked.
-    schedule_digest: Option<u64>,
-    events: u64,
-    converged: bool,
-    class_sims: u64,
-    class_hits: u64,
+    /// is rejected instead of silently mis-chunked. FNV-1a over the
+    /// prefixes' canonical text, so a digest persisted by
+    /// [`CampaignCheckpoint::to_json`] means the same thing in another
+    /// process.
+    pub(crate) schedule_digest: Option<u64>,
+    pub(crate) events: u64,
+    pub(crate) converged: bool,
+    pub(crate) class_sims: u64,
+    pub(crate) class_hits: u64,
+    /// Prefixes (ascending fold order) that exhausted their event budget.
+    pub(crate) diverged: Vec<Prefix>,
+    /// Prefixes quarantined under [`FaultPolicy::Quarantine`], in fold
+    /// order.
+    pub(crate) failures: Vec<PrefixFailure>,
 }
 
 impl<S> CampaignCheckpoint<S> {
@@ -233,10 +308,23 @@ impl<S> CampaignCheckpoint<S> {
     pub fn class_hits(&self) -> u64 {
         self.class_hits
     }
+
+    /// Completed prefixes that exhausted their event budget (ascending
+    /// fold order) — the structured form of `!converged()`.
+    pub fn diverged(&self) -> &[Prefix] {
+        &self.diverged
+    }
+
+    /// Prefixes quarantined so far under [`FaultPolicy::Quarantine`], in
+    /// fold order. Flows through resume, so a resumed campaign reports the
+    /// same quarantine set as an uninterrupted one.
+    pub fn failures(&self) -> &[PrefixFailure] {
+        &self.failures
+    }
 }
 
 /// A finished campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignRun<S> {
     /// The fully merged aggregate.
     pub sink: S,
@@ -251,6 +339,57 @@ pub struct CampaignRun<S> {
     pub class_sims: u64,
     /// Prefixes folded as later members of an already-counted class.
     pub class_hits: u64,
+    /// Prefixes that exhausted their event budget, in ascending fold order
+    /// — the structured form of `!converged` (graceful degradation, not an
+    /// abort).
+    pub diverged: Vec<Prefix>,
+    /// Prefixes quarantined under [`FaultPolicy::Quarantine`], in fold
+    /// order, with attempt counts and panic text.
+    pub failures: Vec<PrefixFailure>,
+}
+
+impl<S> CampaignRun<S> {
+    /// True if the campaign completed but not cleanly: some prefix
+    /// diverged or was quarantined. Callers surfacing results (e.g. the
+    /// `repro` CLI) should report [`CampaignRun::failure_summary`] and
+    /// exit non-zero.
+    pub fn degraded(&self) -> bool {
+        !self.diverged.is_empty() || !self.failures.is_empty()
+    }
+
+    /// A human-readable summary of the degradation: one line per diverged
+    /// prefix and one per quarantined prefix (with attempts and panic
+    /// text). Empty string when the run is clean.
+    pub fn failure_summary(&self) -> String {
+        failure_summary(&self.diverged, &self.failures)
+    }
+}
+
+/// Renders the standard degradation summary — one line per diverged
+/// prefix, one per quarantined prefix (with attempt count and panic
+/// text); empty when both lists are. [`CampaignRun::failure_summary`]
+/// delegates here, and downstream reports carrying the same structured
+/// fields (e.g. the full-table harness) reuse it so every front end
+/// prints degradation identically.
+pub fn failure_summary(diverged: &[Prefix], failures: &[PrefixFailure]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for prefix in diverged {
+        // lint: infallible `fmt::Write` for `String` never errors
+        writeln!(out, "diverged: {prefix} (event budget exhausted)")
+            .expect("String formatting is infallible");
+    }
+    for f in failures {
+        let plural = if f.attempts == 1 { "" } else { "s" };
+        // lint: infallible `fmt::Write` for `String` never errors
+        writeln!(
+            out,
+            "quarantined: {} after {} attempt{plural}: {}",
+            f.prefix, f.attempts, f.message
+        )
+        .expect("String formatting is infallible");
+    }
+    out
 }
 
 /// The classification summary of one schedule under one session — what
@@ -287,6 +426,8 @@ struct ChunkOutcome<S> {
     converged: bool,
     class_sims: u64,
     class_hits: u64,
+    diverged: Vec<Prefix>,
+    failures: Vec<PrefixFailure>,
 }
 
 /// The schedule's class structure: each prefix's class id, with classes
@@ -381,7 +522,27 @@ impl<'s, 't> Campaign<'s, 't> {
             sim,
             chunk_size: DEFAULT_CHUNK_SIZE,
             memoize: true,
+            policy: FaultPolicy::Abort,
+            faults: sim.faults(),
         }
+    }
+
+    /// Sets the supervision policy for panics while simulating or folding
+    /// one prefix (default: [`FaultPolicy::Abort`], the zero-overhead
+    /// path). See the module docs' supervision section.
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches a deterministic fault plan consulted at the campaign's
+    /// fault sites (chunk claim, per-prefix, fold, merge, checkpoint save —
+    /// see [`crate::fault_site`]). Defaults to the plan attached to the
+    /// session via [`crate::SimSpec::faults`], if any; never read from the
+    /// environment.
+    pub fn faults(mut self, plan: &'t FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Enables or disables flood memoization (default: on). Off, every
@@ -445,6 +606,8 @@ impl<'s, 't> Campaign<'s, 't> {
             converged: true,
             class_sims: 0,
             class_hits: 0,
+            diverged: Vec::new(),
+            failures: Vec::new(),
         }
     }
 
@@ -574,6 +737,9 @@ impl<'s, 't> Campaign<'s, 't> {
             // chunk recycles the same arrays.
             let mut scratch = self.sim.new_scratch();
             for &ci in &todo {
+                if let Some(plan) = self.faults {
+                    let _ = plan.trip(fault_site::CHUNK_CLAIM, ci as u64);
+                }
                 let out = self.run_chunk(
                     &mut scratch,
                     ci,
@@ -585,7 +751,7 @@ impl<'s, 't> Campaign<'s, 't> {
                     new_sink,
                     intra,
                 );
-                absorb(&mut cp, out);
+                absorb(&mut cp, out, self.faults);
             }
         } else {
             // Per-chunk result slots; `Mutex<Option<…>>` rather than
@@ -623,6 +789,9 @@ impl<'s, 't> Campaign<'s, 't> {
                             let k = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&ci) = todo.get(k) else { break };
                             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                if let Some(plan) = self.faults {
+                                    let _ = plan.trip(fault_site::CHUNK_CLAIM, ci as u64);
+                                }
                                 self.run_chunk(
                                     &mut scratch,
                                     ci,
@@ -663,7 +832,7 @@ impl<'s, 't> Campaign<'s, 't> {
                 // lint: infallible slot locks are only held outside
                 // catch_unwind, so no worker panic can poison them
                 match slot.into_inner().expect("slot lock never poisoned") {
-                    Some(Ok(out)) => absorb(&mut cp, out),
+                    Some(Ok(out)) => absorb(&mut cp, out, self.faults),
                     Some(Err(msg)) => panic!("campaign worker panicked in chunk {ci}: {msg}"),
                     None => unreachable!("unclaimed slot implies an earlier panicked slot"),
                 }
@@ -707,6 +876,8 @@ impl<'s, 't> Campaign<'s, 't> {
             converged: true,
             class_sims: 0,
             class_hits: 0,
+            diverged: Vec::new(),
+            failures: Vec::new(),
         };
         for (i, &prefix) in prefixes[lo..hi].iter().enumerate() {
             let gi = lo + i;
@@ -715,61 +886,210 @@ impl<'s, 't> Campaign<'s, 't> {
             } else {
                 out.class_hits += 1;
             }
-            let outcome = match memo {
-                None => self
-                    .sim
-                    .run_prefix(scratch, prefix, &by_prefix[&prefix], intra),
-                Some(memo) => {
-                    // A poisoned slot is still consistent: a panicking
-                    // simulation never half-fills `outcome`, so we can
-                    // keep going with whatever state the lock guards.
-                    let mut slot = memo.slots[classes.class_of[gi] as usize]
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    if slot.outcome.is_none() {
-                        slot.outcome =
-                            Some(
-                                self.sim
-                                    .run_prefix(scratch, prefix, &by_prefix[&prefix], intra),
-                            );
+            let outcome =
+                match self.supervised(scratch, prefix, gi, by_prefix, classes, memo, intra) {
+                    Ok(outcome) => outcome,
+                    Err(failure) => {
+                        // Quarantined: no fold for this prefix. Its class
+                        // counters above stand — they are schedule
+                        // statistics, not execution statistics.
+                        out.failures.push(failure);
+                        continue;
                     }
-                    slot.remaining -= 1;
-                    let stored = if slot.remaining == 0 {
-                        // lint: infallible filled under this same lock
-                        // guard by the is_none branch above
-                        slot.outcome.take().expect("slot filled above")
-                    } else {
-                        // lint: infallible same guard, same fill
-                        slot.outcome.as_ref().expect("slot filled above").clone()
-                    };
-                    drop(slot);
-                    stored.relabeled(prefix)
-                }
-            };
+                };
+            if let Some(plan) = self.faults {
+                // The fold site sits *outside* supervision: sink state
+                // cannot be rolled back, so a fold fault aborts (and is
+                // survivable only via durable-checkpoint restore).
+                let _ = plan.trip(fault_site::SINK_FOLD, prefix_fault_key(prefix));
+            }
+            if !outcome.converged {
+                out.diverged.push(prefix);
+            }
             out.events += outcome.events;
             out.converged &= outcome.converged;
             out.sink.fold(prefix, outcome);
         }
         out
     }
+
+    /// Produces one prefix's outcome under the campaign's [`FaultPolicy`].
+    /// `Abort` calls straight through — no `catch_unwind` frame, zero
+    /// overhead. `Retry`/`Quarantine` catch a panicking attempt, recycle
+    /// the worker's scratch (the next `run_prefix` begins with
+    /// `begin_prefix`, which restores consistency after a caught panic),
+    /// and try again; what happens when attempts run out is the policies'
+    /// difference. Injected *crash* faults are always re-thrown — a
+    /// simulated crash models process death, and swallowing it in-process
+    /// would fake robustness the durable-checkpoint layer is supposed to
+    /// provide.
+    #[allow(clippy::too_many_arguments)]
+    fn supervised(
+        &self,
+        scratch: &mut crate::scratch::SimScratch,
+        prefix: Prefix,
+        gi: usize,
+        by_prefix: &BTreeMap<Prefix, Vec<&Origination>>,
+        classes: &ClassTable,
+        memo: Option<&ClassMemo>,
+        intra: usize,
+    ) -> Result<PrefixOutcome, PrefixFailure> {
+        let attempts = match self.policy {
+            FaultPolicy::Abort => {
+                return Ok(self.prefix_outcome(scratch, prefix, gi, by_prefix, classes, memo, intra))
+            }
+            FaultPolicy::Retry { attempts } | FaultPolicy::Quarantine { attempts } => {
+                attempts.max(1)
+            }
+        };
+        let mut last = String::new();
+        for _ in 0..attempts {
+            match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                self.prefix_outcome(scratch, prefix, gi, by_prefix, classes, memo, intra)
+            })) {
+                Ok(outcome) => return Ok(outcome),
+                Err(payload) => {
+                    if bgpworms_failpoint::crash_payload(&*payload).is_some() {
+                        std::panic::resume_unwind(payload);
+                    }
+                    last = panic_message(&*payload);
+                }
+            }
+        }
+        match self.policy {
+            FaultPolicy::Quarantine { .. } => Err(PrefixFailure {
+                prefix,
+                attempts,
+                message: last,
+            }),
+            _ => panic!("prefix {prefix} still failing after {attempts} attempts: {last}"),
+        }
+    }
+
+    /// One prefix's outcome: consult the `campaign::prefix` fault site,
+    /// then simulate — through the class memo when it applies. A panic mid
+    /// slot-fill leaves the slot's `outcome` empty and `remaining`
+    /// undecremented, so a supervised retry simply re-locks and
+    /// re-simulates.
+    ///
+    /// Prefixes targeted by an `engine::flood` fault entry bypass the memo
+    /// and simulate directly: an engine-scoped fault fires *inside* the
+    /// flood, so under memoization it would hit whichever class member
+    /// happens to simulate first — scheduling-dependent. The bypass pins
+    /// the fault to exactly the targeted prefixes, keeping
+    /// memoized ≡ unmemoized property-true with engine faults in play
+    /// (locked in by `tests/faults.rs`).
+    #[allow(clippy::too_many_arguments)]
+    fn prefix_outcome(
+        &self,
+        scratch: &mut crate::scratch::SimScratch,
+        prefix: Prefix,
+        gi: usize,
+        by_prefix: &BTreeMap<Prefix, Vec<&Origination>>,
+        classes: &ClassTable,
+        memo: Option<&ClassMemo>,
+        intra: usize,
+    ) -> PrefixOutcome {
+        if let Some(plan) = self.faults {
+            // Consulted once per *member* (before any memo lookup), so the
+            // site fires identically with memoization on or off. Starve is
+            // a no-op here — there is no budget at this site.
+            let _ = plan.trip(fault_site::PREFIX, prefix_fault_key(prefix));
+        }
+        let memo = memo.filter(|_| !self.engine_fault_targeted(prefix));
+        match memo {
+            None => self
+                .sim
+                .run_prefix(scratch, prefix, &by_prefix[&prefix], intra),
+            Some(memo) => {
+                // A poisoned slot is still consistent: a panicking
+                // simulation never half-fills `outcome`, so we can
+                // keep going with whatever state the lock guards.
+                let mut slot = memo.slots[classes.class_of[gi] as usize]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if slot.outcome.is_none() {
+                    slot.outcome =
+                        Some(
+                            self.sim
+                                .run_prefix(scratch, prefix, &by_prefix[&prefix], intra),
+                        );
+                }
+                slot.remaining -= 1;
+                let stored = if slot.remaining == 0 {
+                    // lint: infallible filled under this same lock
+                    // guard by the is_none branch above
+                    slot.outcome.take().expect("slot filled above")
+                } else {
+                    // lint: infallible same guard, same fill
+                    slot.outcome.as_ref().expect("slot filled above").clone()
+                };
+                drop(slot);
+                stored.relabeled(prefix)
+            }
+        }
+    }
+
+    /// Serializes a checkpoint for durable persistence, consulting the
+    /// `campaign::checkpoint-save` fault site first (key: the checkpoint's
+    /// `chunks_done`) — so the crash-resume suite can kill the campaign at
+    /// the exact moment a save would happen and prove the *previous*
+    /// persisted text still restores correctly. Restore with
+    /// [`CampaignCheckpoint::from_json`].
+    pub fn checkpoint_json<S: crate::DurableSink>(&self, cp: &CampaignCheckpoint<S>) -> String {
+        if let Some(plan) = self.faults {
+            let _ = plan.trip(fault_site::CHECKPOINT_SAVE, cp.chunks_done as u64);
+        }
+        cp.to_json()
+    }
+
+    /// True when the attached plan has an `engine::flood` entry that could
+    /// fire for `prefix` (counters ignored) — such prefixes bypass the
+    /// class memo; see [`Campaign::prefix_outcome`].
+    fn engine_fault_targeted(&self, prefix: Prefix) -> bool {
+        self.faults
+            .is_some_and(|plan| plan.targets(fault_site::ENGINE_FLOOD, prefix_fault_key(prefix)))
+    }
 }
 
 /// Digest of a schedule's sorted prefix list, binding checkpoints to the
 /// exact prefix set (and order) their chunk boundaries were computed over.
-/// Checkpoints live in memory only, so process-local stability suffices.
+/// Checkpoints persist across processes ([`CampaignCheckpoint::to_json`]),
+/// so the digest is hand-rolled FNV-1a over the prefixes' canonical text —
+/// process- and platform-independent, unlike `DefaultHasher`.
 fn schedule_digest(prefixes: &[Prefix]) -> u64 {
-    use std::hash::{DefaultHasher, Hash, Hasher};
-    let mut hasher = DefaultHasher::new();
-    prefixes.hash(&mut hasher);
-    hasher.finish()
+    use std::fmt::Write;
+    let mut state: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut text = String::with_capacity(24);
+    for prefix in prefixes {
+        text.clear();
+        // lint: infallible `fmt::Write` for `String` never errors
+        write!(text, "{prefix}").expect("String formatting is infallible");
+        state = fnv1a_extend(state, text.as_bytes());
+        // Separator byte: never appears in prefix text, so adjacent
+        // prefixes cannot alias across the boundary.
+        state = fnv1a_extend(state, &[0xff]);
+    }
+    state
 }
 
-fn absorb<S: CampaignSink>(cp: &mut CampaignCheckpoint<S>, out: ChunkOutcome<S>) {
+fn absorb<S: CampaignSink>(
+    cp: &mut CampaignCheckpoint<S>,
+    out: ChunkOutcome<S>,
+    faults: Option<&FaultPlan>,
+) {
+    if let Some(plan) = faults {
+        // Merges happen in ascending chunk order, so `chunks_done` *is*
+        // the global index of the chunk being merged.
+        let _ = plan.trip(fault_site::SINK_MERGE, cp.chunks_done as u64);
+    }
     cp.sink.merge(out.sink);
     cp.events += out.events;
     cp.converged &= out.converged;
     cp.class_sims += out.class_sims;
     cp.class_hits += out.class_hits;
+    cp.diverged.extend(out.diverged);
+    cp.failures.extend(out.failures);
     cp.chunks_done += 1;
 }
 
@@ -781,6 +1101,8 @@ fn finish<S>(cp: CampaignCheckpoint<S>) -> CampaignRun<S> {
         chunks: cp.chunks_done,
         class_sims: cp.class_sims,
         class_hits: cp.class_hits,
+        diverged: cp.diverged,
+        failures: cp.failures,
     }
 }
 

@@ -78,11 +78,13 @@
 
 use crate::classify::{ClassKey, PrefixClassifier};
 use crate::collector::{CollectorObservation, CollectorSpec, FeedKind};
+use crate::fault::{fault_site, prefix_fault_key};
 use crate::policy::{CommunityPropagationPolicy, IrrDatabase, RouterConfig};
 use crate::route::{Route, RouteArena, RouteId};
 use crate::router::{self, NodeState, RibEntry, ValidationCtx};
 use crate::scratch::{EventQueue, SimScratch, SimSnapshot};
 use crate::sweep;
+use bgpworms_failpoint::FaultPlan;
 use bgpworms_topology::{NodeId, Role, Tier, Topology};
 use bgpworms_types::{AsPath, Asn, Community, Origin, Prefix};
 use std::borrow::Cow;
@@ -208,6 +210,7 @@ pub struct SimSpec<'a> {
     retain: RetainRoutes,
     threads: usize,
     intra_floor: usize,
+    faults: Option<&'a FaultPlan>,
 }
 
 impl<'a> SimSpec<'a> {
@@ -223,6 +226,7 @@ impl<'a> SimSpec<'a> {
             retain: RetainRoutes::None,
             threads: 1,
             intra_floor: DEFAULT_INTRA_FLOOR,
+            faults: None,
         }
     }
 
@@ -302,6 +306,18 @@ impl<'a> SimSpec<'a> {
         self
     }
 
+    /// Attaches a deterministic fault plan, consulted at the engine's
+    /// registered fault sites (`engine::flood`, `snapshot::capture`,
+    /// `snapshot::restore` — see [`crate::fault_site`]) and inherited by
+    /// campaigns built over the compiled session. Fault injection is never
+    /// configured through the environment; attaching a plan here is the
+    /// only way to arm it. With no plan attached every site is a single
+    /// `None` check.
+    pub fn faults(mut self, plan: &'a FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Compiles the session: CSR adjacency (and reverse slots) forced,
     /// configs resolved once into a dense [`NodeId`]-indexed `Vec`,
     /// collector peers interned, event budget hoisted. The returned
@@ -355,6 +371,7 @@ impl<'a> SimSpec<'a> {
             intra_floor: self.intra_floor,
             event_budget: (adjacency_entries * 64).max(10_000),
             classifier,
+            faults: self.faults,
         }
     }
 }
@@ -401,6 +418,9 @@ pub struct CompiledSim<'a> {
     /// Compiled prefix-sensitivity summary for flood memoization — see
     /// `classify`.
     classifier: PrefixClassifier,
+    /// Deterministic fault plan consulted at the engine fault sites; `None`
+    /// (the default) makes every site a single branch.
+    faults: Option<&'a FaultPlan>,
 }
 
 impl<'a> CompiledSim<'a> {
@@ -430,6 +450,12 @@ impl<'a> CompiledSim<'a> {
     /// [`PrefixOutcome::observations`].
     pub fn collector_names(&self) -> &[String] {
         &self.collector_names
+    }
+
+    /// The fault plan attached at [`SimSpec::faults`], if any. Campaigns
+    /// built over this session inherit it.
+    pub fn faults(&self) -> Option<&'a FaultPlan> {
+        self.faults
     }
 
     /// Runs all origination episodes to convergence and collects results.
@@ -497,7 +523,17 @@ impl<'a> CompiledSim<'a> {
         // Same stable time sort as `group_by_prefix` applies per prefix.
         let mut episodes: Vec<&Origination> = delta.iter().collect();
         episodes.sort_by_key(|o| o.time);
+        // A delta replay re-enters the flood, so it consults the same
+        // `engine::flood` site as a fresh run (plus `snapshot::restore` for
+        // the restore step itself).
+        let budget = self.prefix_budget(snapshot.prefix());
         let mut scratch = self.new_scratch();
+        if let Some(plan) = self.faults {
+            let _ = plan.trip(
+                fault_site::SNAPSHOT_RESTORE,
+                prefix_fault_key(snapshot.prefix()),
+            );
+        }
         scratch.restore(self.topo.slot_offsets(), snapshot);
         let mut outcome = snapshot.baseline_outcome().clone();
         // A delta replay is a single-prefix run, so the whole worker budget
@@ -508,6 +544,7 @@ impl<'a> CompiledSim<'a> {
             &episodes,
             &mut outcome,
             self.threads,
+            budget,
         );
         outcome
     }
@@ -786,15 +823,46 @@ pub(crate) fn group_by_prefix(originations: &[Origination]) -> BTreeMap<Prefix, 
     by_prefix
 }
 
-/// Best-effort text of a caught panic payload.
-pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Total rendering of a caught panic payload: every payload produces a
+/// stable, non-empty message.
+///
+/// String payloads (`panic!` and friends) render verbatim; the workspace's
+/// typed payloads — [`bgpworms_failpoint::FaultPayload`] from injected
+/// faults and [`bgpworms_failpoint::LabeledPayload`] from
+/// [`bgpworms_failpoint::panic_labeled`] (which captures the value's type
+/// name *at the panic site*) — render through their `Display` impls; and
+/// common primitive payloads render with their type name. Anything else is
+/// an opaque `dyn Any` whose type name is unrecoverable after the fact, so
+/// it renders a stable fallback — callers that control their panic sites
+/// get a named type by panicking via `panic_labeled`.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    use bgpworms_failpoint::{FaultPayload, LabeledPayload};
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+        return (*s).to_string();
     }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    if let Some(fault) = payload.downcast_ref::<FaultPayload>() {
+        return fault.to_string();
+    }
+    if let Some(labeled) = payload.downcast_ref::<LabeledPayload>() {
+        return labeled.to_string();
+    }
+    macro_rules! primitive {
+        ($($ty:ty),*) => {
+            $(if let Some(v) = payload.downcast_ref::<$ty>() {
+                return format!(
+                    "panic payload of type `{}`: {v:?}",
+                    std::any::type_name::<$ty>()
+                );
+            })*
+        };
+    }
+    primitive!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, char);
+    "panic payload of unknown type (not a string; panic via \
+     bgpworms_failpoint::panic_labeled to name it)"
+        .to_string()
 }
 
 /// The scratch-backed router table of one prefix run: hands out
@@ -889,6 +957,7 @@ impl CompiledSim<'_> {
         episodes: &[&Origination],
         intra: usize,
     ) -> PrefixOutcome {
+        let budget = self.prefix_budget(prefix);
         scratch.begin_prefix();
         let mut outcome = PrefixOutcome {
             observations: vec![Vec::new(); self.collector_names.len()],
@@ -896,8 +965,26 @@ impl CompiledSim<'_> {
             events: 0,
             converged: true,
         };
-        self.continue_prefix(scratch, prefix, episodes, &mut outcome, intra);
+        self.continue_prefix(scratch, prefix, episodes, &mut outcome, intra, budget);
         outcome
+    }
+
+    /// The event budget of one prefix's flood, consulting the
+    /// `engine::flood` fault site when a plan is attached: `Panic`/`Crash`
+    /// faults panic here (the flood's entry point), and a `Starve` fault
+    /// zeroes the budget so the flood gives up on its first event and
+    /// reports divergence — graceful degradation, not a panic.
+    fn prefix_budget(&self, prefix: Prefix) -> u64 {
+        match self.faults {
+            None => self.event_budget,
+            Some(plan) => {
+                if plan.trip(fault_site::ENGINE_FLOOD, prefix_fault_key(prefix)) {
+                    0
+                } else {
+                    self.event_budget
+                }
+            }
+        }
     }
 
     /// Captures a worker scratch that just converged `prefix` (together
@@ -915,6 +1002,10 @@ impl CompiledSim<'_> {
         // Episodes arrive time-sorted (`group_by_prefix`), so the last one
         // carries the baseline's latest timestamp.
         let last_time = episodes.last().map_or(0, |ep| ep.time);
+        if let Some(plan) = self.faults {
+            // Starvation is a no-op at a site with no budget.
+            let _ = plan.trip(fault_site::SNAPSHOT_CAPTURE, prefix_fault_key(prefix));
+        }
         scratch.capture(self.topo.slot_offsets(), prefix, last_time, outcome)
     }
 
@@ -951,6 +1042,7 @@ impl CompiledSim<'_> {
         episodes: &[&Origination],
         outcome: &mut PrefixOutcome,
         intra: usize,
+        budget: u64,
     ) {
         let vctx = ValidationCtx {
             irr: &self.irr,
@@ -1029,7 +1121,7 @@ impl CompiledSim<'_> {
             'converge: loop {
                 while let Some(ev) = queue.pop_front() {
                     outcome.events += 1;
-                    if outcome.events > self.event_budget {
+                    if outcome.events > budget {
                         outcome.converged = false;
                         queue.clear();
                         dirty.clear();
@@ -1722,8 +1814,55 @@ mod tests {
         assert_eq!(panic_message(&*payload), "boom");
         let payload: Box<dyn std::any::Any + Send> = Box::new("static");
         assert_eq!(panic_message(&*payload), "static");
+        // Primitive payloads name their type instead of a generic shrug.
         let payload: Box<dyn std::any::Any + Send> = Box::new(42u32);
-        assert_eq!(panic_message(&*payload), "non-string panic payload");
+        assert_eq!(panic_message(&*payload), "panic payload of type `u32`: 42");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(true);
+        assert_eq!(
+            panic_message(&*payload),
+            "panic payload of type `bool`: true"
+        );
+    }
+
+    #[test]
+    fn panic_message_is_total_over_custom_payload_types() {
+        use std::panic::catch_unwind;
+
+        // A custom payload panicked via `panic_labeled` renders its type
+        // name and Debug text (captured at the panic site).
+        #[derive(Debug)]
+        struct CustomFailure {
+            #[allow(dead_code)] // read only through the Debug rendering
+            code: u32,
+        }
+        let payload = catch_unwind(|| bgpworms_failpoint::panic_labeled(CustomFailure { code: 7 }))
+            .unwrap_err();
+        let msg = panic_message(&*payload);
+        assert!(msg.contains("CustomFailure"), "type name missing: {msg}");
+        assert!(msg.contains("code: 7"), "debug rendering missing: {msg}");
+
+        // Injected-fault payloads render through FaultPayload's Display.
+        let plan = bgpworms_failpoint::FaultPlan::new().fail(
+            "engine::flood",
+            3,
+            bgpworms_failpoint::FaultKind::Crash,
+            1,
+        );
+        let payload = catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan.trip("engine::flood", 3)
+        }))
+        .unwrap_err();
+        assert_eq!(
+            panic_message(&*payload),
+            "injected simulated crash at fault site `engine::flood` (key 3)"
+        );
+
+        // A raw panic_any with an unknown type still renders a stable,
+        // non-empty fallback (the dyn Any type name is unrecoverable).
+        struct Opaque;
+        let payload = catch_unwind(|| std::panic::panic_any(Opaque)).unwrap_err();
+        let msg = panic_message(&*payload);
+        assert!(msg.contains("unknown type"), "fallback missing: {msg}");
     }
 
     #[test]

@@ -287,7 +287,9 @@ pub const MONITOR_ASN: bgpworms_types::Asn = bgpworms_types::Asn::new(4_000_000_
 pub mod campaign;
 mod classify;
 pub mod collector;
+mod durable;
 pub mod engine;
+pub mod fault;
 pub mod policy;
 pub mod route;
 pub mod router;
@@ -295,9 +297,17 @@ mod scratch;
 mod sweep;
 pub mod workload;
 
-pub use campaign::{Campaign, CampaignCheckpoint, CampaignRun, CampaignSink, ClassStats};
+pub use bgpworms_failpoint::{FaultKind, FaultPayload, FaultPlan};
+pub use campaign::{
+    failure_summary, Campaign, CampaignCheckpoint, CampaignRun, CampaignSink, ClassStats,
+    FaultPolicy, PrefixFailure,
+};
 pub use collector::{archive_all, CollectorArchive, CollectorObservation, CollectorSpec, FeedKind};
-pub use engine::{CompiledSim, Origination, PrefixOutcome, RetainRoutes, SimResult, SimSpec};
+pub use durable::DurableSink;
+pub use engine::{
+    panic_message, CompiledSim, Origination, PrefixOutcome, RetainRoutes, SimResult, SimSpec,
+};
+pub use fault::{fault_site, prefix_fault_key};
 pub use policy::{
     ActScope, BlackholeService, CommunityPropagationPolicy, CommunityServices, IrrDatabase,
     OriginValidation, RouteServerConfig, RouterConfig, RsEvalOrder, TaggingConfig, Vendor,
